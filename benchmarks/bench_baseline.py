@@ -1,0 +1,89 @@
+"""Benchmark: CommCSL vs. the timing-sensitive baseline (Sec. 5).
+
+The paper: "Ca. half of our examples have secret-dependent timing due to
+branches on high data, and would thus be rejected by existing techniques,
+even if the attacker cannot observe timing."  This benchmark runs both
+checkers on all 18 Table-1 case studies:
+
+* the full CommCSL pipeline (`repro.verifier.frontend.verify`) — expected
+  to verify all 18;
+* the baseline of `repro.verifier.baseline`, which models the discipline
+  of SecCSL/COVERN-style techniques (no branching or looping on secrets,
+  no schedule-dependent blocking, no commutativity reclamation of shared
+  cells) — expected to reject the examples with secret-dependent timing.
+"""
+
+import time
+
+import pytest
+
+from repro.casestudies import TABLE1_CASES
+from repro.verifier.baseline import baseline_check
+
+#: Case studies the baseline must reject, with the rejection class.
+#: Exactly 8 fall to secret-dependent timing — the paper's "ca. half of
+#: our examples have secret-dependent timing due to branches on high
+#: data"; 4 more need an abstraction the baseline lacks; 3 block on
+#: shared state.  The 3 accepted ones (Website-Visitor-IPs,
+#: Sales-By-Region, Most-Valuable-Purchase) have identity abstractions,
+#: all-low data and no secret-dependent control flow, which a
+#: SecCSL-style lock invariant can handle without commutativity.
+EXPECTED_BASELINE_REJECTS = {
+    # secret-dependent timing (high loops) — 8/18, the Sec. 5 claim
+    "Count-Vaccinated",
+    "Figure 2",
+    "Count-Sick-Days",
+    "Figure 1",
+    "Email-Metadata",
+    "Sick-Employee-Names",
+    "Salary-Histogram",
+    "Count-Purchases",
+    # secret data in the shared structure; only an abstraction of it is
+    # printed, and the baseline has no abstraction mechanism
+    "Mean-Salary",
+    "Patient-Statistic",
+    "Debt-Sum",
+    "Figure 3",
+    # schedule-dependent blocking (queue guards)
+    "1-Producer-1-Consumer",
+    "Pipeline",
+    "2-Producers-2-Consumers",
+}
+
+
+@pytest.mark.parametrize("case", TABLE1_CASES, ids=lambda c: c.name.replace(" ", "-"))
+def test_baseline_bench(benchmark, case):
+    report = benchmark(baseline_check, case.program_spec())
+    expected_reject = case.name in EXPECTED_BASELINE_REJECTS
+    assert report.accepted != expected_reject, report.summary()
+
+
+def test_print_baseline_comparison():
+    header = f"{'Example':28s} {'CommCSL':>9s} {'baseline':>9s}  first baseline rejection"
+    print("\n" + "=" * 100)
+    print("CommCSL vs. timing-sensitive baseline (Sec. 5, 'High branches')")
+    print("=" * 100)
+    print(header)
+    print("-" * 100)
+    commcsl_ok = 0
+    baseline_ok = 0
+    for case in TABLE1_CASES:
+        verdict = case.verify()
+        report = baseline_check(case.program_spec())
+        commcsl_ok += verdict.verified
+        baseline_ok += report.accepted
+        reason = report.rejections[0][:50] if report.rejections else ""
+        print(
+            f"{case.name:28s} "
+            f"{'VERIFIED' if verdict.verified else 'rejected':>9s} "
+            f"{'accepted' if report.accepted else 'REJECTED':>9s}  {reason}"
+        )
+        assert verdict.verified
+    print("-" * 100)
+    print(f"CommCSL verifies {commcsl_ok}/18; the baseline accepts {baseline_ok}/18 — "
+          f"{18 - baseline_ok} examples are verifiable *only* with "
+          f"commutativity-based reasoning")
+    print("=" * 100)
+    # The paper says "ca. half" have secret-dependent timing; with the
+    # baseline's additional store-taint strictness the gap is larger.
+    assert 18 - baseline_ok >= 9

@@ -1,0 +1,76 @@
+"""Benchmark: the Fig. 1 internal-timing-channel experiment.
+
+Regenerates the behavioural claims of Fig. 1 and the introduction:
+
+* under the deterministic round-robin scheduler, the printed value is a
+  threshold function of the secret ``h`` (flips at the public loop bound
+  100) — the "leaks whether or not h is greater than 100" claim;
+* under a randomized scheduler, the empirical mutual information between
+  ``h`` and the output is ≈1 bit for well-separated secrets;
+* the commuting repair (+3/+4) and the constant-abstraction variant leak
+  nothing (0 bits, no threshold).
+
+The timed benchmarks measure the experiment harness itself (runs per
+secret value), which is the cost driver of this figure.
+"""
+
+import pytest
+
+from repro.lang import parse_program
+from repro.security import mutual_information, threshold_leak
+
+FIG1 = parse_program(
+    """
+t1 := 0
+t2 := 0
+{ while (t1 < 100) { t1 := t1 + 1 }; s := 3 } || { while (t2 < h) { t2 := t2 + 1 }; s := 4 }
+print(s)
+"""
+)
+
+COMMUTING = parse_program(
+    """
+t1 := 0
+t2 := 0
+s := 0
+{ while (t1 < 100) { t1 := t1 + 1 }; a := 3 } || { while (t2 < h) { t2 := t2 + 1 }; b := 4 }
+print(a + b)
+"""
+)
+
+H_SWEEP = [0, 25, 50, 75, 99, 100, 101, 125, 150, 200]
+
+
+def test_fig1_threshold(benchmark):
+    result = benchmark(threshold_leak, FIG1, "h", H_SWEEP)
+    assert result.distinguishes
+    assert result.boundary == 100  # flips exactly at the public loop bound
+
+
+def test_commuting_no_threshold(benchmark):
+    result = benchmark(threshold_leak, COMMUTING, "h", H_SWEEP)
+    assert not result.distinguishes
+
+
+def test_fig1_mutual_information(benchmark):
+    bits = benchmark(mutual_information, FIG1, "h", [0, 200], 20)
+    assert bits > 0.9
+
+
+def test_commuting_mutual_information(benchmark):
+    bits = benchmark(mutual_information, COMMUTING, "h", [0, 200], 20)
+    assert bits == 0.0
+
+
+def test_print_fig1_report():
+    print("\n=== Figure 1 experiment — internal timing channel ===")
+    leak = threshold_leak(FIG1, "h", H_SWEEP)
+    print("round-robin outputs by secret h (racy program):")
+    for h in H_SWEEP:
+        print(f"  h={h:3d} -> {leak.outputs_by_h[h][0]}")
+    print(f"threshold boundary: h = {leak.boundary}  (paper: 'leaks whether h > 100')")
+    racy_bits = mutual_information(FIG1, "h", [0, 200], runs_per_value=30)
+    fixed_bits = mutual_information(COMMUTING, "h", [0, 200], runs_per_value=30)
+    print(f"I(h; output): racy = {racy_bits:.3f} bits, commuting repair = {fixed_bits:.3f} bits")
+    assert leak.boundary == 100
+    assert racy_bits > 0.9 and fixed_bits == 0.0

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Multi-level security: verifying against an arbitrary finite lattice.
+
+The paper verifies two labels (low/high) and notes (Sec. 2.1, footnote 1)
+that arbitrary finite lattices reduce to one 2-level verification per
+lattice element.  This example runs that reduction on a three-level
+payroll program:
+
+* ``n`` (head count)          — *public*
+* ``bonuses``                 — *internal*
+* ``perf`` (performance data) — *secret*, influences timing only
+
+Workers add bonuses to a shared commutative counter; the head count goes
+to the ``public_report`` channel and the bonus total to the
+``internal_report`` channel.  A public observer must learn nothing beyond
+the head count; an internal observer may additionally learn the total.
+"""
+
+from repro.casestudies.base import make_instances
+from repro.lang import parse_program
+from repro.security.lattice import diamond, linear, powerset, verify_lattice
+from repro.spec.library import integer_add_spec
+from repro.verifier import ResourceDecl
+
+LATTICE = linear(["public", "internal", "secret"])
+
+SOURCE = """
+c := alloc(0)
+share IntegerAdd
+{
+    i1 := 0
+    while (i1 < n / 2) {
+        b1 := at(bonuses, i1)
+        d1 := at(perf, i1)
+        k1 := 0
+        while (k1 < d1) { k1 := k1 + 1 }          // secret-dependent timing
+        atomic [Add(b1)] { v1 := [c]; [c] := v1 + b1 }
+        i1 := i1 + 1
+    }
+} || {
+    i2 := n / 2
+    while (i2 < n) {
+        b2 := at(bonuses, i2)
+        d2 := at(perf, i2)
+        k2 := 0
+        while (k2 < d2) { k2 := k2 + 1 }
+        atomic [Add(b2)] { v2 := [c]; [c] := v2 + b2 }
+        i2 := i2 + 1
+    }
+}
+unshare IntegerAdd
+total := [c]
+print(n, public_report)
+print(total, internal_report)
+"""
+
+INPUT_LABELS = {"n": "public", "bonuses": "internal", "perf": "secret"}
+CHANNEL_LABELS = {"public_report": "public", "internal_report": "internal"}
+
+
+def instances_for(level):
+    if level == "public":
+        return make_instances(
+            {"n": 4},
+            [
+                {"bonuses": (1, 2, 3, 4), "perf": (0, 1, 0, 2)},
+                {"bonuses": (9, 9, 9, 9), "perf": (2, 0, 1, 0)},
+            ],
+        )
+    return make_instances(
+        {"n": 4, "bonuses": (1, 2, 3, 4)},
+        [{"perf": (0, 1, 0, 2)}, {"perf": (2, 0, 1, 0)}],
+    )
+
+
+program = parse_program(SOURCE)
+resources = (ResourceDecl("IntegerAdd", integer_add_spec(), "c"),)
+
+print("=== three-level payroll, per-element verification ===")
+result = verify_lattice(
+    "payroll", program, resources, INPUT_LABELS, CHANNEL_LABELS, LATTICE,
+    bounded_instances=instances_for,
+)
+print(result.summary())
+
+# A leaky variant: the internal total printed on the PUBLIC channel.
+leaky = parse_program(SOURCE.replace("print(total, internal_report)",
+                                     "print(total, public_report)"))
+leaky_result = verify_lattice(
+    "payroll-leaky", leaky, resources, INPUT_LABELS, CHANNEL_LABELS, LATTICE,
+    bounded_instances=instances_for,
+)
+print()
+print(leaky_result.summary())
+print(f"failing levels: {leaky_result.failing_levels()}")
+
+# Other lattice shapes work the same way:
+print("\n=== lattice zoo ===")
+for lattice in (diamond(), powerset(["hr", "fin"])):
+    print(f"{len(lattice.elements)} elements, "
+          f"bottom {lattice.bottom!r}, top {lattice.top!r}")

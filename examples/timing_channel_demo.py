@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Figure 1 demo: internal timing channels become value channels.
+
+Reproduces the paper's motivating example: a program with no direct or
+control-flow leak whose *output* still reveals the secret, because the
+secret changes thread timing and therefore which racing write lands last.
+Then shows the paper's two repairs:
+
+* don't leak the raced variable (constant abstraction) — verifies;
+* make the writes commute (+3 / +4) — verifies, and the output is stable.
+"""
+
+from repro.casestudies import case_by_name
+from repro.lang import parse_program
+from repro.security import mutual_information, threshold_leak
+
+FIG1_SOURCE = """
+t1 := 0
+t2 := 0
+{ while (t1 < 100) { t1 := t1 + 1 }; s := 3 } || { while (t2 < h) { t2 := t2 + 1 }; s := 4 }
+print(s)
+"""
+
+COMMUTING_SOURCE = """
+t1 := 0
+t2 := 0
+s := 0
+{ while (t1 < 100) { t1 := t1 + 1 }; a := 3 } || { while (t2 < h) { t2 := t2 + 1 }; b := 4 }
+print(a + b)
+"""
+
+
+def main() -> None:
+    fig1 = parse_program(FIG1_SOURCE)
+    commuting = parse_program(COMMUTING_SOURCE)
+
+    print("== Figure 1: the leak ==")
+    leak = threshold_leak(fig1, "h", [0, 25, 50, 75, 100, 101, 125, 150, 200])
+    print(leak)
+    for h, output in sorted(leak.outputs_by_h.items()):
+        print(f"  round-robin, h={h:3d} -> prints {output[0]}")
+
+    bits = mutual_information(fig1, "h", [0, 200], runs_per_value=30)
+    print(f"  empirical mutual information I(h; output) = {bits:.3f} bits")
+
+    print("\n== Commuting repair: channel closed ==")
+    leak = threshold_leak(commuting, "h", [0, 50, 150, 200])
+    print(leak)
+    bits = mutual_information(commuting, "h", [0, 200], runs_per_value=30)
+    print(f"  empirical mutual information I(h; output) = {bits:.3f} bits")
+
+    print("\n== Verification verdicts ==")
+    for name in ("Figure 1 (leaky)", "Figure 1", "Figure 1 (commuting)"):
+        case = case_by_name(name)
+        result = case.verify()
+        verdict = "VERIFIED" if result.verified else "REJECTED"
+        print(f"  {name:28s} {verdict}")
+        if result.errors:
+            print(f"      {result.errors[0][:100]}")
+
+
+if __name__ == "__main__":
+    main()

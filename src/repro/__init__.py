@@ -1,0 +1,25 @@
+"""repro — a reproduction of CommCSL / HyperViper (PLDI 2023).
+
+*CommCSL: Proving Information Flow Security for Concurrent Programs using
+Abstract Commutativity* by Eilers, Dardinier, and Müller.
+
+The package is organized as:
+
+* :mod:`repro.lang` — the concurrent object language (AST, parser,
+  small-step semantics, schedulers, interpreter);
+* :mod:`repro.heap` — extended heaps: fractional permissions and guards;
+* :mod:`repro.assertions` — the relational assertion language;
+* :mod:`repro.spec` — resource specifications, validity (abstract
+  commutativity) checking, and the catalogue used by the evaluation;
+* :mod:`repro.logic` — the CommCSL proof rules and proof checking;
+* :mod:`repro.smt` — the in-house term language and bounded solver
+  (substitute for Viper/Z3);
+* :mod:`repro.verifier` — the automated relational verifier (the
+  HyperViper analogue);
+* :mod:`repro.security` — empirical non-interference testing and leakage
+  quantification;
+* :mod:`repro.casestudies` — the 18 evaluation examples of Table 1 plus
+  insecure negative controls.
+"""
+
+__version__ = "1.0.0"

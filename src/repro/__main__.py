@@ -1,0 +1,70 @@
+"""Command-line entry point: verify every case study and print the table.
+
+Usage::
+
+    python -m repro            # all case studies
+    python -m repro "Figure 3" # one case study, with full detail
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from .casestudies import ALL_CASES, case_by_name
+
+
+def _print_all() -> int:
+    width = 96
+    print("=" * width)
+    print("CommCSL / HyperViper reproduction — verification of all case studies")
+    print("=" * width)
+    failures = 0
+    for case in ALL_CASES:
+        start = time.perf_counter()
+        result = case.verify()
+        elapsed = time.perf_counter() - start
+        expected = "secure" if case.expected_verified else "insecure"
+        verdict = "VERIFIED" if result.verified else "REJECTED"
+        ok = result.verified == case.expected_verified
+        failures += not ok
+        marker = "" if ok else "  <-- UNEXPECTED"
+        print(f"{case.name:32s} expected {expected:8s} -> {verdict:8s} ({elapsed:5.2f}s){marker}")
+        if not result.verified and result.errors:
+            print(f"    reason: {result.errors[0][:90]}")
+    print("=" * width)
+    if failures:
+        print(f"{failures} case(s) did not match their expected verdict")
+        return 1
+    print(f"all {len(ALL_CASES)} case studies match their expected verdicts")
+    return 0
+
+
+def _print_one(name: str) -> int:
+    case = case_by_name(name)
+    print(f"== {case.name} ==")
+    print(case.description)
+    print("\n--- program ---")
+    print(case.source.strip())
+    print("\n--- verification ---")
+    result = case.verify()
+    print(result.summary())
+    for decl_name, report in result.validity_reports.items():
+        print(f"spec {decl_name}: valid={report.valid} ({report.checks_performed} checks)")
+    for conformance in result.conformance_reports:
+        print(f"conformance: {conformance}")
+    return 0 if result.verified == case.expected_verified else 1
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) > 1:
+        try:
+            return _print_one(argv[1])
+        except KeyError as error:
+            print(error)
+            return 2
+    return _print_all()
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

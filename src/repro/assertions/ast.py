@@ -1,0 +1,273 @@
+"""The relational assertion language (Sec. 3.4).
+
+.. code-block:: text
+
+    P, Q ::= emp | b | e ↦r e | P ∗ Q | P ∧ Q | ∃x. P
+           | sguard(r, e) | uguard_i(e) | b ⇒ P | Low(e)
+
+Assertions are *relational*: their satisfaction (defined in
+:mod:`repro.assertions.semantics`) is over **pairs** of
+``(store, extended heap)`` states, which is what lets ``Low(e)`` say that
+``e`` evaluates equally in both executions.
+
+Object-language expressions (:mod:`repro.lang.ast`) are reused as the
+expression syntax inside assertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Hashable, Tuple
+
+from ..lang.ast import Expr, expr_fv
+
+
+class Assertion:
+    """Base class of assertions."""
+
+    __slots__ = ()
+
+    def __mul__(self, other: "Assertion") -> "SepConj":
+        """``P * Q`` builds a separating conjunction."""
+        return SepConj(self, other)
+
+    def __and__(self, other: "Assertion") -> "Conj":
+        return Conj(self, other)
+
+
+@dataclass(frozen=True)
+class Emp(Assertion):
+    """``emp`` — both permission heaps are empty."""
+
+    def __str__(self) -> str:
+        return "emp"
+
+
+@dataclass(frozen=True)
+class BoolAssert(Assertion):
+    """A boolean expression, required to hold in *both* states."""
+
+    expr: Expr
+
+    def __str__(self) -> str:
+        return str(self.expr)
+
+
+@dataclass(frozen=True)
+class PointsTo(Assertion):
+    """``e1 ↦r e2`` — permission ``r`` to location ``e1`` holding ``e2``."""
+
+    address: Expr
+    value: Expr
+    fraction: Fraction = Fraction(1)
+
+    def __str__(self) -> str:
+        suffix = "" if self.fraction == 1 else f"[{self.fraction}]"
+        return f"{self.address} ↦{suffix} {self.value}"
+
+
+@dataclass(frozen=True)
+class SepConj(Assertion):
+    """``P ∗ Q`` — the heaps split into disjoint parts satisfying P and Q."""
+
+    left: Assertion
+    right: Assertion
+
+    def __str__(self) -> str:
+        return f"({self.left} ∗ {self.right})"
+
+
+@dataclass(frozen=True)
+class Conj(Assertion):
+    """``P ∧ Q`` — both hold of the same states."""
+
+    left: Assertion
+    right: Assertion
+
+    def __str__(self) -> str:
+        return f"({self.left} ∧ {self.right})"
+
+
+@dataclass(frozen=True)
+class Exists(Assertion):
+    """``∃x. P`` — the witness may differ between the two states."""
+
+    variable: str
+    body: Assertion
+
+    def __str__(self) -> str:
+        return f"(∃{self.variable}. {self.body})"
+
+
+@dataclass(frozen=True)
+class SGuardAssert(Assertion):
+    """``sguard(r, e)`` — fraction ``r`` of the shared guard, with argument
+    multiset ``e``; empty permission heap, ⊥ unique guards."""
+
+    fraction: Fraction
+    args: Expr
+
+    def __str__(self) -> str:
+        return f"sguard({self.fraction}, {self.args})"
+
+
+@dataclass(frozen=True)
+class UGuardAssert(Assertion):
+    """``uguard_i(e)`` — the unique guard for action ``index`` with argument
+    sequence ``e``; empty permission heap, ⊥ shared guard."""
+
+    index: Hashable
+    args: Expr
+
+    def __str__(self) -> str:
+        return f"uguard_{self.index}({self.args})"
+
+
+@dataclass(frozen=True)
+class Implies(Assertion):
+    """``b ⇒ P`` — requires ``b`` to be *low* and, if true, ``P``."""
+
+    condition: Expr
+    body: Assertion
+
+    def __str__(self) -> str:
+        return f"({self.condition} ⇒ {self.body})"
+
+
+@dataclass(frozen=True)
+class Low(Assertion):
+    """``Low(e)`` — ``e`` evaluates to the same value in both states."""
+
+    expr: Expr
+
+    def __str__(self) -> str:
+        return f"Low({self.expr})"
+
+
+@dataclass(frozen=True)
+class PreShared(Assertion):
+    """``PRE_s(e)`` (Def. 3.2) — a precondition-respecting bijection exists
+    between the multiset values of ``e`` in the two states.  ``action`` is
+    the shared :class:`repro.spec.actions.Action` whose relational
+    precondition is used.  Pure (empty footprint) and relational."""
+
+    action: Any
+    args: Expr
+
+    def __str__(self) -> str:
+        return f"PRE_{self.action.name}({self.args})"
+
+
+@dataclass(frozen=True)
+class PreUnique(Assertion):
+    """``PRE_i(e)`` (Eq. (2)) — the sequence values of ``e`` in the two
+    states have equal length and satisfy the unique action's relational
+    precondition pointwise."""
+
+    action: Any
+    args: Expr
+
+    def __str__(self) -> str:
+        return f"PRE_{self.action.name}({self.args})"
+
+
+# -- traversals ---------------------------------------------------------------
+
+
+def assertion_fv(assertion: Assertion) -> frozenset[str]:
+    """Free variables of an assertion."""
+    if isinstance(assertion, Emp):
+        return frozenset()
+    if isinstance(assertion, BoolAssert):
+        return expr_fv(assertion.expr)
+    if isinstance(assertion, PointsTo):
+        return expr_fv(assertion.address) | expr_fv(assertion.value)
+    if isinstance(assertion, (SepConj, Conj)):
+        return assertion_fv(assertion.left) | assertion_fv(assertion.right)
+    if isinstance(assertion, Exists):
+        return assertion_fv(assertion.body) - {assertion.variable}
+    if isinstance(assertion, (SGuardAssert, UGuardAssert)):
+        return expr_fv(assertion.args)
+    if isinstance(assertion, Implies):
+        return expr_fv(assertion.condition) | assertion_fv(assertion.body)
+    if isinstance(assertion, Low):
+        return expr_fv(assertion.expr)
+    if isinstance(assertion, (PreShared, PreUnique)):
+        return expr_fv(assertion.args)
+    raise TypeError(f"not an assertion: {assertion!r}")
+
+
+def contains_low(assertion: Assertion) -> bool:
+    """True iff the assertion syntactically contains ``Low``, ``⇒``, or a
+    ``PRE`` (the constructs that make assertions non-unary, Sec. 3.4)."""
+    if isinstance(assertion, (Low, Implies, PreShared, PreUnique)):
+        return True
+    if isinstance(assertion, (SepConj, Conj)):
+        return contains_low(assertion.left) or contains_low(assertion.right)
+    if isinstance(assertion, Exists):
+        return contains_low(assertion.body)
+    return False
+
+
+def assertion_subst(assertion: Assertion, name: str, replacement: Expr) -> Assertion:
+    """Capture-avoiding substitution ``P[replacement/name]`` (used by the
+    Assign rule's backwards precondition)."""
+    from ..lang.ast import expr_subst
+
+    if isinstance(assertion, Emp):
+        return assertion
+    if isinstance(assertion, BoolAssert):
+        return BoolAssert(expr_subst(assertion.expr, name, replacement))
+    if isinstance(assertion, PointsTo):
+        return PointsTo(
+            expr_subst(assertion.address, name, replacement),
+            expr_subst(assertion.value, name, replacement),
+            assertion.fraction,
+        )
+    if isinstance(assertion, SepConj):
+        return SepConj(
+            assertion_subst(assertion.left, name, replacement),
+            assertion_subst(assertion.right, name, replacement),
+        )
+    if isinstance(assertion, Conj):
+        return Conj(
+            assertion_subst(assertion.left, name, replacement),
+            assertion_subst(assertion.right, name, replacement),
+        )
+    if isinstance(assertion, Exists):
+        if assertion.variable == name:
+            return assertion
+        if assertion.variable in expr_fv(replacement):
+            raise ValueError(
+                f"substitution would capture {assertion.variable!r}; rename the binder first"
+            )
+        return Exists(assertion.variable, assertion_subst(assertion.body, name, replacement))
+    if isinstance(assertion, SGuardAssert):
+        return SGuardAssert(assertion.fraction, expr_subst(assertion.args, name, replacement))
+    if isinstance(assertion, UGuardAssert):
+        return UGuardAssert(assertion.index, expr_subst(assertion.args, name, replacement))
+    if isinstance(assertion, Implies):
+        return Implies(
+            expr_subst(assertion.condition, name, replacement),
+            assertion_subst(assertion.body, name, replacement),
+        )
+    if isinstance(assertion, Low):
+        return Low(expr_subst(assertion.expr, name, replacement))
+    if isinstance(assertion, PreShared):
+        return PreShared(assertion.action, expr_subst(assertion.args, name, replacement))
+    if isinstance(assertion, PreUnique):
+        return PreUnique(assertion.action, expr_subst(assertion.args, name, replacement))
+    raise TypeError(f"not an assertion: {assertion!r}")
+
+
+def contains_guard(assertion: Assertion) -> bool:
+    """True iff the assertion mentions any guard (``¬noguard`` syntactically)."""
+    if isinstance(assertion, (SGuardAssert, UGuardAssert)):
+        return True
+    if isinstance(assertion, (SepConj, Conj)):
+        return contains_guard(assertion.left) or contains_guard(assertion.right)
+    if isinstance(assertion, (Exists, Implies)):
+        body = assertion.body
+        return contains_guard(body)
+    return False

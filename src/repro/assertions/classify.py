@@ -1,0 +1,123 @@
+"""Side-condition classifiers: unary, precise, noguard, unambiguous.
+
+The proof rules of Fig. 8 / Fig. 10 impose side conditions on assertions:
+
+* ``unary P`` — P does not relate the two states to each other.  The paper
+  notes (Sec. 3.4) that any assertion without syntactic ``Low`` (and
+  without ``b ⇒ P``, whose semantics forces ``b`` low) is unary; we use
+  that sufficient syntactic criterion, plus a bounded semantic check for
+  tests.
+* ``precise P`` — at most one sub-heap of any heap satisfies P
+  (O'Hearn et al. 2004).  We use a syntactic sufficient criterion matching
+  the fragment the implementation restricts to (App. B.3): separating
+  conjunctions of points-to predicates with closed addresses and guard
+  assertions are precise; pure assertions are not.
+* ``noguard P`` — P holds only of states with ⊥ guard states; syntactically,
+  P contains no guard assertion and every points-to footprint forces ⊥
+  guards.  We use: no guard assertions occur (App. B.4's practical check).
+* ``unambiguous(P, x)`` — P pins the value of x (Def. B.1); sufficient
+  criterion: x occurs as the value of a points-to with x-free address, or
+  in an equality ``x == e`` with x-free e.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable
+
+from ..heap.extheap import ExtendedHeap
+from ..lang.ast import BinOp, Expr, Var, expr_fv
+from .ast import (
+    Assertion,
+    BoolAssert,
+    Conj,
+    Emp,
+    Exists,
+    Implies,
+    Low,
+    PointsTo,
+    SepConj,
+    SGuardAssert,
+    UGuardAssert,
+    contains_guard,
+    contains_low,
+)
+from .semantics import satisfies
+
+
+def is_unary(assertion: Assertion) -> bool:
+    """Syntactic sufficient criterion for unarity (Sec. 3.4)."""
+    return not contains_low(assertion)
+
+
+def is_noguard(assertion: Assertion) -> bool:
+    """Syntactic ``noguard``: no guard assertion occurs (App. B.4)."""
+    return not contains_guard(assertion)
+
+
+def is_precise(assertion: Assertion) -> bool:
+    """Syntactic sufficient criterion for precision.
+
+    Points-to with a closed (variable-only-address) expression, guard
+    assertions, and emp are precise; separating conjunctions of precise
+    assertions are precise; conjunctions with one precise side are
+    precise.  Pure assertions and existentials are not (in general).
+    """
+    if isinstance(assertion, (Emp, SGuardAssert, UGuardAssert)):
+        return True
+    if isinstance(assertion, PointsTo):
+        return True
+    if isinstance(assertion, SepConj):
+        return is_precise(assertion.left) and is_precise(assertion.right)
+    if isinstance(assertion, Conj):
+        return is_precise(assertion.left) or is_precise(assertion.right)
+    return False
+
+
+def is_unambiguous(assertion: Assertion, variable: str) -> bool:
+    """Sufficient criterion for Def. B.1: the assertion determines
+    ``variable`` in any pair of states."""
+    if isinstance(assertion, PointsTo):
+        value = assertion.value
+        if isinstance(value, Var) and value.name == variable:
+            return variable not in expr_fv(assertion.address)
+        return False
+    if isinstance(assertion, BoolAssert):
+        expr = assertion.expr
+        if isinstance(expr, BinOp) and expr.op == "==":
+            left, right = expr.left, expr.right
+            if isinstance(left, Var) and left.name == variable:
+                return variable not in expr_fv(right)
+            if isinstance(right, Var) and right.name == variable:
+                return variable not in expr_fv(left)
+        return False
+    if isinstance(assertion, SGuardAssert):
+        # sguard(r, x): the shared guard state pins the multiset, so the
+        # assertion determines x in any pair of states (Def. B.1).
+        args = assertion.args
+        return isinstance(args, Var) and args.name == variable
+    if isinstance(assertion, UGuardAssert):
+        args = assertion.args
+        return isinstance(args, Var) and args.name == variable
+    if isinstance(assertion, (SepConj, Conj)):
+        return is_unambiguous(assertion.left, variable) or is_unambiguous(assertion.right, variable)
+    if isinstance(assertion, Implies):
+        return False
+    return False
+
+
+def check_unary_semantically(
+    assertion: Assertion,
+    states: Iterable[tuple[dict, ExtendedHeap]],
+) -> bool:
+    """Bounded semantic unarity check (the definition in Sec. 3.4): for all
+    state pairs, if each state satisfies P *diagonally*, the pair satisfies
+    P.  Used by tests to validate :func:`is_unary` on concrete fragments."""
+    states = list(states)
+    for (store1, heap1), (store2, heap2) in itertools.product(states, repeat=2):
+        diag1 = satisfies(store1, heap1, store1, heap1, assertion)
+        diag2 = satisfies(store2, heap2, store2, heap2, assertion)
+        if diag1 and diag2:
+            if not satisfies(store1, heap1, store2, heap2, assertion):
+                return False
+    return True

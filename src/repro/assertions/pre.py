@@ -1,0 +1,74 @@
+"""The ``PRE`` assertions (Def. 3.2 and Eq. (2)).
+
+``PRE_s(m1, m2)`` for the shared action requires a *bijection* between the
+two argument multisets such that every matched pair satisfies the action's
+relational precondition.  Def. 3.2 defines this recursively; deciding it
+is exactly a perfect-matching problem on the bipartite graph whose edges
+are the precondition-satisfying pairs — we solve it with Hopcroft–Karp via
+networkx (this is one of the places where our reproduction replaces an
+SMT encoding with a polynomial combinatorial algorithm).
+
+``PRE_i(s1, s2)`` for a unique action requires the two argument sequences
+to have equal (low) length and to satisfy the precondition *pointwise*.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import networkx as nx
+
+from ..heap.multiset import Multiset
+from ..spec.actions import Action
+
+
+def pre_shared(
+    action: Action,
+    args1: Multiset,
+    args2: Multiset,
+) -> bool:
+    """``PRE_s``: does a precondition-respecting bijection exist?"""
+    matching = find_bijection(action, args1, args2)
+    return matching is not None
+
+
+def find_bijection(
+    action: Action,
+    args1: Multiset,
+    args2: Multiset,
+) -> Optional[list[tuple[Any, Any]]]:
+    """Return a witness bijection for ``PRE_s``, or None.
+
+    Each side's multiset is expanded into occurrence-indexed nodes; an edge
+    joins two occurrences iff ``pre_a`` accepts the pair.  A perfect
+    matching is the bijection of Def. 3.2.
+    """
+    if len(args1) != len(args2):
+        return None
+    left_nodes = [("L", index, element) for index, element in enumerate(args1.elements())]
+    right_nodes = [("R", index, element) for index, element in enumerate(args2.elements())]
+    graph = nx.Graph()
+    graph.add_nodes_from(left_nodes, bipartite=0)
+    graph.add_nodes_from(right_nodes, bipartite=1)
+    for left in left_nodes:
+        for right in right_nodes:
+            if action.precondition(left[2], right[2]):
+                graph.add_edge(left, right)
+    if not left_nodes:
+        return []
+    matching = nx.bipartite.maximum_matching(graph, top_nodes=left_nodes)
+    pairs = [(left[2], matching[left][2]) for left in left_nodes if left in matching]
+    if len(pairs) != len(left_nodes):
+        return None
+    return pairs
+
+
+def pre_unique(
+    action: Action,
+    args1: Sequence[Any],
+    args2: Sequence[Any],
+) -> bool:
+    """``PRE_i`` (Eq. (2)): low length, pointwise precondition."""
+    if len(args1) != len(args2):
+        return False
+    return all(action.precondition(first, second) for first, second in zip(args1, args2))

@@ -1,0 +1,358 @@
+"""Satisfaction of relational assertions (Fig. 7).
+
+Satisfaction is over *pairs* of ``(store, ExtendedHeap)``.  We implement it
+with a resource matcher in the style of Viper's inhale/exhale: matching an
+assertion against a pair of states consumes its footprint and yields the
+possible remainders.  ``P`` holds of a pair of states iff some match
+consumes *exactly* the states' resources (Fig. 7 constrains footprints
+exactly; pure assertions — booleans, ``Low`` — have empty footprints but,
+per Fig. 7, leave guards and heap unconstrained only where the grammar
+says so).
+
+The matcher handles the *precise fragment* the paper itself restricts to
+in its implementation (App. B.3): separating conjunctions of points-to
+predicates with concrete fractions, guard assertions, pure assertions, and
+existentials whose witnesses are drawn from the states.  Assertions
+outside the fragment raise :class:`UnsupportedAssertion`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Any, Iterable, Iterator, Optional
+
+from ..heap.extheap import ExtendedHeap
+from ..heap.guards import GuardFamily, SharedGuard, UniqueGuard
+from ..heap.multiset import Multiset
+from ..heap.permheap import PermissionHeap
+from ..lang.ast import Expr
+from ..lang.semantics import evaluate
+from .ast import (
+    Assertion,
+    BoolAssert,
+    Conj,
+    Emp,
+    Exists,
+    Implies,
+    Low,
+    PointsTo,
+    PreShared,
+    PreUnique,
+    SepConj,
+    SGuardAssert,
+    UGuardAssert,
+)
+
+
+class UnsupportedAssertion(Exception):
+    """The assertion lies outside the checkable precise fragment."""
+
+
+StatePair = tuple[dict, ExtendedHeap, dict, ExtendedHeap]
+
+
+def satisfies(
+    store1: dict,
+    heap1: ExtendedHeap,
+    store2: dict,
+    heap2: ExtendedHeap,
+    assertion: Assertion,
+    witnesses: Optional[Iterable[Any]] = None,
+) -> bool:
+    """``(s1, gh1), (s2, gh2) ⊨ P`` per Fig. 7.
+
+    ``witnesses`` supplies extra candidate values for existentials; values
+    occurring in the states are always tried.
+    """
+    witness_pool = _witness_pool(store1, heap1, store2, heap2, witnesses)
+    for rest1, rest2 in _match(assertion, store1, heap1, store2, heap2, witness_pool):
+        if _exact(assertion, rest1) and _exact(assertion, rest2):
+            return True
+    return False
+
+
+def _exact(assertion: Assertion, remainder: ExtendedHeap) -> bool:
+    """Top-level satisfaction requires the assertion's footprint to be the
+    whole state, except that pure constructs leave components unconstrained
+    per Fig. 7.  We approximate Fig. 7 exactly for the fragment: the
+    permission-heap remainder must be empty unless the assertion is pure
+    (booleans/Low constrain no heap), and guard remainders must be ⊥ unless
+    no guard assertion occurs (guard-free assertions do not constrain
+    guards for pure/emp, but points-to requires them ⊥ via its exact
+    footprint — we keep the liberal reading for pure parts)."""
+    from .ast import contains_guard
+
+    if _is_pure(assertion):
+        return True
+    if len(remainder.perm_heap) != 0:
+        return False
+    if contains_guard(assertion):
+        return remainder.shared_guard is None and remainder.unique_guards.is_bottom()
+    # Fig. 7: e1 ↦r e2 pins gh to exactly the singleton permission heap —
+    # which has ⊥ guards.  emp only constrains dom(ph).
+    if _contains_points_to(assertion):
+        return remainder.shared_guard is None and remainder.unique_guards.is_bottom()
+    return True
+
+
+def _is_pure(assertion: Assertion) -> bool:
+    if isinstance(assertion, (BoolAssert, Low, PreShared, PreUnique)):
+        return True
+    if isinstance(assertion, Implies):
+        return _is_pure(assertion.body)
+    if isinstance(assertion, (Conj, SepConj)):
+        return _is_pure(assertion.left) and _is_pure(assertion.right)
+    if isinstance(assertion, Exists):
+        return _is_pure(assertion.body)
+    return False
+
+
+def _contains_points_to(assertion: Assertion) -> bool:
+    if isinstance(assertion, PointsTo):
+        return True
+    if isinstance(assertion, (Conj, SepConj)):
+        return _contains_points_to(assertion.left) or _contains_points_to(assertion.right)
+    if isinstance(assertion, (Exists,)):
+        return _contains_points_to(assertion.body)
+    if isinstance(assertion, Implies):
+        return _contains_points_to(assertion.body)
+    return False
+
+
+def _witness_pool(
+    store1: dict,
+    heap1: ExtendedHeap,
+    store2: dict,
+    heap2: ExtendedHeap,
+    extra: Optional[Iterable[Any]],
+) -> tuple:
+    pool: list[Any] = [0, 1]
+    for store in (store1, store2):
+        pool.extend(store.values())
+    for heap in (heap1, heap2):
+        for _, _, value in heap.perm_heap.cells():
+            pool.append(value)
+        if heap.shared_guard is not None:
+            pool.append(heap.shared_guard.args)
+            pool.extend(heap.shared_guard.args.elements())
+        for index in heap.unique_guards.indices():
+            guard = heap.unique_guards.get(index)
+            pool.append(guard.args)
+            pool.extend(guard.args)
+    if extra is not None:
+        pool.extend(extra)
+    seen = []
+    for value in pool:
+        if not any(value == other and type(value) == type(other) for other in seen):
+            seen.append(value)
+    return tuple(seen)
+
+
+def _match(
+    assertion: Assertion,
+    store1: dict,
+    heap1: ExtendedHeap,
+    store2: dict,
+    heap2: ExtendedHeap,
+    witnesses: tuple,
+) -> Iterator[tuple[ExtendedHeap, ExtendedHeap]]:
+    """Yield remainder pairs after consuming the assertion's footprint."""
+    if isinstance(assertion, Emp):
+        # emp's footprint is the empty heap: consume nothing.  The top-level
+        # exactness check (``_exact``) enforces dom(ph) = ∅ when emp is the
+        # whole assertion.
+        yield heap1, heap2
+        return
+    if isinstance(assertion, BoolAssert):
+        if _truthy(evaluate(assertion.expr, store1)) and _truthy(evaluate(assertion.expr, store2)):
+            yield heap1, heap2
+        return
+    if isinstance(assertion, Low):
+        if evaluate(assertion.expr, store1) == evaluate(assertion.expr, store2):
+            yield heap1, heap2
+        return
+    if isinstance(assertion, PreShared):
+        from .pre import pre_shared
+
+        args1 = _as_multiset(evaluate(assertion.args, store1))
+        args2 = _as_multiset(evaluate(assertion.args, store2))
+        if args1 is not None and args2 is not None and pre_shared(assertion.action, args1, args2):
+            yield heap1, heap2
+        return
+    if isinstance(assertion, PreUnique):
+        from .pre import pre_unique
+
+        args1 = _as_sequence(evaluate(assertion.args, store1))
+        args2 = _as_sequence(evaluate(assertion.args, store2))
+        if args1 is not None and args2 is not None and pre_unique(assertion.action, args1, args2):
+            yield heap1, heap2
+        return
+    if isinstance(assertion, Implies):
+        value1 = _truthy(evaluate(assertion.condition, store1))
+        value2 = _truthy(evaluate(assertion.condition, store2))
+        if value1 != value2:
+            return
+        if not value1:
+            yield heap1, heap2
+            return
+        yield from _match(assertion.body, store1, heap1, store2, heap2, witnesses)
+        return
+    if isinstance(assertion, PointsTo):
+        yield from _match_points_to(assertion, store1, heap1, store2, heap2)
+        return
+    if isinstance(assertion, SGuardAssert):
+        yield from _match_sguard(assertion, store1, heap1, store2, heap2)
+        return
+    if isinstance(assertion, UGuardAssert):
+        yield from _match_uguard(assertion, store1, heap1, store2, heap2)
+        return
+    if isinstance(assertion, SepConj):
+        for rest1, rest2 in _match(assertion.left, store1, heap1, store2, heap2, witnesses):
+            yield from _match(assertion.right, store1, rest1, store2, rest2, witnesses)
+        return
+    if isinstance(assertion, Conj):
+        # Both conjuncts must hold of the same states (Fig. 7).  A *pure*
+        # conjunct (no spatial or guard atoms) constrains only the stores,
+        # so it is footprint-transparent: check it as a state predicate
+        # and let the other conjunct determine the remainder.  For two
+        # spatial conjuncts, the footprints must coincide: remainders must
+        # agree.
+        left_pure = _is_pure(assertion.left)
+        right_pure = _is_pure(assertion.right)
+        if left_pure and not right_pure:
+            if any(True for _ in _match(assertion.left, store1, heap1, store2, heap2, witnesses)):
+                yield from _match(assertion.right, store1, heap1, store2, heap2, witnesses)
+            return
+        if right_pure and not left_pure:
+            if any(True for _ in _match(assertion.right, store1, heap1, store2, heap2, witnesses)):
+                yield from _match(assertion.left, store1, heap1, store2, heap2, witnesses)
+            return
+        left_remainders = list(_match(assertion.left, store1, heap1, store2, heap2, witnesses))
+        right_remainders = list(_match(assertion.right, store1, heap1, store2, heap2, witnesses))
+        for remainder in left_remainders:
+            if remainder in right_remainders:
+                yield remainder
+        return
+    if isinstance(assertion, Exists):
+        # Witnesses may differ between the two executions (Sec. 3.4).
+        for value1, value2 in itertools.product(witnesses, repeat=2):
+            new_store1 = dict(store1)
+            new_store1[assertion.variable] = value1
+            new_store2 = dict(store2)
+            new_store2[assertion.variable] = value2
+            yield from _match(assertion.body, new_store1, heap1, new_store2, heap2, witnesses)
+        return
+    raise UnsupportedAssertion(f"cannot match {assertion!r}")
+
+
+def _as_multiset(value: Any) -> Multiset | None:
+    """Coerce a value to a multiset; None for ill-typed witnesses (the
+    existential search tries every pool value, including wrong-typed ones)."""
+    if isinstance(value, Multiset):
+        return value
+    if isinstance(value, (tuple, list, frozenset)):
+        return Multiset(value)
+    return None
+
+
+def _as_sequence(value: Any) -> tuple | None:
+    if isinstance(value, (tuple, list)):
+        return tuple(value)
+    return None
+
+
+def _truthy(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int):
+        return value != 0
+    raise UnsupportedAssertion(f"non-boolean assertion expression value: {value!r}")
+
+
+def _match_points_to(
+    assertion: PointsTo,
+    store1: dict,
+    heap1: ExtendedHeap,
+    store2: dict,
+    heap2: ExtendedHeap,
+) -> Iterator[tuple[ExtendedHeap, ExtendedHeap]]:
+    remainders = []
+    for store, heap in ((store1, heap1), (store2, heap2)):
+        address = evaluate(assertion.address, store)
+        value = evaluate(assertion.value, store)
+        perm = heap.perm_heap
+        if perm.permission(address) < assertion.fraction:
+            return
+        if perm.value(address) != value:
+            return
+        remaining = perm.permission(address) - assertion.fraction
+        if remaining == 0:
+            new_perm = perm.remove(address)
+        else:
+            cells = {loc: (p, v) for loc, p, v in perm.cells()}
+            cells[address] = (remaining, value)
+            new_perm = PermissionHeap(cells)
+        remainders.append(ExtendedHeap(new_perm, heap.shared_guard, heap.unique_guards))
+    yield remainders[0], remainders[1]
+
+
+def _match_sguard(
+    assertion: SGuardAssert,
+    store1: dict,
+    heap1: ExtendedHeap,
+    store2: dict,
+    heap2: ExtendedHeap,
+) -> Iterator[tuple[ExtendedHeap, ExtendedHeap]]:
+    remainders = []
+    for store, heap in ((store1, heap1), (store2, heap2)):
+        guard = heap.shared_guard
+        if guard is None:
+            return
+        try:
+            wanted_args = _as_multiset(evaluate(assertion.args, store))
+        except Exception:  # noqa: BLE001 — ill-typed instantiation: no match
+            return
+        if wanted_args is None:
+            return
+        if guard.fraction < assertion.fraction:
+            return
+        if not wanted_args.issubset(guard.args):
+            return
+        remaining_fraction = guard.fraction - assertion.fraction
+        remaining_args = guard.args.difference(wanted_args)
+        if remaining_fraction == 0:
+            if remaining_args:
+                return  # consumed the whole fraction: args must match exactly
+            new_guard = None
+        else:
+            new_guard = SharedGuard(remaining_fraction, remaining_args)
+        remainders.append(ExtendedHeap(heap.perm_heap, new_guard, heap.unique_guards))
+    yield remainders[0], remainders[1]
+
+
+def _match_uguard(
+    assertion: UGuardAssert,
+    store1: dict,
+    heap1: ExtendedHeap,
+    store2: dict,
+    heap2: ExtendedHeap,
+) -> Iterator[tuple[ExtendedHeap, ExtendedHeap]]:
+    remainders = []
+    for store, heap in ((store1, heap1), (store2, heap2)):
+        guard = heap.unique_guards.get(assertion.index)
+        if guard is None:
+            return
+        try:
+            wanted = _as_sequence(evaluate(assertion.args, store))
+        except Exception:  # noqa: BLE001 — ill-typed instantiation: no match
+            return
+        if wanted is None or wanted != guard.args:
+            return
+        members = {
+            index: heap.unique_guards.get(index)
+            for index in heap.unique_guards.indices()
+            if index != assertion.index
+        }
+        remainders.append(ExtendedHeap(heap.perm_heap, heap.shared_guard, GuardFamily(members)))
+    yield remainders[0], remainders[1]

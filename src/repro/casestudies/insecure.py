@@ -1,0 +1,225 @@
+"""Negative controls: insecure programs the verifier must REJECT.
+
+Each variant breaks exactly one of the four central properties (Sec. 2.2),
+so the rejection reasons exercise every stage of the pipeline:
+
+* ``figure1_leaky`` — the original Fig. 1 program with the racy value
+  printed under an *identity* abstraction: the specification itself is
+  invalid (writes do not commute);
+* ``figure1_abstraction_leak`` — constant abstraction, but the program
+  prints the raced value anyway: taint error at the output;
+* ``map_value_leak`` — Fig. 3 but the whole map (values included) is
+  printed: the key-set abstraction does not cover the output;
+* ``map_high_key`` — Fig. 3 but the *keys* are secret: the Put
+  precondition is violated, and bounded checking finds a concrete witness;
+* ``unique_guard_split`` — Sales-By-Region but both threads use the same
+  unique action: the unsplittable-guard discipline is violated;
+* ``count_channel`` — the number of increments depends on a secret and
+  the counter is printed: the retroactive count check refutes it.
+"""
+
+from __future__ import annotations
+
+from ..spec.library import (
+    assign_constant_abstraction_spec,
+    assign_identity_abstraction_spec,
+    counter_increment_spec,
+    map_disjoint_put_spec,
+    map_put_keyset_spec,
+)
+from ..verifier.declarations import ResourceDecl
+from .base import CaseStudy, make_instances
+
+_FIGURE1_LEAKY_SRC = """
+// The original Figure 1: racing writes, result printed.
+s := alloc(0)
+t1 := 0
+t2 := 0
+share AssignIdentityAlpha
+{
+    while (t1 < 100) { t1 := t1 + 1 }
+    atomic [SetTo(3)] { [s] := 3 }
+} || {
+    while (t2 < h) { t2 := t2 + 1 }
+    atomic [SetTo(4)] { [s] := 4 }
+}
+unshare AssignIdentityAlpha
+out := [s]
+print(out)
+"""
+
+figure1_leaky = CaseStudy(
+    name="Figure 1 (leaky)",
+    description="original Fig. 1: identity abstraction is invalid (no commutativity)",
+    source=_FIGURE1_LEAKY_SRC,
+    resources=(ResourceDecl("AssignIdentityAlpha", assign_identity_abstraction_spec(), "s"),),
+    low_inputs=frozenset(),
+    high_inputs=frozenset({"h"}),
+    expected_verified=False,
+    instances=make_instances({}, [{"h": 0}, {"h": 150}]),
+)
+
+_FIGURE1_ABSTRACTION_LEAK_SRC = """
+// Constant abstraction, but the program prints the raced value anyway.
+s := alloc(0)
+t1 := 0
+t2 := 0
+share AssignConstantAlpha
+{
+    while (t1 < 100) { t1 := t1 + 1 }
+    atomic [SetTo(3)] { [s] := 3 }
+} || {
+    while (t2 < h) { t2 := t2 + 1 }
+    atomic [SetTo(4)] { [s] := 4 }
+}
+unshare AssignConstantAlpha
+out := [s]
+print(out)
+"""
+
+figure1_abstraction_leak = CaseStudy(
+    name="Figure 1 (abstraction leak)",
+    description="valid constant-abstraction spec, but the raced value is printed",
+    source=_FIGURE1_ABSTRACTION_LEAK_SRC,
+    resources=(ResourceDecl("AssignConstantAlpha", assign_constant_abstraction_spec(), "s"),),
+    low_inputs=frozenset(),
+    high_inputs=frozenset({"h"}),
+    expected_verified=False,
+    instances=make_instances({}, [{"h": 0}, {"h": 150}]),
+)
+
+_MAP_VALUE_LEAK_SRC = """
+// Figure 3 variant that leaks the VALUES of the map, not just its keys.
+m := alloc(emptyMap())
+share MapKeySet
+{
+    i1 := 0
+    while (i1 < n / 2) {
+        adr1 := at(addrs, i1)
+        rsn1 := at(reasons, i1)
+        atomic [Put(pair(adr1, rsn1))] { m1 := [m]; [m] := put(m1, adr1, rsn1) }
+        i1 := i1 + 1
+    }
+} || {
+    i2 := n / 2
+    while (i2 < n) {
+        adr2 := at(addrs, i2)
+        rsn2 := at(reasons, i2)
+        atomic [Put(pair(adr2, rsn2))] { m2 := [m]; [m] := put(m2, adr2, rsn2) }
+        i2 := i2 + 1
+    }
+}
+unshare MapKeySet
+mv := [m]
+print(mapValues(mv))
+"""
+
+map_value_leak = CaseStudy(
+    name="Figure 3 (value leak)",
+    description="prints map values; only the key set is covered by the abstraction",
+    source=_MAP_VALUE_LEAK_SRC,
+    resources=(ResourceDecl("MapKeySet", map_put_keyset_spec(), "m", low_views=("keys",)),),
+    low_inputs=frozenset({"n", "addrs"}),
+    high_inputs=frozenset({"reasons"}),
+    expected_verified=False,
+    instances=make_instances(
+        {"n": 2, "addrs": (1, 2)},
+        [{"reasons": (10, 20)}, {"reasons": (99, 98)}],
+    ),
+)
+
+_MAP_HIGH_KEY_SRC = """
+// Figure 3 variant where the KEYS are secret: Put's precondition fails.
+m := alloc(emptyMap())
+share MapKeySet
+{
+    i1 := 0
+    while (i1 < n / 2) {
+        adr1 := at(hkeys, i1)
+        atomic [Put(pair(adr1, 0))] { m1 := [m]; [m] := put(m1, adr1, 0) }
+        i1 := i1 + 1
+    }
+} || {
+    i2 := n / 2
+    while (i2 < n) {
+        adr2 := at(hkeys, i2)
+        atomic [Put(pair(adr2, 0))] { m2 := [m]; [m] := put(m2, adr2, 0) }
+        i2 := i2 + 1
+    }
+}
+unshare MapKeySet
+mv := [m]
+print(sort(setToSeq(keys(mv))))
+"""
+
+map_high_key = CaseStudy(
+    name="Figure 3 (high key)",
+    description="secret keys flow into the (public) key set",
+    source=_MAP_HIGH_KEY_SRC,
+    resources=(ResourceDecl("MapKeySet", map_put_keyset_spec(), "m", low_views=("keys",)),),
+    low_inputs=frozenset({"n"}),
+    high_inputs=frozenset({"hkeys"}),
+    expected_verified=False,
+    instances=make_instances(
+        {"n": 2},
+        [{"hkeys": (1, 2)}, {"hkeys": (3, 4)}],
+    ),
+)
+
+_UNIQUE_GUARD_SPLIT_SRC = """
+// Sales-By-Region variant where BOTH threads use the unique action Put1.
+m := alloc(emptyMap())
+share MapDisjointPut
+{
+    atomic [Put1(pair(1, 10))] { m1 := [m]; [m] := put(m1, 1, 10) }
+} || {
+    atomic [Put1(pair(2, 20))] { m2 := [m]; [m] := put(m2, 2, 20) }
+}
+unshare MapDisjointPut
+mv := [m]
+print(mv)
+"""
+
+unique_guard_split = CaseStudy(
+    name="Sales-By-Region (guard split)",
+    description="a unique action used by two threads — the guard cannot be split",
+    source=_UNIQUE_GUARD_SPLIT_SRC,
+    resources=(
+        ResourceDecl(
+            "MapDisjointPut",
+            map_disjoint_put_spec(ranges=(frozenset({1, 2}), frozenset({3, 4}))),
+            "m",
+        ),
+    ),
+    low_inputs=frozenset(),
+    high_inputs=frozenset(),
+    expected_verified=False,
+    instances=make_instances({}, [{}]),
+)
+
+_COUNT_CHANNEL_SRC = """
+// The number of increments depends on the secret; the counter is printed.
+c := alloc(0)
+share CounterInc
+{
+    if (h > 0) {
+        atomic [Inc()] { t1 := [c]; [c] := t1 + 1 }
+    }
+} || {
+    atomic [Inc()] { t2 := [c]; [c] := t2 + 1 }
+}
+unshare CounterInc
+out := [c]
+print(out)
+"""
+
+count_channel = CaseStudy(
+    name="Count-Channel",
+    description="secret-dependent number of increments leaks through the count",
+    source=_COUNT_CHANNEL_SRC,
+    resources=(ResourceDecl("CounterInc", counter_increment_spec(), "c"),),
+    low_inputs=frozenset(),
+    high_inputs=frozenset({"h"}),
+    expected_verified=False,
+    instances=make_instances({}, [{"h": 0}, {"h": 1}]),
+)

@@ -1,0 +1,193 @@
+"""List-append case studies (Table 1 rows 5–8).
+
+All four share one data structure (a shared list built by concurrent
+appends) and differ only in the *abstraction* — the key demonstration of
+abstract commutativity: concurrent appends never commute on the concrete
+list, but they commute under the mean, multiset, length, and sum views.
+"""
+
+from __future__ import annotations
+
+from ..spec.library import (
+    list_append_length_spec,
+    list_append_mean_spec,
+    list_append_multiset_spec,
+    list_append_sum_spec,
+)
+from ..verifier.declarations import ResourceDecl
+from .base import CaseStudy, PaperRow, make_instances
+
+_MEAN_SALARY_SRC = """
+// Mean-Salary: collect (name, salary) pairs; leak only the mean salary.
+lst := alloc(seq())
+share ListMean
+{
+    i1 := 0
+    while (i1 < n / 2) {
+        nm1 := at(names, i1)
+        sa1 := at(salaries, i1)
+        atomic [Append(pair(nm1, sa1))] { l1 := [lst]; [lst] := append(l1, pair(nm1, sa1)) }
+        i1 := i1 + 1
+    }
+} || {
+    i2 := n / 2
+    while (i2 < n) {
+        nm2 := at(names, i2)
+        sa2 := at(salaries, i2)
+        atomic [Append(pair(nm2, sa2))] { l2 := [lst]; [lst] := append(l2, pair(nm2, sa2)) }
+        i2 := i2 + 1
+    }
+}
+unshare ListMean
+l := [lst]
+print(meanStats(l))
+"""
+
+mean_salary = CaseStudy(
+    name="Mean-Salary",
+    description="append (secret name, low salary); leak only (sum, count)",
+    source=_MEAN_SALARY_SRC,
+    resources=(ResourceDecl("ListMean", list_append_mean_spec(), "lst", low_views=("meanStats",)),),
+    low_inputs=frozenset({"n", "salaries"}),
+    high_inputs=frozenset({"names"}),
+    expected_verified=True,
+    paper=PaperRow("List, append", "Mean", 80, 84, 14.10),
+    instances=make_instances(
+        {"n": 4, "salaries": (50, 60, 70, 80)},
+        [{"names": (1, 2, 3, 4)}, {"names": (9, 8, 7, 6)}],
+    ),
+)
+
+_EMAIL_METADATA_SRC = """
+// Email-Metadata: collect low (sender, timestamp) records; the processing
+// delay per message is secret, so the list ORDER is tainted — but the
+// multiset is not, and sorting erases the order before output.
+lst := alloc(seq())
+share ListMultiset
+{
+    i1 := 0
+    while (i1 < n / 2) {
+        m1 := pair(at(senders, i1), at(stamps, i1))
+        d1 := at(hdelay, i1)
+        k1 := 0
+        while (k1 < d1) { k1 := k1 + 1 }
+        atomic [Append(m1)] { l1 := [lst]; [lst] := append(l1, m1) }
+        i1 := i1 + 1
+    }
+} || {
+    i2 := n / 2
+    while (i2 < n) {
+        m2 := pair(at(senders, i2), at(stamps, i2))
+        d2 := at(hdelay, i2)
+        k2 := 0
+        while (k2 < d2) { k2 := k2 + 1 }
+        atomic [Append(m2)] { l2 := [lst]; [lst] := append(l2, m2) }
+        i2 := i2 + 1
+    }
+}
+unshare ListMultiset
+l := [lst]
+print(sort(l))
+"""
+
+email_metadata = CaseStudy(
+    name="Email-Metadata",
+    description="append low records; leak the sorted list (multiset view)",
+    source=_EMAIL_METADATA_SRC,
+    resources=(
+        ResourceDecl("ListMultiset", list_append_multiset_spec(), "lst", low_views=("sort", "toMultiset")),
+    ),
+    low_inputs=frozenset({"n", "senders", "stamps"}),
+    high_inputs=frozenset({"hdelay"}),
+    expected_verified=True,
+    paper=PaperRow("List, append", "Multiset", 82, 75, 16.70),
+    instances=make_instances(
+        {"n": 4, "senders": (3, 1, 2, 1), "stamps": (10, 11, 12, 13)},
+        [{"hdelay": (0, 0, 0, 0)}, {"hdelay": (5, 0, 3, 1)}],
+    ),
+)
+
+_PATIENT_STATISTIC_SRC = """
+// Patient-Statistic: collect entirely secret patient records; leak only
+// how many were collected.
+lst := alloc(seq())
+share ListLength
+{
+    i1 := 0
+    while (i1 < n / 2) {
+        if (at(include, i1) == 1) {
+            r1 := at(records, i1)
+            atomic [Append(r1)] { l1 := [lst]; [lst] := append(l1, r1) }
+        }
+        i1 := i1 + 1
+    }
+} || {
+    i2 := n / 2
+    while (i2 < n) {
+        if (at(include, i2) == 1) {
+            r2 := at(records, i2)
+            atomic [Append(r2)] { l2 := [lst]; [lst] := append(l2, r2) }
+        }
+        i2 := i2 + 1
+    }
+}
+unshare ListLength
+l := [lst]
+print(len(l))
+"""
+
+patient_statistic = CaseStudy(
+    name="Patient-Statistic",
+    description="append secret records; leak only the count",
+    source=_PATIENT_STATISTIC_SRC,
+    resources=(ResourceDecl("ListLength", list_append_length_spec(), "lst", low_views=("len",)),),
+    low_inputs=frozenset({"n", "include"}),
+    high_inputs=frozenset({"records"}),
+    expected_verified=True,
+    paper=PaperRow("List, append", "Length", 73, 70, 4.92),
+    instances=make_instances(
+        {"n": 4, "include": (1, 0, 1, 1)},
+        [{"records": (7, 8, 9, 10)}, {"records": (70, 80, 90, 100)}],
+    ),
+)
+
+_DEBT_SUM_SRC = """
+// Debt-Sum: collect (secret creditor, low amount) pairs; leak the total.
+lst := alloc(seq())
+share ListSum
+{
+    i1 := 0
+    while (i1 < n / 2) {
+        cr1 := at(creditors, i1)
+        am1 := at(amounts, i1)
+        atomic [Append(pair(cr1, am1))] { l1 := [lst]; [lst] := append(l1, pair(cr1, am1)) }
+        i1 := i1 + 1
+    }
+} || {
+    i2 := n / 2
+    while (i2 < n) {
+        cr2 := at(creditors, i2)
+        am2 := at(amounts, i2)
+        atomic [Append(pair(cr2, am2))] { l2 := [lst]; [lst] := append(l2, pair(cr2, am2)) }
+        i2 := i2 + 1
+    }
+}
+unshare ListSum
+l := [lst]
+print(debtSum(l))
+"""
+
+debt_sum = CaseStudy(
+    name="Debt-Sum",
+    description="append (secret creditor, low amount); leak the sum",
+    source=_DEBT_SUM_SRC,
+    resources=(ResourceDecl("ListSum", list_append_sum_spec(), "lst", low_views=("debtSum",)),),
+    low_inputs=frozenset({"n", "amounts"}),
+    high_inputs=frozenset({"creditors"}),
+    expected_verified=True,
+    paper=PaperRow("List, append", "Sum", 76, 81, 14.45),
+    instances=make_instances(
+        {"n": 4, "amounts": (100, 25, 0, 40)},
+        [{"creditors": (1, 2, 3, 4)}, {"creditors": (4, 4, 4, 4)}],
+    ),
+)

@@ -1,0 +1,181 @@
+"""Producer–consumer case studies (Table 1 rows 16–18).
+
+These model the general parallel programming patterns of Sec. 5 with the
+App. D totalized queue specification.  Blocking is expressed with the
+``atomic ... when (e)`` guard of App. D; consuming threads read the head
+*inside* the atomic block, so the read value is high until the queue is
+unshared — exactly the pipeline situation where the middle thread's
+produce precondition can only be established retroactively (Sec. 5,
+"Retroactive checking of action arguments").
+"""
+
+from __future__ import annotations
+
+from ..spec.library import producer_consumer_spec
+from ..verifier.declarations import ResourceDecl
+from .base import CaseStudy, PaperRow, make_instances
+
+_ONE_PRODUCER_ONE_CONSUMER_SRC = """
+// 1-Producer-1-Consumer: both roles are unique actions, so the produced
+// SEQUENCE (hence the consumed sequence, its prefix) is low.
+q := alloc(emptyQueue())
+share QueuePC
+{
+    i1 := 0
+    while (i1 < n) {
+        x1 := at(items, i1)
+        atomic [Prod(x1)] { v1 := [q]; [q] := qProduce(v1, x1) }
+        i1 := i1 + 1
+    }
+} || {
+    i2 := 0
+    while (i2 < n) {
+        atomic [Cons(0)] when (qSize(deref(q)) > 0) {
+            v2 := [q]
+            h2 := qHead(v2)
+            [q] := qConsume(v2, 0)
+            acc2 := acc2 + h2
+        }
+        i2 := i2 + 1
+    }
+}
+unshare QueuePC
+r := [q]
+print(producedSeq(r))
+"""
+
+one_producer_one_consumer = CaseStudy(
+    name="1-Producer-1-Consumer",
+    description="single producer/consumer; produced (=consumed) sequence low",
+    source=_ONE_PRODUCER_ONE_CONSUMER_SRC,
+    resources=(
+        ResourceDecl("QueuePC", producer_consumer_spec(1, 1), "q", low_views=("producedSeq",)),
+    ),
+    low_inputs=frozenset({"n", "items"}),
+    high_inputs=frozenset(),
+    expected_verified=True,
+    paper=PaperRow("Queue", "Consumed sequence", 82, 88, 3.23),
+    instances=make_instances({"n": 3, "items": (5, 6, 7)}, [{}]),
+)
+
+_PIPELINE_SRC = """
+// Pipeline: producer -> queue A -> transformer -> queue B -> consumer.
+// The middle thread cannot know the data it reads from A is low while A is
+// still shared; the produce precondition on B is established retroactively.
+qa := alloc(emptyQueue())
+qb := alloc(emptyQueue())
+share QueueA
+share QueueB
+{
+    i1 := 0
+    while (i1 < n) {
+        x1 := at(items, i1)
+        atomic [ProdA(x1)] { v1 := [qa]; [qa] := qProduce(v1, x1) }
+        i1 := i1 + 1
+    }
+} || {
+    i2 := 0
+    while (i2 < n) {
+        atomic [ConsA(0)] when (qSize(deref(qa)) > 0) {
+            v2 := [qa]
+            h2 := qHead(v2)
+            [qa] := qConsume(v2, 0)
+        }
+        y2 := h2 * 2
+        atomic [ProdB(y2)] { w2 := [qb]; [qb] := qProduce(w2, y2) }
+        i2 := i2 + 1
+    }
+} || {
+    i3 := 0
+    while (i3 < n) {
+        atomic [ConsB(0)] when (qSize(deref(qb)) > 0) {
+            v3 := [qb]
+            h3 := qHead(v3)
+            [qb] := qConsume(v3, 0)
+        }
+        i3 := i3 + 1
+    }
+}
+unshare QueueA
+unshare QueueB
+r := [qb]
+print(producedSeq(r))
+"""
+
+pipeline = CaseStudy(
+    name="Pipeline",
+    description="three-stage pipeline over two queues; retroactive precondition",
+    source=_PIPELINE_SRC,
+    resources=(
+        ResourceDecl("QueueA", producer_consumer_spec(1, 1, suffix="A"), "qa", low_views=("producedSeq",)),
+        ResourceDecl("QueueB", producer_consumer_spec(1, 1, suffix="B"), "qb", low_views=("producedSeq",)),
+    ),
+    low_inputs=frozenset({"n", "items"}),
+    high_inputs=frozenset(),
+    expected_verified=True,
+    paper=PaperRow("Two queues", "Consumed sequences", 122, 100, 3.66),
+    instances=make_instances({"n": 3, "items": (5, 6, 7)}, [{}]),
+)
+
+_TWO_PRODUCERS_TWO_CONSUMERS_SRC = """
+// 2-Producers-2-Consumers: produce and consume are SHARED (merged) actions,
+// so only the multiset of produced values is low — which item each consumer
+// got, and the production order, depend on scheduling.
+q := alloc(emptyQueue())
+share Queue2P2C
+{
+    i1 := 0
+    while (i1 < n) {
+        x1 := at(itemsA, i1)
+        atomic [Op(pair("prod", x1))] { v1 := [q]; [q] := qProduce(v1, x1) }
+        i1 := i1 + 1
+    }
+} || {
+    i2 := 0
+    while (i2 < n) {
+        x2 := at(itemsB, i2)
+        atomic [Op(pair("prod", x2))] { v2 := [q]; [q] := qProduce(v2, x2) }
+        i2 := i2 + 1
+    }
+} || {
+    i3 := 0
+    while (i3 < n) {
+        atomic [Op(pair("cons", 0))] when (qSize(deref(q)) > 0) {
+            v3 := [q]
+            [q] := qConsume(v3, 0)
+        }
+        i3 := i3 + 1
+    }
+} || {
+    i4 := 0
+    while (i4 < n) {
+        atomic [Op(pair("cons", 0))] when (qSize(deref(q)) > 0) {
+            v4 := [q]
+            [q] := qConsume(v4, 0)
+        }
+        i4 := i4 + 1
+    }
+}
+unshare Queue2P2C
+r := [q]
+print(producedSorted(r))
+"""
+
+two_producers_two_consumers = CaseStudy(
+    name="2-Producers-2-Consumers",
+    description="two producers + two consumers; produced multiset low",
+    source=_TWO_PRODUCERS_TWO_CONSUMERS_SRC,
+    resources=(
+        ResourceDecl(
+            "Queue2P2C",
+            producer_consumer_spec(2, 2),
+            "q",
+            low_views=("producedMs", "producedSorted"),
+        ),
+    ),
+    low_inputs=frozenset({"n", "itemsA", "itemsB"}),
+    high_inputs=frozenset(),
+    expected_verified=True,
+    paper=PaperRow("Queue", "Produced multiset", 130, 134, 8.45),
+    instances=make_instances({"n": 2, "itemsA": (5, 6), "itemsB": (7, 8)}, [{}]),
+)

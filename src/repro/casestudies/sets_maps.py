@@ -1,0 +1,353 @@
+"""Set and map case studies (Table 1 rows 9–15)."""
+
+from __future__ import annotations
+
+from ..spec.library import (
+    map_add_value_spec,
+    map_disjoint_put_spec,
+    map_histogram_spec,
+    map_put_if_greater_spec,
+    map_put_keyset_spec,
+    set_add_spec,
+)
+from ..verifier.declarations import ResourceDecl
+from .base import CaseStudy, PaperRow, make_instances
+
+# ---------------------------------------------------------------------------
+# Sets — the same resource specification serves two different
+# implementations (the reuse point of Sec. 5 'Resource specifications').
+# ---------------------------------------------------------------------------
+
+_SICK_EMPLOYEE_NAMES_SRC = """
+// Sick-Employee-Names (tree-set implementation): insert low employee ids;
+// looking up the (secret) medical record takes secret-dependent time.
+st := alloc(toSet(seq()))
+share SetAdd
+{
+    i1 := 0
+    while (i1 < n / 2) {
+        nm1 := at(names, i1)
+        d1 := at(hrecord, i1)
+        k1 := 0
+        while (k1 < d1) { k1 := k1 + 1 }
+        atomic [SetAdd(nm1)] { s1 := [st]; [st] := setAdd(s1, nm1) }
+        i1 := i1 + 1
+    }
+} || {
+    i2 := n / 2
+    while (i2 < n) {
+        nm2 := at(names, i2)
+        d2 := at(hrecord, i2)
+        k2 := 0
+        while (k2 < d2) { k2 := k2 + 1 }
+        atomic [SetAdd(nm2)] { s2 := [st]; [st] := setAdd(s2, nm2) }
+        i2 := i2 + 1
+    }
+}
+unshare SetAdd
+s := [st]
+print(setToSeq(s))
+"""
+
+sick_employee_names = CaseStudy(
+    name="Sick-Employee-Names",
+    description="insert low ids into a (tree) set under secret timing",
+    source=_SICK_EMPLOYEE_NAMES_SRC,
+    resources=(ResourceDecl("SetAdd", set_add_spec(), "st"),),
+    low_inputs=frozenset({"n", "names"}),
+    high_inputs=frozenset({"hrecord"}),
+    expected_verified=True,
+    paper=PaperRow("Treeset, add", "None", 105, 113, 28.43),
+    instances=make_instances(
+        {"n": 4, "names": (3, 1, 2, 1)},
+        [{"hrecord": (0, 0, 0, 0)}, {"hrecord": (4, 1, 0, 2)}],
+    ),
+)
+
+_WEBSITE_VISITOR_IPS_SRC = """
+// Website-Visitor-IPs (list-set implementation): same resource spec as
+// Sick-Employee-Names, different program; visit counts gate insertion.
+st := alloc(toSet(seq()))
+share SetAdd
+{
+    i1 := 0
+    while (i1 < n / 2) {
+        if (at(visits, i1) > 0) {
+            ip1 := at(ips, i1)
+            atomic [SetAdd(ip1)] { s1 := [st]; [st] := setAdd(s1, ip1) }
+        }
+        i1 := i1 + 1
+    }
+} || {
+    i2 := n / 2
+    while (i2 < n) {
+        if (at(visits, i2) > 0) {
+            ip2 := at(ips, i2)
+            atomic [SetAdd(ip2)] { s2 := [st]; [st] := setAdd(s2, ip2) }
+        }
+        i2 := i2 + 1
+    }
+}
+unshare SetAdd
+s := [st]
+print(setToSeq(s))
+"""
+
+website_visitor_ips = CaseStudy(
+    name="Website-Visitor-IPs",
+    description="insert low IPs into a (list) set; spec reused from the treeset",
+    source=_WEBSITE_VISITOR_IPS_SRC,
+    resources=(ResourceDecl("SetAdd", set_add_spec(), "st"),),
+    low_inputs=frozenset({"n", "visits", "ips"}),
+    high_inputs=frozenset(),
+    expected_verified=True,
+    paper=PaperRow("Listset, add", "None", 74, 69, 6.20),
+    instances=make_instances(
+        {"n": 4, "visits": (1, 0, 2, 1), "ips": (10, 11, 12, 10)},
+        [{}],
+    ),
+)
+
+# ---------------------------------------------------------------------------
+# Maps
+# ---------------------------------------------------------------------------
+
+_FIGURE3_SRC = """
+// Figure 3: targets — put (low address, secret reason) into a shared map;
+// only the sorted key set is output.
+m := alloc(emptyMap())
+share MapKeySet
+{
+    i1 := 0
+    while (i1 < n / 2) {
+        adr1 := at(addrs, i1)
+        rsn1 := at(reasons, i1)
+        atomic [Put(pair(adr1, rsn1))] { m1 := [m]; [m] := put(m1, adr1, rsn1) }
+        i1 := i1 + 1
+    }
+} || {
+    i2 := n / 2
+    while (i2 < n) {
+        adr2 := at(addrs, i2)
+        rsn2 := at(reasons, i2)
+        atomic [Put(pair(adr2, rsn2))] { m2 := [m]; [m] := put(m2, adr2, rsn2) }
+        i2 := i2 + 1
+    }
+}
+unshare MapKeySet
+mv := [m]
+print(sort(setToSeq(keys(mv))))
+"""
+
+figure3 = CaseStudy(
+    name="Figure 3",
+    description="map put with secret values; leak the sorted key set",
+    source=_FIGURE3_SRC,
+    resources=(ResourceDecl("MapKeySet", map_put_keyset_spec(), "m", low_views=("keys",)),),
+    low_inputs=frozenset({"n", "addrs"}),
+    high_inputs=frozenset({"reasons"}),
+    expected_verified=True,
+    paper=PaperRow("HashMap, put", "Key set", 129, 96, 10.37),
+    instances=make_instances(
+        {"n": 4, "addrs": (1, 2, 1, 3)},
+        [{"reasons": (10, 20, 30, 40)}, {"reasons": (99, 98, 97, 96)}],
+    ),
+)
+
+_SALES_BY_REGION_SRC = """
+// Sales-By-Region: each thread writes only keys of its own region, so the
+// unique put actions never conflict and the WHOLE map is low (Fig. 4 right).
+m := alloc(emptyMap())
+share MapDisjointPut
+{
+    i1 := 0
+    while (i1 < n) {
+        k1 := at(keysA, i1)
+        v1 := at(valsA, i1)
+        atomic [Put1(pair(k1, v1))] { m1 := [m]; [m] := put(m1, k1, v1) }
+        i1 := i1 + 1
+    }
+} || {
+    i2 := 0
+    while (i2 < n) {
+        k2 := at(keysB, i2)
+        v2 := at(valsB, i2)
+        atomic [Put2(pair(k2, v2))] { m2 := [m]; [m] := put(m2, k2, v2) }
+        i2 := i2 + 1
+    }
+}
+unshare MapDisjointPut
+mv := [m]
+print(mv)
+"""
+
+sales_by_region = CaseStudy(
+    name="Sales-By-Region",
+    description="unique per-region puts in disjoint key ranges; whole map low",
+    source=_SALES_BY_REGION_SRC,
+    resources=(
+        ResourceDecl(
+            "MapDisjointPut",
+            map_disjoint_put_spec(ranges=(frozenset({1, 2}), frozenset({3, 4}))),
+            "m",
+        ),
+    ),
+    low_inputs=frozenset({"n", "keysA", "valsA", "keysB", "valsB"}),
+    high_inputs=frozenset(),
+    expected_verified=True,
+    paper=PaperRow("HashMap, disjoint put", "None", 129, 104, 12.37),
+    instances=make_instances(
+        {"n": 2, "keysA": (1, 2), "valsA": (10, 20), "keysB": (3, 4), "valsB": (30, 40)},
+        [{}],
+    ),
+)
+
+_SALARY_HISTOGRAM_SRC = """
+// Salary-Histogram: increment the employee count of a low salary bucket;
+// the exact salary (and hence the bucket-lookup time) is secret.
+m := alloc(emptyMap())
+share MapHistogram
+{
+    i1 := 0
+    while (i1 < n / 2) {
+        b1 := at(buckets, i1)
+        d1 := at(hsalary, i1)
+        k1 := 0
+        while (k1 < d1) { k1 := k1 + 1 }
+        atomic [IncBucket(b1)] { m1 := [m]; [m] := addToValue(m1, b1, 1) }
+        i1 := i1 + 1
+    }
+} || {
+    i2 := n / 2
+    while (i2 < n) {
+        b2 := at(buckets, i2)
+        d2 := at(hsalary, i2)
+        k2 := 0
+        while (k2 < d2) { k2 := k2 + 1 }
+        atomic [IncBucket(b2)] { m2 := [m]; [m] := addToValue(m2, b2, 1) }
+        i2 := i2 + 1
+    }
+}
+unshare MapHistogram
+mv := [m]
+print(mv)
+"""
+
+salary_histogram = CaseStudy(
+    name="Salary-Histogram",
+    description="per-bucket increments commute even on equal keys",
+    source=_SALARY_HISTOGRAM_SRC,
+    resources=(ResourceDecl("MapHistogram", map_histogram_spec(), "m"),),
+    low_inputs=frozenset({"n", "buckets"}),
+    high_inputs=frozenset({"hsalary"}),
+    expected_verified=True,
+    paper=PaperRow("HashMap, increment value", "None", 135, 109, 13.78),
+    instances=make_instances(
+        {"n": 4, "buckets": (1, 2, 1, 1)},
+        [{"hsalary": (0, 0, 0, 0)}, {"hsalary": (3, 1, 4, 1)}],
+    ),
+)
+
+_COUNT_PURCHASES_SRC = """
+// Count-Purchases: per-user purchase counters; what was bought is secret
+// (and affects processing time), how many purchases is low.
+m := alloc(emptyMap())
+share MapAddValue
+{
+    i1 := 0
+    while (i1 < n / 2) {
+        u1 := at(users, i1)
+        d1 := at(hitems, i1)
+        k1 := 0
+        while (k1 < d1) { k1 := k1 + 1 }
+        atomic [AddVal(pair(u1, 1))] { m1 := [m]; [m] := addToValue(m1, u1, 1) }
+        i1 := i1 + 1
+    }
+} || {
+    i2 := n / 2
+    while (i2 < n) {
+        u2 := at(users, i2)
+        d2 := at(hitems, i2)
+        k2 := 0
+        while (k2 < d2) { k2 := k2 + 1 }
+        atomic [AddVal(pair(u2, 1))] { m2 := [m]; [m] := addToValue(m2, u2, 1) }
+        i2 := i2 + 1
+    }
+}
+unshare MapAddValue
+mv := [m]
+print(mv)
+"""
+
+count_purchases = CaseStudy(
+    name="Count-Purchases",
+    description="per-user counters accumulated by concurrent adds",
+    source=_COUNT_PURCHASES_SRC,
+    resources=(ResourceDecl("MapAddValue", map_add_value_spec(), "m"),),
+    low_inputs=frozenset({"n", "users"}),
+    high_inputs=frozenset({"hitems"}),
+    expected_verified=True,
+    paper=PaperRow("HashMap, add value", "None", 137, 109, 11.73),
+    instances=make_instances(
+        {"n": 4, "users": (1, 2, 1, 1)},
+        [{"hitems": (0, 0, 0, 0)}, {"hitems": (2, 0, 5, 1)}],
+    ),
+)
+
+_MOST_VALUABLE_PURCHASE_SRC = """
+// Most-Valuable-Purchase: keep the maximum price per user; the conditional
+// update commutes because max is associative-commutative.
+m := alloc(emptyMap())
+share MapPutMax
+{
+    i1 := 0
+    while (i1 < n / 2) {
+        u1 := at(users, i1)
+        p1 := at(prices, i1)
+        atomic [PutMax(pair(u1, p1))] {
+            m1 := [m]
+            if (containsKey(m1, u1)) {
+                cur1 := get(m1, u1)
+                if (p1 > cur1) { [m] := put(m1, u1, p1) }
+            } else {
+                [m] := put(m1, u1, p1)
+            }
+        }
+        i1 := i1 + 1
+    }
+} || {
+    i2 := n / 2
+    while (i2 < n) {
+        u2 := at(users, i2)
+        p2 := at(prices, i2)
+        atomic [PutMax(pair(u2, p2))] {
+            m2 := [m]
+            if (containsKey(m2, u2)) {
+                cur2 := get(m2, u2)
+                if (p2 > cur2) { [m] := put(m2, u2, p2) }
+            } else {
+                [m] := put(m2, u2, p2)
+            }
+        }
+        i2 := i2 + 1
+    }
+}
+unshare MapPutMax
+mv := [m]
+print(mv)
+"""
+
+most_valuable_purchase = CaseStudy(
+    name="Most-Valuable-Purchase",
+    description="conditional put keeping the per-user maximum price",
+    source=_MOST_VALUABLE_PURCHASE_SRC,
+    resources=(ResourceDecl("MapPutMax", map_put_if_greater_spec(), "m"),),
+    low_inputs=frozenset({"n", "users", "prices"}),
+    high_inputs=frozenset(),
+    expected_verified=True,
+    paper=PaperRow("HashMap, conditional put", "None", 140, 118, 17.87),
+    instances=make_instances(
+        {"n": 4, "users": (1, 2, 1, 2), "prices": (30, 10, 20, 50)},
+        [{}],
+    ),
+)

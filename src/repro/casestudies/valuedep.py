@@ -1,0 +1,122 @@
+"""Value-dependent sensitivity case study (Sec. 3.4).
+
+The paper's assertion language expresses value-dependent secrecy with
+implications ``b ⇒ Low(e)``: "a data structure might contain pairs of
+booleans and other values, where the boolean expresses the sensitivity of
+the other value".  This case study exercises that pattern end to end:
+
+* the shared list's entries are ``(is_public, value)`` pairs;
+* the action's relational precondition is
+  ``Low(flag) ∧ (flag ⇒ Low(value))`` — the flags are public knowledge,
+  and a value must be low only when its flag says so;
+* the abstraction is the multiset of *public* entries plus the total
+  count, so the program may release the sorted public values and the
+  number of secret entries, while the secret values never reach a public
+  output.
+
+The relational precondition is beyond the taint walk's projections, so
+the analyzer defers it as a retroactive obligation (the same mechanism
+as the pipeline's check-at-unshare, Sec. 2.5), discharged by bounded
+relational checking.
+"""
+
+from __future__ import annotations
+
+from ..spec.library import value_dependent_list_spec
+from ..verifier.declarations import ResourceDecl
+from .base import CaseStudy, make_instances
+
+_VALUE_DEP_SRC = """
+// Value-dependent sensitivity: append (is_public, value) pairs; release
+// only the sorted public values and the count of secret entries.
+l := alloc(seq())
+share ValueDepList
+{
+    i1 := 0
+    while (i1 < n / 2) {
+        f1 := at(flags, i1)
+        v1 := at(vals, i1)
+        d1 := at(delays, i1)
+        k1 := 0
+        while (k1 < d1) { k1 := k1 + 1 }          // secret-dependent timing
+        atomic [AppendLabelled(pair(f1, v1))] { s1 := [l]; [l] := append(s1, pair(f1, v1)) }
+        i1 := i1 + 1
+    }
+} || {
+    i2 := n / 2
+    while (i2 < n) {
+        f2 := at(flags, i2)
+        v2 := at(vals, i2)
+        d2 := at(delays, i2)
+        k2 := 0
+        while (k2 < d2) { k2 := k2 + 1 }
+        atomic [AppendLabelled(pair(f2, v2))] { s2 := [l]; [l] := append(s2, pair(f2, v2)) }
+        i2 := i2 + 1
+    }
+}
+unshare ValueDepList
+lv := [l]
+print(publicValues(lv))
+print(secretCount(lv))
+"""
+
+#: flags: which positions are public (low).  vals: the secret variants
+#: differ exactly in the positions whose flag is 0.
+_FLAGS = (1, 0, 1, 0)
+
+value_dependent = CaseStudy(
+    name="Value-Dependent-Sensitivity",
+    description="(is_public, value) pairs; flag ⇒ Low(value); release public view",
+    source=_VALUE_DEP_SRC,
+    resources=(
+        ResourceDecl(
+            "ValueDepList",
+            value_dependent_list_spec(),
+            "l",
+            low_views=("publicValues", "secretCount"),
+        ),
+    ),
+    low_inputs=frozenset({"n", "flags"}),
+    high_inputs=frozenset({"vals", "delays"}),
+    expected_verified=True,
+    instances=make_instances(
+        {"n": 4, "flags": _FLAGS},
+        [
+            {"vals": (7, 100, 9, 200), "delays": (0, 3, 1, 0)},
+            {"vals": (7, 111, 9, 222), "delays": (2, 0, 0, 4)},
+        ],
+    ),
+)
+
+#: Negative control: the whole labelled list (secret values included) is
+#: printed — the abstraction covers only the public part.
+value_dependent_leak = CaseStudy(
+    name="Value-Dependent leak",
+    description="prints the entire labelled list, including secret values",
+    source=_VALUE_DEP_SRC.replace("print(publicValues(lv))", "print(lv)"),
+    resources=value_dependent.resources,
+    low_inputs=value_dependent.low_inputs,
+    high_inputs=value_dependent.high_inputs,
+    expected_verified=False,
+    instances=value_dependent.instances,
+)
+
+#: Negative control: a *public-flagged* value carries secret data — the
+#: relational precondition (flag ⇒ Low(value)) is violated, which only the
+#: retroactive bounded check can see.
+value_dependent_public_secret = CaseStudy(
+    name="Value-Dependent public-secret",
+    description="a public-flagged value differs across secrets (pre violated)",
+    source=_VALUE_DEP_SRC,
+    resources=value_dependent.resources,
+    low_inputs=value_dependent.low_inputs,
+    high_inputs=value_dependent.high_inputs,
+    expected_verified=False,
+    instances=make_instances(
+        {"n": 4, "flags": _FLAGS},
+        [
+            {"vals": (7, 100, 9, 200), "delays": (0, 0, 0, 0)},
+            {"vals": (8, 100, 9, 200), "delays": (0, 0, 0, 0)},  # public slot 0 varies
+        ],
+    ),
+)

@@ -1,0 +1,26 @@
+"""Extended heaps: fractional permission heaps and action guards (Sec. 3.3)."""
+
+from .extheap import ExtendedHeap
+from .guards import (
+    GuardFamily,
+    SharedGuard,
+    UniqueGuard,
+    add_shared_guards,
+    add_unique_guards,
+)
+from .multiset import EMPTY_MULTISET, Multiset
+from .permheap import FULL, HeapAdditionUndefined, PermissionHeap
+
+__all__ = [
+    "EMPTY_MULTISET",
+    "ExtendedHeap",
+    "FULL",
+    "GuardFamily",
+    "HeapAdditionUndefined",
+    "Multiset",
+    "PermissionHeap",
+    "SharedGuard",
+    "UniqueGuard",
+    "add_shared_guards",
+    "add_unique_guards",
+]

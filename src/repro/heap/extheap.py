@@ -1,0 +1,143 @@
+"""Extended heaps ``gh = ⟨ph, gs, Gu⟩`` (Sec. 3.3).
+
+An extended heap bundles a fractional permission heap with the guard
+states for the shared action and the family of unique actions.  The logic
+(assertions, proof rules, soundness tester) operates on extended heaps;
+the operational semantics operates on the *normalization* ``norm(gh)``,
+which strips permissions and guards.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Hashable
+
+from .guards import GuardFamily, SharedGuard, UniqueGuard, add_shared_guards
+from .multiset import Multiset
+from .permheap import FULL, HeapAdditionUndefined, PermissionHeap
+
+
+class ExtendedHeap:
+    """An immutable extended heap ``⟨ph, gs, Gu⟩``.
+
+    ``gs is None`` encodes the ⊥ shared guard state.
+    """
+
+    __slots__ = ("perm_heap", "shared_guard", "unique_guards")
+
+    def __init__(
+        self,
+        perm_heap: PermissionHeap | None = None,
+        shared_guard: SharedGuard | None = None,
+        unique_guards: GuardFamily | None = None,
+    ) -> None:
+        self.perm_heap = perm_heap if perm_heap is not None else PermissionHeap.empty()
+        self.shared_guard = shared_guard
+        self.unique_guards = unique_guards if unique_guards is not None else GuardFamily.bottom()
+
+    @classmethod
+    def empty(cls) -> "ExtendedHeap":
+        return cls()
+
+    @classmethod
+    def from_plain(cls, heap: dict[int, Any]) -> "ExtendedHeap":
+        """Lift an ordinary heap to a fully-owned, guard-free extended heap.
+
+        This produces a ``cgh`` in the paper's terminology (Corollary 4.4):
+        guard states ⊥, full permission on every location.
+        """
+        cells = {location: (FULL, value) for location, value in heap.items()}
+        return cls(PermissionHeap(cells))
+
+    @classmethod
+    def guard_only(
+        cls,
+        shared_guard: SharedGuard | None = None,
+        unique_guards: GuardFamily | None = None,
+    ) -> "ExtendedHeap":
+        """An extended heap with an empty permission heap (pure guards)."""
+        return cls(PermissionHeap.empty(), shared_guard, unique_guards)
+
+    # -- predicates ---------------------------------------------------------
+
+    def is_guard_free(self) -> bool:
+        """True iff both guard components are ⊥ (``noguard`` states)."""
+        return self.shared_guard is None and self.unique_guards.is_bottom()
+
+    def is_complete(self) -> bool:
+        """A ``cgh``: guard-free with full permission everywhere (Cor. 4.4)."""
+        return self.is_guard_free() and self.perm_heap.has_full_permissions()
+
+    def has_full_permissions(self) -> bool:
+        """An ``fgh``: full permission everywhere, guards arbitrary."""
+        return self.perm_heap.has_full_permissions()
+
+    # -- algebra -----------------------------------------------------------
+
+    def add(self, other: "ExtendedHeap") -> "ExtendedHeap":
+        """Extended heap addition ``⊕``: componentwise, all must be defined."""
+        return ExtendedHeap(
+            self.perm_heap.add(other.perm_heap),
+            add_shared_guards(self.shared_guard, other.shared_guard),
+            self.unique_guards.add(other.unique_guards),
+        )
+
+    __add__ = add
+
+    def compatible(self, other: "ExtendedHeap") -> bool:
+        try:
+            self.add(other)
+        except HeapAdditionUndefined:
+            return False
+        return True
+
+    def normalize(self) -> dict[int, Any]:
+        """``norm(gh)``: the ordinary heap underlying this extended heap."""
+        return self.perm_heap.normalize()
+
+    # -- guard manipulation --------------------------------------------------
+
+    def with_shared_guard(self, guard: SharedGuard | None) -> "ExtendedHeap":
+        return ExtendedHeap(self.perm_heap, guard, self.unique_guards)
+
+    def with_unique_guard(self, index: Hashable, guard: UniqueGuard) -> "ExtendedHeap":
+        return ExtendedHeap(self.perm_heap, self.shared_guard, self.unique_guards.with_guard(index, guard))
+
+    def record_shared(self, arg: Any) -> "ExtendedHeap":
+        """Record one shared-action execution in the shared guard."""
+        if self.shared_guard is None:
+            raise HeapAdditionUndefined("no shared guard held")
+        return self.with_shared_guard(self.shared_guard.record(arg))
+
+    def record_unique(self, index: Hashable, arg: Any) -> "ExtendedHeap":
+        """Record one unique-action execution in guard ``index``."""
+        guard = self.unique_guards.get(index)
+        if guard is None:
+            raise HeapAdditionUndefined(f"unique guard {index!r} not held")
+        return self.with_unique_guard(index, guard.record(arg))
+
+    def shared_args(self) -> Multiset | None:
+        return self.shared_guard.args if self.shared_guard is not None else None
+
+    def shared_fraction(self) -> Fraction:
+        return self.shared_guard.fraction if self.shared_guard is not None else Fraction(0)
+
+    # -- equality -----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExtendedHeap):
+            return NotImplemented
+        return (
+            self.perm_heap == other.perm_heap
+            and self.shared_guard == other.shared_guard
+            and self.unique_guards == other.unique_guards
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.perm_heap, self.shared_guard, self.unique_guards))
+
+    def __repr__(self) -> str:
+        return (
+            f"ExtendedHeap(ph={self.perm_heap!r}, gs={self.shared_guard!r}, "
+            f"Gu={self.unique_guards!r})"
+        )

@@ -1,0 +1,176 @@
+"""Guard states for shared and unique actions (Sec. 3.3, App. B.1).
+
+A *guard* is the separation-logic resource that represents the right to
+perform an action on the shared resource and records the arguments with
+which the action has been performed so far:
+
+* the **shared guard state** ``gs`` is either ``⊥`` (absent) or a pair
+  ``⟨r, args⟩`` of a positive fraction ``r ≤ 1`` and a *multiset* of
+  arguments.  Fractions can be split among threads; addition takes the
+  multiset union of the argument multisets (Eq. (4));
+
+* a **unique guard state** ``gu_i`` is either ``⊥`` or a *sequence* of
+  arguments.  Unique guards cannot be split: the sum of two non-⊥ unique
+  guard states is undefined (Eq. (3)).
+
+Guard families index the unique guard states by action index ``i``;
+addition is pointwise.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Hashable, Mapping
+
+from .multiset import EMPTY_MULTISET, Multiset
+from .permheap import FULL, HeapAdditionUndefined
+
+
+class SharedGuard:
+    """A non-⊥ shared guard state ``⟨r, args⟩``.
+
+    ``⊥`` is represented by ``None`` at the use sites (ExtendedHeap).
+    """
+
+    __slots__ = ("fraction", "args")
+
+    def __init__(self, fraction: Fraction, args: Multiset = EMPTY_MULTISET) -> None:
+        fraction = Fraction(fraction)
+        if not 0 < fraction <= FULL:
+            raise ValueError(f"shared guard fraction out of (0, 1]: {fraction}")
+        self.fraction = fraction
+        self.args = args
+
+    def is_complete(self) -> bool:
+        """True iff this guard holds the full fraction (r = 1)."""
+        return self.fraction == FULL
+
+    def record(self, arg: Any) -> "SharedGuard":
+        """Record one execution of the shared action with ``arg``."""
+        return SharedGuard(self.fraction, self.args.add(arg))
+
+    def split(self, pieces: int) -> list["SharedGuard"]:
+        """Split into ``pieces`` equal fractions, each with an empty multiset
+        except the first which keeps the recorded arguments."""
+        if pieces < 1:
+            raise ValueError("pieces must be >= 1")
+        share = self.fraction / pieces
+        parts = [SharedGuard(share, self.args)]
+        parts.extend(SharedGuard(share) for _ in range(pieces - 1))
+        return parts
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SharedGuard):
+            return NotImplemented
+        return self.fraction == other.fraction and self.args == other.args
+
+    def __hash__(self) -> int:
+        return hash((self.fraction, self.args))
+
+    def __repr__(self) -> str:
+        return f"SharedGuard({self.fraction}, {self.args!r})"
+
+
+def add_shared_guards(gs1: SharedGuard | None, gs2: SharedGuard | None) -> SharedGuard | None:
+    """Shared guard addition ``gs ⊕ gs'`` per Eq. (4); None encodes ⊥."""
+    if gs1 is None:
+        return gs2
+    if gs2 is None:
+        return gs1
+    total = gs1.fraction + gs2.fraction
+    if total > FULL:
+        raise HeapAdditionUndefined(f"shared guard fraction overflow: {gs1.fraction} + {gs2.fraction} > 1")
+    return SharedGuard(total, gs1.args.union(gs2.args))
+
+
+class UniqueGuard:
+    """A non-⊥ unique guard state: the full sequence of recorded arguments."""
+
+    __slots__ = ("args",)
+
+    def __init__(self, args: tuple = ()) -> None:
+        self.args = tuple(args)
+
+    def record(self, arg: Any) -> "UniqueGuard":
+        """Append one execution of the unique action (``s ++ [arg]``)."""
+        return UniqueGuard(self.args + (arg,))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UniqueGuard):
+            return NotImplemented
+        return self.args == other.args
+
+    def __hash__(self) -> int:
+        return hash(self.args)
+
+    def __repr__(self) -> str:
+        return f"UniqueGuard({list(self.args)!r})"
+
+
+def add_unique_guards(gu1: UniqueGuard | None, gu2: UniqueGuard | None) -> UniqueGuard | None:
+    """Unique guard addition per Eq. (3): at most one side may be non-⊥."""
+    if gu1 is None:
+        return gu2
+    if gu2 is None:
+        return gu1
+    raise HeapAdditionUndefined("two non-⊥ unique guard states cannot be added")
+
+
+class GuardFamily:
+    """A family of unique guard states ``Gu``, indexed by action index.
+
+    Indices absent from the mapping are ``⊥``.  The paper writes ``⊥`` for
+    the all-⊥ family and ``[i ↦ gu]`` for a singleton family.
+    """
+
+    __slots__ = ("_members",)
+
+    def __init__(self, members: Mapping[Hashable, UniqueGuard] | None = None) -> None:
+        self._members = dict(members or {})
+
+    @classmethod
+    def bottom(cls) -> "GuardFamily":
+        return cls()
+
+    @classmethod
+    def singleton(cls, index: Hashable, guard: UniqueGuard) -> "GuardFamily":
+        return cls({index: guard})
+
+    def get(self, index: Hashable) -> UniqueGuard | None:
+        return self._members.get(index)
+
+    def indices(self) -> frozenset:
+        return frozenset(self._members)
+
+    def is_bottom(self) -> bool:
+        return not self._members
+
+    def with_guard(self, index: Hashable, guard: UniqueGuard) -> "GuardFamily":
+        members = dict(self._members)
+        members[index] = guard
+        return GuardFamily(members)
+
+    def add(self, other: "GuardFamily") -> "GuardFamily":
+        """Pointwise addition; undefined if any index is non-⊥ on both sides."""
+        members = dict(self._members)
+        for index, guard in other._members.items():
+            combined = add_unique_guards(members.get(index), guard)
+            if combined is not None:
+                members[index] = combined
+        return GuardFamily(members)
+
+    __add__ = add
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GuardFamily):
+            return NotImplemented
+        return self._members == other._members
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._members.items()))
+
+    def __repr__(self) -> str:
+        if not self._members:
+            return "GuardFamily(⊥)"
+        inner = ", ".join(f"{index!r}: {guard!r}" for index, guard in sorted(self._members.items(), key=repr))
+        return f"GuardFamily({{{inner}}})"

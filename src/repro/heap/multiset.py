@@ -1,0 +1,163 @@
+"""Immutable multisets.
+
+CommCSL tracks the arguments of shared actions in *multisets* (written
+``s ∪# {x}#`` in the paper), because the order in which different threads
+performed the shared action is scheduler-dependent and therefore unknown.
+This module provides a small immutable, hashable multiset with the
+operations the logic needs: union (``∪#``), difference (``\\#``),
+cardinality, and inclusion.
+
+Elements must be hashable.  Multiplicities are positive integers; an
+element with multiplicity zero is simply absent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping
+
+
+class Multiset:
+    """An immutable multiset over hashable elements.
+
+    >>> m = Multiset([1, 1, 2])
+    >>> m.count(1)
+    2
+    >>> (m + Multiset([1])).count(1)
+    3
+    >>> list((m - Multiset([1])).elements())
+    [1, 2]
+    """
+
+    __slots__ = ("_counts", "_hash")
+
+    def __init__(self, items: Iterable[Any] = ()) -> None:
+        counts: dict[Any, int] = {}
+        for item in items:
+            counts[item] = counts.get(item, 0) + 1
+        self._counts: dict[Any, int] = counts
+        self._hash: int | None = None
+
+    @classmethod
+    def from_counts(cls, counts: Mapping[Any, int]) -> "Multiset":
+        """Build a multiset from an element->multiplicity mapping.
+
+        Raises ValueError on negative multiplicities; zero entries are
+        dropped.
+        """
+        result = cls()
+        cleaned = {}
+        for element, count in counts.items():
+            if count < 0:
+                raise ValueError(f"negative multiplicity for {element!r}: {count}")
+            if count > 0:
+                cleaned[element] = count
+        result._counts = cleaned
+        return result
+
+    # -- queries ----------------------------------------------------------
+
+    def count(self, element: Any) -> int:
+        """Multiplicity of ``element`` (0 if absent)."""
+        return self._counts.get(element, 0)
+
+    def __contains__(self, element: Any) -> bool:
+        return element in self._counts
+
+    def __len__(self) -> int:
+        """Total cardinality, counting multiplicities."""
+        return sum(self._counts.values())
+
+    def __bool__(self) -> bool:
+        return bool(self._counts)
+
+    def support(self) -> frozenset:
+        """The set of distinct elements."""
+        return frozenset(self._counts)
+
+    def elements(self) -> Iterator[Any]:
+        """Iterate over elements, each repeated by its multiplicity.
+
+        Iteration order is deterministic (insertion order of the
+        underlying dict), which keeps tests and searches reproducible.
+        """
+        for element, count in self._counts.items():
+            for _ in range(count):
+                yield element
+
+    def __iter__(self) -> Iterator[Any]:
+        return self.elements()
+
+    def items(self) -> Iterator[tuple[Any, int]]:
+        """Iterate over (element, multiplicity) pairs."""
+        return iter(self._counts.items())
+
+    # -- algebra -----------------------------------------------------------
+
+    def union(self, other: "Multiset") -> "Multiset":
+        """Multiset union ``∪#`` (multiplicities add)."""
+        counts = dict(self._counts)
+        for element, count in other._counts.items():
+            counts[element] = counts.get(element, 0) + count
+        return Multiset.from_counts(counts)
+
+    __add__ = union
+
+    def difference(self, other: "Multiset") -> "Multiset":
+        """Multiset difference ``\\#`` (multiplicities subtract, floor 0)."""
+        counts = {}
+        for element, count in self._counts.items():
+            remaining = count - other.count(element)
+            if remaining > 0:
+                counts[element] = remaining
+        return Multiset.from_counts(counts)
+
+    __sub__ = difference
+
+    def add(self, element: Any, count: int = 1) -> "Multiset":
+        """Return a new multiset with ``count`` extra copies of ``element``."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        counts = dict(self._counts)
+        counts[element] = counts.get(element, 0) + count
+        return Multiset.from_counts(counts)
+
+    def remove(self, element: Any, count: int = 1) -> "Multiset":
+        """Return a new multiset with ``count`` copies of ``element`` removed.
+
+        Raises KeyError if fewer than ``count`` copies are present.
+        """
+        have = self.count(element)
+        if have < count:
+            raise KeyError(f"cannot remove {count} x {element!r}; only {have} present")
+        counts = dict(self._counts)
+        if have == count:
+            del counts[element]
+        else:
+            counts[element] = have - count
+        return Multiset.from_counts(counts)
+
+    def issubset(self, other: "Multiset") -> bool:
+        """True iff every multiplicity here is <= the one in ``other``."""
+        return all(count <= other.count(element) for element, count in self._counts.items())
+
+    # -- equality / hashing -------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Multiset):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._counts.items()))
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            repr(element) if count == 1 else f"{element!r} x{count}"
+            for element, count in sorted(self._counts.items(), key=repr)
+        )
+        return f"Multiset({{{inner}}})"
+
+
+EMPTY_MULTISET = Multiset()

@@ -1,0 +1,152 @@
+"""Fractional permission heaps (Sec. 3.3 / App. B.1 of the paper).
+
+A permission heap ``ph`` is a partial map from locations (natural numbers)
+to pairs ``⟨r, v⟩`` of a positive rational permission amount ``r ≤ 1`` and a
+value ``v``.  Holding a fraction ``0 < r < 1`` of a location permits
+reading it; only a full permission (``r = 1``) permits writing.
+
+Addition ``ph ⊕ ph'`` (Eq. (5)/(6) in the paper) adds permission amounts
+of common locations — defined only when the values agree and the sum does
+not exceed 1 — and keeps disjoint locations unchanged.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Iterator, Mapping
+
+FULL = Fraction(1)
+
+
+class HeapAdditionUndefined(Exception):
+    """Raised when ``⊕`` is applied to incompatible heaps/guards."""
+
+
+class PermissionHeap:
+    """An immutable fractional permission heap.
+
+    >>> h = PermissionHeap({1: (Fraction(1, 2), 7)})
+    >>> (h + h).permission(1)
+    Fraction(1, 1)
+    """
+
+    __slots__ = ("_cells",)
+
+    def __init__(self, cells: Mapping[int, tuple[Fraction, Any]] | None = None) -> None:
+        normalized: dict[int, tuple[Fraction, Any]] = {}
+        for location, (perm, value) in (cells or {}).items():
+            perm = Fraction(perm)
+            if not 0 < perm <= FULL:
+                raise ValueError(f"permission at {location} out of (0, 1]: {perm}")
+            normalized[location] = (perm, value)
+        self._cells = normalized
+
+    @classmethod
+    def empty(cls) -> "PermissionHeap":
+        return cls()
+
+    @classmethod
+    def singleton(cls, location: int, value: Any, perm: Fraction = FULL) -> "PermissionHeap":
+        return cls({location: (Fraction(perm), value)})
+
+    # -- queries ----------------------------------------------------------
+
+    def domain(self) -> frozenset[int]:
+        return frozenset(self._cells)
+
+    def __contains__(self, location: int) -> bool:
+        return location in self._cells
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def permission(self, location: int) -> Fraction:
+        """Permission amount held at ``location`` (0 if absent)."""
+        cell = self._cells.get(location)
+        return cell[0] if cell else Fraction(0)
+
+    def value(self, location: int) -> Any:
+        """Value stored at ``location``; KeyError if absent."""
+        return self._cells[location][1]
+
+    def cells(self) -> Iterator[tuple[int, Fraction, Any]]:
+        for location, (perm, value) in self._cells.items():
+            yield location, perm, value
+
+    def has_full_permissions(self) -> bool:
+        """True iff every location in the domain is held with permission 1."""
+        return all(perm == FULL for perm, _ in self._cells.values())
+
+    # -- algebra -----------------------------------------------------------
+
+    def add(self, other: "PermissionHeap") -> "PermissionHeap":
+        """Heap addition ``⊕``; raises HeapAdditionUndefined if incompatible."""
+        cells = dict(self._cells)
+        for location, (perm, value) in other._cells.items():
+            if location not in cells:
+                cells[location] = (perm, value)
+                continue
+            own_perm, own_value = cells[location]
+            if own_value != value:
+                raise HeapAdditionUndefined(
+                    f"conflicting values at {location}: {own_value!r} vs {value!r}"
+                )
+            total = own_perm + perm
+            if total > FULL:
+                raise HeapAdditionUndefined(
+                    f"permission overflow at {location}: {own_perm} + {perm} > 1"
+                )
+            cells[location] = (total, value)
+        return PermissionHeap(cells)
+
+    __add__ = add
+
+    def compatible(self, other: "PermissionHeap") -> bool:
+        """True iff ``self ⊕ other`` is defined."""
+        try:
+            self.add(other)
+        except HeapAdditionUndefined:
+            return False
+        return True
+
+    def update(self, location: int, value: Any) -> "PermissionHeap":
+        """Write ``value`` at ``location``; requires full permission."""
+        if self.permission(location) != FULL:
+            raise PermissionError(f"write to {location} without full permission")
+        cells = dict(self._cells)
+        cells[location] = (FULL, value)
+        return PermissionHeap(cells)
+
+    def allocate(self, location: int, value: Any) -> "PermissionHeap":
+        """Add a fresh, fully-owned location."""
+        if location in self._cells:
+            raise ValueError(f"location {location} already allocated")
+        cells = dict(self._cells)
+        cells[location] = (FULL, value)
+        return PermissionHeap(cells)
+
+    def remove(self, location: int) -> "PermissionHeap":
+        """Drop a location entirely from the heap."""
+        cells = dict(self._cells)
+        del cells[location]
+        return PermissionHeap(cells)
+
+    def normalize(self) -> dict[int, Any]:
+        """Strip permissions: the ordinary heap of Sec. 3.3 (``norm``)."""
+        return {location: value for location, (_, value) in self._cells.items()}
+
+    # -- equality -----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PermissionHeap):
+            return NotImplemented
+        return self._cells == other._cells
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._cells.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{location}: ({perm}, {value!r})" for location, (perm, value) in sorted(self._cells.items())
+        )
+        return f"PermissionHeap({{{inner}}})"

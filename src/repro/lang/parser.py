@@ -1,0 +1,451 @@
+"""Parser for the object language's concrete syntax.
+
+The concrete syntax mirrors the paper's notation (Fig. 6) with braces:
+
+.. code-block:: text
+
+    n := len(households)
+    c := alloc(0)
+    share CounterSpec
+    {
+        i := 0
+        while (i < n / 2) { atomic [Add(at(households, i))] { t := [c]; [c] := t + at(households, i) } ; i := i + 1 }
+    } || {
+        j := n / 2
+        while (j < n) { atomic [Add(at(households, j))] { t2 := [c]; [c] := t2 + at(households, j) } ; j := j + 1 }
+    }
+    unshare CounterSpec
+    result := [c]
+    print(result)
+
+Statements are separated by newlines or optional ``;``.  ``||`` composes
+*blocks* in parallel at statement level (``{...} || {...} || {...}``);
+boolean conjunction is ``&&``, negation ``!``.  ``atomic`` takes an
+optional action annotation ``[Action(argExpr)]``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from .ast import (
+    Alloc,
+    Assign,
+    Atomic,
+    BinOp,
+    Call,
+    Command,
+    Expr,
+    Fork,
+    If,
+    Join,
+    Lit,
+    Load,
+    Par,
+    Print,
+    Seq,
+    Share,
+    Skip,
+    Store,
+    UnOp,
+    Unshare,
+    Var,
+    While,
+    seq_all,
+)
+from .procedures import Procedure, ThreadedProgram
+
+
+class ParseError(Exception):
+    """Raised on syntax errors, with line/column information."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'int' | 'string' | 'ident' | 'symbol' | 'eof'
+    text: str
+    line: int
+    column: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t\r\n]+)
+  | (?P<comment>//[^\n]*)
+  | (?P<int>\d+)
+  | (?P<string>"[^"\n]*")
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<symbol>:=|==|!=|<=|>=|&&|\|\||[-+*/%<>!\[\](){};,])
+    """,
+    re.VERBOSE,
+)
+
+KEYWORDS = frozenset(
+    {
+        "skip",
+        "if",
+        "else",
+        "while",
+        "atomic",
+        "share",
+        "unshare",
+        "print",
+        "alloc",
+        "true",
+        "false",
+        "fork",
+        "join",
+        "procedure",
+    }
+)
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    line, line_start = 1, 0
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            column = position - line_start + 1
+            raise ParseError(f"line {line}, col {column}: unexpected character {source[position]!r}")
+        text = match.group()
+        kind = match.lastgroup or "symbol"
+        if kind not in ("ws", "comment"):
+            tokens.append(Token(kind, text, line, position - line_start + 1))
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = position + text.rfind("\n") + 1
+        position = match.end()
+    tokens.append(Token("eof", "", line, position - line_start + 1))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._position = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._position + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token.kind != "eof":
+            self._position += 1
+        return token
+
+    def _check(self, text: str) -> bool:
+        return self._peek().text == text and self._peek().kind in ("symbol", "ident")
+
+    def _match(self, text: str) -> bool:
+        if self._check(text):
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, text: str) -> Token:
+        token = self._peek()
+        if not self._match(text):
+            raise ParseError(f"line {token.line}, col {token.column}: expected {text!r}, found {token.text!r}")
+        return token
+
+    def _error(self, message: str) -> ParseError:
+        token = self._peek()
+        return ParseError(f"line {token.line}, col {token.column}: {message} (found {token.text!r})")
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_program(self) -> Command:
+        body = self._parse_statements(stop={"eof"})
+        if self._peek().kind != "eof":
+            raise self._error("trailing input")
+        return body
+
+    def _parse_statements(self, stop: set[str]) -> Command:
+        statements: list[Command] = []
+        while True:
+            token = self._peek()
+            if token.kind == "eof" and "eof" in stop:
+                break
+            if token.text in stop and token.kind == "symbol":
+                break
+            statements.append(self._parse_statement())
+            while self._match(";"):
+                pass
+        if not statements:
+            return Skip()
+        return seq_all(*statements)
+
+    def _parse_block(self) -> Command:
+        self._expect("{")
+        body = self._parse_statements(stop={"}"})
+        self._expect("}")
+        return body
+
+    def _parse_statement(self) -> Command:
+        token = self._peek()
+        if token.text == "{":
+            return self._parse_parallel_or_block()
+        if token.text == "skip":
+            self._advance()
+            return Skip()
+        if token.text == "if":
+            return self._parse_if()
+        if token.text == "while":
+            return self._parse_while()
+        if token.text == "atomic":
+            return self._parse_atomic()
+        if token.text == "share":
+            self._advance()
+            name = self._expect_ident("resource name")
+            return Share(name)
+        if token.text == "unshare":
+            self._advance()
+            name = self._expect_ident("resource name")
+            return Unshare(name)
+        if token.text == "print":
+            self._advance()
+            self._expect("(")
+            expr = self._parse_expr()
+            if self._match(","):
+                channel = self._expect_ident("channel name")
+                self._expect(")")
+                return Print(expr, channel)
+            self._expect(")")
+            return Print(expr)
+        if token.text == "join":
+            self._advance()
+            procedure = self._expect_ident("procedure name")
+            self._expect("(")
+            token_expr = self._parse_expr()
+            self._expect(")")
+            return Join(procedure, token_expr)
+        if token.text == "[":
+            self._advance()
+            address = self._parse_expr()
+            self._expect("]")
+            self._expect(":=")
+            value = self._parse_expr()
+            return Store(address, value)
+        if token.kind == "ident" and token.text not in KEYWORDS:
+            return self._parse_assignment()
+        raise self._error("expected a statement")
+
+    def _expect_ident(self, what: str) -> str:
+        token = self._peek()
+        if token.kind != "ident" or token.text in KEYWORDS:
+            raise self._error(f"expected {what}")
+        self._advance()
+        return token.text
+
+    def _parse_parallel_or_block(self) -> Command:
+        branches = [self._parse_block()]
+        while self._match("||"):
+            branches.append(self._parse_block())
+        if len(branches) == 1:
+            return branches[0]
+        result = branches[-1]
+        for branch in reversed(branches[:-1]):
+            result = Par(branch, result)
+        return result
+
+    def _parse_if(self) -> Command:
+        self._expect("if")
+        self._expect("(")
+        condition = self._parse_expr()
+        self._expect(")")
+        then_branch = self._parse_block()
+        else_branch: Command = Skip()
+        if self._match("else"):
+            else_branch = self._parse_block()
+        return If(condition, then_branch, else_branch)
+
+    def _parse_while(self) -> Command:
+        self._expect("while")
+        self._expect("(")
+        condition = self._parse_expr()
+        self._expect(")")
+        body = self._parse_block()
+        return While(condition, body)
+
+    def _parse_atomic(self) -> Command:
+        self._expect("atomic")
+        action: Optional[str] = None
+        argument: Optional[Expr] = None
+        when: Optional[Expr] = None
+        if self._match("["):
+            action = self._expect_ident("action name")
+            self._expect("(")
+            if not self._check(")"):
+                argument = self._parse_expr()
+            self._expect(")")
+            self._expect("]")
+        if self._check("when"):
+            self._advance()
+            self._expect("(")
+            when = self._parse_expr()
+            self._expect(")")
+        body = self._parse_block()
+        if argument is None:
+            argument = Lit(0)
+        return Atomic(body, action, argument, when)
+
+    def _parse_assignment(self) -> Command:
+        target = self._expect_ident("variable")
+        self._expect(":=")
+        if self._match("["):
+            address = self._parse_expr()
+            self._expect("]")
+            return Load(target, address)
+        if self._check("alloc"):
+            self._advance()
+            self._expect("(")
+            expr = self._parse_expr()
+            self._expect(")")
+            return Alloc(target, expr)
+        if self._check("fork"):
+            self._advance()
+            procedure = self._expect_ident("procedure name")
+            self._expect("(")
+            args: list[Expr] = []
+            if not self._check(")"):
+                args.append(self._parse_expr())
+                while self._match(","):
+                    args.append(self._parse_expr())
+            self._expect(")")
+            return Fork(target, procedure, tuple(args))
+        return Assign(target, self._parse_expr())
+
+    # -- expressions -----------------------------------------------------------
+
+    def _parse_expr(self) -> Expr:
+        return self._parse_and()
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_comparison()
+        while self._check("&&"):
+            self._advance()
+            right = self._parse_comparison()
+            left = BinOp("&&", left, right)
+        return left
+
+    _COMPARISONS = ("==", "!=", "<=", ">=", "<", ">")
+
+    def _parse_comparison(self) -> Expr:
+        left = self._parse_additive()
+        for op in self._COMPARISONS:
+            if self._check(op):
+                self._advance()
+                right = self._parse_additive()
+                return BinOp(op, left, right)
+        return left
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while self._peek().text in ("+", "-") and self._peek().kind == "symbol":
+            op = self._advance().text
+            right = self._parse_multiplicative()
+            left = BinOp(op, left, right)
+        return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while self._peek().text in ("*", "/", "%") and self._peek().kind == "symbol":
+            op = self._advance().text
+            right = self._parse_unary()
+            left = BinOp(op, left, right)
+        return left
+
+    def _parse_unary(self) -> Expr:
+        if self._match("-"):
+            return UnOp("-", self._parse_unary())
+        if self._match("!"):
+            return UnOp("!", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self._peek()
+        if token.kind == "int":
+            self._advance()
+            return Lit(int(token.text))
+        if token.kind == "string":
+            self._advance()
+            return Lit(token.text[1:-1])
+        if token.text == "true":
+            self._advance()
+            return Lit(True)
+        if token.text == "false":
+            self._advance()
+            return Lit(False)
+        if token.text == "(":
+            self._advance()
+            expr = self._parse_expr()
+            self._expect(")")
+            return expr
+        if token.kind == "ident" and token.text not in KEYWORDS:
+            self._advance()
+            if self._match("("):
+                args: list[Expr] = []
+                if not self._check(")"):
+                    args.append(self._parse_expr())
+                    while self._match(","):
+                        args.append(self._parse_expr())
+                self._expect(")")
+                return Call(token.text, tuple(args))
+            return Var(token.text)
+        raise self._error("expected an expression")
+
+
+def parse_program(source: str) -> Command:
+    """Parse a full program from source text."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+def parse_threaded_program(source: str) -> ThreadedProgram:
+    """Parse procedure declarations followed by the main command.
+
+    .. code-block:: text
+
+        procedure worker(lo, hi, c) {
+            i := lo
+            while (i < hi) { atomic [Add(1)] { t := [c]; [c] := t + 1 }; i := i + 1 }
+        }
+        c := alloc(0)
+        t1 := fork worker(0, 5, c)
+        t2 := fork worker(5, 10, c)
+        join worker(t1)
+        join worker(t2)
+    """
+    parser = _Parser(tokenize(source))
+    procedures: list[Procedure] = []
+    while parser._check("procedure"):
+        parser._advance()
+        name = parser._expect_ident("procedure name")
+        parser._expect("(")
+        params: list[str] = []
+        if not parser._check(")"):
+            params.append(parser._expect_ident("parameter"))
+            while parser._match(","):
+                params.append(parser._expect_ident("parameter"))
+        parser._expect(")")
+        body = parser._parse_block()
+        procedures.append(Procedure(name, tuple(params), body))
+    main = parser._parse_statements(stop={"eof"})
+    if parser._peek().kind != "eof":
+        raise parser._error("trailing input")
+    return ThreadedProgram(main, tuple(procedures))
+
+
+def parse_expr(source: str) -> Expr:
+    """Parse a single expression from source text."""
+    parser = _Parser(tokenize(source))
+    expr = parser._parse_expr()
+    if parser._peek().kind != "eof":
+        raise parser._error("trailing input after expression")
+    return expr

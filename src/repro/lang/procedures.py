@@ -1,0 +1,164 @@
+"""Procedures and threaded programs (the HyperViper front-end language).
+
+HyperViper "supports a richer language than the one used in this paper; in
+particular, instead of parallel composition commands, it allows dynamic
+thread creation using fork and join commands" (Sec. 5).  This module
+provides the declaration side of that richer language:
+
+* :class:`Procedure` — a named, parameterized command (the body of a
+  forkable worker, e.g. ``worker(households, f, t, m)`` of Fig. 3);
+* :class:`ThreadedProgram` — a main command plus its procedure table.
+
+The runtime for ``fork``/``join`` lives in :mod:`repro.lang.threads`; the
+static reduction to the paper's structured ``||`` (used by the verifier)
+lives in :mod:`repro.lang.desugar`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+from .ast import (
+    Alloc,
+    Assign,
+    Atomic,
+    Command,
+    Expr,
+    Fork,
+    If,
+    Join,
+    Load,
+    Par,
+    Print,
+    Seq,
+    Share,
+    Skip,
+    Store,
+    Unshare,
+    While,
+    command_fv,
+    expr_subst,
+)
+
+
+class ProcedureError(Exception):
+    """Raised on ill-formed procedure declarations or calls."""
+
+
+@dataclass(frozen=True)
+class Procedure:
+    """A named procedure ``p(x1, ..., xn) { body }``.
+
+    The body may read its parameters and its own locals; it must not read
+    variables of the enclosing scope (threads have private stores — all
+    communication goes through the shared heap, as in the paper's model).
+    """
+
+    name: str
+    params: Tuple[str, ...]
+    body: Command
+
+    def __post_init__(self) -> None:
+        if len(set(self.params)) != len(self.params):
+            raise ProcedureError(f"procedure {self.name}: duplicate parameter names")
+
+    def instantiate(self, args: Tuple[Expr, ...]) -> Command:
+        """The body with parameters substituted by argument *expressions*.
+
+        Used by the static desugarer; the runtime machine instead binds
+        evaluated values into a fresh store (call-by-value).
+        """
+        if len(args) != len(self.params):
+            raise ProcedureError(
+                f"procedure {self.name}: expected {len(self.params)} arguments, "
+                f"got {len(args)}"
+            )
+        body = self.body
+        for param, arg in zip(self.params, args):
+            body = command_subst_expr(body, param, arg)
+        return body
+
+
+@dataclass(frozen=True)
+class ThreadedProgram:
+    """A main command plus the procedures it may fork."""
+
+    main: Command
+    procedures: Tuple[Procedure, ...] = ()
+
+    def procedure(self, name: str) -> Procedure:
+        for proc in self.procedures:
+            if proc.name == name:
+                return proc
+        raise ProcedureError(f"no procedure named {name!r}")
+
+    def table(self) -> Mapping[str, Procedure]:
+        return {proc.name: proc for proc in self.procedures}
+
+
+def command_subst_expr(cmd: Command, name: str, replacement: Expr) -> Command:
+    """Substitute ``replacement`` for free *reads* of variable ``name``.
+
+    Substitution stops below a binder: a command that assigns to ``name``
+    makes later occurrences refer to the local value, so we only
+    substitute up to (and within the right-hand sides of) the first
+    assignment to ``name`` on each control path.  Procedure bodies in our
+    case studies never shadow their parameters, which keeps this simple
+    rule exact; a shadowing body raises :class:`ProcedureError` so the
+    inexactness can never be silent.
+    """
+    if _assigns_to(cmd, name):
+        raise ProcedureError(
+            f"substitution into a command that assigns {name!r} (shadowing "
+            f"parameters is not supported; rename the local)"
+        )
+    return _subst(cmd, name, replacement)
+
+
+def _assigns_to(cmd: Command, name: str) -> bool:
+    from .ast import command_mod
+
+    return name in command_mod(cmd)
+
+
+def _subst(cmd: Command, name: str, replacement: Expr) -> Command:
+    sub = lambda e: expr_subst(e, name, replacement)  # noqa: E731
+    if isinstance(cmd, Skip):
+        return cmd
+    if isinstance(cmd, Assign):
+        return Assign(cmd.target, sub(cmd.expr))
+    if isinstance(cmd, Load):
+        return Load(cmd.target, sub(cmd.address))
+    if isinstance(cmd, Store):
+        return Store(sub(cmd.address), sub(cmd.expr))
+    if isinstance(cmd, Alloc):
+        return Alloc(cmd.target, sub(cmd.expr))
+    if isinstance(cmd, Seq):
+        return Seq(_subst(cmd.first, name, replacement), _subst(cmd.second, name, replacement))
+    if isinstance(cmd, If):
+        return If(
+            sub(cmd.condition),
+            _subst(cmd.then_branch, name, replacement),
+            _subst(cmd.else_branch, name, replacement),
+        )
+    if isinstance(cmd, While):
+        return While(sub(cmd.condition), _subst(cmd.body, name, replacement))
+    if isinstance(cmd, Par):
+        return Par(_subst(cmd.left, name, replacement), _subst(cmd.right, name, replacement))
+    if isinstance(cmd, Atomic):
+        return Atomic(
+            _subst(cmd.body, name, replacement),
+            cmd.action,
+            sub(cmd.argument) if cmd.argument is not None else None,
+            sub(cmd.when) if cmd.when is not None else None,
+        )
+    if isinstance(cmd, (Share, Unshare)):
+        return cmd
+    if isinstance(cmd, Print):
+        return Print(sub(cmd.expr), cmd.channel)
+    if isinstance(cmd, Fork):
+        return Fork(cmd.target, cmd.procedure, tuple(sub(arg) for arg in cmd.args))
+    if isinstance(cmd, Join):
+        return Join(cmd.procedure, sub(cmd.token))
+    raise TypeError(f"not a command: {cmd!r}")

@@ -1,0 +1,319 @@
+"""Pure mathematical values and operations.
+
+The paper maps heap data structures to *pure values* via separation-logic
+predicates (Sec. 2.4) and defines actions and abstraction functions over
+those pure values.  This module provides the pure value universe shared by
+the object language, the resource specifications, and the verifier:
+
+* integers and booleans,
+* pairs (2-tuples, built with :func:`pair`),
+* sequences (tuples),
+* sets (``frozenset``),
+* multisets (:class:`repro.heap.Multiset`),
+* finite maps (:class:`PMap`, an immutable dict).
+
+All values are immutable and hashable, so they can live inside multisets,
+guard states, and symbolic-solver models.
+
+A registry of named pure functions (:data:`PURE_FUNCTIONS`) makes these
+operations callable from the object language (``m := put(m, k, v)``) and
+from specifications.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from ..heap.multiset import Multiset
+
+
+class PMap:
+    """An immutable finite map ``K ⇀ V`` (the pure value behind hash maps).
+
+    >>> m = PMap().put("a", 1)
+    >>> m.get("a")
+    1
+    >>> sorted(m.put("b", 2).keys())
+    ['a', 'b']
+    """
+
+    __slots__ = ("_entries", "_hash")
+
+    def __init__(self, entries: Mapping[Any, Any] | None = None) -> None:
+        self._entries = dict(entries or {})
+        self._hash: int | None = None
+
+    def put(self, key: Any, value: Any) -> "PMap":
+        entries = dict(self._entries)
+        entries[key] = value
+        return PMap(entries)
+
+    def remove(self, key: Any) -> "PMap":
+        entries = dict(self._entries)
+        entries.pop(key, None)
+        return PMap(entries)
+
+    def get(self, key: Any, default: Any = 0) -> Any:
+        """Lookup with a default (expressions are total, cf. Sec. 3.1)."""
+        return self._entries.get(key, default)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._entries
+
+    def keys(self) -> frozenset:
+        return frozenset(self._entries)
+
+    def values(self) -> tuple:
+        return tuple(self._entries[key] for key in sorted(self._entries, key=repr))
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        return iter(self._entries.items())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PMap):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._entries.items()))
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{key!r}: {value!r}" for key, value in sorted(self._entries.items(), key=repr))
+        return f"PMap({{{inner}}})"
+
+
+EMPTY_MAP = PMap()
+
+
+def pair(first: Any, second: Any) -> tuple:
+    """Construct a pair ``⟨first, second⟩``."""
+    return (first, second)
+
+
+def fst(value: tuple) -> Any:
+    """First projection of a pair."""
+    return value[0]
+
+
+def snd(value: tuple) -> Any:
+    """Second projection of a pair."""
+    return value[1]
+
+
+# -- sequences ----------------------------------------------------------------
+
+
+def seq(*items: Any) -> tuple:
+    """Construct a sequence literal."""
+    return tuple(items)
+
+
+def seq_append(sequence: tuple, item: Any) -> tuple:
+    """``s ++ [x]``."""
+    return tuple(sequence) + (item,)
+
+
+def seq_concat(left: tuple, right: tuple) -> tuple:
+    return tuple(left) + tuple(right)
+
+
+def seq_len(sequence: tuple) -> int:
+    return len(sequence)
+
+
+def seq_get(sequence: tuple, index: int) -> Any:
+    """Total indexing: out-of-range reads return 0 (expressions are total)."""
+    if 0 <= index < len(sequence):
+        return sequence[index]
+    return 0
+
+
+def seq_sorted(sequence: tuple) -> tuple:
+    return tuple(sorted(sequence))
+
+
+def seq_head(sequence: tuple) -> Any:
+    return seq_get(sequence, 0)
+
+
+def seq_tail(sequence: tuple) -> tuple:
+    return tuple(sequence[1:])
+
+
+def seq_sum(sequence: tuple) -> int:
+    return sum(sequence)
+
+
+def seq_to_multiset(sequence: Iterable[Any]) -> Multiset:
+    """``ms(s)``: the multiset view of a sequence (App. D abstraction)."""
+    return Multiset(sequence)
+
+
+def seq_to_set(sequence: Iterable[Any]) -> frozenset:
+    return frozenset(sequence)
+
+
+def seq_mean_times_len(sequence: tuple) -> tuple:
+    """The (sum, length) view used for mean abstractions over integers.
+
+    The mean itself is sum/len, which is not integer-valued; exposing the
+    pair (sum, len) is equivalent information-wise and keeps values exact.
+    """
+    return (sum(sequence), len(sequence))
+
+
+# -- multisets ----------------------------------------------------------------
+
+
+def ms(*items: Any) -> Multiset:
+    return Multiset(items)
+
+
+def ms_add(bag: Multiset, item: Any) -> Multiset:
+    return bag.add(item)
+
+
+def ms_union(left: Multiset, right: Multiset) -> Multiset:
+    return left.union(right)
+
+
+def ms_card(bag: Multiset) -> int:
+    return len(bag)
+
+
+# -- sets ---------------------------------------------------------------------
+
+
+def set_add(values: frozenset, item: Any) -> frozenset:
+    return values | {item}
+
+
+def set_union(left: frozenset, right: frozenset) -> frozenset:
+    return left | right
+
+
+def set_card(values: frozenset) -> int:
+    return len(values)
+
+
+def set_to_sorted_seq(values: frozenset) -> tuple:
+    return tuple(sorted(values))
+
+
+def interval_set(low: int, high: int) -> frozenset:
+    """``intervalSet(low, high)``: the set {low, ..., high-1}."""
+    return frozenset(range(low, high))
+
+
+# -- maps ---------------------------------------------------------------------
+
+
+def map_put(mapping: PMap, key: Any, value: Any) -> PMap:
+    return mapping.put(key, value)
+
+
+def map_get(mapping: PMap, key: Any) -> Any:
+    return mapping.get(key)
+
+
+def map_contains(mapping: PMap, key: Any) -> bool:
+    return key in mapping
+
+
+def map_keys(mapping: PMap) -> frozenset:
+    return mapping.keys()
+
+
+def map_values(mapping: PMap) -> tuple:
+    return mapping.values()
+
+
+def map_remove(mapping: PMap, key: Any) -> PMap:
+    return mapping.remove(key)
+
+
+def map_add_to_value(mapping: PMap, key: Any, amount: Any) -> PMap:
+    """Add ``amount`` to the value stored at ``key`` (default 0)."""
+    return mapping.put(key, mapping.get(key, 0) + amount)
+
+
+def map_put_if_greater(mapping: PMap, key: Any, value: Any) -> PMap:
+    """Conditional put: keep the maximum (Most-Valuable-Purchase pattern)."""
+    current = mapping.get(key, None)
+    if current is None or value > current:
+        return mapping.put(key, value)
+    return mapping
+
+
+# -- value-dependent sensitivity helpers (Sec. 3.4) ----------------------------
+
+
+def public_values(sequence: Iterable[tuple]) -> tuple:
+    """Sorted values of the (is_public, value) pairs whose flag is set.
+
+    The client-side view of a value-dependently labelled data structure:
+    entries flagged public may be released; the rest stay secret.
+    """
+    return tuple(sorted(value for flag, value in sequence if flag))
+
+
+def secret_count(sequence: Iterable[tuple]) -> int:
+    """How many entries of a value-dependently labelled sequence are
+    secret (flag unset) — a count is low whenever the flags are."""
+    return sum(1 for flag, _ in sequence if not flag)
+
+
+# -- arithmetic helpers --------------------------------------------------------
+
+
+def int_min(left: int, right: int) -> int:
+    return min(left, right)
+
+
+def int_max(left: int, right: int) -> int:
+    return max(left, right)
+
+
+PURE_FUNCTIONS: dict[str, Callable[..., Any]] = {
+    "pair": pair,
+    "fst": fst,
+    "snd": snd,
+    "seq": seq,
+    "append": seq_append,
+    "concat": seq_concat,
+    "len": seq_len,
+    "at": seq_get,
+    "sort": seq_sorted,
+    "head": seq_head,
+    "tail": seq_tail,
+    "sum": seq_sum,
+    "toMultiset": seq_to_multiset,
+    "toSet": seq_to_set,
+    "ms": ms,
+    "msAdd": ms_add,
+    "msUnion": ms_union,
+    "msCard": ms_card,
+    "setAdd": set_add,
+    "setUnion": set_union,
+    "setCard": set_card,
+    "setToSeq": set_to_sorted_seq,
+    "intervalSet": interval_set,
+    "emptyMap": lambda: EMPTY_MAP,
+    "put": map_put,
+    "get": map_get,
+    "containsKey": map_contains,
+    "keys": map_keys,
+    "mapValues": map_values,
+    "removeKey": map_remove,
+    "addToValue": map_add_to_value,
+    "putIfGreater": map_put_if_greater,
+    "publicValues": public_values,
+    "secretCount": secret_count,
+    "min": int_min,
+    "max": int_max,
+}

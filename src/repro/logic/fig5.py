@@ -1,0 +1,196 @@
+"""The Fig. 5 proof, machine-checked.
+
+Fig. 5 of the paper shows the proof outline for the map example (Fig. 3)
+against the key-set resource specification (Fig. 4 left): the resource is
+shared, the Put guard is split between two workers, each worker performs
+Put atomically and maintains ``∃s'. guard_Put(s', ½) ∗ PRE_Put(s')``, the
+fractions are recombined, and unsharing yields ``Low(dom(v))``.
+
+This module *constructs that derivation through the actual proof rules*
+(all side conditions checked; entailments discharged on concrete probe
+states, the role Z3 plays for HyperViper).  The program proved is the
+loop-free two-worker core of Fig. 3 — each worker performs one ``put`` of
+a low address and a possibly-secret reason:
+
+.. code-block:: text
+
+    ( atomic [Put(pair(adr1, rsn1))] { m1 := [m]; [m] := put(m1, adr1, rsn1) }
+    ||
+      atomic [Put(pair(adr2, rsn2))] { m2 := [m]; [m] := put(m2, adr2, rsn2) } )
+
+wrapped by the Share rule, concluding (Fig. 5, lines 5–16):
+
+.. code-block:: text
+
+    ⊥ ⊢ { I(x) ∗ Low(α(x)) ∗ (Low(adr1) ∧ Low(adr2)) }
+        c
+        { ∃x'. I(x') ∗ Low(α(x')) ∗ (Low(adr1) ∧ Low(adr2)) }
+
+The derivation exercises every Fig. 5 ingredient: guard splitting (line
+9), the AtomicShr rule per worker (lines 10–18 of the worker column),
+PRE maintenance, guard recombination (line 14), and the Share rule's
+retroactive PRE check.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from ..assertions.ast import (
+    Assertion,
+    BoolAssert,
+    Conj,
+    Emp,
+    Exists,
+    Low,
+    PointsTo,
+    PreShared,
+    SepConj,
+    SGuardAssert,
+)
+from ..heap.extheap import ExtendedHeap
+from ..heap.guards import SharedGuard
+from ..heap.multiset import EMPTY_MULTISET, Multiset
+from ..heap.permheap import PermissionHeap
+from ..lang.ast import BinOp, Call, Lit, Var
+from ..lang.values import PMap, PURE_FUNCTIONS
+from ..spec.library import map_put_keyset_spec
+from ..spec.resource import ResourceContext
+from .judgment import ProofNode
+from .outline import ProofOutline, to_outline
+from .rules import (
+    atomic_shared_rule,
+    cons_rule,
+    frame_rule,
+    par_rule,
+    read_rule,
+    seq_rule,
+    share_rule,
+    write_rule,
+)
+
+SPEC = map_put_keyset_spec()
+CONTEXT = ResourceContext(SPEC, "m")
+PUT = SPEC.action("Put")
+
+# Register the action/abstraction as pure functions up front so they can
+# appear inside assertion expressions and probe evaluation.
+PURE_FUNCTIONS.setdefault(f"f_{SPEC.name}_Put", PUT.apply)
+PURE_FUNCTIONS.setdefault(f"alpha_{SPEC.name}", SPEC.abstraction)
+
+#: Map values used for probe states (the small-scope stand-in for Z3's
+#: symbolic reasoning; see DESIGN.md).
+_PROBE_MAPS: tuple[PMap, ...] = (PMap(), PMap({1: 10}), PMap({1: 10, 2: 20}))
+_PROBE_ARGS: tuple[tuple[int, int], ...] = ((1, 10), (2, 20))
+
+
+def _heap_probe(value: PMap, store_extra: dict) -> tuple:
+    """Probe pair with ``m ↦ value`` and the given store additions."""
+    store = {"m": 1, **store_extra}
+    gh = ExtendedHeap(PermissionHeap.singleton(1, value))
+    return (dict(store), gh, dict(store), gh)
+
+
+def _guard_probe(fraction: Fraction, args1: Sequence, args2: Sequence, store: dict) -> tuple:
+    gh1 = ExtendedHeap.guard_only(SharedGuard(fraction, Multiset(args1)))
+    gh2 = ExtendedHeap.guard_only(SharedGuard(fraction, Multiset(args2)))
+    return (dict(store), gh1, dict(store), gh2)
+
+
+def worker_proof(index: int) -> ProofNode:
+    """The derivation for one worker's atomic Put (Fig. 5 right column).
+
+    Concludes (under Γ):
+
+    .. code-block:: text
+
+        { Emp ∗ sguard(½, ∅#) }
+        atomic [Put(pair(adr_i, rsn_i))] { m_i := [m]; [m] := put(m_i, adr_i, rsn_i) }
+        { ∃s'. (sguard(½, s') ∗ PRE_Put(s')) }
+    """
+    adr, rsn, mvar = f"adr{index}", f"rsn{index}", f"m{index}"
+    put_call = Call("put", (Var(mvar), Var(adr), Var(rsn)))
+    arg = Call("pair", (Var(adr), Var(rsn)))
+
+    # {m ↦ x_v} m_i := [m] {m ↦ x_v ∗ m_i == x_v}
+    read = read_rule(None, mvar, Var("m"), Var("x_v"))
+    # {m ↦ x_v} [m] := put(m_i, adr_i, rsn_i) {m ↦ put(m_i, adr_i, rsn_i)}
+    write = write_rule(None, Var("m"), Var("x_v"), put_call)
+    framed_write = frame_rule(write, BoolAssert(BinOp("==", Var(mvar), Var("x_v"))))
+    body = seq_rule(read, framed_write)
+
+    # Reshape into the AtomicShr premise {Emp ∗ I(x_v)} c {Emp ∗ I(f_Put(x_v, arg))}.
+    applied = Call(f"f_{SPEC.name}_Put", (Var("x_v"), arg))
+    pre_probes = [
+        _heap_probe(value, {"x_v": value, mvar: value, adr: key, rsn: val})
+        for value in _PROBE_MAPS
+        for key, val in _PROBE_ARGS
+    ]
+    post_probes = [
+        _heap_probe(value.put(key, val), {"x_v": value, mvar: value, adr: key, rsn: val})
+        for value in _PROBE_MAPS
+        for key, val in _PROBE_ARGS
+    ]
+    premise = cons_rule(
+        body,
+        SepConj(Emp(), PointsTo(Var("m"), Var("x_v"), Fraction(1))),
+        SepConj(Emp(), PointsTo(Var("m"), applied, Fraction(1))),
+        probes=pre_probes + post_probes,
+    )
+    atomic = atomic_shared_rule(
+        CONTEXT,
+        premise,
+        fraction=Fraction(1, 2),
+        args_expr=Lit(EMPTY_MULTISET),
+        new_arg=arg,
+    )
+
+    # Weaken the postcondition into the worker's contract
+    # (Fig. 5 worker line 3): ∃s'. sguard(½, s') ∗ PRE_Put(s').
+    contract_post = Exists(
+        "s_w", SepConj(SGuardAssert(Fraction(1, 2), Var("s_w")), PreShared(PUT, Var("s_w")))
+    )
+    # Probes: after the atomic, the guard holds one recorded argument whose
+    # key agrees across executions but whose value may differ.
+    post_entail_probes = [
+        _guard_probe(
+            Fraction(1, 2),
+            [(1, 10)],
+            [(1, 20)],
+            {adr: 1, rsn: 10},
+        ),
+        _guard_probe(Fraction(1, 2), [(2, 20)], [(2, 20)], {adr: 2, rsn: 20}),
+    ]
+    return cons_rule(atomic, atomic.judgment.pre, contract_post, probes=post_entail_probes)
+
+
+def figure5_proof() -> ProofNode:
+    """The complete Fig. 5 derivation (two workers, share to unshare)."""
+    left = worker_proof(1)
+    right = worker_proof(2)
+    combined = par_rule(left, right)
+
+    # Reshape into the Share premise:
+    #   pre:  (Emp ∗ sguard(1, ∅#)) ∗ UniqueEmpty        (UniqueEmpty = emp)
+    #   post: ∃x_s. ((Emp ∗ (sguard(1, x_s) ∗ PRE(x_s))) ∗ emp)
+    share_pre = SepConj(SepConj(Emp(), SGuardAssert(Fraction(1), Lit(EMPTY_MULTISET))), Emp())
+    recorded = SGuardAssert(Fraction(1), Var("x_s"))
+    share_post = Exists(
+        "x_s", SepConj(SepConj(Emp(), SepConj(recorded, PreShared(PUT, Var("x_s")))), Emp())
+    )
+    # Split probe: the full empty guard splits into two empty halves.
+    split_probe = _guard_probe(Fraction(1), [], [], {"adr1": 1, "adr2": 2})
+    # Merge probes: two recorded arguments per execution; keys agree
+    # pairwise across executions (possibly via a non-identity bijection).
+    merge_probes = [
+        _guard_probe(Fraction(1), [(1, 10), (2, 20)], [(1, 99), (2, 88)], {}),
+        _guard_probe(Fraction(1), [(1, 10), (2, 20)], [(2, 88), (1, 99)], {}),
+    ]
+    premise = cons_rule(combined, share_pre, share_post, probes=[split_probe] + merge_probes)
+    return share_rule(CONTEXT, premise)
+
+
+def figure5_outline() -> ProofOutline:
+    """The Fig. 5 proof rendered as a proof outline."""
+    return to_outline(figure5_proof())

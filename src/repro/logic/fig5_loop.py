@@ -1,0 +1,336 @@
+"""The looped Fig. 5 worker and the full Fig. 3 derivation.
+
+:mod:`repro.logic.fig5` derives the loop-free core of Fig. 5; this module
+adds the figure's remaining ingredients:
+
+* :func:`worker_loop_proof` — the *worker loop* with the relational loop
+  invariant of Fig. 5 line 7,
+
+  .. code-block:: text
+
+      { ∃s'. guard_Put(s', ½) ∗ PRE_Put(s') }     (+ lowness of i, t, addrs)
+
+  proved through the While1 rule over the real Fig. 3 loop body:
+
+  .. code-block:: text
+
+      i := f
+      while (i < t) {
+          adr := at(addrs, i)
+          rsn := at(reasons, i)
+          atomic [Put(pair(adr, rsn))] { m1 := [m]; [m] := put(m1, adr, rsn) }
+          i := i + 1
+      }
+
+  The derivation opens the invariant's existential by proving the body
+  with a free argument-multiset variable ``s_w``, closes it again with
+  the Exists rule (sound because ``sguard(½, s_w)`` *determines* ``s_w``
+  — Def. B.1), and uses Cons steps, discharged on probe states, for the
+  Fig. 5 ⇒ lines.
+
+* :func:`figure3_full_proof` — the **whole program** of Fig. 3/Fig. 5:
+  the Share rule wrapped around the parallel composition of two looped
+  workers (variables renamed apart, guard split on entry, fractions and
+  PRE facts merged on exit).  This is the paper's figure end to end,
+  machine-checked.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from ..assertions.ast import (
+    Assertion,
+    BoolAssert,
+    Conj,
+    Emp,
+    Exists,
+    Low,
+    PointsTo,
+    PreShared,
+    SepConj,
+    SGuardAssert,
+)
+from ..heap.extheap import ExtendedHeap
+from ..heap.guards import SharedGuard
+from ..heap.multiset import EMPTY_MULTISET, Multiset
+from ..heap.permheap import PermissionHeap
+from ..lang.ast import BinOp, Call, Lit, Var
+from ..lang.values import PMap
+from .fig5 import CONTEXT, PUT, SPEC
+from .judgment import ProofNode
+from .rules import (
+    assign_rule,
+    atomic_shared_rule,
+    cons_rule,
+    exists_rule,
+    frame_rule,
+    par_rule,
+    read_rule,
+    seq_rule,
+    share_rule,
+    while_low_rule,
+    write_rule,
+)
+
+HALF = Fraction(1, 2)
+
+#: Shared read-only inputs (both workers may read them; nobody writes).
+T_VAR, ADDRS, REASONS = Var("t"), Var("addrs"), Var("reasons")
+
+
+def _i(suffix: str) -> Var:
+    return Var(f"i{suffix}")
+
+
+def _condition(suffix: str) -> BinOp:
+    return BinOp("<", _i(suffix), T_VAR)
+
+
+def _arg(suffix: str) -> Call:
+    return Call("pair", (Var(f"adr{suffix}"), Var(f"rsn{suffix}")))
+
+
+#: Backward-compatible aliases for the single-worker derivation.
+I_VAR = _i("")
+CONDITION = _condition("")
+ARG = _arg("")
+
+
+def _guard(fraction: Fraction, args) -> SGuardAssert:
+    return SGuardAssert(fraction, args)
+
+
+def _pre(args) -> PreShared:
+    return PreShared(PUT, args)
+
+
+def _lows(suffix: str, entry: bool = False) -> Assertion:
+    """Low(i) ∧ Low(t) ∧ Low(addrs) (with ``f`` instead of ``i`` at entry)."""
+    index = Var(f"f{suffix}") if entry else _i(suffix)
+    return Conj(Conj(Low(index), Low(T_VAR)), Low(ADDRS))
+
+
+def loop_invariant(suffix: str = "") -> Assertion:
+    """Fig. 5 line 7: ``∃s'. guard(s', ½) ∗ PRE(s')`` plus index lowness."""
+    witness = f"s_p{suffix}"
+    existential = Exists(witness, SepConj(_guard(HALF, Var(witness)), _pre(Var(witness))))
+    return Conj(existential, _lows(suffix))
+
+
+# ---------------------------------------------------------------------------
+# Probe states (the solver's small scope)
+# ---------------------------------------------------------------------------
+
+_BASE_STORE = {"m": 1, "t": 2, "addrs": (1, 2), "reasons": (9, 8)}
+
+
+def _guard_probe(
+    fraction: Fraction,
+    args1,
+    args2,
+    store1_extra: dict,
+    store2_extra: dict | None = None,
+) -> tuple:
+    store1 = {**_BASE_STORE, **store1_extra}
+    store2 = {**_BASE_STORE, **(store2_extra if store2_extra is not None else store1_extra)}
+    gh1 = ExtendedHeap.guard_only(SharedGuard(fraction, Multiset(args1)))
+    gh2 = ExtendedHeap.guard_only(SharedGuard(fraction, Multiset(args2)))
+    return (store1, gh1, store2, gh2)
+
+
+def _loop_probes(suffix: str) -> list:
+    """Pairs of states along the loop: matching keys, differing values."""
+    i, adr, rsn, s_w, f = (f"i{suffix}", f"adr{suffix}", f"rsn{suffix}", f"s_w{suffix}", f"f{suffix}")
+    return [
+        _guard_probe(HALF, [], [], {i: 0, f: 0}),
+        _guard_probe(
+            HALF,
+            [(1, 9)],
+            [(1, 7)],
+            {i: 1, f: 0, adr: 2, rsn: 8, s_w: Multiset([(1, 9)])},
+            {i: 1, f: 0, adr: 2, rsn: 6, s_w: Multiset([(1, 7)])},
+        ),
+        _guard_probe(
+            HALF,
+            [(1, 9), (2, 8)],
+            [(1, 7), (2, 6)],
+            {i: 1, f: 0, adr: 2, rsn: 8, s_w: Multiset([(1, 9)])},
+            {i: 1, f: 0, adr: 2, rsn: 6, s_w: Multiset([(1, 7)])},
+        ),
+        _guard_probe(
+            HALF,
+            [(1, 9), (2, 8)],
+            [(1, 7), (2, 6)],
+            {i: 2, f: 0, adr: 2, rsn: 8, s_w: Multiset([(1, 9)])},
+            {i: 2, f: 0, adr: 2, rsn: 6, s_w: Multiset([(1, 7)])},
+        ),
+    ]
+
+
+_PROBE_MAPS: tuple[PMap, ...] = (PMap(), PMap({1: 9}), PMap({1: 7}))
+
+
+def _heap_probe(value: PMap, extra: dict) -> tuple:
+    store = {**_BASE_STORE, **extra}
+    gh = ExtendedHeap(PermissionHeap.singleton(1, value))
+    return (dict(store), gh, dict(store), gh)
+
+
+# ---------------------------------------------------------------------------
+# The worker derivation
+# ---------------------------------------------------------------------------
+
+
+def _atomic_step(suffix: str) -> ProofNode:
+    """AtomicShr with a *variable* argument multiset ``s_w`` (mid-loop)."""
+    mvar, adr, rsn = f"m1{suffix}", f"adr{suffix}", f"rsn{suffix}"
+    put_call = Call("put", (Var(mvar), Var(adr), Var(rsn)))
+    read = read_rule(None, mvar, Var("m"), Var("x_v"))
+    write = write_rule(None, Var("m"), Var("x_v"), put_call)
+    framed_write = frame_rule(write, BoolAssert(BinOp("==", Var(mvar), Var("x_v"))))
+    body = seq_rule(read, framed_write)
+
+    applied = Call(f"f_{SPEC.name}_Put", (Var("x_v"), _arg(suffix)))
+    probes = [
+        _heap_probe(value, {"x_v": value, mvar: value, adr: key, rsn: val})
+        for value in _PROBE_MAPS
+        for key, val in ((1, 9), (2, 8))
+    ] + [
+        _heap_probe(value.put(key, val), {"x_v": value, mvar: value, adr: key, rsn: val})
+        for value in _PROBE_MAPS
+        for key, val in ((1, 9), (2, 8))
+    ]
+    premise = cons_rule(
+        body,
+        SepConj(Emp(), PointsTo(Var("m"), Var("x_v"), Fraction(1))),
+        SepConj(Emp(), PointsTo(Var("m"), applied, Fraction(1))),
+        probes=probes,
+    )
+    return atomic_shared_rule(
+        CONTEXT, premise, fraction=HALF, args_expr=Var(f"s_w{suffix}"), new_arg=_arg(suffix)
+    )
+
+
+def worker_loop_proof(suffix: str = "") -> ProofNode:
+    """The looped worker derivation (While1 with the relational invariant).
+
+    Concludes (under Γ, with ``lows`` = Low(i) ∧ Low(t) ∧ Low(addrs)):
+
+    .. code-block:: text
+
+        { (∃s'. guard(s', ½) ∗ PRE(s')) ∧ lows ∧ Low(i < t) }
+        while (i < t) { adr := ...; rsn := ...; atomic [Put]; i := i + 1 }
+        { (∃s'. guard(s', ½) ∗ PRE(s')) ∧ lows ∧ ¬(i < t) }
+    """
+    s_w = f"s_w{suffix}"
+    i, adr, rsn = f"i{suffix}", f"adr{suffix}", f"rsn{suffix}"
+    condition = _condition(suffix)
+    atomic = _atomic_step(suffix)
+
+    # Frame the pure loop context through the atomic step: PRE for the old
+    # multiset, the index/bound/address lowness, and Low(adr) (needed to
+    # re-establish PRE for the extended multiset afterwards).
+    frame = Conj(Conj(_pre(Var(s_w)), _lows(suffix)), Low(Var(adr)))
+    framed_atomic = frame_rule(atomic, frame)
+
+    # i := i + 1 — proved with the target postcondition, precondition by
+    # substitution (Low(i) becomes Low(i + 1)).
+    post_body_free = framed_atomic.judgment.post
+    increment = assign_rule(CONTEXT, i, BinOp("+", _i(suffix), Lit(1)), post_body_free)
+    bridged = cons_rule(
+        framed_atomic,
+        framed_atomic.judgment.pre,
+        increment.judgment.pre,
+        probes=_loop_probes(suffix),
+    )
+    tail = seq_rule(bridged, increment)
+
+    # The two leading assignments, proved backward by substitution.
+    rsn_assign = assign_rule(CONTEXT, rsn, Call("at", (REASONS, _i(suffix))), tail.judgment.pre)
+    adr_assign = assign_rule(
+        CONTEXT, adr, Call("at", (ADDRS, _i(suffix))), rsn_assign.judgment.pre
+    )
+    body_free = seq_rule(adr_assign, seq_rule(rsn_assign, tail))
+
+    # Close the existential over the free multiset variable (sound:
+    # guard(½, s_w) determines s_w — Def. B.1 via the guard state).
+    body_exists = exists_rule(body_free, s_w)
+
+    # Reshape to the While1 premise {P ∧ b} c {P ∧ Low(b)}.
+    invariant = loop_invariant(suffix)
+    premise = cons_rule(
+        body_exists,
+        Conj(invariant, BoolAssert(condition)),
+        Conj(invariant, Low(condition)),
+        probes=_loop_probes(suffix),
+    )
+    return while_low_rule(condition, premise)
+
+
+def worker_contract_pre(suffix: str = "") -> Assertion:
+    """The worker's entry assertion: half guard, empty history, low inputs."""
+    return Conj(SepConj(Emp(), _guard(HALF, Lit(EMPTY_MULTISET))), _lows(suffix, entry=True))
+
+
+def worker_loop_contract(suffix: str = "") -> ProofNode:
+    """``i := f`` followed by the loop, from an empty action history."""
+    loop = worker_loop_proof(suffix)
+    init = assign_rule(CONTEXT, f"i{suffix}", Var(f"f{suffix}"), loop.judgment.pre)
+    entry = worker_contract_pre(suffix)
+    probes = [
+        _guard_probe(HALF, [], [], {f"i{suffix}": 0, f"f{suffix}": 0}),
+        _guard_probe(HALF, [], [], {f"i{suffix}": 0, f"f{suffix}": 0, "t": 3}),
+    ]
+    bridged = cons_rule(init, entry, init.judgment.post, probes=probes)
+    return seq_rule(bridged, loop)
+
+
+# ---------------------------------------------------------------------------
+# The full Fig. 3 program
+# ---------------------------------------------------------------------------
+
+
+def figure3_full_proof() -> ProofNode:
+    """The whole Fig. 3 / Fig. 5 derivation with looped workers.
+
+    Share wraps ``worker1 || worker2``, where each worker is the complete
+    ``i := f; while (i < t) {...}`` derivation.  The guard is split on
+    entry and merged on exit exactly as in Fig. 5; the conclusion (under
+    ⊥) exposes ``Low(α(x'))`` for the final map value.
+    """
+    left = worker_loop_contract("1")
+    right = worker_loop_contract("2")
+    combined = par_rule(left, right)
+
+    # The frame P of the Share rule: the workers' low inputs.
+    frame_pre = Conj(
+        Conj(Conj(Low(Var("f1")), Low(Var("f2"))), Low(T_VAR)), Low(ADDRS)
+    )
+    share_pre = SepConj(SepConj(frame_pre, _guard(Fraction(1), Lit(EMPTY_MULTISET))), Emp())
+    recorded = _guard(Fraction(1), Var("x_s"))
+    share_post = Exists(
+        "x_s", SepConj(SepConj(Emp(), SepConj(recorded, _pre(Var("x_s")))), Emp())
+    )
+
+    entry_stores = {"f1": 0, "f2": 1, "i1": 0, "i2": 1}
+    split_probe = _guard_probe(Fraction(1), [], [], entry_stores)
+    merge_probes = [
+        _guard_probe(
+            Fraction(1),
+            [(1, 9), (2, 8)],
+            [(1, 7), (2, 6)],
+            {**entry_stores, "i1": 2, "i2": 2},
+        ),
+        _guard_probe(
+            Fraction(1),
+            [(1, 9), (2, 8)],
+            [(2, 6), (1, 7)],
+            {**entry_stores, "i1": 2, "i2": 2},
+        ),
+    ]
+    premise = cons_rule(
+        combined, share_pre, share_post, probes=[split_probe] + merge_probes
+    )
+    return share_rule(CONTEXT, premise, frame_pre=frame_pre, frame_post=Emp())

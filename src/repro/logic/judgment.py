@@ -1,0 +1,58 @@
+"""Judgments and proof trees of CommCSL (Sec. 3.6).
+
+A judgment is ``Γ⊥ ⊢ {P} c {Q}`` where ``Γ⊥`` is either ``⊥`` (no shared
+resource, represented by ``None``) or a :class:`repro.spec.resource.\
+ResourceContext`.  Proof trees record the rule used at every node; the
+rule constructors in :mod:`repro.logic.rules` are the only way to build
+them, and they check all side conditions, so an existing
+:class:`ProofNode` *is* a checked derivation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..assertions.ast import Assertion
+from ..lang.ast import Command
+from ..spec.resource import ResourceContext
+
+
+@dataclass(frozen=True)
+class Judgment:
+    """``Γ⊥ ⊢ {pre} command {post}``; ``context is None`` encodes ⊥."""
+
+    context: Optional[ResourceContext]
+    pre: Assertion
+    command: Command
+    post: Assertion
+
+    def __str__(self) -> str:
+        gamma = "⊥" if self.context is None else self.context.spec.name
+        return f"{gamma} ⊢ {{{self.pre}}} {self.command} {{{self.post}}}"
+
+
+@dataclass(frozen=True)
+class ProofNode:
+    """A node of a derivation: the rule name, the concluded judgment, and
+    the premise derivations."""
+
+    rule: str
+    judgment: Judgment
+    premises: Tuple["ProofNode", ...] = ()
+    note: str = ""
+
+    def size(self) -> int:
+        """Number of rule applications in the derivation."""
+        return 1 + sum(premise.size() for premise in self.premises)
+
+    def pretty(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lines = [f"{pad}[{self.rule}] {self.judgment}"]
+        for premise in self.premises:
+            lines.append(premise.pretty(indent + 1))
+        return "\n".join(lines)
+
+
+class ProofError(Exception):
+    """A rule's side condition or shape requirement is violated."""

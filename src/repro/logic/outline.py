@@ -1,0 +1,267 @@
+"""Proof outlines in the style of Fig. 5.
+
+The paper presents verification as *proof outlines*: program text
+interleaved with assertions, where consecutive assertion lines are
+entailment (⇒) steps and each command line is justified by a proof rule.
+This module provides
+
+* :class:`OutlineBuilder` — a forward-style builder for sequential proof
+  fragments: it tracks the current assertion, composes steps with the Seq
+  rule, and inserts Cons steps for ⇒ lines, so client code reads like the
+  left-to-right of an outline;
+* :func:`to_outline` — render any checked derivation
+  (:class:`repro.logic.judgment.ProofNode`) as a Fig. 5-style outline.
+
+Because the only way to obtain a :class:`ProofNode` is through the rule
+constructors (which check every side condition), an outline produced here
+is *checked by construction*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..assertions.ast import Assertion
+from ..lang.ast import Command, Seq, Skip
+from ..spec.resource import ResourceContext
+from .judgment import Judgment, ProofError, ProofNode
+from .rules import ProbeStates, cons_rule, seq_rule, skip_rule
+
+
+@dataclass(frozen=True)
+class OutlineLine:
+    """One line of a rendered outline: an assertion, an entailment, or a
+    command with the rule that justifies it."""
+
+    kind: str  # 'assert' | 'entail' | 'command'
+    text: str
+    depth: int = 0
+
+    def render(self) -> str:
+        pad = "  " * self.depth
+        if self.kind == "assert":
+            return f"{pad}{{ {self.text} }}"
+        if self.kind == "entail":
+            return f"{pad}⇒ {{ {self.text} }}"
+        return f"{pad}{self.text}"
+
+
+@dataclass(frozen=True)
+class ProofOutline:
+    """A rendered proof outline plus the derivation it came from."""
+
+    root: ProofNode
+    lines: tuple[OutlineLine, ...]
+
+    def render(self) -> str:
+        return "\n".join(line.render() for line in self.lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+class OutlineBuilder:
+    """Builds a sequential derivation step by step, Fig. 5 style.
+
+    >>> from repro.assertions.ast import Emp
+    >>> builder = OutlineBuilder(None, Emp())
+    >>> _ = builder  # steps are added with .step() / .entail(); see tests
+
+    The builder maintains the invariant that ``self.proof`` (once any step
+    has been added) is a derivation whose postcondition is the current
+    assertion; ``close()`` returns it.
+    """
+
+    def __init__(self, context: Optional[ResourceContext], pre: Assertion) -> None:
+        self._context = context
+        self._current: Assertion = pre
+        self._proof: Optional[ProofNode] = None
+
+    @property
+    def current(self) -> Assertion:
+        """The assertion at the current program point."""
+        return self._current
+
+    def step(self, node: ProofNode) -> "OutlineBuilder":
+        """Append a proved command whose precondition is the current
+        assertion; the current assertion becomes its postcondition."""
+        if node.judgment.context != self._context:
+            raise ProofError(
+                f"outline: step proved under {node.judgment.context}, outline "
+                f"is under {self._context}"
+            )
+        if node.judgment.pre != self._current:
+            raise ProofError(
+                f"outline: step precondition {node.judgment.pre} does not "
+                f"match the current assertion {self._current}"
+            )
+        self._proof = node if self._proof is None else seq_rule(self._proof, node)
+        self._current = node.judgment.post
+        return self
+
+    def entail(
+        self,
+        new_assertion: Assertion,
+        probes: ProbeStates = (),
+        trusted: bool = False,
+    ) -> "OutlineBuilder":
+        """An ⇒ line: replace the current assertion by an entailed one.
+
+        If no command has been proved yet, the entailment strengthens the
+        eventual precondition; otherwise it weakens the latest
+        postcondition (both via the Cons rule)."""
+        if self._proof is None:
+            # Record as a Cons around Skip so the entailment is checked and
+            # the derivation starts from the original precondition.
+            skip = skip_rule(self._context, new_assertion)
+            self._proof = cons_rule(skip, self._current, new_assertion, probes, trusted)
+        else:
+            self._proof = cons_rule(
+                self._proof, self._proof.judgment.pre, new_assertion, probes, trusted
+            )
+        self._current = new_assertion
+        return self
+
+    def close(self) -> ProofNode:
+        """The finished derivation for the composed command."""
+        if self._proof is None:
+            return skip_rule(self._context, self._current)
+        return self._proof
+
+
+# ---------------------------------------------------------------------------
+# Rendering derivations as outlines
+# ---------------------------------------------------------------------------
+
+_STRUCTURAL_RULES = {"Seq", "Cons", "Frame", "Exists"}
+
+
+def to_outline(node: ProofNode) -> ProofOutline:
+    """Render a derivation as a Fig. 5-style proof outline."""
+    lines: list[OutlineLine] = []
+    lines.append(OutlineLine("assert", str(node.judgment.pre)))
+    _render(node, lines, depth=0)
+    lines.append(OutlineLine("assert", str(node.judgment.post)))
+    return ProofOutline(node, tuple(lines))
+
+
+def _render(node: ProofNode, lines: list[OutlineLine], depth: int) -> None:
+    if node.rule == "Seq":
+        first, second = node.premises
+        _render(first, lines, depth)
+        lines.append(OutlineLine("assert", str(first.judgment.post), depth))
+        _render(second, lines, depth)
+        return
+    if node.rule == "Cons":
+        (premise,) = node.premises
+        if node.judgment.pre != premise.judgment.pre:
+            lines.append(OutlineLine("entail", str(premise.judgment.pre), depth))
+        _render(premise, lines, depth)
+        if node.judgment.post != premise.judgment.post:
+            lines.append(OutlineLine("entail", str(node.judgment.post), depth))
+        return
+    if node.rule == "Frame":
+        (premise,) = node.premises
+        _render(premise, lines, depth)
+        return
+    if node.rule == "Exists":
+        (premise,) = node.premises
+        _render(premise, lines, depth)
+        return
+    if node.rule == "Par":
+        left, right = node.premises
+        lines.append(OutlineLine("command", "(", depth))
+        lines.append(OutlineLine("assert", str(left.judgment.pre), depth + 1))
+        _render(left, lines, depth + 1)
+        lines.append(OutlineLine("assert", str(left.judgment.post), depth + 1))
+        lines.append(OutlineLine("command", "||", depth))
+        lines.append(OutlineLine("assert", str(right.judgment.pre), depth + 1))
+        _render(right, lines, depth + 1)
+        lines.append(OutlineLine("assert", str(right.judgment.post), depth + 1))
+        lines.append(OutlineLine("command", ")", depth))
+        return
+    if node.rule == "Share":
+        (premise,) = node.premises
+        lines.append(OutlineLine("command", "// share", depth))
+        lines.append(OutlineLine("assert", str(premise.judgment.pre), depth + 1))
+        _render(premise, lines, depth + 1)
+        lines.append(OutlineLine("assert", str(premise.judgment.post), depth + 1))
+        lines.append(OutlineLine("command", "// unshare", depth))
+        return
+    if node.rule in ("AtomicShr", "AtomicUnq"):
+        (premise,) = node.premises
+        lines.append(OutlineLine("command", f"atomic {{  // {node.rule}", depth))
+        lines.append(OutlineLine("assert", str(premise.judgment.pre), depth + 1))
+        _render(premise, lines, depth + 1)
+        lines.append(OutlineLine("assert", str(premise.judgment.post), depth + 1))
+        lines.append(OutlineLine("command", "}", depth))
+        return
+    if node.rule in ("If1", "If2", "While1", "While2"):
+        lines.append(OutlineLine("command", f"{node.judgment.command}  // {node.rule}", depth))
+        return
+    # Leaf rules: Skip, Assign, Read, Write, New
+    lines.append(OutlineLine("command", f"{node.judgment.command}  // {node.rule}", depth))
+
+
+def rules_used(node: ProofNode) -> dict[str, int]:
+    """Histogram of rule applications in a derivation."""
+    counts: dict[str, int] = {}
+
+    def walk(current: ProofNode) -> None:
+        counts[current.rule] = counts.get(current.rule, 0) + 1
+        for premise in current.premises:
+            walk(premise)
+
+    walk(node)
+    return counts
+
+
+def validate_structure(node: ProofNode) -> list[str]:
+    """Structural re-check of a derivation tree.
+
+    The rule constructors check side conditions at build time; this
+    re-validates the *shape* afterwards (premise/conclusion relationships
+    per rule), guarding against hand-built or mutated trees.  Returns a
+    list of problems (empty = structurally valid).
+    """
+    problems: list[str] = []
+
+    def walk(current: ProofNode) -> None:
+        judgment = current.judgment
+        if current.rule == "Seq":
+            if len(current.premises) != 2:
+                problems.append(f"Seq node with {len(current.premises)} premises")
+            else:
+                first, second = current.premises
+                if not isinstance(judgment.command, Seq):
+                    problems.append(f"Seq node concluding non-Seq command {judgment.command}")
+                if first.judgment.post != second.judgment.pre:
+                    problems.append("Seq node with mismatched middle assertions")
+                if judgment.pre != first.judgment.pre or judgment.post != second.judgment.post:
+                    problems.append("Seq node's pre/post do not match its premises")
+        elif current.rule == "Cons":
+            if len(current.premises) != 1:
+                problems.append(f"Cons node with {len(current.premises)} premises")
+            elif current.premises[0].judgment.command != judgment.command:
+                problems.append("Cons node changes the command")
+        elif current.rule == "Skip":
+            if not isinstance(judgment.command, Skip):
+                problems.append(f"Skip node concluding {judgment.command}")
+            if judgment.pre != judgment.post:
+                problems.append("Skip node with pre ≠ post")
+        elif current.rule == "Share":
+            if judgment.context is not None:
+                problems.append("Share conclusion must be under ⊥")
+            if current.premises and current.premises[0].judgment.context is None:
+                problems.append("Share premise must be under Γ")
+        elif current.rule in ("AtomicShr", "AtomicUnq"):
+            if judgment.context is None:
+                problems.append(f"{current.rule} conclusion must be under Γ")
+            if current.premises and current.premises[0].judgment.context is not None:
+                problems.append(f"{current.rule} premise must be under ⊥")
+        for premise in current.premises:
+            walk(premise)
+
+    walk(node)
+    return problems

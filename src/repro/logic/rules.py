@@ -1,0 +1,553 @@
+"""The proof rules of CommCSL (Fig. 8 and Fig. 10).
+
+Every rule is a constructor function that takes the premises (already
+constructed :class:`ProofNode` derivations) plus the rule's parameters,
+*checks all side conditions and shape requirements*, and returns the
+concluding :class:`ProofNode`.  Building a node through these functions is
+proof checking; an ill-formed application raises :class:`ProofError`.
+
+Entailments (rule Cons) are discharged by the bounded assertion checker
+over caller-supplied probe states — the role Z3 plays for HyperViper — or
+recorded as explicitly-trusted steps.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..assertions.ast import (
+    Assertion,
+    BoolAssert,
+    Conj,
+    Emp,
+    Exists,
+    Low,
+    PointsTo,
+    PreShared,
+    PreUnique,
+    SepConj,
+    SGuardAssert,
+    UGuardAssert,
+    assertion_fv,
+    assertion_subst,
+)
+from ..assertions.classify import is_noguard, is_precise, is_unambiguous, is_unary
+from ..assertions.semantics import satisfies
+from ..heap.extheap import ExtendedHeap
+from ..lang.ast import (
+    Alloc,
+    Assign,
+    Atomic,
+    BinOp,
+    Call,
+    Command,
+    Expr,
+    If,
+    Lit,
+    Load,
+    Par,
+    Seq,
+    Skip,
+    Store,
+    UnOp,
+    Var,
+    While,
+    command_fv,
+    command_mod,
+    expr_fv,
+)
+from ..spec.resource import ResourceContext
+from ..spec.validity import check_validity
+from .judgment import Judgment, ProofError, ProofNode
+
+Context = Optional[ResourceContext]
+
+
+def _context_fv(context: Context) -> frozenset[str]:
+    """Free variables of Γ: the invariant's location variable."""
+    if context is None:
+        return frozenset()
+    return frozenset({context.location_var})
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ProofError(message)
+
+
+# ---------------------------------------------------------------------------
+# Structural / small-axiom rules (Fig. 10)
+# ---------------------------------------------------------------------------
+
+
+def skip_rule(context: Context, assertion: Assertion) -> ProofNode:
+    """``Γ⊥ ⊢ {P} skip {P}``"""
+    return ProofNode("Skip", Judgment(context, assertion, Skip(), assertion))
+
+
+def assign_rule(context: Context, target: str, expr: Expr, post: Assertion) -> ProofNode:
+    """``Γ⊥ ⊢ {P[e/x]} x:=e {P}``, side condition ``x ∉ fv(Γ)``."""
+    _require(target not in _context_fv(context), f"Assign: {target} occurs free in Γ")
+    pre = assertion_subst(post, target, expr)
+    return ProofNode("Assign", Judgment(context, pre, Assign(target, expr), post))
+
+
+def alloc_rule(context: Context, target: str, expr: Expr) -> ProofNode:
+    """``Γ⊥ ⊢ {emp} x:=alloc(e) {x ↦1 e}``, ``x ∉ fv(e) ∪ fv(Γ)``."""
+    _require(target not in expr_fv(expr), f"New: {target} occurs in the initializer")
+    _require(target not in _context_fv(context), f"New: {target} occurs free in Γ")
+    post = PointsTo(Var(target), expr, Fraction(1))
+    return ProofNode("New", Judgment(context, Emp(), Alloc(target, expr), post))
+
+
+def read_rule(
+    context: Context,
+    target: str,
+    address: Expr,
+    value: Expr,
+    fraction: Fraction = Fraction(1),
+) -> ProofNode:
+    """``Γ⊥ ⊢ {e1 ↦r e2} x:=[e1] {e1 ↦r e2 ∗ x = e2}``,
+    ``x ∉ fv(e1, e2) ∪ fv(Γ)``."""
+    _require(target not in expr_fv(address) | expr_fv(value), f"Read: {target} occurs in e1/e2")
+    _require(target not in _context_fv(context), f"Read: {target} occurs free in Γ")
+    points = PointsTo(address, value, fraction)
+    post = SepConj(points, BoolAssert(BinOp("==", Var(target), value)))
+    return ProofNode("Read", Judgment(context, points, Load(target, address), post))
+
+
+def write_rule(context: Context, address: Expr, old_value: Expr, new_value: Expr) -> ProofNode:
+    """``Γ⊥ ⊢ {e1 ↦1 _} [e1]:=e2 {e1 ↦1 e2}``."""
+    pre = PointsTo(address, old_value, Fraction(1))
+    post = PointsTo(address, new_value, Fraction(1))
+    return ProofNode("Write", Judgment(context, pre, Store(address, new_value), post))
+
+
+def seq_rule(first: ProofNode, second: ProofNode) -> ProofNode:
+    """``{P}c1{R}`` and ``{R}c2{Q}`` give ``{P}c1;c2{Q}``."""
+    _require(first.judgment.context == second.judgment.context, "Seq: contexts differ")
+    _require(first.judgment.post == second.judgment.pre, "Seq: middle assertions differ")
+    judgment = Judgment(
+        first.judgment.context,
+        first.judgment.pre,
+        Seq(first.judgment.command, second.judgment.command),
+        second.judgment.post,
+    )
+    return ProofNode("Seq", judgment, (first, second))
+
+
+def if_low_rule(condition: Expr, then_proof: ProofNode, else_proof: ProofNode) -> ProofNode:
+    """Rule If1: branches proved under ``P ∧ b`` / ``P ∧ ¬b``; the
+    conclusion's precondition is ``P ∧ Low(b)``."""
+    _require(then_proof.judgment.context == else_proof.judgment.context, "If1: contexts differ")
+    _require(then_proof.judgment.post == else_proof.judgment.post, "If1: postconditions differ")
+    base = _strip_branch_condition(then_proof.judgment.pre, condition, negated=False, rule="If1")
+    base_else = _strip_branch_condition(else_proof.judgment.pre, condition, negated=True, rule="If1")
+    _require(base == base_else, "If1: branch preconditions have different bases")
+    pre = Conj(base, Low(condition))
+    command = If(condition, then_proof.judgment.command, else_proof.judgment.command)
+    judgment = Judgment(then_proof.judgment.context, pre, command, then_proof.judgment.post)
+    return ProofNode("If1", judgment, (then_proof, else_proof))
+
+
+def if_high_rule(condition: Expr, then_proof: ProofNode, else_proof: ProofNode) -> ProofNode:
+    """Rule If2: the condition may be high, but the postcondition must be
+    *unary* — this is what blocks implicit flows through high branching."""
+    _require(then_proof.judgment.context == else_proof.judgment.context, "If2: contexts differ")
+    _require(then_proof.judgment.post == else_proof.judgment.post, "If2: postconditions differ")
+    _require(
+        is_unary(then_proof.judgment.post),
+        "If2: postcondition must be unary when branching on possibly-high data",
+    )
+    base = _strip_branch_condition(then_proof.judgment.pre, condition, negated=False, rule="If2")
+    base_else = _strip_branch_condition(else_proof.judgment.pre, condition, negated=True, rule="If2")
+    _require(base == base_else, "If2: branch preconditions have different bases")
+    command = If(condition, then_proof.judgment.command, else_proof.judgment.command)
+    judgment = Judgment(then_proof.judgment.context, base, command, then_proof.judgment.post)
+    return ProofNode("If2", judgment, (then_proof, else_proof))
+
+
+def _strip_branch_condition(pre: Assertion, condition: Expr, negated: bool, rule: str) -> Assertion:
+    """Premises of If/While rules have shape ``P ∧ b`` (or ``P ∧ ¬b``);
+    recover P."""
+    wanted: Expr = UnOp("!", condition) if negated else condition
+    if isinstance(pre, Conj) and pre.right == BoolAssert(wanted):
+        return pre.left
+    raise ProofError(f"{rule}: premise precondition must end with '∧ {wanted}', got {pre}")
+
+
+def while_low_rule(condition: Expr, body_proof: ProofNode) -> ProofNode:
+    """Rule While1: relational invariant, condition low before and after
+    every iteration: premise ``{P ∧ b} c {P ∧ Low(b)}`` concludes
+    ``{P ∧ Low(b)} while (b) {c} {P ∧ ¬b}``."""
+    base = _strip_branch_condition(body_proof.judgment.pre, condition, negated=False, rule="While1")
+    wanted_post = Conj(base, Low(condition))
+    _require(
+        body_proof.judgment.post == wanted_post,
+        f"While1: body postcondition must be {wanted_post}, got {body_proof.judgment.post}",
+    )
+    pre = Conj(base, Low(condition))
+    post = Conj(base, BoolAssert(UnOp("!", condition)))
+    command = While(condition, body_proof.judgment.command)
+    judgment = Judgment(body_proof.judgment.context, pre, command, post)
+    return ProofNode("While1", judgment, (body_proof,))
+
+
+def while_high_rule(condition: Expr, body_proof: ProofNode) -> ProofNode:
+    """Rule While2: possibly-high condition, invariant must be *unary*:
+    premise ``{P ∧ b} c {P}`` concludes ``{P} while (b) {c} {P ∧ ¬b}``."""
+    base = _strip_branch_condition(body_proof.judgment.pre, condition, negated=False, rule="While2")
+    _require(body_proof.judgment.post == base, "While2: body must re-establish the invariant")
+    _require(is_unary(base), "While2: invariant must be unary under a possibly-high condition")
+    post = Conj(base, BoolAssert(UnOp("!", condition)))
+    command = While(condition, body_proof.judgment.command)
+    judgment = Judgment(body_proof.judgment.context, base, command, post)
+    return ProofNode("While2", judgment, (body_proof,))
+
+
+def par_rule(left: ProofNode, right: ProofNode) -> ProofNode:
+    """Rule Par: disjoint footprints and no interference through variables:
+
+    ``{P1}c1{Q1}``, ``{P2}c2{Q2}`` give ``{P1∗P2} c1||c2 {Q1∗Q2}`` when
+    neither thread modifies the other's free variables, Γ's variables are
+    untouched, and P1 or P2 is precise."""
+    _require(left.judgment.context == right.judgment.context, "Par: contexts differ")
+    context = left.judgment.context
+    c1, c2 = left.judgment.command, right.judgment.command
+    fv1 = assertion_fv(left.judgment.pre) | command_fv(c1) | assertion_fv(left.judgment.post)
+    fv2 = assertion_fv(right.judgment.pre) | command_fv(c2) | assertion_fv(right.judgment.post)
+    _require(not (fv1 & command_mod(c2)), f"Par: right thread modifies {sorted(fv1 & command_mod(c2))}")
+    _require(not (fv2 & command_mod(c1)), f"Par: left thread modifies {sorted(fv2 & command_mod(c1))}")
+    _require(
+        not (_context_fv(context) & (command_mod(c1) | command_mod(c2))),
+        "Par: a thread modifies a variable of Γ",
+    )
+    _require(
+        is_precise(left.judgment.pre) or is_precise(right.judgment.pre),
+        "Par: P1 or P2 must be precise",
+    )
+    judgment = Judgment(
+        context,
+        SepConj(left.judgment.pre, right.judgment.pre),
+        Par(c1, c2),
+        SepConj(left.judgment.post, right.judgment.post),
+    )
+    return ProofNode("Par", judgment, (left, right))
+
+
+def frame_rule(proof: ProofNode, frame: Assertion) -> ProofNode:
+    """Rule Frame: ``{P}c{Q}`` gives ``{P∗R}c{Q∗R}`` when ``fv(R) ∩ mod(c)
+    = ∅`` and P or R is precise."""
+    command = proof.judgment.command
+    _require(
+        not (assertion_fv(frame) & command_mod(command)),
+        "Frame: the frame mentions a modified variable",
+    )
+    _require(
+        is_precise(proof.judgment.pre) or is_precise(frame),
+        "Frame: P or R must be precise",
+    )
+    judgment = Judgment(
+        proof.judgment.context,
+        SepConj(proof.judgment.pre, frame),
+        command,
+        SepConj(proof.judgment.post, frame),
+    )
+    return ProofNode("Frame", judgment, (proof,))
+
+
+def exists_rule(proof: ProofNode, variable: str) -> ProofNode:
+    """Rule Exists: ``{P}c{Q}`` gives ``{∃x.P}c{∃x.Q}`` when ``x ∉ fv(c)``,
+    P is unambiguous in x, and ``x ∉ fv(Γ)``."""
+    command = proof.judgment.command
+    _require(variable not in command_fv(command), f"Exists: {variable} occurs in the command")
+    _require(
+        is_unambiguous(proof.judgment.pre, variable),
+        f"Exists: precondition does not determine {variable} (Def. B.1)",
+    )
+    _require(variable not in _context_fv(proof.judgment.context), f"Exists: {variable} in fv(Γ)")
+    judgment = Judgment(
+        proof.judgment.context,
+        Exists(variable, proof.judgment.pre),
+        command,
+        Exists(variable, proof.judgment.post),
+    )
+    return ProofNode("Exists", judgment, (proof,))
+
+
+ProbeStates = Sequence[tuple[dict, ExtendedHeap, dict, ExtendedHeap]]
+
+
+def entails(premise: Assertion, conclusion: Assertion, probes: ProbeStates) -> bool:
+    """Bounded entailment: on every probe state-pair satisfying ``premise``,
+    ``conclusion`` must hold.  (Our stand-in for the SMT entailment query.)"""
+    for store1, heap1, store2, heap2 in probes:
+        if satisfies(store1, heap1, store2, heap2, premise):
+            if not satisfies(store1, heap1, store2, heap2, conclusion):
+                return False
+    return True
+
+
+def cons_rule(
+    proof: ProofNode,
+    new_pre: Assertion,
+    new_post: Assertion,
+    probes: ProbeStates = (),
+    trusted: bool = False,
+) -> ProofNode:
+    """Rule Cons: strengthen the precondition / weaken the postcondition.
+
+    Entailments are checked on the probe states; pass ``trusted=True`` to
+    record a user-asserted entailment (the node is marked)."""
+    if not trusted:
+        _require(
+            entails(new_pre, proof.judgment.pre, probes),
+            "Cons: new precondition does not entail the old one on the probes",
+        )
+        _require(
+            entails(proof.judgment.post, new_post, probes),
+            "Cons: old postcondition does not entail the new one on the probes",
+        )
+    judgment = Judgment(proof.judgment.context, new_pre, proof.judgment.command, new_post)
+    return ProofNode("Cons", judgment, (proof,), note="trusted" if trusted else "")
+
+
+# ---------------------------------------------------------------------------
+# The CommCSL-specific rules (Fig. 8)
+# ---------------------------------------------------------------------------
+
+
+def _unique_empty(context: ResourceContext) -> Assertion:
+    """``UniqueEmpty`` = ``uguard_{i0}([]) ∗ ... ∗ uguard_{in}([])``."""
+    parts: list[Assertion] = [
+        UGuardAssert(action.name, Lit(())) for action in context.spec.unique_actions
+    ]
+    return _sep_all(parts)
+
+
+def _unique_pre(context: ResourceContext, witness_vars: Sequence[str]) -> Assertion:
+    """``UniquePre`` = ``∃xs. uguard_i(xs) ∗ PRE_i(xs) ∗ ...`` — here with
+    explicit witness variable names chosen by the caller."""
+    uniques = context.spec.unique_actions
+    if len(witness_vars) != len(uniques):
+        raise ProofError("UniquePre: one witness variable per unique action required")
+    parts: list[Assertion] = []
+    for action, variable in zip(uniques, witness_vars):
+        parts.append(SepConj(UGuardAssert(action.name, Var(variable)), PreUnique(action, Var(variable))))
+    body = _sep_all(parts)
+    for variable in reversed(witness_vars):
+        body = Exists(variable, body)
+    return body
+
+
+def _sep_all(parts: Sequence[Assertion]) -> Assertion:
+    if not parts:
+        return Emp()
+    result = parts[0]
+    for part in parts[1:]:
+        result = SepConj(result, part)
+    return result
+
+
+def invariant_assertion(context: ResourceContext, value: Expr) -> Assertion:
+    """``I(v)``: the canonical points-to invariant ``loc ↦1 v`` connecting
+    the heap cell to the pure resource value (Sec. 3.5)."""
+    return PointsTo(Var(context.location_var), value, Fraction(1))
+
+
+def share_rule(
+    context: ResourceContext,
+    premise: ProofNode,
+    value_var: str = "x",
+    result_var: str = "x_prime",
+    frame_pre: Assertion = Emp(),
+    frame_post: Assertion = Emp(),
+    shared_args_var: str = "x_s",
+    unique_witness_vars: Sequence[str] = (),
+) -> ProofNode:
+    """Rule Share (Fig. 8).
+
+    Premise (checked by shape):
+      ``Γ ⊢ {P ∗ sguard(1, ∅) ∗ UniqueEmpty} c
+            {Q ∗ sguard(1, x_s) ∗ PRE_s(x_s) ∗ UniquePre}``
+    Conclusion:
+      ``⊥ ⊢ {I(x) ∗ Low(α(x)) ∗ P} c {∃x'. I(x') ∗ Low(α(x')) ∗ Q}``
+
+    Side conditions: Γ valid (Def. 3.1, discharged by the validity
+    checker); I unary and precise (true by construction of the canonical
+    points-to invariant)."""
+    spec = context.spec
+    report = check_validity(spec)
+    _require(report.valid, f"Share: resource specification {spec.name} is invalid: "
+             + "; ".join(str(ce) for ce in report.counterexamples))
+    _require(premise.judgment.context == context, "Share: premise must be proved under Γ")
+
+    shared = spec.shared_action
+    _require(shared is not None, "Share: formalization requires a shared action (merge if needed)")
+
+    expected_pre = SepConj(
+        SepConj(frame_pre, SGuardAssert(Fraction(1), Lit(_empty_multiset()))),
+        _unique_empty(context),
+    )
+    _require(
+        premise.judgment.pre == expected_pre,
+        f"Share: premise precondition must be {expected_pre}, got {premise.judgment.pre}",
+    )
+    post_body = SepConj(
+        SepConj(
+            frame_post,
+            SepConj(
+                SGuardAssert(Fraction(1), Var(shared_args_var)),
+                PreShared(shared, Var(shared_args_var)),
+            ),
+        ),
+        _unique_pre(context, unique_witness_vars),
+    )
+    expected_post = Exists(shared_args_var, post_body)
+    _require(
+        premise.judgment.post == expected_post,
+        f"Share: premise postcondition must be {expected_post}, got {premise.judgment.post}",
+    )
+
+    alpha_call = lambda value: Call(f"alpha_{spec.name}", (value,))  # noqa: E731
+    _register_alpha(spec)
+    pre = SepConj(
+        SepConj(invariant_assertion(context, Var(value_var)), Low(alpha_call(Var(value_var)))),
+        frame_pre,
+    )
+    post = Exists(
+        result_var,
+        SepConj(
+            SepConj(
+                invariant_assertion(context, Var(result_var)),
+                Low(alpha_call(Var(result_var))),
+            ),
+            frame_post,
+        ),
+    )
+    judgment = Judgment(None, pre, premise.judgment.command, post)
+    return ProofNode("Share", judgment, (premise,))
+
+
+def _register_alpha(spec) -> None:
+    """Expose a spec's abstraction as a pure function ``alpha_<name>`` so it
+    can appear inside assertion expressions."""
+    from ..lang.values import PURE_FUNCTIONS
+
+    PURE_FUNCTIONS.setdefault(f"alpha_{spec.name}", spec.abstraction)
+
+
+def _empty_multiset():
+    from ..heap.multiset import EMPTY_MULTISET
+
+    return EMPTY_MULTISET
+
+
+def atomic_shared_rule(
+    context: ResourceContext,
+    premise: ProofNode,
+    fraction: Fraction,
+    args_expr: Expr,
+    new_arg: Expr,
+    value_var: str = "x_v",
+    frame_pre: Assertion = Emp(),
+    frame_post: Assertion = Emp(),
+) -> ProofNode:
+    """Rule AtomicShr (Fig. 8).
+
+    Premise: ``⊥ ⊢ {P ∗ I(x_v)} c {Q ∗ I(f_as(x_v, x_a))}``
+    Conclusion: ``Γ ⊢ {P ∗ sguard(r, x_s)} atomic c
+                      {Q ∗ sguard(r, x_s ∪# {x_a}#)}``
+
+    Side conditions: ``x_v`` fresh, P and Q guard-free, variables
+    unmodified by c, I unary and precise (canonical invariant)."""
+    spec = context.spec
+    shared = spec.shared_action
+    _require(shared is not None, "AtomicShr: spec has no shared action")
+    _require(premise.judgment.context is None, "AtomicShr: premise must be proved under ⊥")
+    _require(is_noguard(frame_pre) and is_noguard(frame_post), "AtomicShr: P, Q must be guard-free")
+
+    command = premise.judgment.command
+    mods = command_mod(command)
+    _require(value_var not in mods, f"AtomicShr: {value_var} modified by the body")
+    _require(
+        value_var not in assertion_fv(frame_pre) | assertion_fv(frame_post),
+        f"AtomicShr: {value_var} free in P or Q",
+    )
+
+    expected_pre = SepConj(frame_pre, invariant_assertion(context, Var(value_var)))
+    _require(
+        premise.judgment.pre == expected_pre,
+        f"AtomicShr: premise pre must be {expected_pre}, got {premise.judgment.pre}",
+    )
+    applied = Call(f"f_{spec.name}_{shared.name}", (Var(value_var), new_arg))
+    _register_action(spec, shared)
+    expected_post = SepConj(frame_post, invariant_assertion(context, applied))
+    _require(
+        premise.judgment.post == expected_post,
+        f"AtomicShr: premise post must be {expected_post}, got {premise.judgment.post}",
+    )
+
+    pre = SepConj(frame_pre, SGuardAssert(fraction, args_expr))
+    post = SepConj(
+        frame_post,
+        SGuardAssert(fraction, Call("msAdd", (args_expr, new_arg))),
+    )
+    judgment = Judgment(context, pre, Atomic(command, shared.name, new_arg), post)
+    return ProofNode("AtomicShr", judgment, (premise,))
+
+
+def atomic_unique_rule(
+    context: ResourceContext,
+    premise: ProofNode,
+    action_name: str,
+    args_expr: Expr,
+    new_arg: Expr,
+    value_var: str = "x_v",
+    frame_pre: Assertion = Emp(),
+    frame_post: Assertion = Emp(),
+) -> ProofNode:
+    """Rule AtomicUnq (Fig. 8) — like AtomicShr but the whole unsplittable
+    unique guard is required and arguments are recorded in a sequence."""
+    spec = context.spec
+    action = spec.action(action_name)
+    _require(action.is_unique, f"AtomicUnq: {action_name} is not a unique action")
+    _require(premise.judgment.context is None, "AtomicUnq: premise must be proved under ⊥")
+    _require(is_noguard(frame_pre) and is_noguard(frame_post), "AtomicUnq: P, Q must be guard-free")
+
+    command = premise.judgment.command
+    _require(value_var not in command_mod(command), f"AtomicUnq: {value_var} modified by the body")
+    _require(
+        value_var not in assertion_fv(frame_pre) | assertion_fv(frame_post),
+        f"AtomicUnq: {value_var} free in P or Q",
+    )
+
+    expected_pre = SepConj(frame_pre, invariant_assertion(context, Var(value_var)))
+    _require(
+        premise.judgment.pre == expected_pre,
+        f"AtomicUnq: premise pre must be {expected_pre}, got {premise.judgment.pre}",
+    )
+    applied = Call(f"f_{spec.name}_{action.name}", (Var(value_var), new_arg))
+    _register_action(spec, action)
+    expected_post = SepConj(frame_post, invariant_assertion(context, applied))
+    _require(
+        premise.judgment.post == expected_post,
+        f"AtomicUnq: premise post must be {expected_post}, got {premise.judgment.post}",
+    )
+
+    pre = SepConj(frame_pre, UGuardAssert(action.name, args_expr))
+    post = SepConj(
+        frame_post,
+        UGuardAssert(action.name, Call("append", (args_expr, new_arg))),
+    )
+    judgment = Judgment(context, pre, Atomic(command, action.name, new_arg), post)
+    return ProofNode("AtomicUnq", judgment, (premise,))
+
+
+def _register_action(spec, action) -> None:
+    """Expose an action's transition function as a pure function
+    ``f_<spec>_<action>`` for use inside assertion expressions."""
+    from ..lang.values import PURE_FUNCTIONS
+
+    PURE_FUNCTIONS.setdefault(f"f_{spec.name}_{action.name}", action.apply)

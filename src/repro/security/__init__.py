@@ -1,0 +1,47 @@
+"""Empirical non-interference checking, leakage quantification, lattices."""
+
+from .lattice import (
+    Lattice,
+    LatticeError,
+    LatticeVerificationResult,
+    LevelResult,
+    diamond,
+    linear,
+    powerset,
+    two_point,
+    verify_lattice,
+)
+from .leakage import ThresholdLeak, mutual_information, threshold_leak
+from .noninterference import (
+    NIReport,
+    Witness,
+    all_outputs,
+    channel_observer,
+    check_exhaustive,
+    check_noninterference,
+    check_sampled,
+    observation,
+)
+
+__all__ = [
+    "Lattice",
+    "LatticeError",
+    "LatticeVerificationResult",
+    "LevelResult",
+    "NIReport",
+    "ThresholdLeak",
+    "Witness",
+    "all_outputs",
+    "channel_observer",
+    "check_exhaustive",
+    "check_noninterference",
+    "check_sampled",
+    "diamond",
+    "linear",
+    "mutual_information",
+    "observation",
+    "powerset",
+    "threshold_leak",
+    "two_point",
+    "verify_lattice",
+]

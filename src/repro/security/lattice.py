@@ -1,0 +1,279 @@
+"""Finite security lattices (Sec. 2.1, footnote 1).
+
+The paper limits its presentation to two labels, high and low, and notes:
+"techniques for verifying information flow security with two levels can
+be used to verify programs with arbitrary finite lattices by performing
+the verification multiple times, once for every element of the lattice."
+This module implements exactly that reduction:
+
+* :class:`Lattice` — a finite lattice given by its elements and covering
+  relation (Hasse diagram); construction verifies that every pair has a
+  join and a meet;
+* standard lattices: :func:`two_point`, :func:`linear`, :func:`diamond`,
+  :func:`powerset`;
+* :func:`verify_lattice` — for every lattice element ℓ, inputs labelled
+  ⊑ ℓ become the 2-level problem's *low* inputs, output channels labelled
+  ⊑ ℓ become the observable channels, and the standard pipeline runs; the
+  program is secure for the lattice iff every per-element problem
+  verifies.
+
+Why per-element verification suffices: an attacker at level ℓ observes
+exactly the channels labelled ⊑ ℓ and knows exactly the inputs labelled
+⊑ ℓ; non-interference at ℓ says those observations are a function of
+those inputs.  Quantifying over all ℓ covers every attacker the lattice
+describes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, Tuple
+
+from typing import TYPE_CHECKING
+
+from ..lang.ast import Command
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
+    from ..verifier.declarations import ResourceDecl
+    from ..verifier.frontend import VerificationResult
+
+Label = Any
+
+
+class LatticeError(Exception):
+    """The given order is not a lattice (or labels are unknown)."""
+
+
+@dataclass(frozen=True)
+class Lattice:
+    """A finite lattice, constructed from elements and covering edges.
+
+    ``covers`` are pairs ``(lower, upper)`` of the Hasse diagram; the
+    order is their reflexive-transitive closure.  The constructor checks
+    that every pair of elements has a least upper bound and a greatest
+    lower bound, so an instance *is* a lattice.
+    """
+
+    elements: Tuple[Label, ...]
+    covers: Tuple[Tuple[Label, Label], ...]
+    _leq: Mapping[Tuple[Label, Label], bool] = field(repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        if len(set(self.elements)) != len(self.elements):
+            raise LatticeError("duplicate lattice elements")
+        for low, high in self.covers:
+            if low not in self.elements or high not in self.elements:
+                raise LatticeError(f"cover ({low!r}, {high!r}) mentions unknown elements")
+        object.__setattr__(self, "_leq", self._closure())
+        # Verify the lattice laws by brute force (the sets are tiny).
+        for a, b in itertools.combinations_with_replacement(self.elements, 2):
+            self._bound(a, b, upper=True)
+            self._bound(a, b, upper=False)
+
+    def _closure(self) -> dict:
+        leq = {(a, a): True for a in self.elements}
+        for low, high in self.covers:
+            leq[(low, high)] = True
+        changed = True
+        while changed:
+            changed = False
+            for a, b, c in itertools.product(self.elements, repeat=3):
+                if leq.get((a, b)) and leq.get((b, c)) and not leq.get((a, c)):
+                    leq[(a, c)] = True
+                    changed = True
+        for a, b in itertools.combinations(self.elements, 2):
+            if leq.get((a, b)) and leq.get((b, a)):
+                raise LatticeError(f"order is not antisymmetric: {a!r} ≡ {b!r}")
+        return leq
+
+    def leq(self, a: Label, b: Label) -> bool:
+        """``a ⊑ b``."""
+        if a not in self.elements or b not in self.elements:
+            raise LatticeError(f"unknown label {a!r} or {b!r}")
+        return bool(self._leq.get((a, b)))
+
+    def _bound(self, a: Label, b: Label, upper: bool) -> Label:
+        if upper:
+            candidates = [c for c in self.elements if self.leq(a, c) and self.leq(b, c)]
+            least = [c for c in candidates if all(self.leq(c, other) for other in candidates)]
+        else:
+            candidates = [c for c in self.elements if self.leq(c, a) and self.leq(c, b)]
+            least = [c for c in candidates if all(self.leq(other, c) for other in candidates)]
+        if len(least) != 1:
+            kind = "join" if upper else "meet"
+            raise LatticeError(f"{a!r} and {b!r} have no unique {kind}: not a lattice")
+        return least[0]
+
+    def join(self, a: Label, b: Label) -> Label:
+        """Least upper bound ``a ⊔ b``."""
+        return self._bound(a, b, upper=True)
+
+    def meet(self, a: Label, b: Label) -> Label:
+        """Greatest lower bound ``a ⊓ b``."""
+        return self._bound(a, b, upper=False)
+
+    @property
+    def bottom(self) -> Label:
+        result = self.elements[0]
+        for element in self.elements[1:]:
+            result = self.meet(result, element)
+        return result
+
+    @property
+    def top(self) -> Label:
+        result = self.elements[0]
+        for element in self.elements[1:]:
+            result = self.join(result, element)
+        return result
+
+    def downset(self, level: Label) -> frozenset:
+        """All elements ⊑ ``level`` (what an attacker at ``level`` sees)."""
+        return frozenset(a for a in self.elements if self.leq(a, level))
+
+
+# ---------------------------------------------------------------------------
+# Standard lattices
+# ---------------------------------------------------------------------------
+
+
+def two_point() -> Lattice:
+    """The paper's lattice: ``low ⊑ high``."""
+    return Lattice(("low", "high"), (("low", "high"),))
+
+
+def linear(labels: Sequence[Label]) -> Lattice:
+    """A totally ordered lattice, least first (e.g. public ⊑ internal ⊑ secret)."""
+    if not labels:
+        raise LatticeError("linear lattice needs at least one label")
+    covers = tuple((labels[i], labels[i + 1]) for i in range(len(labels) - 1))
+    return Lattice(tuple(labels), covers)
+
+
+def diamond() -> Lattice:
+    """The classic diamond: ``bot ⊑ {left, right} ⊑ top`` with
+    incomparable middle elements (e.g. HR data vs. finance data)."""
+    return Lattice(
+        ("bot", "left", "right", "top"),
+        (("bot", "left"), ("bot", "right"), ("left", "top"), ("right", "top")),
+    )
+
+
+def powerset(basis: Sequence[str]) -> Lattice:
+    """The powerset lattice of a set of categories, ordered by ⊆
+    (Denning-style label model)."""
+    elements = []
+    for size in range(len(basis) + 1):
+        for combo in itertools.combinations(sorted(basis), size):
+            elements.append(frozenset(combo))
+    covers = []
+    for element in elements:
+        for extra in basis:
+            if extra not in element:
+                covers.append((element, element | {extra}))
+    return Lattice(tuple(elements), tuple(covers))
+
+
+# ---------------------------------------------------------------------------
+# Multi-level verification
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LevelResult:
+    """The 2-level verification outcome for one observer level."""
+
+    level: Label
+    low_inputs: frozenset
+    low_channels: frozenset
+    result: "VerificationResult"
+
+    @property
+    def verified(self) -> bool:
+        return self.result.verified
+
+
+@dataclass(frozen=True)
+class LatticeVerificationResult:
+    """Aggregated per-level results (footnote 1's reduction)."""
+
+    name: str
+    lattice: Lattice
+    levels: Tuple[LevelResult, ...]
+
+    @property
+    def verified(self) -> bool:
+        return all(level.verified for level in self.levels)
+
+    def failing_levels(self) -> Tuple[Label, ...]:
+        return tuple(level.level for level in self.levels if not level.verified)
+
+    def summary(self) -> str:
+        lines = [f"{self.name}: {'VERIFIED' if self.verified else 'REJECTED'} "
+                 f"({len(self.levels)} lattice levels)"]
+        for level in self.levels:
+            verdict = "ok" if level.verified else "FAIL"
+            lines.append(
+                f"  level {level.level!r}: {verdict} "
+                f"(low inputs {sorted(map(repr, level.low_inputs))}, "
+                f"channels {sorted(map(repr, level.low_channels))})"
+            )
+        return "\n".join(lines)
+
+
+def verify_lattice(
+    name: str,
+    program: Command,
+    resources: "Tuple[ResourceDecl, ...]",
+    input_labels: Mapping[str, Label],
+    channel_labels: Mapping[str, Label],
+    lattice: Lattice,
+    bounded_instances: Optional[Callable[[Label], Optional[Callable[[], list]]]] = None,
+    skip_top: bool = True,
+    **verify_kwargs,
+) -> LatticeVerificationResult:
+    """Verify a program against an arbitrary finite lattice.
+
+    ``input_labels`` / ``channel_labels`` assign a lattice element to every
+    input variable and output channel.  For each element ℓ (the observer's
+    level), a 2-level problem is built — inputs labelled ⊑ ℓ are low,
+    channels labelled ⊑ ℓ are observable — and verified with the standard
+    pipeline.  ``bounded_instances`` maps a level to that level's instance
+    generator (levels need different instances because their high-input
+    sets differ).  ``skip_top`` omits the ⊤ level when every input is ⊑ ⊤
+    and every channel is ⊑ ⊤ — at ⊤ nothing is secret, so the problem is
+    trivially about determinism only; pass ``False`` to include it.
+    """
+    from ..verifier.declarations import ProgramSpec
+    from ..verifier.frontend import verify
+
+    for variable, label in input_labels.items():
+        if label not in lattice.elements:
+            raise LatticeError(f"input {variable!r} labelled with unknown {label!r}")
+    for channel, label in channel_labels.items():
+        if label not in lattice.elements:
+            raise LatticeError(f"channel {channel!r} labelled with unknown {label!r}")
+
+    levels: list[LevelResult] = []
+    for level in lattice.elements:
+        if skip_top and level == lattice.top and len(lattice.elements) > 1:
+            continue
+        low_inputs = frozenset(
+            variable for variable, label in input_labels.items() if lattice.leq(label, level)
+        )
+        high_inputs = frozenset(input_labels) - low_inputs
+        low_channels = frozenset(
+            channel for channel, label in channel_labels.items() if lattice.leq(label, level)
+        )
+        spec = ProgramSpec(
+            name=f"{name}@{level!r}",
+            program=program,
+            resources=resources,
+            low_inputs=low_inputs,
+            high_inputs=high_inputs,
+            low_channels=low_channels,
+        )
+        instances = bounded_instances(level) if bounded_instances is not None else None
+        result = verify(spec, bounded_instances=instances, **verify_kwargs)
+        levels.append(LevelResult(level, low_inputs, low_channels, result))
+    return LatticeVerificationResult(name, lattice, tuple(levels))

@@ -1,0 +1,100 @@
+"""Leakage quantification for internal timing channels (the Fig. 1 study).
+
+The Fig. 1 program prints 3 or 4 depending on which thread's assignment to
+``s`` lands last; the race outcome depends on the loop bound ``h`` through
+the scheduler.  This module measures that channel:
+
+* :func:`threshold_leak` — under the deterministic round-robin scheduler,
+  the printed value is a function of ``h``; the function reveals whether
+  ``h`` exceeds the public loop's bound (the paper's "leaks whether or not
+  h is greater than 100").
+* :func:`mutual_information` — under a randomized scheduler with a known
+  seed distribution, the empirical mutual information I(h; output) in bits
+  quantifies the probabilistic channel over many runs.
+
+Both are used by ``benchmarks/bench_fig1_leak.py`` to regenerate the
+behavioural claim of Fig. 1 and to show the commuting variant closes the
+channel.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence
+
+from ..lang.ast import Command
+from ..lang.interpreter import run
+from ..lang.scheduler import RandomScheduler, RoundRobinScheduler
+
+
+@dataclass(frozen=True)
+class ThresholdLeak:
+    """Outcome of the deterministic round-robin experiment."""
+
+    outputs_by_h: Dict[int, tuple]
+    distinguishes: bool
+    boundary: int | None
+
+    def __str__(self) -> str:
+        if not self.distinguishes:
+            return "no leak: output independent of h under round-robin"
+        return f"leak: round-robin output changes at h ≈ {self.boundary}"
+
+
+def threshold_leak(
+    program: Command,
+    high_var: str,
+    high_values: Sequence[int],
+    fixed_inputs: dict | None = None,
+) -> ThresholdLeak:
+    """Run the program under round-robin for each high value; detect
+    whether the output is a non-constant function of the secret."""
+    outputs: Dict[int, tuple] = {}
+    for value in high_values:
+        inputs = dict(fixed_inputs or {})
+        inputs[high_var] = value
+        result = run(program, inputs, scheduler=RoundRobinScheduler())
+        outputs[value] = result.output
+    distinct = sorted({output for output in outputs.values()}, key=repr)
+    boundary = None
+    if len(distinct) > 1:
+        ordered = sorted(outputs)
+        for previous, current in zip(ordered, ordered[1:]):
+            if outputs[previous] != outputs[current]:
+                boundary = current
+                break
+    return ThresholdLeak(outputs, len(distinct) > 1, boundary)
+
+
+def mutual_information(
+    program: Command,
+    high_var: str,
+    high_values: Sequence[int],
+    runs_per_value: int = 40,
+    seed: int = 0,
+    fixed_inputs: dict | None = None,
+) -> float:
+    """Empirical mutual information I(h; output) in bits, h uniform over
+    ``high_values``, randomness from seeded schedulers."""
+    joint: Counter = Counter()
+    for value in high_values:
+        for index in range(runs_per_value):
+            inputs = dict(fixed_inputs or {})
+            inputs[high_var] = value
+            result = run(program, inputs, scheduler=RandomScheduler(seed + index))
+            joint[(value, result.output)] += 1
+    total = sum(joint.values())
+    marginal_h: Counter = Counter()
+    marginal_out: Counter = Counter()
+    for (value, output), count in joint.items():
+        marginal_h[value] += count
+        marginal_out[output] += count
+    information = 0.0
+    for (value, output), count in joint.items():
+        p_joint = count / total
+        p_h = marginal_h[value] / total
+        p_out = marginal_out[output] / total
+        information += p_joint * math.log2(p_joint / (p_h * p_out))
+    return max(information, 0.0)

@@ -1,0 +1,183 @@
+"""Boolean skeletons: NNF and Tseitin CNF conversion.
+
+The bounded solver (:mod:`repro.smt.solver`) enumerates assignments; for
+formulas with rich *boolean* structure but few distinct theory atoms this
+is wasteful.  This module extracts the boolean skeleton of a term —
+treating every non-boolean-connective subterm (a comparison, a boolean
+variable, an uninterpreted application) as an opaque *atom* — and
+converts it to CNF by the Tseitin transformation, which is equisatisfiable
+and only linearly larger than the input.
+
+A CNF is a list of clauses; a clause is a tuple of non-zero integers
+(DIMACS convention: ``n`` is atom ``n``, ``-n`` its negation).  The
+:class:`AtomTable` maps atom indices back to the original terms so the
+DPLL(T) loop (:mod:`repro.smt.dpll`) can consult the theory solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .terms import App, Const, SymVar, Term, negate
+
+BOOL_CONNECTIVES = frozenset({"and", "or", "not", "implies", "ite"})
+
+Clause = Tuple[int, ...]
+CNF = List[Clause]
+
+
+@dataclass
+class AtomTable:
+    """Bijection between theory atoms (terms) and positive integers.
+
+    Indices 1..n are *atoms* from the input formula; indices above
+    ``max_input_atom`` are Tseitin definition variables with no term.
+    """
+
+    _by_term: Dict[Term, int] = field(default_factory=dict)
+    _by_index: Dict[int, Term] = field(default_factory=dict)
+    _next: int = 1
+
+    def atom(self, term: Term) -> int:
+        index = self._by_term.get(term)
+        if index is None:
+            index = self._next
+            self._next += 1
+            self._by_term[term] = index
+            self._by_index[index] = term
+        return index
+
+    def fresh(self) -> int:
+        index = self._next
+        self._next += 1
+        return index
+
+    def term_of(self, index: int) -> Term | None:
+        return self._by_index.get(abs(index))
+
+    def atoms(self) -> Dict[int, Term]:
+        return dict(self._by_index)
+
+    @property
+    def count(self) -> int:
+        return self._next - 1
+
+
+def is_atom(term: Term) -> bool:
+    """A boolean-sorted term with no boolean structure of its own."""
+    if isinstance(term, Const):
+        return False  # constants are handled by the converter directly
+    if isinstance(term, SymVar):
+        return True
+    if isinstance(term, App):
+        return term.op not in BOOL_CONNECTIVES
+    raise TypeError(f"not a term: {term!r}")
+
+
+def to_nnf(term: Term, negated: bool = False) -> Term:
+    """Negation normal form: negations pushed onto atoms, implications
+    unfolded.  ``ite`` at the boolean level unfolds to two implications."""
+    if isinstance(term, Const):
+        value = bool(term.value) != negated
+        return Const(value)
+    if is_atom(term):
+        return negate(term) if negated else term
+    assert isinstance(term, App)
+    if term.op == "not":
+        return to_nnf(term.args[0], not negated)
+    if term.op == "and":
+        parts = tuple(to_nnf(arg, negated) for arg in term.args)
+        return App("or" if negated else "and", parts)
+    if term.op == "or":
+        parts = tuple(to_nnf(arg, negated) for arg in term.args)
+        return App("and" if negated else "or", parts)
+    if term.op == "implies":
+        left, right = term.args
+        if negated:  # ¬(a ⇒ b) = a ∧ ¬b
+            return App("and", (to_nnf(left, False), to_nnf(right, True)))
+        return App("or", (to_nnf(left, True), to_nnf(right, False)))
+    if term.op == "ite":
+        condition, then_term, else_term = term.args
+        positive = App(
+            "and",
+            (
+                App("implies", (condition, then_term)),
+                App("implies", (App("not", (condition,)), else_term)),
+            ),
+        )
+        return to_nnf(positive, negated)
+    raise TypeError(f"unexpected boolean connective {term.op!r}")
+
+
+def tseitin(term: Term) -> tuple[CNF, AtomTable, int]:
+    """Tseitin CNF of a boolean term.
+
+    Returns ``(clauses, atoms, root)`` where ``root`` is the literal that
+    is equivalent to the whole formula; ``clauses + [(root,)]`` is
+    equisatisfiable with the input.
+    """
+    table = AtomTable()
+    clauses: CNF = []
+    cache: Dict[Term, int] = {}
+
+    def convert(current: Term) -> int:
+        if current in cache:
+            return cache[current]
+        if isinstance(current, Const):
+            # Encode constants as a fresh always-true/false literal.
+            literal = table.fresh()
+            clauses.append((literal,) if current.value else (-literal,))
+            cache[current] = literal
+            return literal
+        if is_atom(current):
+            literal = table.atom(current)
+            cache[current] = literal
+            return literal
+        assert isinstance(current, App)
+        if current.op == "not":
+            literal = -convert(current.args[0])
+            cache[current] = literal
+            return literal
+        if current.op in ("and", "or"):
+            sub = [convert(arg) for arg in current.args]
+            fresh = table.fresh()
+            if current.op == "and":
+                # fresh ↔ (a ∧ b): (¬fresh ∨ a), (¬fresh ∨ b), (fresh ∨ ¬a ∨ ¬b)
+                for literal in sub:
+                    clauses.append((-fresh, literal))
+                clauses.append(tuple([fresh] + [-literal for literal in sub]))
+            else:
+                for literal in sub:
+                    clauses.append((fresh, -literal))
+                clauses.append(tuple([-fresh] + sub))
+            cache[current] = fresh
+            return fresh
+        if current.op == "implies":
+            rewritten = App("or", (App("not", (current.args[0],)), current.args[1]))
+            literal = convert(rewritten)
+            cache[current] = literal
+            return literal
+        if current.op == "ite":
+            condition, then_term, else_term = current.args
+            rewritten = App(
+                "and",
+                (
+                    App("or", (App("not", (condition,)), then_term)),
+                    App("or", (condition, else_term)),
+                ),
+            )
+            literal = convert(rewritten)
+            cache[current] = literal
+            return literal
+        raise TypeError(f"unexpected boolean connective {current.op!r}")
+
+    nnf = to_nnf(term)
+    root = convert(nnf)
+    return clauses, table, root
+
+
+def cnf_of(term: Term) -> tuple[CNF, AtomTable]:
+    """CNF whose satisfiability equals the term's (root literal asserted)."""
+    clauses, table, root = tseitin(term)
+    return clauses + [(root,)], table

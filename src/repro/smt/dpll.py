@@ -1,0 +1,208 @@
+"""DPLL SAT solving and a lazy DPLL(T) loop for equality logic.
+
+The classic Davis–Putnam–Logemann–Loveland procedure over the CNF
+produced by :mod:`repro.smt.cnf`:
+
+* unit propagation,
+* pure-literal elimination,
+* branching on the most frequently occurring variable.
+
+On top of it, :func:`dpllt_equality` implements the lazy SMT loop used by
+modern solvers (and by Z3 for HyperViper's verification conditions): DPLL
+enumerates boolean models of the skeleton; each model's theory literals
+(equalities and disequalities between ground terms) are checked for
+consistency with congruence closure (:mod:`repro.smt.euf`); inconsistent
+models are blocked with a conflict clause and the search resumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .cnf import CNF, AtomTable, Clause, cnf_of
+from .euf import congruence_closure_consistent, is_equality_atom
+from .terms import App, Term
+
+Assignment = Dict[int, bool]
+
+
+def _propagate(clauses: List[Clause], assignment: Assignment) -> Optional[List[Clause]]:
+    """Unit propagation to fixpoint; None on conflict."""
+    changed = True
+    clauses = list(clauses)
+    while changed:
+        changed = False
+        next_clauses: List[Clause] = []
+        for clause in clauses:
+            unassigned: List[int] = []
+            satisfied = False
+            for literal in clause:
+                value = assignment.get(abs(literal))
+                if value is None:
+                    unassigned.append(literal)
+                elif (literal > 0) == value:
+                    satisfied = True
+                    break
+            if satisfied:
+                continue
+            if not unassigned:
+                return None  # conflict
+            if len(unassigned) == 1:
+                literal = unassigned[0]
+                assignment[abs(literal)] = literal > 0
+                changed = True
+            else:
+                next_clauses.append(tuple(unassigned))
+        clauses = next_clauses
+    return clauses
+
+
+def _pure_literals(clauses: List[Clause], assignment: Assignment) -> None:
+    polarity: Dict[int, set] = {}
+    for clause in clauses:
+        for literal in clause:
+            polarity.setdefault(abs(literal), set()).add(literal > 0)
+    for variable, signs in polarity.items():
+        if variable not in assignment and len(signs) == 1:
+            assignment[variable] = signs.pop()
+
+
+def _choose(clauses: List[Clause], assignment: Assignment) -> Optional[int]:
+    counts: Dict[int, int] = {}
+    for clause in clauses:
+        for literal in clause:
+            variable = abs(literal)
+            if variable not in assignment:
+                counts[variable] = counts.get(variable, 0) + 1
+    if not counts:
+        return None
+    return max(counts, key=lambda variable: (counts[variable], -variable))
+
+
+def dpll(clauses: CNF, assignment: Optional[Assignment] = None) -> Optional[Assignment]:
+    """Satisfying assignment for a CNF, or None if unsatisfiable."""
+    assignment = dict(assignment or {})
+    simplified = _propagate(list(clauses), assignment)
+    if simplified is None:
+        return None
+    _pure_literals(simplified, assignment)
+    simplified = _propagate(simplified, assignment)
+    if simplified is None:
+        return None
+    if not simplified:
+        return assignment
+    variable = _choose(simplified, assignment)
+    if variable is None:
+        return assignment
+    for value in (True, False):
+        trial = dict(assignment)
+        trial[variable] = value
+        result = dpll(simplified, trial)
+        if result is not None:
+            return result
+    return None
+
+
+def sat(term: Term) -> Optional[Assignment]:
+    """Propositional satisfiability of a boolean term (atoms opaque)."""
+    clauses, _table = cnf_of(term)
+    return dpll(clauses)
+
+
+def propositionally_valid(term: Term) -> bool:
+    """True iff the term is a propositional tautology (valid for *every*
+    theory interpretation of its atoms) — a sound fast path for the
+    bounded solver."""
+    negated = App("not", (term,))
+    return sat(negated) is None
+
+
+# ---------------------------------------------------------------------------
+# Lazy DPLL(T) for equality logic
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TheoryResult:
+    """Outcome of the DPLL(T) search."""
+
+    satisfiable: bool
+    boolean_model: Optional[Assignment] = None
+    equalities: Tuple[Tuple[Term, Term], ...] = ()
+    disequalities: Tuple[Tuple[Term, Term], ...] = ()
+    models_blocked: int = 0
+
+
+def _theory_literals(
+    model: Assignment, table: AtomTable
+) -> Optional[tuple[list, list]]:
+    """Split a boolean model into asserted equalities / disequalities.
+
+    Returns None if the model asserts a non-equality atom (outside the
+    EUF fragment)."""
+    equalities: list = []
+    disequalities: list = []
+    for index, value in model.items():
+        term = table.term_of(index)
+        if term is None:
+            continue  # Tseitin definition variable
+        if not is_equality_atom(term):
+            return None
+        assert isinstance(term, App)
+        left, right = term.args
+        positive = value if term.op == "==" else not value
+        if positive:
+            equalities.append((left, right))
+        else:
+            disequalities.append((left, right))
+    return equalities, disequalities
+
+
+def dpllt_equality(term: Term, max_models: int = 10_000) -> Optional[TheoryResult]:
+    """Lazy DPLL(T) for formulas whose atoms are ``==``/``!=`` between
+    ground terms (boolean structure arbitrary).
+
+    Returns a :class:`TheoryResult`, or ``None`` if the formula contains
+    atoms outside the equality fragment (caller should fall back to the
+    bounded enumerator).
+    """
+    clauses, table = cnf_of(term)
+    blocked = 0
+    working = list(clauses)
+    for _ in range(max_models):
+        model = dpll(working)
+        if model is None:
+            return TheoryResult(False, models_blocked=blocked)
+        split = _theory_literals(model, table)
+        if split is None:
+            return None  # outside the fragment
+        equalities, disequalities = split
+        if congruence_closure_consistent(equalities, disequalities):
+            return TheoryResult(
+                True,
+                boolean_model=model,
+                equalities=tuple(equalities),
+                disequalities=tuple(disequalities),
+                models_blocked=blocked,
+            )
+        # Block this boolean model (only its theory-atom part).
+        conflict = tuple(
+            -index if value else index
+            for index, value in sorted(model.items())
+            if table.term_of(index) is not None
+        )
+        if not conflict:
+            return TheoryResult(False, models_blocked=blocked)
+        working.append(conflict)
+        blocked += 1
+    return None  # model budget exhausted: undecided
+
+
+def euf_valid(term: Term, max_models: int = 10_000) -> Optional[bool]:
+    """Validity in the EUF fragment: True/False, or None if undecided /
+    outside the fragment."""
+    result = dpllt_equality(App("not", (term,)), max_models=max_models)
+    if result is None:
+        return None
+    return not result.satisfiable

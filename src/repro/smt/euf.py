@@ -1,0 +1,142 @@
+"""Congruence closure: the decision procedure for ground equality with
+uninterpreted functions (EUF).
+
+Given asserted equalities ``s = t`` and disequalities ``s ≠ t`` between
+ground terms, the conjunction is satisfiable iff, after closing the
+equalities under congruence (``a = b ⟹ f(a) = f(b)``), no disequality
+relates two terms of the same class.  This is the Nelson–Oppen-style
+core theory Z3 applies to HyperViper's function-heavy verification
+conditions; here it backs the lazy DPLL(T) loop of
+:mod:`repro.smt.dpll`.
+
+The implementation is the classic union-find with congruence propagation
+(Downey–Sethi–Tarjan style, without the sub-quadratic refinements — our
+VCs are small).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .terms import App, Const, SymVar, Term
+
+EQUALITY_OPS = frozenset({"==", "!="})
+
+
+def is_equality_atom(term: Term) -> bool:
+    """An atom of the EUF fragment: (dis)equality between ground terms."""
+    return isinstance(term, App) and term.op in EQUALITY_OPS and len(term.args) == 2
+
+
+def subterms(term: Term) -> Iterable[Term]:
+    """All subterms, children before parents."""
+    if isinstance(term, App):
+        for arg in term.args:
+            yield from subterms(arg)
+    yield term
+
+
+class CongruenceClosure:
+    """Union-find over terms with congruence propagation.
+
+    >>> from repro.smt.terms import App, SymVar
+    >>> from repro.smt.sorts import INT
+    >>> a, b = SymVar("a", INT), SymVar("b", INT)
+    >>> cc = CongruenceClosure()
+    >>> cc.merge(a, b)
+    >>> cc.same(App("f", (a,)), App("f", (b,)))
+    True
+    """
+
+    def __init__(self) -> None:
+        self._parent: Dict[Term, Term] = {}
+        self._uses: Dict[Term, List[App]] = {}
+
+    def _register(self, term: Term) -> None:
+        if term in self._parent:
+            return
+        self._parent[term] = term
+        self._uses[term] = []
+        if isinstance(term, App):
+            for arg in term.args:
+                self._register(arg)
+                self._uses[self.find(arg)].append(term)
+
+    def find(self, term: Term) -> Term:
+        self._register(term)
+        root = term
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[term] != root:  # path compression
+            self._parent[term], term = root, self._parent[term]
+        return root
+
+    def same(self, left: Term, right: Term) -> bool:
+        self._register(left)
+        self._register(right)
+        self._close()
+        return self.find(left) == self.find(right)
+
+    def merge(self, left: Term, right: Term) -> None:
+        self._register(left)
+        self._register(right)
+        self._union(left, right)
+        self._close()
+
+    def _union(self, left: Term, right: Term) -> None:
+        root_left, root_right = self.find(left), self.find(right)
+        if root_left == root_right:
+            return
+        self._parent[root_left] = root_right
+        self._uses.setdefault(root_right, []).extend(self._uses.get(root_left, []))
+
+    def _close(self) -> None:
+        """Propagate congruence to fixpoint."""
+        changed = True
+        while changed:
+            changed = False
+            terms = [term for term in self._parent if isinstance(term, App)]
+            by_signature: Dict[tuple, Term] = {}
+            for term in terms:
+                signature = (term.op, tuple(self.find(arg) for arg in term.args))
+                other = by_signature.get(signature)
+                if other is None:
+                    by_signature[signature] = term
+                elif self.find(term) != self.find(other):
+                    self._union(term, other)
+                    changed = True
+
+    def classes(self) -> Dict[Term, frozenset]:
+        """The current partition, keyed by representative."""
+        self._close()
+        groups: Dict[Term, set] = {}
+        for term in self._parent:
+            groups.setdefault(self.find(term), set()).add(term)
+        return {root: frozenset(members) for root, members in groups.items()}
+
+
+def congruence_closure_consistent(
+    equalities: Sequence[Tuple[Term, Term]],
+    disequalities: Sequence[Tuple[Term, Term]],
+) -> bool:
+    """Satisfiability of ``⋀ eqs ∧ ⋀ neqs`` over uninterpreted terms.
+
+    Distinct constants are distinct values, so asserted equalities that
+    merge two different :class:`Const` terms are inconsistent too.
+    """
+    cc = CongruenceClosure()
+    for left, right in equalities:
+        cc.merge(left, right)
+    # Different constants in one class: inconsistent.
+    for members in cc.classes().values():
+        constants = {term.value for term in members if isinstance(term, Const)}
+        if len(constants) > 1:
+            return False
+    for left, right in disequalities:
+        if cc.same(left, right):
+            return False
+        # x ≠ x is inconsistent even without merges.
+        if left == right:
+            return False
+    return True

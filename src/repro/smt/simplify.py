@@ -1,0 +1,133 @@
+"""Bottom-up term rewriting / constant folding.
+
+Simplification is the *sound and complete-for-PROVED* part of the solver:
+a formula rewritten to the literal ``true`` is valid, full stop.  Formulas
+that do not fold to a literal are handed to the bounded model search of
+:mod:`repro.smt.solver`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .terms import App, Const, Term, evaluate_term, free_symvars
+
+
+def simplify(term: Term) -> Term:
+    """Simplify ``term`` bottom-up.  Pure: returns a new term."""
+    if isinstance(term, Const) or not isinstance(term, App):
+        return term
+    args = tuple(simplify(arg) for arg in term.args)
+    folded = _try_fold(term.op, args)
+    if folded is not None:
+        return folded
+    rewritten = _rewrite(term.op, args)
+    if rewritten is not None:
+        return rewritten
+    return App(term.op, args)
+
+
+def _try_fold(op: str, args: tuple[Term, ...]) -> Term | None:
+    """Constant-fold if all arguments are literals."""
+    if not all(isinstance(arg, Const) for arg in args):
+        return None
+    try:
+        value = evaluate_term(App(op, args), {})
+    except Exception:  # noqa: BLE001 — folding is best-effort
+        return None
+    return Const(value)
+
+
+_TRUE = Const(True)
+_FALSE = Const(False)
+
+
+def _rewrite(op: str, args: tuple[Term, ...]) -> Term | None:
+    """Algebraic rewrites on partially-symbolic terms."""
+    if op == "and":
+        left, right = args
+        if left == _TRUE:
+            return right
+        if right == _TRUE:
+            return left
+        if left == _FALSE or right == _FALSE:
+            return _FALSE
+        if left == right:
+            return left
+        return None
+    if op == "or":
+        left, right = args
+        if left == _FALSE:
+            return right
+        if right == _FALSE:
+            return left
+        if left == _TRUE or right == _TRUE:
+            return _TRUE
+        if left == right:
+            return left
+        return None
+    if op == "implies":
+        antecedent, consequent = args
+        if antecedent == _FALSE or consequent == _TRUE:
+            return _TRUE
+        if antecedent == _TRUE:
+            return consequent
+        if antecedent == consequent:
+            return _TRUE
+        return None
+    if op == "not":
+        (operand,) = args
+        if operand == _TRUE:
+            return _FALSE
+        if operand == _FALSE:
+            return _TRUE
+        if isinstance(operand, App) and operand.op == "not":
+            return operand.args[0]
+        return None
+    if op == "==":
+        left, right = args
+        if left == right:
+            return _TRUE
+        return None
+    if op == "ite":
+        condition, then_term, else_term = args
+        if condition == _TRUE:
+            return then_term
+        if condition == _FALSE:
+            return else_term
+        if then_term == else_term:
+            return then_term
+        return None
+    if op == "+":
+        left, right = args
+        if left == Const(0):
+            return right
+        if right == Const(0):
+            return left
+        return None
+    if op == "-":
+        left, right = args
+        if right == Const(0):
+            return left
+        if left == right:
+            return Const(0)
+        return None
+    if op == "*":
+        left, right = args
+        if left == Const(1):
+            return right
+        if right == Const(1):
+            return left
+        if left == Const(0) or right == Const(0):
+            return Const(0)
+        return None
+    return None
+
+
+def is_literally_true(term: Term) -> bool:
+    """True iff simplification reduces the term to the literal ``true``."""
+    return simplify(term) == _TRUE
+
+
+def is_closed(term: Term) -> bool:
+    return not free_symvars(term)

@@ -1,0 +1,141 @@
+"""Validity checking by rewriting + small-scope model search.
+
+This module is the repository's substitute for the Z3 backend that
+HyperViper uses (see DESIGN.md "Substitutions").  Given a boolean term,
+:func:`check_validity` returns one of three verdicts:
+
+* ``PROVED`` — rewriting folded the formula to ``true`` (sound,
+  assumption-free), or every assignment in an *exhaustively enumerable*
+  scope satisfies it and the caller declared the scope complete;
+* ``REFUTED`` — a concrete counterexample assignment was found (always
+  sound: the model is checked by evaluation);
+* ``BOUNDED`` — no counterexample exists within the searched scope, but
+  the scope is not known to be complete.  The verifier treats ``BOUNDED``
+  like Z3's ``unsat`` of the negation within quantifier instantiation
+  limits: acceptance is reported with the bound that was used.
+
+``UNKNOWN`` is reported when the formula contains operations the
+evaluator cannot interpret.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Mapping, Optional
+
+from .simplify import simplify
+from .sorts import INT, Scope, Sort
+from .terms import Const, SymVar, Term, evaluate_term, free_symvars, int_constants
+
+
+class Verdict(Enum):
+    PROVED = "proved"
+    BOUNDED = "bounded"
+    REFUTED = "refuted"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class Result:
+    verdict: Verdict
+    model: Optional[Mapping[str, Any]] = None
+    checked_assignments: int = 0
+
+    def is_valid(self) -> bool:
+        """Acceptance: PROVED or BOUNDED (no counterexample in scope)."""
+        return self.verdict in (Verdict.PROVED, Verdict.BOUNDED)
+
+    def __bool__(self) -> bool:
+        return self.is_valid()
+
+
+_MAX_ASSIGNMENTS = 200_000
+
+
+def check_validity(
+    formula: Term,
+    scope: Scope | None = None,
+    sorts: Mapping[str, Sort] | None = None,
+    exhaustive: bool = False,
+    use_sat: bool = True,
+) -> Result:
+    """Check that ``formula`` holds for all assignments to its free
+    symbolic variables.
+
+    ``sorts`` overrides the sort recorded in each :class:`SymVar`;
+    ``exhaustive=True`` asserts that the provided scope covers the entire
+    semantic domain (finite problems), upgrading BOUNDED to PROVED.
+
+    With ``use_sat`` (default), two sound fast paths run before the
+    bounded enumeration: a DPLL check of the boolean skeleton (a
+    propositional tautology is valid under every theory) and, for
+    formulas whose atoms are ground (dis)equalities, a lazy DPLL(T) loop
+    with congruence closure — both yield genuine PROVED verdicts, not
+    bounded ones.
+    """
+    scope = scope or Scope()
+    scope = scope.widen(tuple(int_constants(formula)))
+    simplified = simplify(formula)
+    if simplified == Const(True):
+        return Result(Verdict.PROVED)
+    if simplified == Const(False):
+        return Result(Verdict.REFUTED, model={})
+
+    if use_sat:
+        from .dpll import euf_valid, propositionally_valid
+
+        if propositionally_valid(simplified):
+            return Result(Verdict.PROVED)
+        euf = euf_valid(simplified)
+        if euf is True:
+            return Result(Verdict.PROVED)
+        # euf False means a *theory* countermodel exists but no concrete
+        # assignment is constructed; fall through so the enumerator can
+        # exhibit one (or bound out).
+
+    variables = sorted(free_symvars(simplified), key=lambda v: v.name)
+    if not variables:
+        # Closed but not folded: evaluate directly.
+        try:
+            value = evaluate_term(simplified, {})
+        except Exception:  # noqa: BLE001
+            return Result(Verdict.UNKNOWN)
+        if value:
+            return Result(Verdict.PROVED, checked_assignments=1)
+        return Result(Verdict.REFUTED, model={}, checked_assignments=1)
+
+    domains = []
+    for variable in variables:
+        sort = (sorts or {}).get(variable.name, variable.sort)
+        domains.append(list(sort.domain(scope)))
+
+    checked = 0
+    for combo in itertools.product(*domains):
+        assignment = {variable.name: value for variable, value in zip(variables, combo)}
+        checked += 1
+        if checked > _MAX_ASSIGNMENTS:
+            return Result(Verdict.BOUNDED, checked_assignments=checked - 1)
+        try:
+            value = evaluate_term(simplified, assignment)
+        except Exception:  # noqa: BLE001
+            return Result(Verdict.UNKNOWN, checked_assignments=checked)
+        if not value:
+            return Result(Verdict.REFUTED, model=assignment, checked_assignments=checked)
+    verdict = Verdict.PROVED if exhaustive else Verdict.BOUNDED
+    return Result(verdict, checked_assignments=checked)
+
+
+def find_model(
+    formula: Term,
+    scope: Scope | None = None,
+    sorts: Mapping[str, Sort] | None = None,
+) -> Optional[Mapping[str, Any]]:
+    """Find an assignment satisfying ``formula`` (SAT), or None in scope."""
+    from .terms import negate
+
+    result = check_validity(negate(formula), scope, sorts)
+    if result.verdict == Verdict.REFUTED:
+        return result.model
+    return None

@@ -1,0 +1,132 @@
+"""Sorts for the term language, with finite small-scope domains.
+
+The in-house solver (our substitute for Z3, see DESIGN.md) decides
+verification conditions by *small-scope enumeration*: every sort can
+enumerate a finite domain of representative values.  Integer domains are
+windows around zero extended with the constants occurring in the formula;
+collection sorts enumerate all collections up to a size bound over their
+element domain.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterator, Tuple
+
+from ..heap.multiset import Multiset
+from ..lang.values import PMap
+
+
+class Sort:
+    """Base class of all sorts."""
+
+    def domain(self, scope: "Scope") -> Iterator[Any]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Scope:
+    """Bounds for small-scope enumeration.
+
+    ``int_values`` is the set of integers to try; ``max_size`` bounds the
+    size of enumerated collections.
+    """
+
+    int_values: Tuple[int, ...] = (-2, -1, 0, 1, 2, 3)
+    max_size: int = 2
+
+    def widen(self, extra_ints: Tuple[int, ...]) -> "Scope":
+        merged = tuple(sorted(set(self.int_values) | set(extra_ints)))
+        return Scope(merged, self.max_size)
+
+
+@dataclass(frozen=True)
+class IntSort(Sort):
+    def domain(self, scope: Scope) -> Iterator[int]:
+        return iter(scope.int_values)
+
+    def __str__(self) -> str:
+        return "Int"
+
+
+@dataclass(frozen=True)
+class BoolSort(Sort):
+    def domain(self, scope: Scope) -> Iterator[bool]:
+        return iter((False, True))
+
+    def __str__(self) -> str:
+        return "Bool"
+
+
+@dataclass(frozen=True)
+class PairSort(Sort):
+    first: Sort
+    second: Sort
+
+    def domain(self, scope: Scope) -> Iterator[tuple]:
+        return itertools.product(self.first.domain(scope), self.second.domain(scope))
+
+    def __str__(self) -> str:
+        return f"Pair[{self.first}, {self.second}]"
+
+
+@dataclass(frozen=True)
+class SeqSort(Sort):
+    element: Sort
+
+    def domain(self, scope: Scope) -> Iterator[tuple]:
+        for size in range(scope.max_size + 1):
+            yield from itertools.product(self.element.domain(scope), repeat=size)
+
+    def __str__(self) -> str:
+        return f"Seq[{self.element}]"
+
+
+@dataclass(frozen=True)
+class SetSort(Sort):
+    element: Sort
+
+    def domain(self, scope: Scope) -> Iterator[frozenset]:
+        elements = list(self.element.domain(scope))
+        for size in range(min(scope.max_size, len(elements)) + 1):
+            for combo in itertools.combinations(elements, size):
+                yield frozenset(combo)
+
+    def __str__(self) -> str:
+        return f"Set[{self.element}]"
+
+
+@dataclass(frozen=True)
+class MultisetSort(Sort):
+    element: Sort
+
+    def domain(self, scope: Scope) -> Iterator[Multiset]:
+        elements = list(self.element.domain(scope))
+        for size in range(scope.max_size + 1):
+            for combo in itertools.combinations_with_replacement(elements, size):
+                yield Multiset(combo)
+
+    def __str__(self) -> str:
+        return f"MultiSet[{self.element}]"
+
+
+@dataclass(frozen=True)
+class MapSort(Sort):
+    key: Sort
+    value: Sort
+
+    def domain(self, scope: Scope) -> Iterator[PMap]:
+        keys = list(self.key.domain(scope))
+        values = list(self.value.domain(scope))
+        for size in range(min(scope.max_size, len(keys)) + 1):
+            for key_combo in itertools.combinations(keys, size):
+                for value_combo in itertools.product(values, repeat=size):
+                    yield PMap(dict(zip(key_combo, value_combo)))
+
+    def __str__(self) -> str:
+        return f"Map[{self.key}, {self.value}]"
+
+
+INT = IntSort()
+BOOL = BoolSort()

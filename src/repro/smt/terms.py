@@ -1,0 +1,223 @@
+"""A many-sorted first-order term language.
+
+Terms are the currency of the verifier's verification conditions.  The
+interpreted operations are the object language's operators plus the pure
+functions of :mod:`repro.lang.values`, so any program expression can be
+lifted to a term (:func:`from_expr`) and any term evaluated under a
+variable assignment (:func:`evaluate_term`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Tuple
+
+from ..lang import ast as lang_ast
+from ..lang.values import PURE_FUNCTIONS
+from .sorts import Sort
+
+
+class Term:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Const(Term):
+    value: Any
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class SymVar(Term):
+    name: str
+    sort: Sort
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class App(Term):
+    op: str
+    args: Tuple[Term, ...]
+
+    def __str__(self) -> str:
+        if len(self.args) == 2 and not self.op.isalnum():
+            return f"({self.args[0]} {self.op} {self.args[1]})"
+        return f"{self.op}({', '.join(map(str, self.args))})"
+
+
+# -- interpretation of operators ------------------------------------------------
+
+
+def _int_div(left: int, right: int) -> int:
+    return left // right if right != 0 else 0
+
+
+def _int_mod(left: int, right: int) -> int:
+    return left % right if right != 0 else 0
+
+
+_BUILTIN_OPS: dict[str, Callable[..., Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": _int_div,
+    "%": _int_mod,
+    "neg": lambda a: -a,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "not": lambda a: not a,
+    "and": lambda a, b: bool(a) and bool(b),
+    "or": lambda a, b: bool(a) or bool(b),
+    "implies": lambda a, b: (not a) or bool(b),
+    "ite": lambda c, t, e: t if c else e,
+}
+
+OPERATIONS: dict[str, Callable[..., Any]] = {**_BUILTIN_OPS, **PURE_FUNCTIONS}
+
+
+class UnknownOperation(Exception):
+    pass
+
+
+def evaluate_term(term: Term, assignment: Mapping[str, Any]) -> Any:
+    """Evaluate a closed-under-``assignment`` term to a value."""
+    if isinstance(term, Const):
+        return term.value
+    if isinstance(term, SymVar):
+        if term.name not in assignment:
+            raise KeyError(f"unassigned symbolic variable {term.name!r}")
+        return assignment[term.name]
+    if isinstance(term, App):
+        # 'and'/'or'/'implies'/'ite' evaluate lazily so that guarded
+        # sub-terms (e.g. division or indexing) are safe.
+        if term.op == "and":
+            return all(bool(evaluate_term(arg, assignment)) for arg in term.args)
+        if term.op == "or":
+            return any(bool(evaluate_term(arg, assignment)) for arg in term.args)
+        if term.op == "implies":
+            if not evaluate_term(term.args[0], assignment):
+                return True
+            return bool(evaluate_term(term.args[1], assignment))
+        if term.op == "ite":
+            if evaluate_term(term.args[0], assignment):
+                return evaluate_term(term.args[1], assignment)
+            return evaluate_term(term.args[2], assignment)
+        operation = OPERATIONS.get(term.op)
+        if operation is None:
+            raise UnknownOperation(term.op)
+        return operation(*(evaluate_term(arg, assignment) for arg in term.args))
+    raise TypeError(f"not a term: {term!r}")
+
+
+def free_symvars(term: Term) -> frozenset[SymVar]:
+    if isinstance(term, Const):
+        return frozenset()
+    if isinstance(term, SymVar):
+        return frozenset({term})
+    if isinstance(term, App):
+        result: frozenset[SymVar] = frozenset()
+        for arg in term.args:
+            result |= free_symvars(arg)
+        return result
+    raise TypeError(f"not a term: {term!r}")
+
+
+def substitute(term: Term, mapping: Mapping[str, Term]) -> Term:
+    if isinstance(term, Const):
+        return term
+    if isinstance(term, SymVar):
+        return mapping.get(term.name, term)
+    if isinstance(term, App):
+        return App(term.op, tuple(substitute(arg, mapping) for arg in term.args))
+    raise TypeError(f"not a term: {term!r}")
+
+
+def int_constants(term: Term) -> frozenset[int]:
+    """Integer constants occurring in a term (used to widen scopes)."""
+    if isinstance(term, Const):
+        if isinstance(term.value, bool):
+            return frozenset()
+        if isinstance(term.value, int):
+            return frozenset({term.value})
+        return frozenset()
+    if isinstance(term, SymVar):
+        return frozenset()
+    if isinstance(term, App):
+        result: frozenset[int] = frozenset()
+        for arg in term.args:
+            result |= int_constants(arg)
+        return result
+    raise TypeError(f"not a term: {term!r}")
+
+
+# -- convenience constructors ----------------------------------------------------
+
+
+def conj(*terms: Term) -> Term:
+    terms = tuple(t for t in terms if t != Const(True))
+    if not terms:
+        return Const(True)
+    result = terms[0]
+    for term in terms[1:]:
+        result = App("and", (result, term))
+    return result
+
+
+def disj(*terms: Term) -> Term:
+    if not terms:
+        return Const(False)
+    result = terms[0]
+    for term in terms[1:]:
+        result = App("or", (result, term))
+    return result
+
+
+def implies(antecedent: Term, consequent: Term) -> Term:
+    return App("implies", (antecedent, consequent))
+
+
+def eq(left: Term, right: Term) -> Term:
+    return App("==", (left, right))
+
+
+def negate(term: Term) -> Term:
+    return App("not", (term,))
+
+
+_LANG_BINOPS = {"&&": "and", "||": "or"}
+_LANG_UNOPS = {"-": "neg", "!": "not"}
+
+
+def from_expr(expr: lang_ast.Expr, rename: Mapping[str, Term] | None = None) -> Term:
+    """Lift an object-language expression to a term.
+
+    ``rename`` maps program variable names to terms (e.g. to the left/right
+    copies in a product construction); unmapped variables become symbolic
+    variables of unknown sort.
+    """
+    rename = rename or {}
+    if isinstance(expr, lang_ast.Lit):
+        return Const(expr.value)
+    if isinstance(expr, lang_ast.Var):
+        mapped = rename.get(expr.name)
+        if mapped is not None:
+            return mapped
+        from .sorts import INT
+
+        return SymVar(expr.name, INT)
+    if isinstance(expr, lang_ast.BinOp):
+        op = _LANG_BINOPS.get(expr.op, expr.op)
+        return App(op, (from_expr(expr.left, rename), from_expr(expr.right, rename)))
+    if isinstance(expr, lang_ast.UnOp):
+        return App(_LANG_UNOPS[expr.op], (from_expr(expr.operand, rename),))
+    if isinstance(expr, lang_ast.Call):
+        return App(expr.function, tuple(from_expr(arg, rename) for arg in expr.args))
+    raise TypeError(f"not an expression: {expr!r}")

@@ -1,0 +1,61 @@
+"""Resource specifications, validity (abstract commutativity), catalogue."""
+
+from .actions import Action, ActionKind, low_everything, low_first, low_pair
+from .consistency import (
+    abstractions_of_interleavings,
+    is_consistent,
+    lemma_4_2_holds,
+    reachable_values,
+)
+from .inference import (
+    AbstractionInference,
+    CandidateAbstraction,
+    InferredPrecondition,
+    PreconditionInference,
+    STANDARD_ABSTRACTIONS,
+    candidate_projections,
+    infer_abstraction,
+    infer_preconditions,
+    precision,
+)
+from .resource import ResourceContext, ResourceSpecification, merge_shared
+from .validity import (
+    Counterexample,
+    ValidityReport,
+    check_condition_a,
+    check_condition_b,
+    check_validity,
+    fuzz_validity,
+)
+from . import library
+
+__all__ = [
+    "AbstractionInference",
+    "Action",
+    "ActionKind",
+    "CandidateAbstraction",
+    "Counterexample",
+    "InferredPrecondition",
+    "PreconditionInference",
+    "STANDARD_ABSTRACTIONS",
+    "candidate_projections",
+    "infer_abstraction",
+    "infer_preconditions",
+    "precision",
+    "ResourceContext",
+    "ResourceSpecification",
+    "ValidityReport",
+    "abstractions_of_interleavings",
+    "check_condition_a",
+    "check_condition_b",
+    "check_validity",
+    "fuzz_validity",
+    "is_consistent",
+    "lemma_4_2_holds",
+    "library",
+    "low_everything",
+    "low_first",
+    "low_pair",
+    "merge_shared",
+    "reachable_values",
+]

@@ -1,0 +1,120 @@
+"""Actions of a resource specification (Sec. 3.2).
+
+An action ``a`` consists of a total function ``f_a : T → T_arg → T`` on the
+pure resource value and a *relational precondition* ``pre_a`` on pairs of
+arguments (one from each of the two executions being compared).
+
+Most preconditions in the paper have the shape "these projections of the
+argument are low (equal in both executions), and each argument satisfies
+this unary constraint" (e.g. Fig. 4 right: ``Low(key) ∧ Low(val) ∧ key ∈
+range_i``).  :class:`Action` therefore takes:
+
+* ``low_projections`` — named functions of the argument whose results
+  must be *equal across the two executions*;
+* ``unary_requires`` — a per-execution predicate on the argument;
+* ``relational_requires`` — an escape hatch for fully general relational
+  preconditions.
+
+The derived relational precondition is the conjunction of all three.
+Keeping the low projections structured (rather than folding everything
+into an opaque ``pre(arg1, arg2)``) is what lets the automated verifier
+discharge property (3a) with a taint analysis, and lets ``PRE`` bijections
+be decided with bipartite matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Optional, Tuple
+
+
+class ActionKind(Enum):
+    SHARED = "shared"
+    UNIQUE = "unique"
+
+
+def _identity(arg: Any) -> Any:
+    return arg
+
+
+@dataclass(frozen=True)
+class Action:
+    """An action of a resource specification.
+
+    ``apply(value, arg)`` must be a *total* function of the resource value
+    (App. D explains why partial actions are unsound); totalize with ghost
+    state if the natural definition is partial.
+    """
+
+    name: str
+    kind: ActionKind
+    apply: Callable[[Any, Any], Any]
+    low_projections: Tuple[Tuple[str, Callable[[Any], Any]], ...] = ()
+    unary_requires: Optional[Callable[[Any], bool]] = None
+    relational_requires: Optional[Callable[[Any, Any], bool]] = None
+
+    @classmethod
+    def shared(
+        cls,
+        name: str,
+        apply: Callable[[Any, Any], Any],
+        low_projections: Tuple[Tuple[str, Callable[[Any], Any]], ...] = (),
+        unary_requires: Optional[Callable[[Any], bool]] = None,
+        relational_requires: Optional[Callable[[Any, Any], bool]] = None,
+    ) -> "Action":
+        return cls(name, ActionKind.SHARED, apply, low_projections, unary_requires, relational_requires)
+
+    @classmethod
+    def unique(
+        cls,
+        name: str,
+        apply: Callable[[Any, Any], Any],
+        low_projections: Tuple[Tuple[str, Callable[[Any], Any]], ...] = (),
+        unary_requires: Optional[Callable[[Any], bool]] = None,
+        relational_requires: Optional[Callable[[Any, Any], bool]] = None,
+    ) -> "Action":
+        return cls(name, ActionKind.UNIQUE, apply, low_projections, unary_requires, relational_requires)
+
+    @property
+    def is_shared(self) -> bool:
+        return self.kind == ActionKind.SHARED
+
+    @property
+    def is_unique(self) -> bool:
+        return self.kind == ActionKind.UNIQUE
+
+    def precondition(self, arg1: Any, arg2: Any) -> bool:
+        """The relational precondition ``pre_a(arg1, arg2)``."""
+        for _, projection in self.low_projections:
+            if projection(arg1) != projection(arg2):
+                return False
+        if self.unary_requires is not None:
+            if not (self.unary_requires(arg1) and self.unary_requires(arg2)):
+                return False
+        if self.relational_requires is not None:
+            if not self.relational_requires(arg1, arg2):
+                return False
+        return True
+
+    def unary_precondition(self, arg: Any) -> bool:
+        """The diagonal ``pre_a(arg, arg)`` — what one execution can check."""
+        return self.precondition(arg, arg)
+
+    def __repr__(self) -> str:
+        return f"Action({self.name!r}, {self.kind.value})"
+
+
+def low_everything() -> Tuple[Tuple[str, Callable[[Any], Any]], ...]:
+    """The projection tuple requiring the whole argument to be low."""
+    return (("arg", _identity),)
+
+
+def low_first() -> Tuple[Tuple[str, Callable[[Any], Any]], ...]:
+    """Require the first component of a pair argument to be low."""
+    return (("fst", lambda arg: arg[0]),)
+
+
+def low_pair() -> Tuple[Tuple[str, Callable[[Any], Any]], ...]:
+    """Require both components of a pair argument to be low."""
+    return (("fst", lambda arg: arg[0]), ("snd", lambda arg: arg[1]))

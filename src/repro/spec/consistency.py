@@ -1,0 +1,143 @@
+"""Consistency (Sec. 3.5) and the key soundness lemma (Lemma 4.2), executable.
+
+*Consistency* connects guard states to the resource value: a value ``v``
+is consistent with initial value ``v0``, shared argument multiset
+``args_s``, and unique argument sequences ``args_i`` iff some interleaving
+of the corresponding action applications maps ``v0`` to ``v`` (unique
+sequences keep their internal order; the shared multiset may be applied in
+any order and interleaved arbitrarily).
+
+*Lemma 4.2* states that for a valid specification, any two consistent
+final values whose recorded arguments are related by the PRE conditions
+have equal abstractions.  :func:`abstractions_of_interleavings` lets tests
+verify this lemma by brute force on small instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable, Iterator, Optional, Sequence, Tuple
+
+from ..heap.multiset import Multiset
+from .resource import ResourceSpecification
+
+
+def reachable_values(
+    spec: ResourceSpecification,
+    initial: Any,
+    shared_args: Multiset | Iterable[Any] = (),
+    unique_args: Optional[dict[str, Sequence[Any]]] = None,
+) -> frozenset:
+    """All final values reachable by interleaving the recorded actions.
+
+    The shared action's arguments may be applied in any order (all
+    permutations of the multiset); each unique action's arguments must be
+    applied in their recorded sequence order; and the streams interleave
+    arbitrarily.  Exponential — for small recorded histories only.
+    """
+    shared = spec.shared_action
+    if not isinstance(shared_args, Multiset):
+        shared_args = Multiset(shared_args)
+    if shared_args and shared is None:
+        raise ValueError(f"{spec.name} has no shared action but shared args were recorded")
+    unique_args = unique_args or {}
+    streams: list[tuple[Any, ...]] = []  # each stream: ordered (action, arg) list
+    for name, args in unique_args.items():
+        action = spec.action(name)
+        if not action.is_unique:
+            raise ValueError(f"{name} is not a unique action of {spec.name}")
+        if args:
+            streams.append(tuple((action, arg) for arg in args))
+
+    results: set = set()
+    shared_elements = tuple(shared_args.elements())
+    seen_orders: set = set()
+    for order in itertools.permutations(shared_elements):
+        if order in seen_orders:
+            continue
+        seen_orders.add(order)
+        shared_stream = tuple((shared, arg) for arg in order)
+        all_streams = [stream for stream in streams]
+        if shared_stream:
+            all_streams.append(shared_stream)
+        for interleaving in _interleavings(all_streams):
+            value = initial
+            for action, arg in interleaving:
+                value = action.apply(value, arg)
+            results.add(value)
+        if not all_streams:
+            results.add(initial)
+    return frozenset(results)
+
+
+def _interleavings(streams: Sequence[tuple]) -> Iterator[tuple]:
+    """All interleavings of the given ordered streams."""
+    if not streams:
+        yield ()
+        return
+    total = sum(len(stream) for stream in streams)
+    if total == 0:
+        yield ()
+        return
+
+    def recurse(positions: tuple[int, ...]) -> Iterator[tuple]:
+        if all(position == len(stream) for position, stream in zip(positions, streams)):
+            yield ()
+            return
+        for index, (position, stream) in enumerate(zip(positions, streams)):
+            if position < len(stream):
+                advanced = positions[:index] + (position + 1,) + positions[index + 1 :]
+                head = stream[position]
+                for rest in recurse(advanced):
+                    yield (head,) + rest
+
+    yield from recurse(tuple(0 for _ in streams))
+
+
+def is_consistent(
+    spec: ResourceSpecification,
+    value: Any,
+    initial: Any,
+    shared_args: Multiset | Iterable[Any] = (),
+    unique_args: Optional[dict[str, Sequence[Any]]] = None,
+) -> bool:
+    """Sec. 3.5 consistency: is ``value`` reachable from ``initial``?"""
+    return value in reachable_values(spec, initial, shared_args, unique_args)
+
+
+def abstractions_of_interleavings(
+    spec: ResourceSpecification,
+    initial: Any,
+    shared_args: Multiset | Iterable[Any] = (),
+    unique_args: Optional[dict[str, Sequence[Any]]] = None,
+) -> frozenset:
+    """The set of abstract views over all interleavings.
+
+    For a valid specification this set is a *singleton* whenever the
+    recorded histories satisfy the PRE conditions (this is the heart of
+    Lemma 4.2 with both executions sharing one history); tests use it to
+    validate the lemma by enumeration.
+    """
+    values = reachable_values(spec, initial, shared_args, unique_args)
+    return frozenset(spec.abstraction(value) for value in values)
+
+
+def lemma_4_2_holds(
+    spec: ResourceSpecification,
+    initial1: Any,
+    initial2: Any,
+    shared_args1: Iterable[Any],
+    shared_args2: Iterable[Any],
+    unique_args1: Optional[dict[str, Sequence[Any]]] = None,
+    unique_args2: Optional[dict[str, Sequence[Any]]] = None,
+) -> bool:
+    """Brute-force check of Lemma 4.2 on one instance.
+
+    Preconditions of the lemma (equal initial abstraction, PRE-related
+    histories) are assumed checked by the caller; this function verifies
+    the *conclusion*: every value consistent with history 1 and every
+    value consistent with history 2 have equal abstractions.
+    """
+    alphas1 = abstractions_of_interleavings(spec, initial1, Multiset(shared_args1), unique_args1)
+    alphas2 = abstractions_of_interleavings(spec, initial2, Multiset(shared_args2), unique_args2)
+    return len(alphas1 | alphas2) == 1

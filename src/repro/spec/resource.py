@@ -1,0 +1,164 @@
+"""Resource specifications and resource contexts (Sec. 3.2, 3.5, Fig. 4).
+
+A resource specification ``⟨α, f_as, F_au⟩`` bundles:
+
+* an abstraction function ``α : T → T_α`` selecting the information that
+  is allowed to become public,
+* at most one *shared* action (the paper merges multiple shared actions
+  into one whose argument selects the operation; :func:`merge_shared`
+  implements exactly that construction), and
+* a family of *unique* actions indexed by name.
+
+For checkability the specification also carries small-scope *domains*:
+generators of representative resource values and action arguments used by
+the validity checker (:mod:`repro.spec.validity`) — this is the role
+Z3's symbolic domains play in HyperViper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, Tuple
+
+from .actions import Action, ActionKind
+
+
+@dataclass(frozen=True)
+class ResourceSpecification:
+    """``⟨α, f_as, F_au⟩`` plus checkability metadata.
+
+    ``value_domain`` yields representative resource values; per-action
+    argument domains live in ``arg_domains`` (keyed by action name).
+    Domains should be small (tens of values) — the validity checker
+    enumerates pairs and triples over them.
+    """
+
+    name: str
+    abstraction: Callable[[Any], Any]
+    actions: Tuple[Action, ...]
+    initial_value: Any
+    value_domain: Tuple[Any, ...]
+    arg_domains: Mapping[str, Tuple[Any, ...]]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        shared = [action for action in self.actions if action.is_shared]
+        if len(shared) > 1:
+            raise ValueError(
+                f"{self.name}: at most one shared action (merge with merge_shared); got "
+                f"{[action.name for action in shared]}"
+            )
+        names = [action.name for action in self.actions]
+        if len(set(names)) != len(names):
+            raise ValueError(f"{self.name}: duplicate action names in {names}")
+        for action in self.actions:
+            if action.name not in self.arg_domains:
+                raise ValueError(f"{self.name}: no argument domain for action {action.name!r}")
+
+    # -- lookups -----------------------------------------------------------
+
+    def action(self, name: str) -> Action:
+        for action in self.actions:
+            if action.name == name:
+                return action
+        raise KeyError(f"{self.name}: no action named {name!r}")
+
+    @property
+    def shared_action(self) -> Optional[Action]:
+        for action in self.actions:
+            if action.is_shared:
+                return action
+        return None
+
+    @property
+    def unique_actions(self) -> Tuple[Action, ...]:
+        return tuple(action for action in self.actions if action.is_unique)
+
+    def arg_domain(self, name: str) -> Tuple[Any, ...]:
+        return tuple(self.arg_domains[name])
+
+    # -- Def. 3.1 relevant pairs ---------------------------------------------
+
+    def commuting_pairs(self) -> Iterable[Tuple[Action, Action]]:
+        """The pairs that must abstractly commute (Def. 3.1 (B)):
+        (shared, shared), (shared, unique_i), (unique_i, unique_j) for i≠j."""
+        shared = self.shared_action
+        uniques = self.unique_actions
+        if shared is not None:
+            yield shared, shared
+            for unique in uniques:
+                yield shared, unique
+        for i, first in enumerate(uniques):
+            for j, second in enumerate(uniques):
+                if i != j:
+                    yield first, second
+
+    def __repr__(self) -> str:
+        return f"ResourceSpecification({self.name!r}, actions={[a.name for a in self.actions]})"
+
+
+def merge_shared(
+    name: str,
+    abstraction: Callable[[Any], Any],
+    shared_actions: Sequence[Action],
+    initial_value: Any,
+    value_domain: Tuple[Any, ...],
+    arg_domains: Mapping[str, Tuple[Any, ...]],
+    unique_actions: Sequence[Action] = (),
+    description: str = "",
+) -> ResourceSpecification:
+    """Merge several shared actions into one whose argument is a tagged
+    pair ``(action_name, arg)`` — the construction of Sec. 3.2 footnote.
+
+    The merged precondition dispatches on the tag and additionally
+    requires the tag itself to be low (two executions must match the same
+    operation kind, which is what the per-action PRE bijections would
+    enforce for separate actions).
+    """
+    by_name = {action.name: action for action in shared_actions}
+    if len(by_name) != len(shared_actions):
+        raise ValueError("duplicate shared action names")
+
+    def merged_apply(value: Any, tagged: Tuple[str, Any]) -> Any:
+        tag, arg = tagged
+        return by_name[tag].apply(value, arg)
+
+    def merged_relational(tagged1: Tuple[str, Any], tagged2: Tuple[str, Any]) -> bool:
+        tag1, arg1 = tagged1
+        tag2, arg2 = tagged2
+        if tag1 != tag2:
+            return False
+        return by_name[tag1].precondition(arg1, arg2)
+
+    merged_domain = tuple(
+        (action.name, arg) for action in shared_actions for arg in arg_domains[action.name]
+    )
+    merged = Action.shared(name + "Op", merged_apply, relational_requires=merged_relational)
+    domains = {merged.name: merged_domain}
+    for action in unique_actions:
+        domains[action.name] = tuple(arg_domains[action.name])
+    return ResourceSpecification(
+        name=name,
+        abstraction=abstraction,
+        actions=(merged, *unique_actions),
+        initial_value=initial_value,
+        value_domain=value_domain,
+        arg_domains=domains,
+        description=description,
+    )
+
+
+@dataclass(frozen=True)
+class ResourceContext:
+    """``Γ = ⟨α, f_as, F_au, I(x)⟩`` — a specification plus the invariant.
+
+    The invariant is represented by the heap location holding the pure
+    resource value (our ``I(v)`` is ``location ↦ v``, the canonical
+    points-to invariant; richer invariants live in :mod:`repro.logic`).
+    """
+
+    spec: ResourceSpecification
+    location_var: str
+
+    def __repr__(self) -> str:
+        return f"ResourceContext({self.spec.name!r} at [{self.location_var}])"

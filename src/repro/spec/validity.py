@@ -1,0 +1,205 @@
+"""Resource specification validity (Def. 3.1).
+
+A specification ``⟨α, f_as, F_au⟩`` is *valid* iff
+
+(A) every action's relational precondition preserves low-ness of the
+    abstract view:  ``α(v) = α(v') ∧ pre_a(arg, arg')  ⟹
+    α(f_a(v, arg)) = α(f_a(v', arg'))``;
+
+(B) all relevant pairs of actions commute modulo the abstraction, even
+    from two *different* start values with equal abstraction:
+    ``α(v) = α(v')  ⟹  α(f_a'(f_a(v, x), y)) = α(f_a(f_a'(v', y), x))``.
+    Relevant pairs: (shared, shared), (shared, unique_i), and
+    (unique_i, unique_j) for i ≠ j — unique actions need not commute with
+    themselves (Sec. 2.7).
+
+HyperViper discharges these conditions with Z3; we discharge them by
+exhaustive enumeration over the specification's declared small-scope
+domains, optionally extended by randomized search.  A returned
+counterexample is always genuine (it is re-checked by evaluation); a PASS
+is a bounded guarantee, like an SMT check under quantifier instantiation
+limits.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional, Tuple
+
+from .actions import Action
+from .resource import ResourceSpecification
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A concrete witness that a validity condition fails."""
+
+    condition: str  # 'A' or 'B'
+    action: str
+    other_action: Optional[str]
+    values: Tuple[Any, ...]
+    args: Tuple[Any, ...]
+    detail: str
+
+    def __str__(self) -> str:
+        return (
+            f"condition ({self.condition}) fails for {self.action}"
+            + (f"/{self.other_action}" if self.other_action else "")
+            + f": values={self.values!r} args={self.args!r} — {self.detail}"
+        )
+
+
+@dataclass(frozen=True)
+class ValidityReport:
+    """Outcome of checking Def. 3.1 on a specification."""
+
+    spec_name: str
+    valid: bool
+    counterexamples: Tuple[Counterexample, ...]
+    checks_performed: int
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+
+def _alpha_groups(spec: ResourceSpecification) -> list[list[Any]]:
+    """Group the value domain into classes with equal abstraction."""
+    groups: dict[Any, list[Any]] = {}
+    for value in spec.value_domain:
+        groups.setdefault(spec.abstraction(value), []).append(value)
+    return list(groups.values())
+
+
+def check_condition_a(
+    spec: ResourceSpecification,
+    stop_at_first: bool = True,
+) -> Tuple[list[Counterexample], int]:
+    """Check Def. 3.1 (A) over the declared domains."""
+    alpha = spec.abstraction
+    counterexamples: list[Counterexample] = []
+    checks = 0
+    groups = _alpha_groups(spec)
+    for action in spec.actions:
+        args = spec.arg_domain(action.name)
+        arg_pairs = [
+            (arg1, arg2)
+            for arg1, arg2 in itertools.product(args, repeat=2)
+            if action.precondition(arg1, arg2)
+        ]
+        for group in groups:
+            for value1, value2 in itertools.product(group, repeat=2):
+                for arg1, arg2 in arg_pairs:
+                    checks += 1
+                    result1 = alpha(action.apply(value1, arg1))
+                    result2 = alpha(action.apply(value2, arg2))
+                    if result1 != result2:
+                        counterexamples.append(
+                            Counterexample(
+                                condition="A",
+                                action=action.name,
+                                other_action=None,
+                                values=(value1, value2),
+                                args=(arg1, arg2),
+                                detail=f"abstractions diverge: {result1!r} vs {result2!r}",
+                            )
+                        )
+                        if stop_at_first:
+                            return counterexamples, checks
+    return counterexamples, checks
+
+
+def check_condition_b(
+    spec: ResourceSpecification,
+    stop_at_first: bool = True,
+) -> Tuple[list[Counterexample], int]:
+    """Check Def. 3.1 (B) — abstract commutativity — over the domains."""
+    alpha = spec.abstraction
+    counterexamples: list[Counterexample] = []
+    checks = 0
+    groups = _alpha_groups(spec)
+    for first, second in spec.commuting_pairs():
+        first_args = spec.arg_domain(first.name)
+        second_args = spec.arg_domain(second.name)
+        for group in groups:
+            for value1, value2 in itertools.product(group, repeat=2):
+                for arg_first, arg_second in itertools.product(first_args, second_args):
+                    checks += 1
+                    left = alpha(second.apply(first.apply(value1, arg_first), arg_second))
+                    right = alpha(first.apply(second.apply(value2, arg_second), arg_first))
+                    if left != right:
+                        counterexamples.append(
+                            Counterexample(
+                                condition="B",
+                                action=first.name,
+                                other_action=second.name,
+                                values=(value1, value2),
+                                args=(arg_first, arg_second),
+                                detail=f"order matters modulo α: {left!r} vs {right!r}",
+                            )
+                        )
+                        if stop_at_first:
+                            return counterexamples, checks
+    return counterexamples, checks
+
+
+def check_validity(
+    spec: ResourceSpecification,
+    stop_at_first: bool = True,
+) -> ValidityReport:
+    """Check Def. 3.1 (A) and (B) on the specification's domains."""
+    ce_a, checks_a = check_condition_a(spec, stop_at_first)
+    if ce_a and stop_at_first:
+        return ValidityReport(spec.name, False, tuple(ce_a), checks_a)
+    ce_b, checks_b = check_condition_b(spec, stop_at_first)
+    all_ce = tuple(ce_a + ce_b)
+    return ValidityReport(spec.name, not all_ce, all_ce, checks_a + checks_b)
+
+
+def fuzz_validity(
+    spec: ResourceSpecification,
+    value_gen: Callable[[random.Random], Any],
+    arg_gens: dict[str, Callable[[random.Random], Any]],
+    iterations: int = 2_000,
+    seed: int = 0,
+) -> ValidityReport:
+    """Randomized validity search beyond the declared domains.
+
+    ``value_gen`` draws resource values and ``arg_gens[name]`` draws
+    arguments for each action; a discovered counterexample is returned
+    exactly as from :func:`check_validity`.
+    """
+    rng = random.Random(seed)
+    alpha = spec.abstraction
+    counterexamples: list[Counterexample] = []
+    checks = 0
+    pairs = list(spec.commuting_pairs())
+    for _ in range(iterations):
+        checks += 1
+        # Condition (A) probe: same value (so abstractions trivially equal)
+        # plus a precondition-respecting argument pair.
+        action = rng.choice(spec.actions)
+        value = value_gen(rng)
+        arg1 = arg_gens[action.name](rng)
+        arg2 = arg_gens[action.name](rng)
+        if action.precondition(arg1, arg2):
+            if alpha(action.apply(value, arg1)) != alpha(action.apply(value, arg2)):
+                counterexamples.append(
+                    Counterexample("A", action.name, None, (value, value), (arg1, arg2), "fuzz")
+                )
+                break
+        # Condition (B) probe.
+        if pairs:
+            first, second = rng.choice(pairs)
+            value = value_gen(rng)
+            arg_first = arg_gens[first.name](rng)
+            arg_second = arg_gens[second.name](rng)
+            left = alpha(second.apply(first.apply(value, arg_first), arg_second))
+            right = alpha(first.apply(second.apply(value, arg_second), arg_first))
+            if left != right:
+                counterexamples.append(
+                    Counterexample("B", first.name, second.name, (value, value), (arg_first, arg_second), "fuzz")
+                )
+                break
+    return ValidityReport(spec.name, not counterexamples, tuple(counterexamples), checks)

@@ -1,0 +1,224 @@
+"""The timing-sensitive baseline: what existing techniques accept.
+
+The paper positions CommCSL against verification techniques that prevent
+internal timing channels by *forbidding secret-dependent timing*
+altogether — no branching or looping on high data (Smith 2007, Sabelfeld
+& Sands 2000, SecCSL [Ernst & Murray 2019], COVERN [Murray et al. 2018];
+see Sec. 1 and Sec. 6).  Under their discipline two executions with equal
+low inputs take the *same control path*, so the scheduler behaves
+identically and no internal timing channel exists — but any program whose
+timing depends on a secret is rejected, sound hardware model or not.
+
+This module implements that baseline as a checker over our language:
+
+* standard flow-sensitive taint tracking of explicit flows (like the main
+  pipeline), and
+* **rejection of every ``if``/``while`` whose condition is high** and of
+  every ``atomic ... when`` guard that reads shared state (its
+  enabledness is schedule-dependent),
+
+with *no* commutativity reasoning: shared cells hold low data only if
+every write into them is low-in-low-context.
+
+Its purpose is the evaluation claim of Sec. 5: "Ca. half of our examples
+have secret-dependent timing due to branches on high data, and would thus
+be rejected by existing techniques, even if the attacker cannot observe
+timing."  ``benchmarks/bench_baseline.py`` runs this checker on all 18
+Table-1 case studies and reports which survive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..lang.ast import (
+    Alloc,
+    Assign,
+    Atomic,
+    Command,
+    Fork,
+    If,
+    Join,
+    Load,
+    Par,
+    Print,
+    Seq,
+    Share,
+    Skip,
+    Store,
+    Unshare,
+    Var,
+    While,
+)
+from .declarations import ProgramSpec
+from .taint import HIGH, LOW, Taint, join
+
+
+@dataclass
+class BaselineReport:
+    """Verdict of the timing-sensitive baseline."""
+
+    name: str
+    accepted: bool
+    rejections: tuple[str, ...]
+
+    def summary(self) -> str:
+        verdict = "ACCEPTED" if self.accepted else "REJECTED"
+        lines = [f"{self.name}: {verdict} (timing-sensitive baseline)"]
+        for reason in self.rejections:
+            lines.append(f"  reject: {reason}")
+        return "\n".join(lines)
+
+
+@dataclass
+class _State:
+    env: dict = field(default_factory=dict)
+    heap: dict = field(default_factory=dict)  # location var -> taint
+
+    def copy(self) -> "_State":
+        return _State(dict(self.env), dict(self.heap))
+
+    def var(self, name: str) -> Taint:
+        return self.env.get(name, LOW)
+
+    def join_with(self, other: "_State") -> None:
+        for name in set(self.env) | set(other.env):
+            self.env[name] = join(self.var(name), other.var(name))
+        for name in set(self.heap) | set(other.heap):
+            self.heap[name] = join(self.heap.get(name, LOW), other.heap.get(name, LOW))
+
+
+class BaselineChecker:
+    """Flow-sensitive taint + no-high-control-flow discipline."""
+
+    def __init__(self, program_spec: ProgramSpec) -> None:
+        self._spec = program_spec
+        self._rejections: list[str] = []
+
+    def check(self) -> BaselineReport:
+        state = _State()
+        for name in self._spec.low_inputs:
+            state.env[name] = LOW
+        for name in self._spec.high_inputs:
+            state.env[name] = HIGH
+        self._walk(self._spec.program, state)
+        return BaselineReport(
+            self._spec.name, not self._rejections, tuple(self._rejections)
+        )
+
+    # -- expressions -----------------------------------------------------
+
+    def _expr_taint(self, expr, state: _State) -> Taint:
+        from ..lang.ast import BinOp, Call, Lit, UnOp
+
+        if isinstance(expr, Lit):
+            return LOW
+        if isinstance(expr, Var):
+            return state.var(expr.name)
+        if isinstance(expr, UnOp):
+            return self._expr_taint(expr.operand, state)
+        if isinstance(expr, BinOp):
+            return join(
+                self._expr_taint(expr.left, state), self._expr_taint(expr.right, state)
+            )
+        if isinstance(expr, Call):
+            taint = LOW
+            for arg in expr.args:
+                taint = join(taint, self._expr_taint(arg, state))
+            return taint
+        raise TypeError(f"not an expression: {expr!r}")
+
+    # -- commands ---------------------------------------------------------
+
+    def _walk(self, cmd: Command, state: _State) -> None:
+        if isinstance(cmd, (Skip, Share, Unshare)):
+            return
+        if isinstance(cmd, Assign):
+            state.env[cmd.target] = self._expr_taint(cmd.expr, state)
+            return
+        if isinstance(cmd, Alloc):
+            state.env[cmd.target] = LOW
+            state.heap[cmd.target] = self._expr_taint(cmd.expr, state)
+            return
+        if isinstance(cmd, Load):
+            if isinstance(cmd.address, Var):
+                state.env[cmd.target] = state.heap.get(cmd.address.name, HIGH)
+            else:
+                state.env[cmd.target] = HIGH
+            return
+        if isinstance(cmd, Store):
+            taint = self._expr_taint(cmd.expr, state)
+            if isinstance(cmd.address, Var):
+                # A single high write taints the cell for the whole run —
+                # no commutativity argument can later reclaim it.
+                key = cmd.address.name
+                state.heap[key] = join(state.heap.get(key, LOW), taint)
+            return
+        if isinstance(cmd, Seq):
+            self._walk(cmd.first, state)
+            self._walk(cmd.second, state)
+            return
+        if isinstance(cmd, If):
+            condition = self._expr_taint(cmd.condition, state)
+            if condition.is_high():
+                self._rejections.append(
+                    f"if ({cmd.condition}): branching on high data (secret-dependent "
+                    f"timing; forbidden by the baseline discipline)"
+                )
+            then_state = state.copy()
+            else_state = state.copy()
+            self._walk(cmd.then_branch, then_state)
+            self._walk(cmd.else_branch, else_state)
+            then_state.join_with(else_state)
+            state.env, state.heap = then_state.env, then_state.heap
+            return
+        if isinstance(cmd, While):
+            for _ in range(64):
+                condition = self._expr_taint(cmd.condition, state)
+                if condition.is_high():
+                    self._rejections.append(
+                        f"while ({cmd.condition}): looping on high data "
+                        f"(secret-dependent timing; forbidden by the baseline)"
+                    )
+                    return
+                body_state = state.copy()
+                self._walk(cmd.body, body_state)
+                body_state.join_with(state)
+                before = dict(state.env), dict(state.heap)
+                state.env, state.heap = body_state.env, body_state.heap
+                if before == (state.env, state.heap):
+                    return
+            return
+        if isinstance(cmd, Par):
+            left_state = state.copy()
+            right_state = state.copy()
+            self._walk(cmd.left, left_state)
+            self._walk(cmd.right, right_state)
+            left_state.join_with(right_state)
+            state.env, state.heap = left_state.env, left_state.heap
+            return
+        if isinstance(cmd, Atomic):
+            if cmd.when is not None:
+                self._rejections.append(
+                    f"atomic ... when ({cmd.when}): blocking on shared state makes "
+                    f"progress schedule-dependent (rejected by the baseline)"
+                )
+            self._walk(cmd.body, state)
+            return
+        if isinstance(cmd, Print):
+            taint = self._expr_taint(cmd.expr, state)
+            if taint.is_high():
+                self._rejections.append(
+                    f"print({cmd.expr}): printed value is high (explicit flow)"
+                )
+            return
+        if isinstance(cmd, (Fork, Join)):
+            self._rejections.append(f"{cmd}: dynamic threads not supported by the baseline")
+            return
+        raise TypeError(f"not a command: {cmd!r}")
+
+
+def baseline_check(program_spec: ProgramSpec) -> BaselineReport:
+    """Run the timing-sensitive baseline on a verification problem."""
+    return BaselineChecker(program_spec).check()

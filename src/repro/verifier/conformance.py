@@ -1,0 +1,125 @@
+"""Action conformance: atomic bodies implement their declared action.
+
+The AtomicShr/AtomicUnq rules require that if ``I(v)`` holds before the
+block, ``I(f_a(v, arg))`` holds after it.  With the canonical points-to
+invariant this means: running the atomic body from a heap where the
+resource cell holds ``v`` must leave the cell holding exactly
+``f_a(v, arg)``, where ``arg`` is the annotated argument expression
+evaluated in the pre-state.
+
+HyperViper discharges this against the data structure's separation-logic
+specification via SMT; we discharge it by *semantic sampling*: execute the
+body on every value of the specification's small-scope value domain, with
+the body's free variables drawn from a sampling pool, and compare the
+cell's final value against the action function.  Samples whose variable
+assignment makes the body's expressions ill-typed are skipped (the pool
+mixes integers and structured values); at least one well-typed sample per
+resource value is required.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from ..lang.ast import Atomic, command_fv, expr_fv
+from ..lang.interpreter import AbortError, run
+from ..lang.semantics import EvaluationError, evaluate
+from .declarations import ResourceDecl
+
+_CELL = 1  # fixed heap address for the resource cell during sampling
+
+
+@dataclass(frozen=True)
+class ConformanceFailure:
+    action: str
+    value: Any
+    store: dict
+    expected: Any
+    actual: Any
+
+    def __str__(self) -> str:
+        return (
+            f"atomic body does not implement {self.action}: from value {self.value!r} "
+            f"with store {self.store!r}, expected {self.expected!r} but body produced "
+            f"{self.actual!r}"
+        )
+
+
+@dataclass(frozen=True)
+class ConformanceReport:
+    action: str
+    failures: tuple[ConformanceFailure, ...]
+    samples_checked: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and self.samples_checked > 0
+
+    def __str__(self) -> str:
+        if self.ok:
+            return f"{self.action}: conforms ({self.samples_checked} samples)"
+        if not self.samples_checked:
+            return f"{self.action}: NO well-typed samples — cannot check conformance"
+        return f"{self.action}: {len(self.failures)} failures, e.g. {self.failures[0]}"
+
+
+def check_conformance(
+    decl: ResourceDecl,
+    atomic: Atomic,
+    samples_per_value: int = 6,
+    seed: int = 0,
+    stop_at_first: bool = True,
+) -> ConformanceReport:
+    """Check one annotated atomic block against its action function."""
+    action = decl.spec.action(atomic.action)
+    rng = random.Random(seed)
+    free = sorted(
+        (command_fv(atomic.body) | expr_fv(atomic.argument)) - {decl.location_var}
+    )
+    pool = _sampling_pool(decl)
+    failures: list[ConformanceFailure] = []
+    checked = 0
+    for value in decl.spec.value_domain:
+        for _ in range(samples_per_value):
+            store = {name: rng.choice(pool) for name in free}
+            store[decl.location_var] = _CELL
+            if atomic.when is not None:
+                # Blocked configurations never execute the body; the action
+                # only needs to be implemented on guard-enabled states.
+                try:
+                    enabled = evaluate(atomic.when, store, {_CELL: value})
+                except (EvaluationError, TypeError, AttributeError, IndexError, KeyError):
+                    continue
+                if not enabled:
+                    continue
+            try:
+                arg = evaluate(atomic.argument, store)
+                expected = action.apply(value, arg)
+                result = run(atomic.body, inputs=store, heap={_CELL: value})
+                actual = result.heap.get(_CELL)
+            except (EvaluationError, AbortError, TypeError, AttributeError, IndexError, KeyError):
+                continue  # ill-typed sample; try another
+            checked += 1
+            if actual != expected:
+                failures.append(ConformanceFailure(action.name, value, store, expected, actual))
+                if stop_at_first:
+                    return ConformanceReport(action.name, tuple(failures), checked)
+    return ConformanceReport(action.name, tuple(failures), checked)
+
+
+def _sampling_pool(decl: ResourceDecl) -> list:
+    """Values to draw body variables from: small integers plus the
+    components of the action argument domains."""
+    pool: list = [0, 1, 2, 3, -1]
+    for action in decl.spec.actions:
+        for arg in decl.spec.arg_domain(action.name):
+            pool.append(arg)
+            if isinstance(arg, tuple):
+                pool.extend(arg)
+    unique: list = []
+    for value in pool:
+        if not any(value == other and type(value) == type(other) for other in unique):
+            unique.append(value)
+    return unique

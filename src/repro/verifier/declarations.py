@@ -1,0 +1,84 @@
+"""Program-level verification declarations.
+
+A :class:`ResourceDecl` binds a resource specification to a program: the
+name used by ``share``/``unshare`` commands, the variable holding the
+allocated heap location of the shared cell, and the *low views* — names of
+pure functions ``f`` such that ``f(v)`` is low whenever ``α(v)`` is low
+(used by the taint analysis to type reads after unsharing; e.g. ``keys``
+for the key-set abstraction of Fig. 4 left).
+
+A :class:`ProgramSpec` is the full verification problem: the program, its
+resources, and the input sensitivity labelling (Def. 2.1's ``I_l``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+from ..lang.ast import Command
+from ..spec.resource import ResourceSpecification
+
+
+@dataclass(frozen=True)
+class ResourceDecl:
+    """A shared resource declaration for one program."""
+
+    name: str
+    spec: ResourceSpecification
+    location_var: str
+    low_views: Tuple[str, ...] = ()
+
+    def has_identity_abstraction(self) -> bool:
+        """True iff α is the identity on the declared value domain, in
+        which case the raw resource value is low after unsharing."""
+        return all(self.spec.abstraction(value) == value for value in self.spec.value_domain)
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """A verification problem: program + resources + input labelling.
+
+    ``low_channels`` lists the output channels the attacker observes;
+    ``None`` means every channel is observable (the paper's single public
+    output).  Prints on unobservable channels are exempt from the lowness
+    check — this is the I/O-sensitivity extension of Sec. 3.7 and the
+    mechanism behind multi-level verification (:mod:`repro.security.lattice`).
+    """
+
+    name: str
+    program: Command
+    resources: Tuple[ResourceDecl, ...]
+    low_inputs: FrozenSet[str] = frozenset()
+    high_inputs: FrozenSet[str] = frozenset()
+    low_channels: "FrozenSet[str] | None" = None
+
+    def channel_observable(self, channel: str) -> bool:
+        return self.low_channels is None or channel in self.low_channels
+
+    def resource_by_name(self, name: str) -> ResourceDecl:
+        for decl in self.resources:
+            if decl.name == name:
+                return decl
+        raise KeyError(f"{self.name}: no resource named {name!r}")
+
+    def resource_by_action(self, action_name: str) -> ResourceDecl:
+        matches = [
+            decl
+            for decl in self.resources
+            if any(action.name == action_name for action in decl.spec.actions)
+        ]
+        if not matches:
+            raise KeyError(f"{self.name}: no resource has an action named {action_name!r}")
+        if len(matches) > 1:
+            raise KeyError(
+                f"{self.name}: action {action_name!r} is ambiguous between "
+                f"{[decl.name for decl in matches]}"
+            )
+        return matches[0]
+
+    def resource_by_location(self, location_var: str) -> "ResourceDecl | None":
+        for decl in self.resources:
+            if decl.location_var == location_var:
+                return decl
+        return None

@@ -1,0 +1,210 @@
+"""The verification frontend (the HyperViper analogue's entry point).
+
+``verify(program_spec, ...)`` runs the full pipeline:
+
+1. **Specification validity** (Def. 3.1) for every declared resource —
+   the abstract-commutativity core of the technique;
+2. **Static analysis**: the relational taint walk plus the CSL/guard
+   discipline checks of :mod:`repro.verifier.analysis`;
+3. **Action conformance**: every annotated atomic block semantically
+   implements its declared action (:mod:`repro.verifier.conformance`);
+4. **Retroactive obligations**: obligations the static analysis deferred
+   (high-context action counts, retroactive preconditions, unary argument
+   constraints) are discharged with the bounded relational checker of
+   :mod:`repro.security.noninterference` on caller-supplied instances —
+   the executable counterpart of the paper's check-at-unshare mechanism.
+
+The verdict is ``verified`` only when every stage passes; every failure
+carries a human-readable reason, and counterexamples are concrete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..security.noninterference import NIReport, check_noninterference
+from ..spec.validity import ValidityReport, check_validity
+from .analysis import Obligation, TaintAnalyzer
+from .conformance import ConformanceReport, check_conformance
+from .declarations import ProgramSpec
+
+InstanceGenerator = Callable[[], Sequence[Sequence[dict]]]
+
+
+@dataclass
+class VerificationResult:
+    """The outcome of verifying one program."""
+
+    name: str
+    verified: bool
+    errors: tuple[str, ...]
+    obligations: tuple[Obligation, ...]
+    validity_reports: dict[str, ValidityReport]
+    conformance_reports: tuple[ConformanceReport, ...]
+    ni_report: Optional[NIReport] = None
+    #: (action, solver verdict string) per block discharged symbolically.
+    symbolic_conformance: tuple = ()
+
+    def summary(self) -> str:
+        lines = [f"{self.name}: {'VERIFIED' if self.verified else 'REJECTED'}"]
+        for error in self.errors:
+            lines.append(f"  error: {error}")
+        for obligation in self.obligations:
+            lines.append(f"  obligation: {obligation}")
+        return "\n".join(lines)
+
+
+def verify_threaded(
+    name: str,
+    threaded_program: "ThreadedProgram",
+    resources: tuple,
+    low_inputs: frozenset = frozenset(),
+    high_inputs: frozenset = frozenset(),
+    **verify_kwargs,
+) -> VerificationResult:
+    """Verify a fork/join program (HyperViper's richer language, Sec. 5).
+
+    The program is first reduced to the paper's structured ``||`` calculus
+    with :func:`repro.lang.desugar.threaded_equivalent`; the reduction is
+    behaviour-preserving for the barrier-structured fragment (tokens in
+    scalar variables, joins matching forks — checked, with a rejection
+    otherwise), after which the standard pipeline applies unchanged.
+    """
+    from ..lang.desugar import DesugarError, threaded_equivalent
+
+    try:
+        structured = threaded_equivalent(threaded_program)
+    except DesugarError as error:
+        return VerificationResult(
+            name=name,
+            verified=False,
+            errors=(f"fork/join reduction failed: {error}",),
+            obligations=(),
+            validity_reports={},
+            conformance_reports=(),
+        )
+    program_spec = ProgramSpec(
+        name=name,
+        program=structured,
+        resources=resources,
+        low_inputs=low_inputs,
+        high_inputs=high_inputs,
+    )
+    return verify(program_spec, **verify_kwargs)
+
+
+def verify(
+    program_spec: ProgramSpec,
+    bounded_instances: Optional[InstanceGenerator] = None,
+    exhaustive_discharge: bool = False,
+    conformance_samples: int = 6,
+    conformance_mode: str = "auto",
+) -> VerificationResult:
+    """Run the full verification pipeline on one program.
+
+    ``conformance_mode`` selects how stage 3 (atomic bodies implement
+    their actions) is discharged:
+
+    * ``"auto"`` (default) — symbolic VC generation + the SMT solver
+      (all paths covered by construction); blocks outside the symbolic
+      fragment (loops in atomic bodies, blocking guards, foreign heap
+      cells) fall back to semantic sampling;
+    * ``"symbolic"`` — symbolic only; out-of-fragment blocks error;
+    * ``"sampling"`` — semantic sampling only (the pre-VC behaviour).
+    """
+    if conformance_mode not in ("auto", "symbolic", "sampling"):
+        raise ValueError(f"unknown conformance_mode {conformance_mode!r}")
+    errors: list[str] = []
+
+    # Stage 1: specification validity (Def. 3.1).
+    validity_reports: dict[str, ValidityReport] = {}
+    for decl in program_spec.resources:
+        report = check_validity(decl.spec)
+        validity_reports[decl.name] = report
+        if not report.valid:
+            for counterexample in report.counterexamples:
+                errors.append(f"resource {decl.name}: invalid specification — {counterexample}")
+
+    # Stage 2: static analysis (taint + CSL discipline).
+    analyzer = TaintAnalyzer(program_spec)
+    analysis = analyzer.analyze()
+    errors.extend(analysis.errors)
+
+    # Stage 3: action conformance of every annotated atomic block —
+    # symbolically where possible, by semantic sampling otherwise.
+    from ..smt.solver import Verdict
+    from .vcgen import VCError, discharge_conformance
+
+    conformance_reports: list[ConformanceReport] = []
+    symbolic_conformance: list[tuple[str, str]] = []
+    for atomic in analysis.atomic_blocks:
+        decl = program_spec.resource_by_action(atomic.action)
+        symbolic_result = None
+        if conformance_mode in ("auto", "symbolic") and atomic.when is None:
+            try:
+                symbolic_result = discharge_conformance(decl, atomic)
+            except VCError as error:
+                if conformance_mode == "symbolic":
+                    errors.append(f"atomic [{atomic.action}]: symbolic conformance failed: {error}")
+                    continue
+                symbolic_result = None
+        elif conformance_mode == "symbolic":
+            errors.append(
+                f"atomic [{atomic.action}]: blocking guards are outside the "
+                f"symbolic conformance fragment"
+            )
+            continue
+        if symbolic_result is not None and symbolic_result.verdict != Verdict.UNKNOWN:
+            symbolic_conformance.append((atomic.action, symbolic_result.verdict.value))
+            if symbolic_result.verdict == Verdict.REFUTED:
+                errors.append(
+                    f"atomic [{atomic.action}]: body does not implement the action — "
+                    f"symbolic countermodel {dict(symbolic_result.model or {})}"
+                )
+            continue
+        report = check_conformance(decl, atomic, samples_per_value=conformance_samples)
+        conformance_reports.append(report)
+        if not report.ok:
+            errors.append(str(report))
+
+    # Stage 4: retroactive obligations via bounded relational checking.
+    ni_report: Optional[NIReport] = None
+    obligations = list(analysis.obligations)
+    if obligations and not errors:
+        if bounded_instances is None:
+            errors.append(
+                f"{len(obligations)} retroactive obligation(s) and no bounded instances "
+                f"supplied to discharge them"
+            )
+        else:
+            from ..security.noninterference import channel_observer
+
+            ni_report = check_noninterference(
+                program_spec.program,
+                bounded_instances(),
+                exhaustive=exhaustive_discharge,
+                observe=channel_observer(program_spec.low_channels),
+            )
+            if ni_report.secure:
+                for obligation in obligations:
+                    obligation.discharged = True
+                    obligation.method = (
+                        "exhaustive interleaving check" if exhaustive_discharge else "sampled schedules"
+                    )
+            else:
+                errors.append(
+                    f"retroactive obligations refuted by bounded checking: {ni_report.witness}"
+                )
+
+    verified = not errors
+    return VerificationResult(
+        name=program_spec.name,
+        verified=verified,
+        errors=tuple(errors),
+        obligations=tuple(obligations),
+        validity_reports=validity_reports,
+        conformance_reports=tuple(conformance_reports),
+        ni_report=ni_report,
+        symbolic_conformance=tuple(symbolic_conformance),
+    )

@@ -1,0 +1,309 @@
+"""Modular product program construction (Eilers et al. 2018).
+
+HyperViper discharges relational proof obligations by translating the
+program into a *modular product program*: a single (unary) program that
+simulates two executions at once, with one renamed copy of the store per
+execution and boolean *activation variables* tracking which executions
+are live on each control path.  Relational assertions like ``Low(e)``
+become ordinary boolean conditions ``e⟨1⟩ == e⟨2⟩`` of the product.
+
+This module implements the construction for the **sequential, determinate
+fragment** of the object language (no ``||``, no ``fork``; ``atomic c`` is
+equivalent to ``c`` without concurrency).  That fragment is exactly where
+HyperViper's product encoding operates — concurrency is handled by the
+logic's modularity (the Share/Atomic rules), never by producting
+schedules, which is the whole point of the paper.
+
+Construction (activation variables ``p1``, ``p2``):
+
+====================  =====================================================
+source                product
+====================  =====================================================
+``x := e``            ``if (p1) { x⟨1⟩ := e⟨1⟩ }; if (p2) { x⟨2⟩ := e⟨2⟩ }``
+``if (b) c1 else c2`` fresh ``q_i := p_i && b⟨i⟩``, ``r_i := p_i && !b⟨i⟩``;
+                      ``⟦c1⟧(q1, q2); ⟦c2⟧(r1, r2)``
+``while (b) c``       fresh ``q_i := p_i && b⟨i⟩``;
+                      ``while (q1 || q2) { ⟦c⟧(q1, q2); q_i := q_i && b⟨i⟩ }``
+``print(e)``          each live copy appends ``e⟨i⟩`` to its own output
+                      sequence variable
+====================  =====================================================
+
+Heap cells are duplicated by letting each copy perform its own ``alloc``;
+copy-``i``'s pointers live in copy-``i``'s variables, so loads and stores
+through variables hit the right cells.  Pointer *arithmetic* in address
+positions would break this separation and is rejected.
+
+:func:`product_noninterference` packages the construction as a relational
+checker with the same interface as the empirical one in
+:mod:`repro.security.noninterference`; the two are cross-validated in
+``tests/unit/test_product.py`` and ``tests/property/test_product_properties.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+from ..lang.ast import (
+    Alloc,
+    Assign,
+    Atomic,
+    BinOp,
+    Call,
+    Command,
+    Expr,
+    Fork,
+    If,
+    Join,
+    Lit,
+    Load,
+    Par,
+    Print,
+    Seq,
+    Share,
+    Skip,
+    Store,
+    UnOp,
+    Unshare,
+    Var,
+    While,
+    command_fv,
+    expr_fv,
+    seq_all,
+)
+from ..lang.interpreter import AbortError, run
+
+#: Variable holding copy-``i``'s output trace in the product.
+OUT1 = "__out1"
+OUT2 = "__out2"
+
+
+class ProductError(Exception):
+    """The command is outside the productable fragment."""
+
+
+def _copy_name(name: str, copy: int) -> str:
+    return f"{name}__c{copy}"
+
+
+def _rename_copy(expr: Expr, copy: int) -> Expr:
+    """Rename every variable of ``expr`` to its copy-``copy`` version."""
+    if isinstance(expr, Lit):
+        return expr
+    if isinstance(expr, Var):
+        return Var(_copy_name(expr.name, copy))
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, _rename_copy(expr.left, copy), _rename_copy(expr.right, copy))
+    if isinstance(expr, UnOp):
+        return UnOp(expr.op, _rename_copy(expr.operand, copy))
+    if isinstance(expr, Call):
+        return Call(expr.function, tuple(_rename_copy(arg, copy) for arg in expr.args))
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+@dataclass
+class _Builder:
+    """Fresh-name supply for activation variables."""
+
+    counter: int = 0
+
+    def fresh(self, base: str) -> str:
+        self.counter += 1
+        return f"__{base}{self.counter}"
+
+
+def build_product(program: Command) -> Command:
+    """The modular 2-product of a sequential command.
+
+    The returned command operates on copy-renamed variables
+    (``x__c1``/``x__c2``), starts under activation ``true``/``true``, and
+    accumulates each copy's public output in ``__out1``/``__out2``.
+    Raises :class:`ProductError` on commands outside the fragment
+    (parallelism, fork/join, pointer arithmetic in address position).
+    """
+    builder = _Builder()
+    p1 = builder.fresh("p")
+    p2 = builder.fresh("p")
+    prelude = seq_all(
+        Assign(p1, Lit(True)),
+        Assign(p2, Lit(True)),
+        Assign(OUT1, Call("seq", ())),
+        Assign(OUT2, Call("seq", ())),
+    )
+    return Seq(prelude, _product(program, p1, p2, builder))
+
+
+def _guarded(activation: str, command: Command) -> Command:
+    return If(Var(activation), command, Skip())
+
+
+def _check_address(expr: Expr) -> None:
+    if not isinstance(expr, (Var, Lit)):
+        raise ProductError(
+            f"address expression {expr} uses pointer arithmetic; the product "
+            f"construction requires addresses to be stored pointers"
+        )
+
+
+def _product(cmd: Command, p1: str, p2: str, builder: _Builder) -> Command:
+    if isinstance(cmd, Skip):
+        return Skip()
+    if isinstance(cmd, Assign):
+        return seq_all(
+            _guarded(p1, Assign(_copy_name(cmd.target, 1), _rename_copy(cmd.expr, 1))),
+            _guarded(p2, Assign(_copy_name(cmd.target, 2), _rename_copy(cmd.expr, 2))),
+        )
+    if isinstance(cmd, Load):
+        _check_address(cmd.address)
+        return seq_all(
+            _guarded(p1, Load(_copy_name(cmd.target, 1), _rename_copy(cmd.address, 1))),
+            _guarded(p2, Load(_copy_name(cmd.target, 2), _rename_copy(cmd.address, 2))),
+        )
+    if isinstance(cmd, Store):
+        _check_address(cmd.address)
+        return seq_all(
+            _guarded(p1, Store(_rename_copy(cmd.address, 1), _rename_copy(cmd.expr, 1))),
+            _guarded(p2, Store(_rename_copy(cmd.address, 2), _rename_copy(cmd.expr, 2))),
+        )
+    if isinstance(cmd, Alloc):
+        return seq_all(
+            _guarded(p1, Alloc(_copy_name(cmd.target, 1), _rename_copy(cmd.expr, 1))),
+            _guarded(p2, Alloc(_copy_name(cmd.target, 2), _rename_copy(cmd.expr, 2))),
+        )
+    if isinstance(cmd, Seq):
+        return Seq(_product(cmd.first, p1, p2, builder), _product(cmd.second, p1, p2, builder))
+    if isinstance(cmd, If):
+        q1, q2 = builder.fresh("p"), builder.fresh("p")
+        r1, r2 = builder.fresh("p"), builder.fresh("p")
+        split = seq_all(
+            Assign(q1, BinOp("&&", Var(p1), _rename_copy(cmd.condition, 1))),
+            Assign(q2, BinOp("&&", Var(p2), _rename_copy(cmd.condition, 2))),
+            Assign(r1, BinOp("&&", Var(p1), UnOp("!", _rename_copy(cmd.condition, 1)))),
+            Assign(r2, BinOp("&&", Var(p2), UnOp("!", _rename_copy(cmd.condition, 2)))),
+        )
+        return seq_all(
+            split,
+            _product(cmd.then_branch, q1, q2, builder),
+            _product(cmd.else_branch, r1, r2, builder),
+        )
+    if isinstance(cmd, While):
+        q1, q2 = builder.fresh("p"), builder.fresh("p")
+        enter = seq_all(
+            Assign(q1, BinOp("&&", Var(p1), _rename_copy(cmd.condition, 1))),
+            Assign(q2, BinOp("&&", Var(p2), _rename_copy(cmd.condition, 2))),
+        )
+        body = seq_all(
+            _product(cmd.body, q1, q2, builder),
+            Assign(q1, BinOp("&&", Var(q1), _rename_copy(cmd.condition, 1))),
+            Assign(q2, BinOp("&&", Var(q2), _rename_copy(cmd.condition, 2))),
+        )
+        return Seq(enter, While(BinOp("||", Var(q1), Var(q2)), body))
+    if isinstance(cmd, Atomic):
+        # Without concurrency, atomic c has exactly the behaviour of c.
+        return _product(cmd.body, p1, p2, builder)
+    if isinstance(cmd, (Share, Unshare)):
+        return Skip()
+    if isinstance(cmd, Print):
+        def entry(copy: int) -> Expr:
+            value = _rename_copy(cmd.expr, copy)
+            from ..lang.ast import DEFAULT_CHANNEL
+
+            if cmd.channel == DEFAULT_CHANNEL:
+                return value
+            return Call("pair", (Lit(cmd.channel), value))
+
+        return seq_all(
+            _guarded(p1, Assign(OUT1, Call("append", (Var(OUT1), entry(1))))),
+            _guarded(p2, Assign(OUT2, Call("append", (Var(OUT2), entry(2))))),
+        )
+    if isinstance(cmd, (Par, Fork, Join)):
+        raise ProductError(
+            f"{type(cmd).__name__} is outside the product fragment: the product "
+            f"construction is for the sequential code the logic's modular rules "
+            f"hand it (thread bodies, atomic blocks); concurrency is handled by "
+            f"the logic, not by producting schedules"
+        )
+    raise TypeError(f"not a command: {cmd!r}")
+
+
+def product_inputs(inputs1: Mapping[str, Any], inputs2: Mapping[str, Any]) -> dict:
+    """Initial store of the product for the two executions' inputs."""
+    store: dict[str, Any] = {}
+    for name, value in inputs1.items():
+        store[_copy_name(name, 1)] = value
+    for name, value in inputs2.items():
+        store[_copy_name(name, 2)] = value
+    return store
+
+
+@dataclass(frozen=True)
+class ProductRun:
+    """Result of one product execution: the two copies' output traces."""
+
+    output1: tuple
+    output2: tuple
+
+    @property
+    def outputs_agree(self) -> bool:
+        return self.output1 == self.output2
+
+
+def run_product(
+    product: Command,
+    inputs1: Mapping[str, Any],
+    inputs2: Mapping[str, Any],
+    max_steps: int = 1_000_000,
+) -> ProductRun:
+    """Execute a built product on a pair of input stores."""
+    result = run(product, inputs=product_inputs(inputs1, inputs2), max_steps=max_steps)
+    return ProductRun(tuple(result.store[OUT1]), tuple(result.store[OUT2]))
+
+
+@dataclass(frozen=True)
+class ProductNIReport:
+    """Outcome of product-based non-interference checking."""
+
+    secure: bool
+    witness: Optional[tuple] = None  # (inputs1, inputs2, output1, output2)
+    pairs_checked: int = 0
+
+    def __bool__(self) -> bool:
+        return self.secure
+
+
+def product_noninterference(
+    program: Command,
+    instance_groups: Iterable[Sequence[Mapping[str, Any]]],
+    max_steps: int = 1_000_000,
+) -> ProductNIReport:
+    """Check Def. 2.1 on a sequential program via the product construction.
+
+    ``instance_groups`` has the same shape as for the empirical checker:
+    each group is a list of input stores agreeing on low inputs and
+    differing in high inputs; all pairs within a group are producted and
+    their output traces compared.
+    """
+    product = build_product(program)
+    checked = 0
+    for group in instance_groups:
+        group = list(group)
+        for i, inputs1 in enumerate(group):
+            for inputs2 in group[i + 1 :]:
+                outcome = run_product(product, inputs1, inputs2, max_steps=max_steps)
+                checked += 1
+                if not outcome.outputs_agree:
+                    return ProductNIReport(
+                        False,
+                        (dict(inputs1), dict(inputs2), outcome.output1, outcome.output2),
+                        checked,
+                    )
+    return ProductNIReport(True, None, checked)
+
+
+def is_productable(cmd: Command) -> bool:
+    """True iff ``cmd`` is in the sequential fragment the product handles."""
+    try:
+        build_product(cmd)
+    except ProductError:
+        return False
+    return True

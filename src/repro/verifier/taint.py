@@ -1,0 +1,73 @@
+"""Relational taint domain used by the automated verifier.
+
+HyperViper encodes relational lowness into SMT via a modular product
+construction (Eilers et al. 2018).  Our automated frontend tracks the same
+information with an abstract domain over *pairs of executions with equal
+low inputs*:
+
+* ``LOW`` — the value is equal in both executions;
+* ``HIGH`` — no relation is known (the value may differ);
+* ``ABSTRACT(resource)`` — the value is a resource value ``v`` whose
+  *abstraction* ``α(v)`` is equal in both executions (the guarantee the
+  Share rule provides after unsharing); applying one of the resource's
+  declared *low views* to it yields a LOW value.
+
+The join is the obvious one; any arithmetic on an ABSTRACT value degrades
+it to HIGH (only declared views preserve lowness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Taint:
+    """An element of the taint lattice."""
+
+    level: str  # 'low' | 'high' | 'abstract'
+    resource: Optional[str] = None  # set when level == 'abstract'
+
+    def is_low(self) -> bool:
+        return self.level == "low"
+
+    def is_high(self) -> bool:
+        return self.level == "high"
+
+    def is_abstract(self) -> bool:
+        return self.level == "abstract"
+
+    def __str__(self) -> str:
+        if self.is_abstract():
+            return f"abstract({self.resource})"
+        return self.level
+
+
+LOW = Taint("low")
+HIGH = Taint("high")
+
+
+def abstract(resource: str) -> Taint:
+    return Taint("abstract", resource)
+
+
+def join(first: Taint, second: Taint) -> Taint:
+    """Least upper bound.  ABSTRACT values only stay meaningful alone:
+    combining them with anything (even LOW) loses the view structure, so
+    the join with anything other than an equal taint or LOW-identity is
+    HIGH, except that LOW is the bottom element."""
+    if first == second:
+        return first
+    if first.is_low():
+        return second
+    if second.is_low():
+        return first
+    return HIGH
+
+
+def join_all(*taints: Taint) -> Taint:
+    result = LOW
+    for taint in taints:
+        result = join(result, taint)
+    return result

@@ -1,0 +1,146 @@
+"""Integration: run the case-study programs and check their runtime behavior
+matches the paper's claims (schedule-independent low outputs, correct
+functional results)."""
+
+import pytest
+
+from repro.casestudies import case_by_name
+from repro.lang.interpreter import run
+from repro.lang.scheduler import RandomScheduler, RoundRobinScheduler
+from repro.lang.values import PMap
+
+
+def run_all_schedules(case, inputs, schedules=12):
+    program = case.program()
+    outputs = set()
+    outputs.add(run(program, dict(inputs), scheduler=RoundRobinScheduler()).output)
+    for seed in range(schedules):
+        outputs.add(run(program, dict(inputs), scheduler=RandomScheduler(seed)).output)
+    return outputs
+
+
+class TestFunctionalResults:
+    def test_count_vaccinated_counts_correctly(self):
+        case = case_by_name("Count-Vaccinated")
+        inputs = {"n": 4, "vacc": (1, 0, 1, 1), "hdata": (2, 0, 1, 3)}
+        outputs = run_all_schedules(case, inputs)
+        assert outputs == {(3,)}
+
+    def test_figure2_sums_targets(self):
+        case = case_by_name("Figure 2")
+        inputs = {"n": 4, "targets": (2, 0, 1, 3), "hcollisions": (1, 4, 0, 2)}
+        outputs = run_all_schedules(case, inputs)
+        assert outputs == {(6,)}
+
+    def test_mean_salary_stats(self):
+        case = case_by_name("Mean-Salary")
+        inputs = {"n": 4, "salaries": (50, 60, 70, 80), "names": (1, 2, 3, 4)}
+        outputs = run_all_schedules(case, inputs)
+        assert outputs == {((260, 4),)}
+
+    def test_email_metadata_sorted_output(self):
+        case = case_by_name("Email-Metadata")
+        inputs = {
+            "n": 4,
+            "senders": (3, 1, 2, 1),
+            "stamps": (10, 11, 12, 13),
+            "hdelay": (3, 0, 2, 0),
+        }
+        outputs = run_all_schedules(case, inputs)
+        assert outputs == {(((1, 11), (1, 13), (2, 12), (3, 10)),)}
+
+    def test_figure3_key_set(self):
+        case = case_by_name("Figure 3")
+        inputs = {"n": 4, "addrs": (1, 2, 1, 3), "reasons": (9, 8, 7, 6)}
+        outputs = run_all_schedules(case, inputs)
+        assert outputs == {((1, 2, 3),)}
+
+    def test_salary_histogram_counts(self):
+        case = case_by_name("Salary-Histogram")
+        inputs = {"n": 4, "buckets": (1, 2, 1, 1), "hsalary": (1, 0, 2, 0)}
+        outputs = run_all_schedules(case, inputs)
+        assert outputs == {(PMap({1: 3, 2: 1}),)}
+
+    def test_most_valuable_purchase_keeps_max(self):
+        case = case_by_name("Most-Valuable-Purchase")
+        inputs = {"n": 4, "users": (1, 2, 1, 2), "prices": (30, 10, 20, 50)}
+        outputs = run_all_schedules(case, inputs)
+        assert outputs == {(PMap({1: 30, 2: 50}),)}
+
+    def test_producer_consumer_delivers_in_order(self):
+        case = case_by_name("1-Producer-1-Consumer")
+        inputs = {"n": 3, "items": (5, 6, 7)}
+        outputs = run_all_schedules(case, inputs)
+        assert outputs == {((5, 6, 7),)}
+
+    def test_pipeline_transforms(self):
+        case = case_by_name("Pipeline")
+        inputs = {"n": 3, "items": (5, 6, 7)}
+        outputs = run_all_schedules(case, inputs, schedules=8)
+        assert outputs == {((10, 12, 14),)}
+
+    def test_two_producers_two_consumers_multiset(self):
+        case = case_by_name("2-Producers-2-Consumers")
+        inputs = {"n": 2, "itemsA": (5, 6), "itemsB": (7, 8)}
+        outputs = run_all_schedules(case, inputs, schedules=8)
+        assert outputs == {((5, 6, 7, 8),)}
+
+
+class TestScheduleIndependence:
+    """The low output of every verified case study must be identical across
+    schedulers AND across high-input variants (the executable form of the
+    soundness theorem)."""
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "Count-Vaccinated",
+            "Figure 2",
+            "Count-Sick-Days",
+            "Figure 1",
+            "Mean-Salary",
+            "Email-Metadata",
+            "Patient-Statistic",
+            "Debt-Sum",
+            "Sick-Employee-Names",
+            "Website-Visitor-IPs",
+            "Figure 3",
+            "Sales-By-Region",
+            "Salary-Histogram",
+            "Count-Purchases",
+            "Most-Valuable-Purchase",
+            "1-Producer-1-Consumer",
+            "Pipeline",
+            "2-Producers-2-Consumers",
+        ],
+    )
+    def test_low_output_schedule_and_secret_independent(self, name):
+        case = case_by_name(name)
+        all_observed = set()
+        for group in case.instances():
+            for inputs in group:
+                all_observed.update(run_all_schedules(case, inputs, schedules=6))
+        assert len(all_observed) == 1, f"{name}: observed {all_observed}"
+
+
+class TestInsecureBehaviour:
+    """The negative controls genuinely leak at runtime (the rejections are
+    not false positives)."""
+
+    def test_figure1_leaky_output_depends_on_secret(self):
+        case = case_by_name("Figure 1 (leaky)")
+        low = run_all_schedules(case, {"h": 0}, schedules=4)
+        high = run_all_schedules(case, {"h": 150}, schedules=4)
+        assert low != high or len(low | high) > 1
+
+    def test_high_key_output_depends_on_secret(self):
+        case = case_by_name("Figure 3 (high key)")
+        out1 = run_all_schedules(case, {"n": 2, "hkeys": (1, 2)}, schedules=2)
+        out2 = run_all_schedules(case, {"n": 2, "hkeys": (3, 4)}, schedules=2)
+        assert out1 != out2
+
+    def test_count_channel_output_depends_on_secret(self):
+        case = case_by_name("Count-Channel")
+        out1 = run_all_schedules(case, {"h": 0}, schedules=2)
+        out2 = run_all_schedules(case, {"h": 1}, schedules=2)
+        assert out1 != out2

@@ -1,0 +1,28 @@
+"""Every example script must run to completion (they are documentation)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout  # examples narrate what they do
+
+
+def test_examples_exist():
+    names = {path.stem for path in EXAMPLES}
+    assert {"quickstart", "fork_join_workers", "security_lattice", "spec_inference"} <= names
+    assert len(EXAMPLES) >= 3

@@ -1,0 +1,130 @@
+"""Integration: the complete Fig. 5 derivation, machine-checked.
+
+The derivation in :mod:`repro.logic.fig5` reproduces the paper's Fig. 5
+proof outline (two workers put into a shared map; only the key set is
+low) through the actual proof rules with all side conditions checked and
+entailments discharged on probe states."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.heap.extheap import ExtendedHeap
+from repro.heap.guards import SharedGuard
+from repro.heap.multiset import Multiset
+from repro.logic import ProofError
+from repro.logic.fig5 import CONTEXT, PUT, figure5_outline, figure5_proof, worker_proof
+from repro.logic.outline import rules_used, validate_structure
+from repro.logic.rules import cons_rule
+
+
+@pytest.fixture(scope="module")
+def proof():
+    return figure5_proof()
+
+
+class TestFigure5Derivation:
+    def test_builds(self, proof):
+        assert proof.rule == "Share"
+
+    def test_conclusion_under_bot(self, proof):
+        assert proof.judgment.context is None
+
+    def test_conclusion_exposes_low_abstraction(self, proof):
+        assert "Low(alpha_MapKeySet(x))" in str(proof.judgment.pre)
+        assert "Low(alpha_MapKeySet(x_prime))" in str(proof.judgment.post)
+
+    def test_uses_all_fig5_ingredients(self, proof):
+        counts = rules_used(proof)
+        assert counts["Share"] == 1
+        assert counts["Par"] == 1
+        assert counts["AtomicShr"] == 2
+        assert counts["Read"] == 2
+        assert counts["Write"] == 2
+        assert counts["Cons"] >= 3  # split, per-worker contracts, merge
+
+    def test_structurally_valid(self, proof):
+        assert validate_structure(proof) == []
+
+    def test_workers_proved_under_gamma(self, proof):
+        premise = proof.premises[0]
+        assert premise.judgment.context == CONTEXT
+
+    def test_size(self, proof):
+        assert proof.size() >= 15
+
+
+class TestFigure5Outline:
+    def test_renders_key_lines(self, proof):
+        text = figure5_outline().render()
+        assert "// share" in text
+        assert "// unshare" in text
+        assert "sguard(1/2" in text  # the guard split
+        assert "PRE_Put" in text  # the retroactive precondition
+        assert "||" in text
+
+    def test_outline_has_both_workers(self):
+        text = figure5_outline().render()
+        assert "m1 := [m]" in text
+        assert "m2 := [m]" in text
+
+
+class TestWorkerContract:
+    def test_worker_postcondition_is_the_fig5_invariant(self):
+        node = worker_proof(1)
+        post = str(node.judgment.post)
+        assert post == "(∃s_w. (sguard(1/2, s_w) ∗ PRE_Put(s_w)))"
+
+    def test_worker_needs_only_half_guard(self):
+        node = worker_proof(1)
+        assert "sguard(1/2" in str(node.judgment.pre)
+
+
+class TestEntailmentsAreReal:
+    """The probe-discharged entailments genuinely reject wrong proofs."""
+
+    def test_merge_fails_on_key_mismatch(self):
+        # A probe where the two executions recorded DIFFERENT keys cannot
+        # satisfy PRE_Put (no bijection with equal keys exists), so using it
+        # as a *model* of the premise and asking for the PRE conclusion must
+        # fail the Cons entailment.
+        from repro.assertions.ast import Exists, PreShared, SepConj, SGuardAssert
+        from repro.lang.ast import Lit, Var
+        from repro.logic.rules import entails
+
+        premise = SGuardAssert(Fraction(1), Lit(Multiset([(1, 10)])))
+        conclusion = Exists(
+            "x_s", SepConj(SGuardAssert(Fraction(1), Var("x_s")), PreShared(PUT, Var("x_s")))
+        )
+        bad_probe = (
+            {},
+            ExtendedHeap.guard_only(SharedGuard(Fraction(1), Multiset([(1, 10)]))),
+            {},
+            ExtendedHeap.guard_only(SharedGuard(Fraction(1), Multiset([(2, 10)]))),
+        )
+        # premise holds only if Lit evaluates equal... the literal multiset
+        # matches only the first state; with mismatched guards the premise
+        # fails on this pair, so the entailment is vacuous there.  Use a
+        # variable-args premise to actually exercise the conclusion:
+        premise_var = Exists("x_s", SGuardAssert(Fraction(1), Var("x_s")))
+        assert entails(premise_var, premise_var, [bad_probe])
+        assert not entails(premise_var, conclusion, [bad_probe])
+
+    def test_worker_with_wrong_fraction_rejected_at_merge(self):
+        # Re-doing the merge with a 1/3 fraction probe cannot produce the
+        # full guard; the Share rule's premise shape then cannot be met.
+        node = worker_proof(1)
+        with pytest.raises(ProofError):
+            cons_rule(
+                node,
+                node.judgment.pre,
+                node.judgment.pre,  # bogus: post must entail pre — it doesn't
+                probes=[
+                    (
+                        {},
+                        ExtendedHeap.guard_only(SharedGuard(Fraction(1, 2), Multiset([(1, 10)]))),
+                        {},
+                        ExtendedHeap.guard_only(SharedGuard(Fraction(1, 2), Multiset([(1, 10)]))),
+                    )
+                ],
+            )

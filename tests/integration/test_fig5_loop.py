@@ -1,0 +1,195 @@
+"""Integration: the looped Fig. 5 worker derivation (While1 + Exists)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.assertions.ast import BoolAssert, Conj, Exists, Low, SGuardAssert
+from repro.assertions.classify import is_unambiguous
+from repro.lang.ast import BinOp, Lit, Var, While
+from repro.logic import ProofError
+from repro.logic.fig5_loop import (
+    CONDITION,
+    loop_invariant,
+    worker_loop_contract,
+    worker_loop_proof,
+)
+from repro.logic.outline import rules_used, to_outline, validate_structure
+
+
+@pytest.fixture(scope="module")
+def loop_proof():
+    return worker_loop_proof()
+
+
+@pytest.fixture(scope="module")
+def contract():
+    return worker_loop_contract()
+
+
+class TestLoopDerivation:
+    def test_concluded_by_while1(self, loop_proof):
+        assert loop_proof.rule == "While1"
+
+    def test_command_is_the_fig3_loop(self, loop_proof):
+        command = loop_proof.judgment.command
+        assert isinstance(command, While)
+        assert command.condition == CONDITION
+        text = str(command)
+        assert "at(addrs, i)" in text and "atomic [Put(pair(adr, rsn))]" in text
+
+    def test_invariant_is_the_fig5_line7_shape(self, loop_proof):
+        pre = loop_proof.judgment.pre
+        assert isinstance(pre, Conj)
+        assert pre.right == Low(CONDITION)
+        assert pre.left == loop_invariant()
+        assert "∃s_p. (sguard(1/2, s_p) ∗ PRE_Put(s_p))" in str(pre)
+
+    def test_postcondition_negates_the_condition(self, loop_proof):
+        post = loop_proof.judgment.post
+        assert "!(i < t)" in str(post)
+
+    def test_rules_used(self, loop_proof):
+        counts = rules_used(loop_proof)
+        assert counts["While1"] == 1
+        assert counts["Exists"] == 1  # closing the s_w existential
+        assert counts["AtomicShr"] == 1
+        assert counts["Assign"] == 3  # adr, rsn, i := i + 1
+        assert counts["Frame"] >= 1
+
+    def test_structurally_valid(self, loop_proof):
+        assert validate_structure(loop_proof) == []
+
+    def test_outline_renders(self, loop_proof):
+        text = to_outline(loop_proof).render()
+        assert "While1" in text
+
+
+class TestContract:
+    def test_starts_from_empty_history(self, contract):
+        pre = str(contract.judgment.pre)
+        assert "sguard(1/2, Multiset({}))" in pre
+        assert "Low(f)" in pre
+
+    def test_ends_with_the_invariant_and_exit_condition(self, contract):
+        post = str(contract.judgment.post)
+        assert "PRE_Put(s_p)" in post
+        assert "!(i < t)" in post
+
+    def test_size(self, contract):
+        assert contract.size() >= 19
+
+
+class TestGuardUnambiguity:
+    """The Def. B.1 extension that licenses closing the existential."""
+
+    def test_sguard_with_variable_args_is_unambiguous(self):
+        assertion = SGuardAssert(Fraction(1, 2), Var("s"))
+        assert is_unambiguous(assertion, "s")
+
+    def test_sguard_with_other_variable_is_not(self):
+        assertion = SGuardAssert(Fraction(1, 2), Var("s"))
+        assert not is_unambiguous(assertion, "x")
+
+    def test_sguard_with_compound_args_is_not(self):
+        from repro.lang.ast import Call
+
+        assertion = SGuardAssert(Fraction(1, 2), Call("msAdd", (Var("s"), Lit(1))))
+        assert not is_unambiguous(assertion, "s")
+
+
+class TestNegative:
+    def test_while1_rejects_mismatched_invariant(self, loop_proof):
+        # Re-running While1 on a premise whose postcondition is not
+        # Conj(base, Low(b)) must fail.
+        from repro.logic.rules import cons_rule, while_low_rule
+
+        (premise,) = loop_proof.premises
+        broken = cons_rule(
+            premise,
+            premise.judgment.pre,
+            premise.judgment.pre,  # wrong post shape
+            trusted=True,
+        )
+        with pytest.raises(ProofError):
+            while_low_rule(CONDITION, broken)
+
+    def test_high_condition_needs_unary_invariant(self):
+        # While2 with the relational invariant must be rejected: the
+        # invariant contains Low/PRE, which is not unary.
+        from repro.logic.rules import while_high_rule
+
+        loop = worker_loop_proof()
+        (premise,) = loop.premises
+        # Rejected on shape (the body's postcondition carries Low(b), which
+        # While2's unary invariant could never contain).
+        with pytest.raises(ProofError):
+            while_high_rule(CONDITION, premise)
+
+
+class TestFullFigure3:
+    """The whole Fig. 3 program: Share around two looped workers."""
+
+    @pytest.fixture(scope="class")
+    def full(self):
+        from repro.logic.fig5_loop import figure3_full_proof
+
+        return figure3_full_proof()
+
+    def test_concluded_by_share_under_bot(self, full):
+        assert full.rule == "Share"
+        assert full.judgment.context is None
+
+    def test_conclusion_exposes_low_abstraction(self, full):
+        assert "Low(alpha_MapKeySet(x))" in str(full.judgment.pre)
+        assert "Low(alpha_MapKeySet(x_prime))" in str(full.judgment.post)
+
+    def test_contains_two_looped_workers(self, full):
+        counts = rules_used(full)
+        assert counts["While1"] == 2
+        assert counts["AtomicShr"] == 2
+        assert counts["Par"] == 1
+        assert counts["Share"] == 1
+        assert counts["Exists"] == 2
+
+    def test_size(self, full):
+        assert full.size() >= 40
+
+    def test_structurally_valid(self, full):
+        assert validate_structure(full) == []
+
+    def test_workers_renamed_apart(self, full):
+        text = str(full.judgment.command)
+        assert "i1 :=" in text and "i2 :=" in text
+        assert "adr1" in text and "adr2" in text
+
+
+class TestPureConjSemantics:
+    """The Fig. 7 ∧ fix: pure conjuncts are footprint-transparent."""
+
+    def test_spatial_and_pure(self):
+        from repro.assertions.semantics import satisfies
+        from repro.heap.extheap import ExtendedHeap
+        from repro.heap.guards import SharedGuard
+        from repro.heap.multiset import Multiset
+
+        guard = SGuardAssert(Fraction(1, 2), Var("s"))
+        assertion = Conj(guard, Low(Var("x")))
+        store = {"s": Multiset([1]), "x": 7}
+        gh = ExtendedHeap.guard_only(SharedGuard(Fraction(1, 2), Multiset([1])))
+        assert satisfies(store, gh, store, gh, assertion)
+
+    def test_pure_and_spatial_symmetric(self):
+        from repro.assertions.semantics import satisfies
+        from repro.heap.extheap import ExtendedHeap
+        from repro.heap.guards import SharedGuard
+        from repro.heap.multiset import Multiset
+
+        guard = SGuardAssert(Fraction(1, 2), Var("s"))
+        assertion = Conj(Low(Var("x")), guard)
+        store = {"s": Multiset([1]), "x": 7}
+        gh = ExtendedHeap.guard_only(SharedGuard(Fraction(1, 2), Multiset([1])))
+        assert satisfies(store, gh, store, gh, assertion)
+        # and the pure side still has teeth
+        store2 = dict(store, x=8)
+        assert not satisfies(store, gh, store2, gh, assertion)

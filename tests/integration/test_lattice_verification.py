@@ -1,0 +1,133 @@
+"""Integration: multi-level verification via per-element reduction
+(Sec. 2.1 footnote 1).
+
+A three-level payroll program: the number of employees is *public*, the
+bonus amounts are *internal*, and the performance data (which only
+affects timing) is *secret*.  Workers add bonuses to a shared counter;
+the total goes to the ``internal_report`` channel and the head count to
+the ``public_report`` channel.  The program must verify at every lattice
+level: a public observer learns only the head count; an internal observer
+additionally learns the bonus total."""
+
+import pytest
+
+from repro.casestudies.base import make_instances
+from repro.lang import parse_program
+from repro.security.lattice import linear, verify_lattice
+from repro.spec.library import integer_add_spec
+from repro.verifier import ResourceDecl
+
+LATTICE = linear(["public", "internal", "secret"])
+
+_PAYROLL_SRC = """
+// Multi-level payroll: add internal bonuses on a shared counter while
+// secret performance data affects only timing.
+c := alloc(0)
+share IntegerAdd
+{
+    i1 := 0
+    while (i1 < n / 2) {
+        b1 := at(bonuses, i1)
+        d1 := at(perf, i1)
+        k1 := 0
+        while (k1 < d1) { k1 := k1 + 1 }
+        atomic [Add(b1)] { v1 := [c]; [c] := v1 + b1 }
+        i1 := i1 + 1
+    }
+} || {
+    i2 := n / 2
+    while (i2 < n) {
+        b2 := at(bonuses, i2)
+        d2 := at(perf, i2)
+        k2 := 0
+        while (k2 < d2) { k2 := k2 + 1 }
+        atomic [Add(b2)] { v2 := [c]; [c] := v2 + b2 }
+        i2 := i2 + 1
+    }
+}
+unshare IntegerAdd
+total := [c]
+print(n, public_report)
+print(total, internal_report)
+"""
+
+INPUT_LABELS = {"n": "public", "bonuses": "internal", "perf": "secret"}
+CHANNEL_LABELS = {"public_report": "public", "internal_report": "internal"}
+
+
+def _instances_for(level):
+    """Bounded instances per observer level: stores agree on ⊑-level
+    inputs and vary the rest."""
+    if level == "public":
+        return make_instances(
+            {"n": 4},
+            [
+                {"bonuses": (1, 2, 3, 4), "perf": (0, 1, 0, 2)},
+                {"bonuses": (9, 9, 9, 9), "perf": (2, 0, 1, 0)},
+            ],
+        )
+    return make_instances(
+        {"n": 4, "bonuses": (1, 2, 3, 4)},
+        [{"perf": (0, 1, 0, 2)}, {"perf": (2, 0, 1, 0)}],
+    )
+
+
+@pytest.fixture(scope="module")
+def lattice_result():
+    program = parse_program(_PAYROLL_SRC)
+    resources = (ResourceDecl("IntegerAdd", integer_add_spec(), "c"),)
+    return verify_lattice(
+        "payroll",
+        program,
+        resources,
+        INPUT_LABELS,
+        CHANNEL_LABELS,
+        LATTICE,
+        bounded_instances=_instances_for,
+    )
+
+
+class TestPayrollLattice:
+    def test_verifies_at_every_level(self, lattice_result):
+        assert lattice_result.verified, lattice_result.summary()
+
+    def test_skips_top_level(self, lattice_result):
+        levels = [entry.level for entry in lattice_result.levels]
+        assert "secret" not in levels
+        assert levels == ["public", "internal"]
+
+    def test_public_level_sees_only_public_channel(self, lattice_result):
+        public = next(entry for entry in lattice_result.levels if entry.level == "public")
+        assert public.low_channels == frozenset({"public_report"})
+        assert public.low_inputs == frozenset({"n"})
+
+    def test_internal_level_sees_both_channels(self, lattice_result):
+        internal = next(entry for entry in lattice_result.levels if entry.level == "internal")
+        assert internal.low_channels == frozenset({"public_report", "internal_report"})
+        assert internal.low_inputs == frozenset({"n", "bonuses"})
+
+    def test_summary_mentions_levels(self, lattice_result):
+        text = lattice_result.summary()
+        assert "public" in text and "internal" in text
+
+
+class TestLeakyLattice:
+    def test_internal_data_on_public_channel_rejected(self):
+        # Print the bonus total on the PUBLIC channel: fails at the public
+        # level (bonuses are high there) but verifies at internal.
+        source = _PAYROLL_SRC.replace(
+            "print(total, internal_report)", "print(total, public_report)"
+        )
+        program = parse_program(source)
+        resources = (ResourceDecl("IntegerAdd", integer_add_spec(), "c"),)
+        result = verify_lattice(
+            "payroll-leaky",
+            program,
+            resources,
+            INPUT_LABELS,
+            CHANNEL_LABELS,
+            LATTICE,
+            bounded_instances=_instances_for,
+        )
+        assert not result.verified
+        assert result.failing_levels() == ("public",)

@@ -1,0 +1,189 @@
+"""Integration: a machine-checked CommCSL proof outline (the Fig. 5 pattern).
+
+We derive, through the actual proof rules with all side conditions checked,
+the triple
+
+    ⊥ ⊢ {I(x) ∗ Low(α(x)) ∗ emp}  atomic[Inc] {t:=[c]; [c]:=t+1}
+        {∃x'. I(x') ∗ Low(α(x')) ∗ emp}
+
+for the shared counter — i.e. the Share rule wrapped around an AtomicShr
+use, with the atomic body proved by Read/Write/Frame/Cons.  This is the
+single-worker core of the Fig. 5 proof outline; the entailments are
+discharged on concrete probe states rather than trusted.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.assertions import (
+    BoolAssert,
+    Conj,
+    Emp,
+    Exists,
+    Low,
+    PointsTo,
+    PreShared,
+    SGuardAssert,
+    SepConj,
+    satisfies,
+)
+from repro.heap import EMPTY_MULTISET, ExtendedHeap, Multiset, PermissionHeap, SharedGuard
+from repro.lang.ast import BinOp, Call, Lit, Var
+from repro.lang.values import PURE_FUNCTIONS
+from repro.logic import (
+    ProofError,
+    atomic_shared_rule,
+    cons_rule,
+    frame_rule,
+    read_rule,
+    seq_rule,
+    share_rule,
+    write_rule,
+)
+from repro.spec.library import assign_identity_abstraction_spec, counter_increment_spec
+from repro.spec.resource import ResourceContext
+
+SPEC = counter_increment_spec()
+CTX = ResourceContext(SPEC, "c")
+INC = SPEC.action("Inc")
+
+# Register the action function and abstraction so they can appear in
+# assertion expressions before the rules do it themselves.
+PURE_FUNCTIONS.setdefault("f_CounterInc_Inc", INC.apply)
+PURE_FUNCTIONS.setdefault("alpha_CounterInc", SPEC.abstraction)
+
+I_XV = PointsTo(Var("c"), Var("x_v"), Fraction(1))
+APPLIED = Call("f_CounterInc_Inc", (Var("x_v"), Lit(0)))
+
+
+def heap_probe(counter_value: int, extra_store=None):
+    """A probe state pair: c ↦ v with t = x_v = v (the mid-proof shape)."""
+    store = {"c": 1, "x_v": counter_value, "t": counter_value}
+    store.update(extra_store or {})
+    gh = ExtendedHeap(PermissionHeap.singleton(1, counter_value))
+    return (dict(store), gh, dict(store), gh)
+
+
+def guard_probe(fraction, args):
+    gh = ExtendedHeap.guard_only(SharedGuard(fraction, Multiset(args)))
+    store = {"c": 1}
+    return (dict(store), gh, dict(store), gh)
+
+
+@pytest.fixture(scope="module")
+def atomic_proof():
+    """Derive Γ ⊢ {emp ∗ sguard(1, ∅)} atomic{...} {emp ∗ sguard(1, {0})}."""
+    # 1. {c ↦ x_v} t := [c] {c ↦ x_v ∗ t == x_v}
+    read = read_rule(None, "t", Var("c"), Var("x_v"))
+
+    # 2. {c ↦ x_v} [c] := t + 1 {c ↦ t + 1}, framed with t == x_v
+    write = write_rule(None, Var("c"), Var("x_v"), BinOp("+", Var("t"), Lit(1)))
+    framed_write = frame_rule(write, BoolAssert(BinOp("==", Var("t"), Var("x_v"))))
+
+    # 3. sequence: read's post matches framed write's pre exactly
+    body_proof = seq_rule(read, framed_write)
+
+    # 4. reshape with Cons into the AtomicShr premise shape, checking the
+    #    entailments on concrete probe states
+    probes = [heap_probe(0), heap_probe(1), heap_probe(5)]
+    premise = cons_rule(
+        body_proof,
+        SepConj(Emp(), I_XV),
+        SepConj(Emp(), PointsTo(Var("c"), APPLIED, Fraction(1))),
+        probes=[
+            ({"c": 1, "x_v": v}, ExtendedHeap(PermissionHeap.singleton(1, v)),
+             {"c": 1, "x_v": v}, ExtendedHeap(PermissionHeap.singleton(1, v)))
+            for v in (0, 1, 5)
+        ]
+        + [
+            ({"c": 1, "x_v": v, "t": v}, ExtendedHeap(PermissionHeap.singleton(1, v + 1)),
+             {"c": 1, "x_v": v, "t": v}, ExtendedHeap(PermissionHeap.singleton(1, v + 1)))
+            for v in (0, 1, 5)
+        ],
+    )
+
+    # 5. the AtomicShr rule
+    return atomic_shared_rule(
+        CTX,
+        premise,
+        fraction=Fraction(1),
+        args_expr=Lit(EMPTY_MULTISET),
+        new_arg=Lit(0),
+    )
+
+
+class TestAtomicDerivation:
+    def test_conclusion_shape(self, atomic_proof):
+        judgment = atomic_proof.judgment
+        assert judgment.context == CTX
+        assert judgment.pre == SepConj(Emp(), SGuardAssert(Fraction(1), Lit(EMPTY_MULTISET)))
+
+    def test_guard_records_argument(self, atomic_proof):
+        post = atomic_proof.judgment.post
+        assert isinstance(post.right, SGuardAssert)
+        assert post.right.args == Call("msAdd", (Lit(EMPTY_MULTISET), Lit(0)))
+
+    def test_rule_names(self, atomic_proof):
+        assert atomic_proof.rule == "AtomicShr"
+        rules = set()
+
+        def collect(node):
+            rules.add(node.rule)
+            for premise in node.premises:
+                collect(premise)
+
+        collect(atomic_proof)
+        assert {"Read", "Write", "Frame", "Seq", "Cons", "AtomicShr"} <= rules
+
+
+class TestShareDerivation:
+    def _share_premise(self, atomic_proof):
+        """Reshape the atomic conclusion into the Share premise shape."""
+        expected_pre = SepConj(
+            SepConj(Emp(), SGuardAssert(Fraction(1), Lit(EMPTY_MULTISET))), Emp()
+        )
+        recorded = SGuardAssert(Fraction(1), Var("x_s"))
+        expected_post = Exists(
+            "x_s",
+            SepConj(SepConj(Emp(), SepConj(recorded, PreShared(INC, Var("x_s")))), Emp()),
+        )
+        probes = [
+            guard_probe(Fraction(1), []),
+            guard_probe(Fraction(1), [0]),
+        ]
+        return cons_rule(atomic_proof, expected_pre, expected_post, probes=probes)
+
+    def test_share_rule_succeeds(self, atomic_proof):
+        premise = self._share_premise(atomic_proof)
+        conclusion = share_rule(CTX, premise)
+        assert conclusion.rule == "Share"
+        assert conclusion.judgment.context is None  # back to ⊥
+        assert "Low" in str(conclusion.judgment.pre)
+        assert "∃" in str(conclusion.judgment.post)
+
+    def test_share_rejects_invalid_specification(self, atomic_proof):
+        bad_ctx = ResourceContext(assign_identity_abstraction_spec(), "c")
+        premise = self._share_premise(atomic_proof)
+        with pytest.raises(ProofError, match="invalid"):
+            share_rule(bad_ctx, premise)
+
+    def test_share_rejects_wrong_premise_shape(self, atomic_proof):
+        with pytest.raises(ProofError, match="premise"):
+            share_rule(CTX, atomic_proof)  # missing the UniqueEmpty shape
+
+
+class TestProbeEntailments:
+    """The probe states genuinely distinguish valid from invalid steps."""
+
+    def test_post_entailment_would_fail_with_wrong_argument(self):
+        # sguard(1, {0}) does NOT entail ∃x_s. sguard(1, x_s) ∗ PRE with
+        # mismatched multiset sizes across executions
+        state1 = guard_probe(Fraction(1), [0])
+        recorded = SGuardAssert(Fraction(1), Var("x_s"))
+        wrong = Exists("x_s", SepConj(recorded, PreShared(INC, Var("x_s"))))
+        s1, g1, s2, g2 = state1
+        assert satisfies(s1, g1, s2, g2, wrong)  # same states: fine
+        # different argument counts across the two executions: no bijection
+        _, other, _, _ = guard_probe(Fraction(1), [0, 0])
+        assert not satisfies(s1, g1, s2, other, wrong)

@@ -1,0 +1,116 @@
+"""Value-dependent sensitivity (Sec. 3.4): ``b ⇒ Low(e)`` end to end."""
+
+import pytest
+
+from repro.assertions.ast import Implies, Low
+from repro.assertions.semantics import satisfies
+from repro.casestudies import (
+    value_dependent,
+    value_dependent_leak,
+    value_dependent_public_secret,
+)
+from repro.heap.extheap import ExtendedHeap
+from repro.lang import RandomScheduler, Var, run
+from repro.spec.inference import infer_preconditions
+from repro.spec.library import value_dependent_list_spec
+from repro.spec.validity import check_validity
+
+
+class TestAssertionLevel:
+    """The relational implication of Fig. 7: b ⇒ Low(e)."""
+
+    def _states(self, flag, value1, value2):
+        store1 = {"flag": flag, "value": value1}
+        store2 = {"flag": flag, "value": value2}
+        empty = ExtendedHeap.empty() if hasattr(ExtendedHeap, "empty") else ExtendedHeap()
+        return store1, empty, store2, empty
+
+    def test_public_flag_requires_equal_values(self):
+        assertion = Implies(Var("flag"), Low(Var("value")))
+        s1, h1, s2, h2 = self._states(True, 5, 5)
+        assert satisfies(s1, h1, s2, h2, assertion)
+        s1, h1, s2, h2 = self._states(True, 5, 6)
+        assert not satisfies(s1, h1, s2, h2, assertion)
+
+    def test_secret_flag_allows_different_values(self):
+        assertion = Implies(Var("flag"), Low(Var("value")))
+        s1, h1, s2, h2 = self._states(False, 5, 99)
+        assert satisfies(s1, h1, s2, h2, assertion)
+
+    def test_differing_flags_fail_the_implication(self):
+        # Fig. 7: the condition itself must be low for b ⇒ P to hold.
+        assertion = Implies(Var("flag"), Low(Var("value")))
+        store1 = {"flag": True, "value": 5}
+        store2 = {"flag": False, "value": 5}
+        empty = ExtendedHeap()
+        assert not satisfies(store1, empty, store2, empty, assertion)
+
+
+class TestSpec:
+    def test_spec_is_valid(self):
+        report = check_validity(value_dependent_list_spec())
+        assert report.valid
+
+    def test_precondition_is_genuinely_value_dependent(self):
+        action = value_dependent_list_spec().action("AppendLabelled")
+        assert action.precondition((True, 5), (True, 5))
+        assert not action.precondition((True, 5), (True, 6))
+        assert action.precondition((False, 5), (False, 6))
+        assert not action.precondition((True, 5), (False, 5))
+
+    def test_projection_inference_cannot_express_it(self):
+        # The weakest *projection-only* precondition that validates this
+        # abstraction is strictly stronger than the value-dependent one
+        # (it must make both components low).  The implication needs the
+        # general relational form.
+        inference = infer_preconditions(value_dependent_list_spec())
+        assert inference.found
+        names = inference.projection_names("AppendLabelled")
+        assert set(names) == {"fst", "snd"}
+
+
+class TestVerdicts:
+    def test_secure_program_verifies(self):
+        result = value_dependent.verify()
+        assert result.verified, result.summary()
+
+    def test_relational_obligation_recorded(self):
+        result = value_dependent.verify()
+        kinds = {obligation.kind for obligation in result.obligations}
+        assert "retroactive-relational" in kinds
+        assert all(obligation.discharged for obligation in result.obligations)
+
+    def test_full_list_leak_rejected(self):
+        result = value_dependent_leak.verify()
+        assert not result.verified
+        assert any("abstract(ValueDepList)" in error for error in result.errors)
+
+    def test_public_secret_violation_caught_retroactively(self):
+        result = value_dependent_public_secret.verify()
+        assert not result.verified
+        assert any("refuted by bounded checking" in error for error in result.errors)
+
+
+class TestRuntime:
+    INPUTS = {
+        "n": 4,
+        "flags": (1, 0, 1, 0),
+        "vals": (7, 100, 9, 200),
+        "delays": (0, 3, 1, 0),
+    }
+
+    def test_public_view_is_schedule_independent(self):
+        program = value_dependent.program()
+        outputs = {
+            run(program, dict(self.INPUTS), scheduler=RandomScheduler(seed)).output
+            for seed in range(8)
+        }
+        assert outputs == {((7, 9), 2)}
+
+    def test_secret_values_do_not_reach_the_output(self):
+        program = value_dependent.program()
+        for secret_vals in ((7, 100, 9, 200), (7, 111, 9, 222)):
+            inputs = {**self.INPUTS, "vals": secret_vals}
+            output = run(program, inputs).output
+            assert output == ((7, 9), 2)
+            assert "100" not in str(output) and "111" not in str(output)

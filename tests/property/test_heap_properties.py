@@ -1,0 +1,168 @@
+"""Property-based tests: algebraic laws of the extended-heap components.
+
+The soundness proof relies on ``⊕`` forming a partial commutative monoid
+on extended heaps; these properties pin that down on randomly generated
+heaps and guards.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.heap import (
+    ExtendedHeap,
+    GuardFamily,
+    HeapAdditionUndefined,
+    Multiset,
+    PermissionHeap,
+    SharedGuard,
+    UniqueGuard,
+    add_shared_guards,
+)
+
+elements = st.integers(min_value=-3, max_value=3)
+multisets = st.lists(elements, max_size=5).map(Multiset)
+fractions = st.sampled_from([Fraction(1, 4), Fraction(1, 3), Fraction(1, 2), Fraction(1)])
+
+
+@st.composite
+def perm_heaps(draw):
+    cells = {}
+    for location in draw(st.lists(st.integers(1, 4), unique=True, max_size=3)):
+        cells[location] = (draw(fractions), draw(elements))
+    return PermissionHeap(cells)
+
+
+@st.composite
+def shared_guards(draw):
+    if draw(st.booleans()):
+        return None
+    return SharedGuard(draw(fractions), draw(multisets))
+
+
+@st.composite
+def guard_families(draw):
+    members = {}
+    for index in draw(st.lists(st.sampled_from(["i", "j"]), unique=True, max_size=2)):
+        members[index] = UniqueGuard(tuple(draw(st.lists(elements, max_size=3))))
+    return GuardFamily(members)
+
+
+@st.composite
+def extended_heaps(draw):
+    return ExtendedHeap(draw(perm_heaps()), draw(shared_guards()), draw(guard_families()))
+
+
+def try_add(a, b):
+    try:
+        return a + b
+    except HeapAdditionUndefined:
+        return None
+
+
+class TestMultisetLaws:
+    @given(multisets, multisets)
+    def test_union_commutative(self, a, b):
+        assert a + b == b + a
+
+    @given(multisets, multisets, multisets)
+    def test_union_associative(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+
+    @given(multisets)
+    def test_empty_is_identity(self, a):
+        assert a + Multiset() == a
+
+    @given(multisets, multisets)
+    def test_difference_inverts_union(self, a, b):
+        assert (a + b) - b == a
+
+    @given(multisets, multisets)
+    def test_cardinality_additive(self, a, b):
+        assert len(a + b) == len(a) + len(b)
+
+    @given(multisets, multisets)
+    def test_subset_of_union(self, a, b):
+        assert a.issubset(a + b)
+
+
+class TestPermHeapLaws:
+    @given(perm_heaps(), perm_heaps())
+    def test_addition_commutative(self, a, b):
+        assert try_add(a, b) == try_add(b, a)
+
+    @given(perm_heaps(), perm_heaps(), perm_heaps())
+    def test_addition_associative_when_defined(self, a, b, c):
+        left = try_add(a, b)
+        left = try_add(left, c) if left is not None else None
+        right = try_add(b, c)
+        right = try_add(a, right) if right is not None else None
+        if left is not None and right is not None:
+            assert left == right
+
+    @given(perm_heaps())
+    def test_empty_is_identity(self, a):
+        assert a + PermissionHeap.empty() == a
+
+    @given(perm_heaps(), perm_heaps())
+    def test_addition_preserves_values(self, a, b):
+        total = try_add(a, b)
+        if total is None:
+            return
+        for location in a.domain():
+            assert total.value(location) == a.value(location)
+
+    @given(perm_heaps())
+    def test_normalize_domain(self, a):
+        assert set(a.normalize()) == set(a.domain())
+
+
+class TestGuardLaws:
+    @given(shared_guards(), shared_guards())
+    def test_shared_addition_commutative(self, a, b):
+        try:
+            left = add_shared_guards(a, b)
+        except HeapAdditionUndefined:
+            left = "undef"
+        try:
+            right = add_shared_guards(b, a)
+        except HeapAdditionUndefined:
+            right = "undef"
+        assert left == right
+
+    @given(shared_guards())
+    def test_bottom_is_identity(self, a):
+        assert add_shared_guards(a, None) == a
+
+    @given(multisets, st.integers(2, 4))
+    def test_split_recombines(self, args, pieces):
+        guard = SharedGuard(Fraction(1), args)
+        parts = guard.split(pieces)
+        total = parts[0]
+        for part in parts[1:]:
+            total = add_shared_guards(total, part)
+        assert total == guard
+
+    @given(guard_families(), guard_families())
+    def test_family_addition_commutative(self, a, b):
+        assert try_add(a, b) == try_add(b, a)
+
+
+class TestExtendedHeapLaws:
+    @given(extended_heaps(), extended_heaps())
+    def test_addition_commutative(self, a, b):
+        assert try_add(a, b) == try_add(b, a)
+
+    @given(extended_heaps())
+    def test_empty_is_identity(self, a):
+        assert a + ExtendedHeap.empty() == a
+
+    @given(extended_heaps())
+    def test_normalization_forgets_guards(self, a):
+        stripped = ExtendedHeap(a.perm_heap)
+        assert a.normalize() == stripped.normalize()
+
+    @given(extended_heaps(), extended_heaps())
+    def test_compatibility_symmetric(self, a, b):
+        assert a.compatible(b) == b.compatible(a)

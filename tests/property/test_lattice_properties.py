@@ -1,0 +1,105 @@
+"""Property-based tests of the lattice laws (repro.security.lattice).
+
+The Lattice constructor claims to verify the lattice laws; these
+properties check that claim from both sides: every accepted order
+satisfies the algebraic laws, and random cover relations either form a
+lattice or are rejected."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.security.lattice import Lattice, LatticeError, linear, powerset
+
+LABELS = ("a", "b", "c", "d")
+
+
+@st.composite
+def random_covers(draw):
+    """A random covering relation over up to 4 labels (acyclic by
+    construction: edges always go from earlier to later labels)."""
+    size = draw(st.integers(1, 4))
+    labels = LABELS[:size]
+    covers = []
+    for low_index, high_index in itertools.combinations(range(size), 2):
+        if draw(st.booleans()):
+            covers.append((labels[low_index], labels[high_index]))
+    return labels, tuple(covers)
+
+
+def _try_build(labels, covers):
+    try:
+        return Lattice(labels, covers)
+    except LatticeError:
+        return None
+
+
+class TestLatticeLaws:
+    @given(random_covers())
+    @settings(max_examples=200, deadline=None)
+    def test_accepted_orders_satisfy_the_laws(self, poset):
+        labels, covers = poset
+        lattice = _try_build(labels, covers)
+        if lattice is None:
+            return  # rejected: nothing to check
+        for a, b in itertools.product(labels, repeat=2):
+            join = lattice.join(a, b)
+            meet = lattice.meet(a, b)
+            # join is an upper bound, meet a lower bound
+            assert lattice.leq(a, join) and lattice.leq(b, join)
+            assert lattice.leq(meet, a) and lattice.leq(meet, b)
+            # commutativity
+            assert join == lattice.join(b, a)
+            assert meet == lattice.meet(b, a)
+            # absorption
+            assert lattice.join(a, lattice.meet(a, b)) == a
+            assert lattice.meet(a, lattice.join(a, b)) == a
+
+    @given(random_covers())
+    @settings(max_examples=200, deadline=None)
+    def test_join_is_least_and_meet_is_greatest(self, poset):
+        labels, covers = poset
+        lattice = _try_build(labels, covers)
+        if lattice is None:
+            return
+        for a, b in itertools.product(labels, repeat=2):
+            join = lattice.join(a, b)
+            for candidate in labels:
+                if lattice.leq(a, candidate) and lattice.leq(b, candidate):
+                    assert lattice.leq(join, candidate)
+            meet = lattice.meet(a, b)
+            for candidate in labels:
+                if lattice.leq(candidate, a) and lattice.leq(candidate, b):
+                    assert lattice.leq(candidate, meet)
+
+    @given(random_covers())
+    @settings(max_examples=200, deadline=None)
+    def test_downsets_are_downward_closed(self, poset):
+        labels, covers = poset
+        lattice = _try_build(labels, covers)
+        if lattice is None:
+            return
+        for level in labels:
+            downset = lattice.downset(level)
+            for member in downset:
+                for below in labels:
+                    if lattice.leq(below, member):
+                        assert below in downset
+
+    @given(st.integers(1, 5))
+    @settings(max_examples=10, deadline=None)
+    def test_linear_lattices_always_build(self, size):
+        labels = [f"l{index}" for index in range(size)]
+        lattice = linear(labels)
+        assert lattice.bottom == "l0"
+        assert lattice.top == f"l{size - 1}"
+
+    @given(st.integers(0, 3))
+    @settings(max_examples=8, deadline=None)
+    def test_powerset_lattices_always_build(self, size):
+        basis = [f"c{index}" for index in range(size)]
+        lattice = powerset(basis)
+        assert len(lattice.elements) == 2 ** size
+        assert lattice.bottom == frozenset()
+        assert lattice.top == frozenset(basis)

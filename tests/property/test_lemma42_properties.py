@@ -1,0 +1,156 @@
+"""Property-based validation of Lemma 4.2 and the validity checker.
+
+Random histories over each valid specification's argument domains must
+yield a single abstract value over all interleavings, and PRE-related
+history *pairs* must yield equal abstractions across the two executions —
+the full statement of Lemma 4.2.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assertions.pre import find_bijection, pre_shared, pre_unique
+from repro.heap.multiset import Multiset
+from repro.spec import abstractions_of_interleavings, check_validity
+from repro.spec.library import (
+    VALID_SPECS,
+    integer_add_spec,
+    map_put_keyset_spec,
+    producer_consumer_spec,
+)
+
+KEYSET = map_put_keyset_spec()
+PUT = KEYSET.shared_action
+
+kv_pairs = st.tuples(st.integers(1, 3), st.integers(10, 12))
+histories = st.lists(kv_pairs, max_size=4)
+
+
+class TestLemma42SingleHistory:
+    @given(histories)
+    @settings(max_examples=40, deadline=None)
+    def test_map_keyset_single_alpha(self, history):
+        alphas = abstractions_of_interleavings(KEYSET, KEYSET.initial_value, Multiset(history))
+        assert len(alphas) == 1
+
+    @given(st.lists(st.integers(-3, 3), max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_integer_add_single_alpha(self, history):
+        spec = integer_add_spec()
+        alphas = abstractions_of_interleavings(spec, 0, Multiset(history))
+        assert alphas == frozenset({sum(history)})
+
+    @given(
+        st.lists(st.integers(1, 3), max_size=3),
+        st.lists(st.just(0), max_size=2),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_queue_1p1c_single_alpha(self, produced, consumed):
+        spec = producer_consumer_spec(1, 1)
+        alphas = abstractions_of_interleavings(
+            spec, spec.initial_value, unique_args={"Prod": produced, "Cons": consumed}
+        )
+        assert alphas == frozenset({tuple(produced)})
+
+
+class TestLemma42FullRelational:
+    """Two PRE-related histories (same keys, any values, any order) produce
+    equal abstractions — the two-execution form of Lemma 4.2."""
+
+    @given(histories, st.randoms(use_true_random=False))
+    @settings(max_examples=30, deadline=None)
+    def test_pre_related_histories_agree(self, history, rng):
+        # second execution: same keys, shuffled order, fresh values
+        permuted = list(history)
+        rng.shuffle(permuted)
+        other = [(key, rng.choice([10, 11, 12])) for key, _ in permuted]
+        ms1, ms2 = Multiset(history), Multiset(other)
+        assert pre_shared(PUT, ms1, ms2)  # keys form a bijection
+        alphas1 = abstractions_of_interleavings(KEYSET, KEYSET.initial_value, ms1)
+        alphas2 = abstractions_of_interleavings(KEYSET, KEYSET.initial_value, ms2)
+        assert alphas1 == alphas2
+        assert len(alphas1) == 1
+
+
+class TestPreBijection:
+    @given(histories)
+    def test_pre_reflexive(self, history):
+        ms = Multiset(history)
+        assert pre_shared(PUT, ms, ms)
+
+    @given(histories, histories)
+    def test_pre_symmetric(self, h1, h2):
+        ms1, ms2 = Multiset(h1), Multiset(h2)
+        assert pre_shared(PUT, ms1, ms2) == pre_shared(PUT, ms2, ms1)
+
+    @given(histories)
+    def test_bijection_witness_is_valid(self, history):
+        ms = Multiset(history)
+        witness = find_bijection(PUT, ms, ms)
+        assert witness is not None
+        assert len(witness) == len(ms)
+        for left, right in witness:
+            assert PUT.precondition(left, right)
+
+    @given(histories, kv_pairs)
+    def test_cardinality_mismatch_fails(self, history, extra):
+        ms = Multiset(history)
+        assert not pre_shared(PUT, ms, ms.add(extra))
+
+    @given(st.lists(st.integers(1, 3), max_size=4))
+    def test_pre_unique_reflexive(self, args):
+        prod = producer_consumer_spec(1, 1).action("Prod")
+        assert pre_unique(prod, args, args)
+
+    @given(st.lists(st.integers(1, 3), min_size=2, max_size=4))
+    def test_pre_unique_rejects_reordering(self, args):
+        prod = producer_consumer_spec(1, 1).action("Prod")
+        reordered = args[1:] + args[:1]
+        if reordered != args:
+            assert not pre_unique(prod, args, reordered)
+
+
+class TestRandomCommutativeSpecs:
+    """Randomly generated *commutative* action sets always pass validity,
+    and randomly generated order-sensitive ones always fail — the checker
+    neither under- nor over-approximates on these families."""
+
+    @given(st.integers(-2, 2), st.integers(1, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_affine_add_mul_commutes(self, offset, scale):
+        from repro.spec import Action, ResourceSpecification
+        from repro.spec.actions import low_everything
+
+        add = Action.shared(
+            "AddOff", lambda v, x: v + x + offset, low_projections=low_everything()
+        )
+        spec = ResourceSpecification(
+            "RandomAffine",
+            abstraction=lambda v: v,
+            actions=(add,),
+            initial_value=0,
+            value_domain=tuple(range(-2, 3)),
+            arg_domains={"AddOff": tuple(range(-2, 3))},
+        )
+        assert check_validity(spec).valid
+
+    @given(st.integers(2, 4))
+    @settings(max_examples=10, deadline=None)
+    def test_append_never_commutes_concretely(self, domain_size):
+        from repro.spec import Action, ResourceSpecification
+        from repro.spec.actions import low_everything
+
+        append = Action.shared(
+            "App", lambda v, x: v + (x,), low_projections=low_everything()
+        )
+        spec = ResourceSpecification(
+            "RandomAppend",
+            abstraction=lambda v: v,  # identity: order visible
+            actions=(append,),
+            initial_value=(),
+            value_domain=((), (0,)),
+            arg_domains={"App": tuple(range(domain_size))},
+        )
+        assert not check_validity(spec).valid

@@ -1,0 +1,236 @@
+"""Unit tests for relational assertion syntax and satisfaction (Fig. 7)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.assertions import (
+    BoolAssert,
+    Conj,
+    Emp,
+    Exists,
+    Implies,
+    Low,
+    PointsTo,
+    PreShared,
+    PreUnique,
+    SGuardAssert,
+    SepConj,
+    UGuardAssert,
+    assertion_fv,
+    assertion_subst,
+    contains_guard,
+    contains_low,
+    is_noguard,
+    is_precise,
+    is_unambiguous,
+    is_unary,
+    satisfies,
+)
+from repro.heap import ExtendedHeap, GuardFamily, Multiset, PermissionHeap, SharedGuard, UniqueGuard
+from repro.lang.ast import BinOp, Lit, Var
+from repro.lang.parser import parse_expr
+
+HALF = Fraction(1, 2)
+EMPTY = ExtendedHeap.empty()
+
+
+def sat(assertion, s1=None, gh1=EMPTY, s2=None, gh2=EMPTY):
+    return satisfies(s1 or {}, gh1, s2 or {}, gh2, assertion)
+
+
+class TestPureAssertions:
+    def test_emp_holds_of_empty_heaps(self):
+        assert sat(Emp())
+
+    def test_emp_fails_with_cells(self):
+        gh = ExtendedHeap(PermissionHeap.singleton(1, 5))
+        assert not sat(Emp(), gh1=gh, gh2=gh)
+
+    def test_bool_checks_both_states(self):
+        assertion = BoolAssert(parse_expr("x > 0"))
+        assert sat(assertion, {"x": 1}, EMPTY, {"x": 2}, EMPTY)
+        assert not sat(assertion, {"x": 1}, EMPTY, {"x": 0}, EMPTY)
+
+    def test_low_requires_equal_values(self):
+        assert sat(Low(Var("x")), {"x": 5}, EMPTY, {"x": 5}, EMPTY)
+        assert not sat(Low(Var("x")), {"x": 5}, EMPTY, {"x": 6}, EMPTY)
+
+    def test_low_of_expression(self):
+        # x differs but x - x is equal
+        assertion = Low(parse_expr("x - x"))
+        assert sat(assertion, {"x": 5}, EMPTY, {"x": 6}, EMPTY)
+
+    def test_implies_requires_low_condition(self):
+        assertion = Implies(parse_expr("x > 0"), Low(Var("y")))
+        # condition differs across states -> fails
+        assert not sat(assertion, {"x": 1, "y": 2}, EMPTY, {"x": 0, "y": 2}, EMPTY)
+
+    def test_implies_vacuous_when_false(self):
+        assertion = Implies(parse_expr("x > 0"), Low(Var("y")))
+        assert sat(assertion, {"x": 0, "y": 1}, EMPTY, {"x": 0, "y": 2}, EMPTY)
+
+    def test_implies_checks_body_when_true(self):
+        assertion = Implies(parse_expr("x > 0"), Low(Var("y")))
+        assert sat(assertion, {"x": 1, "y": 3}, EMPTY, {"x": 1, "y": 3}, EMPTY)
+        assert not sat(assertion, {"x": 1, "y": 3}, EMPTY, {"x": 1, "y": 4}, EMPTY)
+
+
+class TestSpatialAssertions:
+    def test_points_to_exact(self):
+        gh = ExtendedHeap(PermissionHeap.singleton(1, 5))
+        assertion = PointsTo(Var("p"), Lit(5))
+        assert sat(assertion, {"p": 1}, gh, {"p": 1}, gh)
+
+    def test_points_to_wrong_value(self):
+        gh = ExtendedHeap(PermissionHeap.singleton(1, 5))
+        assert not sat(PointsTo(Var("p"), Lit(6)), {"p": 1}, gh, {"p": 1}, gh)
+
+    def test_points_to_insufficient_fraction(self):
+        gh = ExtendedHeap(PermissionHeap.singleton(1, 5, HALF))
+        assert not sat(PointsTo(Var("p"), Lit(5)), {"p": 1}, gh, {"p": 1}, gh)
+
+    def test_points_to_fractional(self):
+        gh = ExtendedHeap(PermissionHeap.singleton(1, 5, HALF))
+        assert sat(PointsTo(Var("p"), Lit(5), HALF), {"p": 1}, gh, {"p": 1}, gh)
+
+    def test_points_to_leftover_heap_fails_top_level(self):
+        gh = ExtendedHeap(PermissionHeap({1: (Fraction(1), 5), 2: (Fraction(1), 6)}))
+        assert not sat(PointsTo(Var("p"), Lit(5)), {"p": 1}, gh, {"p": 1}, gh)
+
+    def test_sep_conj_splits_heap(self):
+        gh = ExtendedHeap(PermissionHeap({1: (Fraction(1), 5), 2: (Fraction(1), 6)}))
+        assertion = SepConj(PointsTo(Lit(1), Lit(5)), PointsTo(Lit(2), Lit(6)))
+        assert sat(assertion, {}, gh, {}, gh)
+
+    def test_sep_conj_no_double_ownership(self):
+        gh = ExtendedHeap(PermissionHeap.singleton(1, 5))
+        assertion = SepConj(PointsTo(Lit(1), Lit(5)), PointsTo(Lit(1), Lit(5)))
+        assert not sat(assertion, {}, gh, {}, gh)
+
+    def test_half_permissions_recombine(self):
+        gh = ExtendedHeap(PermissionHeap.singleton(1, 5))
+        assertion = SepConj(PointsTo(Lit(1), Lit(5), HALF), PointsTo(Lit(1), Lit(5), HALF))
+        assert sat(assertion, {}, gh, {}, gh)
+
+    def test_pure_conjunct_absorbs(self):
+        gh = ExtendedHeap(PermissionHeap.singleton(1, 5))
+        assertion = SepConj(BoolAssert(parse_expr("1 == 1")), PointsTo(Lit(1), Lit(5)))
+        assert sat(assertion, {}, gh, {}, gh)
+
+
+class TestGuardAssertions:
+    def test_sguard_exact(self):
+        gh = ExtendedHeap.guard_only(SharedGuard(HALF, Multiset(["a"])))
+        assertion = SGuardAssert(HALF, Lit(Multiset(["a"])))
+        assert sat(assertion, {}, gh, {}, gh)
+
+    def test_sguard_wrong_args(self):
+        gh = ExtendedHeap.guard_only(SharedGuard(HALF, Multiset(["a"])))
+        assert not sat(SGuardAssert(HALF, Lit(Multiset(["b"]))), {}, gh, {}, gh)
+
+    def test_sguard_split_across_sep_conj(self):
+        gh = ExtendedHeap.guard_only(SharedGuard(Fraction(1), Multiset(["a", "b"])))
+        assertion = SepConj(
+            SGuardAssert(HALF, Lit(Multiset(["a"]))),
+            SGuardAssert(HALF, Lit(Multiset(["b"]))),
+        )
+        assert sat(assertion, {}, gh, {}, gh)
+
+    def test_uguard_exact_sequence(self):
+        gh = ExtendedHeap.guard_only(
+            unique_guards=GuardFamily.singleton("Prod", UniqueGuard((1, 2)))
+        )
+        assert sat(UGuardAssert("Prod", Lit((1, 2))), {}, gh, {}, gh)
+        assert not sat(UGuardAssert("Prod", Lit((2, 1))), {}, gh, {}, gh)
+
+    def test_uguard_missing(self):
+        assert not sat(UGuardAssert("Prod", Lit(())))
+
+
+class TestExists:
+    def test_witnesses_may_differ(self):
+        # ∃x. p ↦ x with different stored values in the two states
+        gh1 = ExtendedHeap(PermissionHeap.singleton(1, 5))
+        gh2 = ExtendedHeap(PermissionHeap.singleton(1, 6))
+        assertion = Exists("x", PointsTo(Lit(1), Var("x")))
+        assert sat(assertion, {}, gh1, {}, gh2)
+
+    def test_exists_with_low_body_fails_on_differing(self):
+        gh1 = ExtendedHeap(PermissionHeap.singleton(1, 5))
+        gh2 = ExtendedHeap(PermissionHeap.singleton(1, 6))
+        assertion = Exists("x", Conj(PointsTo(Lit(1), Var("x")), Low(Var("x"))))
+        assert not sat(assertion, {}, gh1, {}, gh2)
+
+
+class TestPreAssertions:
+    def _keyset_action(self):
+        from repro.spec.library import map_put_keyset_spec
+
+        return map_put_keyset_spec().shared_action
+
+    def test_pre_shared_bijection(self):
+        action = self._keyset_action()
+        assertion = PreShared(action, Var("s"))
+        ms1 = Multiset([(1, 10), (2, 20)])
+        ms2 = Multiset([(2, 99), (1, 88)])
+        assert sat(assertion, {"s": ms1}, EMPTY, {"s": ms2}, EMPTY)
+
+    def test_pre_shared_cardinality_mismatch(self):
+        action = self._keyset_action()
+        assertion = PreShared(action, Var("s"))
+        assert not sat(assertion, {"s": Multiset([(1, 1)])}, EMPTY, {"s": Multiset()}, EMPTY)
+
+    def test_pre_unique_pointwise(self):
+        from repro.spec.library import producer_consumer_spec
+
+        spec = producer_consumer_spec(1, 1)
+        prod = spec.action("Prod")
+        assertion = PreUnique(prod, Var("s"))
+        assert sat(assertion, {"s": (1, 2)}, EMPTY, {"s": (1, 2)}, EMPTY)
+        # same multiset, different order: pointwise check fails
+        assert not sat(assertion, {"s": (1, 2)}, EMPTY, {"s": (2, 1)}, EMPTY)
+
+
+class TestClassifiers:
+    def test_unary_syntactic(self):
+        assert is_unary(PointsTo(Var("p"), Var("v")))
+        assert not is_unary(Low(Var("x")))
+        assert not is_unary(SepConj(Emp(), Low(Var("x"))))
+
+    def test_pre_is_not_unary(self):
+        action = TestPreAssertions()._keyset_action()
+        assert not is_unary(PreShared(action, Var("s")))
+
+    def test_noguard(self):
+        assert is_noguard(PointsTo(Var("p"), Var("v")))
+        assert not is_noguard(SGuardAssert(HALF, Var("s")))
+
+    def test_precise(self):
+        assert is_precise(PointsTo(Var("p"), Var("v")))
+        assert is_precise(SepConj(PointsTo(Var("p"), Var("v")), Emp()))
+        assert not is_precise(BoolAssert(parse_expr("x == 1")))
+
+    def test_unambiguous_points_to(self):
+        assert is_unambiguous(PointsTo(Var("p"), Var("x")), "x")
+        assert not is_unambiguous(PointsTo(Var("x"), Var("x")), "x")
+
+    def test_unambiguous_equality(self):
+        assert is_unambiguous(BoolAssert(BinOp("==", Var("x"), Lit(3))), "x")
+        assert not is_unambiguous(Low(Var("x")), "x")
+
+    def test_fv(self):
+        assertion = SepConj(PointsTo(Var("p"), Var("v")), Exists("v", Low(Var("v"))))
+        assert assertion_fv(assertion) == frozenset({"p", "v"})
+
+    def test_subst(self):
+        assertion = Low(Var("x"))
+        assert assertion_subst(assertion, "x", Lit(1)) == Low(Lit(1))
+
+    def test_subst_respects_binders(self):
+        assertion = Exists("x", Low(Var("x")))
+        assert assertion_subst(assertion, "x", Lit(1)) == assertion
+
+    def test_contains_flags(self):
+        assert contains_low(Implies(Var("b"), Emp()))
+        assert contains_guard(SepConj(Emp(), UGuardAssert("i", Lit(()))))

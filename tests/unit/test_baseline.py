@@ -1,0 +1,117 @@
+"""Tests for the timing-sensitive baseline checker (repro.verifier.baseline)."""
+
+import pytest
+
+from repro.casestudies import case_by_name
+from repro.lang import parse_program
+from repro.verifier import ProgramSpec
+from repro.verifier.baseline import baseline_check
+
+
+def _spec(source, low=(), high=()):
+    return ProgramSpec(
+        name="test",
+        program=parse_program(source),
+        resources=(),
+        low_inputs=frozenset(low),
+        high_inputs=frozenset(high),
+    )
+
+
+class TestBaselineDiscipline:
+    def test_accepts_low_branching(self):
+        report = baseline_check(_spec("if (l > 0) { x := 1 } else { x := 2 }\nprint(x)", low=["l"]))
+        assert report.accepted
+
+    def test_rejects_high_branch(self):
+        report = baseline_check(_spec("if (h > 0) { x := 1 } else { x := 2 }", high=["h"]))
+        assert not report.accepted
+        assert "branching on high data" in report.rejections[0]
+
+    def test_rejects_high_loop(self):
+        report = baseline_check(_spec("k := 0\nwhile (k < h) { k := k + 1 }", high=["h"]))
+        assert not report.accepted
+        assert "looping on high data" in report.rejections[0]
+
+    def test_rejects_explicit_flow(self):
+        report = baseline_check(_spec("x := h\nprint(x)", high=["h"]))
+        assert not report.accepted
+        assert "printed value is high" in report.rejections[0]
+
+    def test_rejects_blocking_guard(self):
+        source = "q := alloc(0)\natomic when (deref(q) > 0) { x := [q] }"
+        report = baseline_check(_spec(source))
+        assert not report.accepted
+        assert "blocking" in report.rejections[0]
+
+    def test_accepts_low_shared_writes(self):
+        # Low data through a shared cell with low-only writes: fine even
+        # without commutativity (SecCSL-style lock invariant).
+        source = """
+        c := alloc(0)
+        { atomic { [c] := a } } || { atomic { [c] := a } }
+        r := [c]
+        print(r)
+        """
+        report = baseline_check(_spec(source, low=["a"]))
+        assert report.accepted
+
+    def test_high_store_taints_cell_forever(self):
+        # Writing high data once makes the cell high for the whole run —
+        # the baseline has no commutativity/abstraction reclamation.
+        source = """
+        c := alloc(0)
+        atomic { [c] := h }
+        atomic { [c] := a }
+        r := [c]
+        print(r)
+        """
+        report = baseline_check(_spec(source, low=["a"], high=["h"]))
+        assert not report.accepted
+
+    def test_taint_through_pure_functions(self):
+        report = baseline_check(_spec("x := pair(h, 1)\nprint(fst(x))", high=["h"]))
+        assert not report.accepted
+
+    def test_low_loop_reaches_fixpoint(self):
+        source = "i := 0\nwhile (i < n) { i := i + 1 }\nprint(i)"
+        report = baseline_check(_spec(source, low=["n"]))
+        assert report.accepted
+
+
+class TestBaselineOnCaseStudies:
+    @pytest.mark.parametrize(
+        "name", ["Figure 2", "Figure 1", "Email-Metadata", "Salary-Histogram"]
+    )
+    def test_rejects_secret_timing_examples(self, name):
+        case = case_by_name(name)
+        report = baseline_check(case.program_spec())
+        assert not report.accepted
+        assert any("high data" in reason for reason in report.rejections)
+
+    @pytest.mark.parametrize(
+        "name", ["Website-Visitor-IPs", "Sales-By-Region", "Most-Valuable-Purchase"]
+    )
+    def test_accepts_timing_free_identity_examples(self, name):
+        case = case_by_name(name)
+        report = baseline_check(case.program_spec())
+        assert report.accepted, report.summary()
+
+    @pytest.mark.parametrize("name", ["Mean-Salary", "Figure 3"])
+    def test_rejects_abstraction_dependent_examples(self, name):
+        # These are secure only because an abstraction of the high-tainted
+        # structure is printed — a mechanism the baseline lacks.
+        case = case_by_name(name)
+        report = baseline_check(case.program_spec())
+        assert not report.accepted
+        assert any("printed value is high" in reason for reason in report.rejections)
+
+    def test_commcsl_strictly_more_permissive_on_table1(self):
+        from repro.casestudies import TABLE1_CASES
+
+        commcsl = sum(case.verify().verified for case in TABLE1_CASES)
+        baseline = sum(
+            baseline_check(case.program_spec()).accepted for case in TABLE1_CASES
+        )
+        assert commcsl == 18
+        assert baseline < commcsl

@@ -1,0 +1,98 @@
+"""Unit tests for extended heaps ``⟨ph, gs, Gu⟩`` (Sec. 3.3)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.heap.extheap import ExtendedHeap
+from repro.heap.guards import GuardFamily, SharedGuard, UniqueGuard
+from repro.heap.multiset import Multiset
+from repro.heap.permheap import HeapAdditionUndefined, PermissionHeap
+
+HALF = Fraction(1, 2)
+
+
+class TestConstruction:
+    def test_empty(self):
+        gh = ExtendedHeap.empty()
+        assert gh.is_guard_free()
+        assert gh.normalize() == {}
+
+    def test_from_plain_is_complete(self):
+        gh = ExtendedHeap.from_plain({1: "a", 2: "b"})
+        assert gh.is_complete()
+        assert gh.normalize() == {1: "a", 2: "b"}
+
+    def test_guard_only(self):
+        gh = ExtendedHeap.guard_only(SharedGuard(HALF))
+        assert not gh.is_guard_free()
+        assert gh.normalize() == {}
+
+
+class TestPredicates:
+    def test_complete_requires_full_permissions(self):
+        partial = ExtendedHeap(PermissionHeap.singleton(1, "v", HALF))
+        assert not partial.is_complete()
+        assert partial.is_guard_free()
+
+    def test_complete_requires_bottom_guards(self):
+        gh = ExtendedHeap(
+            PermissionHeap.singleton(1, "v"),
+            SharedGuard(Fraction(1)),
+        )
+        assert gh.has_full_permissions()
+        assert not gh.is_complete()
+
+
+class TestAddition:
+    def test_componentwise(self):
+        left = ExtendedHeap(
+            PermissionHeap.singleton(1, "v", HALF),
+            SharedGuard(HALF, Multiset(["a"])),
+        )
+        right = ExtendedHeap(
+            PermissionHeap.singleton(1, "v", HALF),
+            SharedGuard(HALF, Multiset(["b"])),
+            GuardFamily.singleton("i", UniqueGuard((7,))),
+        )
+        total = left + right
+        assert total.perm_heap.permission(1) == Fraction(1)
+        assert total.shared_guard.args == Multiset(["a", "b"])
+        assert total.unique_guards.get("i") == UniqueGuard((7,))
+
+    def test_incompatible_perm_heaps(self):
+        a = ExtendedHeap(PermissionHeap.singleton(1, "x", HALF))
+        b = ExtendedHeap(PermissionHeap.singleton(1, "y", HALF))
+        with pytest.raises(HeapAdditionUndefined):
+            a + b
+        assert not a.compatible(b)
+
+    def test_unique_guard_conflict(self):
+        gh = ExtendedHeap.guard_only(unique_guards=GuardFamily.singleton("i", UniqueGuard()))
+        with pytest.raises(HeapAdditionUndefined):
+            gh + gh
+
+
+class TestRecording:
+    def test_record_shared(self):
+        gh = ExtendedHeap.guard_only(SharedGuard(HALF)).record_shared("arg")
+        assert gh.shared_args() == Multiset(["arg"])
+
+    def test_record_shared_without_guard_fails(self):
+        with pytest.raises(HeapAdditionUndefined):
+            ExtendedHeap.empty().record_shared("arg")
+
+    def test_record_unique_preserves_order(self):
+        gh = ExtendedHeap.guard_only(
+            unique_guards=GuardFamily.singleton("i", UniqueGuard())
+        )
+        gh = gh.record_unique("i", 1).record_unique("i", 2)
+        assert gh.unique_guards.get("i").args == (1, 2)
+
+    def test_record_unique_without_guard_fails(self):
+        with pytest.raises(HeapAdditionUndefined):
+            ExtendedHeap.empty().record_unique("i", 1)
+
+    def test_shared_fraction(self):
+        assert ExtendedHeap.empty().shared_fraction() == 0
+        assert ExtendedHeap.guard_only(SharedGuard(HALF)).shared_fraction() == HALF

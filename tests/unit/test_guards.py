@@ -1,0 +1,116 @@
+"""Unit tests for guard states (Sec. 3.3, Eq. (3)/(4))."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.heap.guards import (
+    GuardFamily,
+    SharedGuard,
+    UniqueGuard,
+    add_shared_guards,
+    add_unique_guards,
+)
+from repro.heap.multiset import Multiset
+from repro.heap.permheap import HeapAdditionUndefined
+
+HALF = Fraction(1, 2)
+
+
+class TestSharedGuard:
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            SharedGuard(Fraction(0))
+        with pytest.raises(ValueError):
+            SharedGuard(Fraction(3, 2))
+
+    def test_complete(self):
+        assert SharedGuard(Fraction(1)).is_complete()
+        assert not SharedGuard(HALF).is_complete()
+
+    def test_record_adds_to_multiset(self):
+        g = SharedGuard(HALF).record("a").record("a")
+        assert g.args.count("a") == 2
+
+    def test_record_preserves_fraction(self):
+        assert SharedGuard(HALF).record("a").fraction == HALF
+
+    def test_split_fractions(self):
+        parts = SharedGuard(Fraction(1), Multiset(["x"])).split(2)
+        assert [p.fraction for p in parts] == [HALF, HALF]
+        assert parts[0].args == Multiset(["x"])
+        assert parts[1].args == Multiset()
+
+    def test_split_requires_positive_pieces(self):
+        with pytest.raises(ValueError):
+            SharedGuard(Fraction(1)).split(0)
+
+
+class TestSharedGuardAddition:
+    def test_bottom_is_identity(self):
+        g = SharedGuard(HALF, Multiset(["a"]))
+        assert add_shared_guards(g, None) == g
+        assert add_shared_guards(None, g) == g
+
+    def test_addition_unions_multisets(self):
+        left = SharedGuard(HALF, Multiset(["a"]))
+        right = SharedGuard(HALF, Multiset(["b", "a"]))
+        total = add_shared_guards(left, right)
+        assert total.fraction == Fraction(1)
+        assert total.args == Multiset(["a", "a", "b"])
+
+    def test_fraction_overflow_undefined(self):
+        g = SharedGuard(Fraction(1))
+        with pytest.raises(HeapAdditionUndefined):
+            add_shared_guards(g, SharedGuard(HALF))
+
+    def test_split_then_recombine_roundtrip(self):
+        original = SharedGuard(Fraction(1), Multiset(["x", "y"]))
+        parts = original.split(2)
+        assert add_shared_guards(parts[0], parts[1]) == original
+
+
+class TestUniqueGuard:
+    def test_record_appends_in_order(self):
+        g = UniqueGuard().record(1).record(2)
+        assert g.args == (1, 2)
+
+    def test_addition_requires_one_bottom(self):
+        g = UniqueGuard((1,))
+        assert add_unique_guards(g, None) == g
+        assert add_unique_guards(None, g) == g
+        with pytest.raises(HeapAdditionUndefined):
+            add_unique_guards(g, UniqueGuard())
+
+    def test_equality_is_sequence_equality(self):
+        assert UniqueGuard((1, 2)) == UniqueGuard((1, 2))
+        assert UniqueGuard((1, 2)) != UniqueGuard((2, 1))
+
+
+class TestGuardFamily:
+    def test_bottom(self):
+        assert GuardFamily.bottom().is_bottom()
+        assert GuardFamily.bottom().get("i") is None
+
+    def test_singleton(self):
+        family = GuardFamily.singleton("i", UniqueGuard((5,)))
+        assert family.get("i") == UniqueGuard((5,))
+        assert family.indices() == frozenset({"i"})
+
+    def test_pointwise_addition_disjoint(self):
+        a = GuardFamily.singleton("i", UniqueGuard((1,)))
+        b = GuardFamily.singleton("j", UniqueGuard((2,)))
+        combined = a + b
+        assert combined.get("i") == UniqueGuard((1,))
+        assert combined.get("j") == UniqueGuard((2,))
+
+    def test_pointwise_addition_conflict_undefined(self):
+        a = GuardFamily.singleton("i", UniqueGuard((1,)))
+        with pytest.raises(HeapAdditionUndefined):
+            a + a
+
+    def test_with_guard_is_functional(self):
+        base = GuardFamily.bottom()
+        extended = base.with_guard("i", UniqueGuard())
+        assert base.is_bottom()
+        assert not extended.is_bottom()

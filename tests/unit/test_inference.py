@@ -1,0 +1,127 @@
+"""Tests for precondition and abstraction inference (repro.spec.inference)."""
+
+import pytest
+
+from repro.spec.inference import (
+    STANDARD_ABSTRACTIONS,
+    candidate_projections,
+    infer_abstraction,
+    infer_preconditions,
+    precision,
+)
+from repro.spec.library import (
+    counter_increment_spec,
+    integer_add_spec,
+    list_append_multiset_spec,
+    map_disjoint_put_spec,
+    map_put_identity_spec,
+    map_put_keyset_spec,
+)
+
+
+class TestCandidateProjections:
+    def test_pairs_offer_components(self):
+        atoms = candidate_projections([(1, 10), (2, 20)])
+        assert [name for name, _ in atoms] == ["fst", "snd"]
+
+    def test_scalars_offer_identity(self):
+        atoms = candidate_projections([1, 2, 3])
+        assert [name for name, _ in atoms] == ["arg"]
+
+    def test_projections_evaluate(self):
+        atoms = dict(candidate_projections([(1, 10)]))
+        assert atoms["fst"]((1, 10)) == 1
+        assert atoms["snd"]((1, 10)) == 10
+
+
+class TestInferPreconditions:
+    def test_keyset_map_needs_only_low_key(self):
+        # Fig. 4 left, rediscovered: α = dom needs Low(key) but not Low(val).
+        inference = infer_preconditions(map_put_keyset_spec())
+        assert inference.found
+        assert inference.projection_names("Put") == ("fst",)
+
+    def test_identity_map_cannot_be_repaired(self):
+        # Even Low(key) ∧ Low(val) cannot make same-key puts commute
+        # (the Fig. 3 discussion): no assignment is valid.
+        inference = infer_preconditions(map_put_identity_spec())
+        assert not inference.found
+        assert inference.candidates_tried >= 4  # the whole subset lattice
+
+    def test_integer_add_needs_low_argument(self):
+        inference = infer_preconditions(integer_add_spec())
+        assert inference.found
+        assert inference.projection_names("Add") == ("arg",)
+
+    def test_counter_increment_needs_nothing(self):
+        # Inc ignores its argument, so no lowness is required at all.
+        inference = infer_preconditions(counter_increment_spec())
+        assert inference.found
+        assert inference.projection_names("Inc") == ()
+
+    def test_inferred_matches_declared_for_keyset_spec(self):
+        # The declared spec and the inferred one agree — the ablation
+        # benchmark relies on this.
+        spec = map_put_keyset_spec()
+        declared = tuple(name for name, _ in spec.action("Put").low_projections)
+        inferred = infer_preconditions(spec).projection_names("Put")
+        assert inferred == declared
+
+    def test_weakest_is_preferred(self):
+        # The search must not return Low(key) ∧ Low(val) when Low(key)
+        # alone suffices.
+        inference = infer_preconditions(map_put_keyset_spec())
+        assert len(inference.projection_names("Put")) == 1
+
+    def test_disjoint_put_keeps_unary_ranges(self):
+        # Unique actions with range constraints: inference retains the
+        # unary requires and discovers per-component lowness.
+        inference = infer_preconditions(map_disjoint_put_spec())
+        assert inference.found
+
+
+class TestPrecision:
+    def test_identity_is_finest(self):
+        domain = [(1,), (2,), (1, 2)]
+        identity = next(c for c in STANDARD_ABSTRACTIONS if c.name == "identity")
+        constant = next(c for c in STANDARD_ABSTRACTIONS if c.name == "constant")
+        assert precision(identity.function, domain) == 3
+        assert precision(constant.function, domain) == 0
+
+    def test_length_between(self):
+        domain = [(1,), (2,), (1, 2)]
+        length = next(c for c in STANDARD_ABSTRACTIONS if c.name == "length")
+        assert precision(length.function, domain) == 2
+
+
+class TestInferAbstraction:
+    def test_map_put_finds_keyset(self):
+        inference = infer_abstraction(map_put_keyset_spec())
+        assert "keyset" in inference.names()
+        assert inference.finest is not None
+        assert inference.finest.name == "keyset"
+
+    def test_map_put_identity_reported_invalid(self):
+        inference = infer_abstraction(map_put_keyset_spec())
+        invalid_names = {candidate.name for candidate in inference.invalid}
+        assert "identity" in invalid_names
+
+    def test_list_append_finds_multiset_as_finest(self):
+        inference = infer_abstraction(list_append_multiset_spec())
+        names = inference.names()
+        assert names[0] in ("multiset", "sorted")  # equal precision
+        assert "identity" not in names  # appends do not commute concretely
+        assert "length" in names and "constant" in names
+
+    def test_constant_is_always_valid(self):
+        for spec in (map_put_keyset_spec(), list_append_multiset_spec(), integer_add_spec()):
+            inference = infer_abstraction(spec)
+            assert "constant" in inference.names()
+
+    def test_valid_sorted_finest_first(self):
+        inference = infer_abstraction(list_append_multiset_spec())
+        precisions = [
+            precision(candidate.function, list_append_multiset_spec().value_domain)
+            for candidate in inference.valid
+        ]
+        assert precisions == sorted(precisions, reverse=True)

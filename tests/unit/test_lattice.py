@@ -1,0 +1,144 @@
+"""Tests for finite security lattices and channel-labelled observation."""
+
+import pytest
+
+from repro.security.lattice import (
+    Lattice,
+    LatticeError,
+    diamond,
+    linear,
+    powerset,
+    two_point,
+)
+from repro.security.noninterference import channel_observer, observation
+
+
+class TestLatticeConstruction:
+    def test_two_point(self):
+        lattice = two_point()
+        assert lattice.leq("low", "high")
+        assert not lattice.leq("high", "low")
+        assert lattice.bottom == "low"
+        assert lattice.top == "high"
+
+    def test_linear(self):
+        lattice = linear(["public", "internal", "secret"])
+        assert lattice.leq("public", "secret")
+        assert lattice.leq("internal", "secret")
+        assert not lattice.leq("secret", "public")
+        assert lattice.join("public", "internal") == "internal"
+        assert lattice.meet("internal", "secret") == "internal"
+
+    def test_diamond(self):
+        lattice = diamond()
+        assert lattice.join("left", "right") == "top"
+        assert lattice.meet("left", "right") == "bot"
+        assert not lattice.leq("left", "right")
+        assert not lattice.leq("right", "left")
+
+    def test_powerset(self):
+        lattice = powerset(["hr", "fin"])
+        empty = frozenset()
+        hr = frozenset({"hr"})
+        fin = frozenset({"fin"})
+        both = frozenset({"hr", "fin"})
+        assert lattice.bottom == empty
+        assert lattice.top == both
+        assert lattice.join(hr, fin) == both
+        assert lattice.meet(hr, fin) == empty
+        assert lattice.leq(hr, both)
+
+    def test_downset(self):
+        lattice = linear(["a", "b", "c"])
+        assert lattice.downset("b") == frozenset({"a", "b"})
+        assert lattice.downset("a") == frozenset({"a"})
+
+    def test_rejects_duplicate_elements(self):
+        with pytest.raises(LatticeError):
+            Lattice(("a", "a"), ())
+
+    def test_rejects_unknown_cover(self):
+        with pytest.raises(LatticeError):
+            Lattice(("a",), (("a", "b"),))
+
+    def test_rejects_cyclic_order(self):
+        with pytest.raises(LatticeError):
+            Lattice(("a", "b"), (("a", "b"), ("b", "a")))
+
+    def test_rejects_non_lattice_poset(self):
+        # Two maximal elements with two minimal elements below both: joins
+        # of the minimal pair are not unique.
+        with pytest.raises(LatticeError):
+            Lattice(
+                ("a", "b", "c", "d"),
+                (("a", "c"), ("a", "d"), ("b", "c"), ("b", "d")),
+            )
+
+    def test_leq_unknown_label_raises(self):
+        with pytest.raises(LatticeError):
+            two_point().leq("low", "nope")
+
+    def test_single_element_lattice(self):
+        lattice = Lattice(("only",), ())
+        assert lattice.top == lattice.bottom == "only"
+
+
+class TestObservation:
+    def test_none_observes_everything(self):
+        trace = (1, ("audit", 2), 3)
+        assert observation(trace, None) == trace
+
+    def test_filters_unobservable_channels(self):
+        trace = (1, ("audit", 2), ("pub", 3))
+        assert observation(trace, frozenset({"out", "pub"})) == (1, ("pub", 3))
+
+    def test_default_channel_is_out(self):
+        trace = (1, 2)
+        assert observation(trace, frozenset({"audit"})) == ()
+        assert observation(trace, frozenset({"out"})) == (1, 2)
+
+    def test_channel_observer_function(self):
+        observe = channel_observer(frozenset({"out"}))
+        assert observe((1, ("x", 2))) == (1,)
+
+
+class TestChannelRuntime:
+    def test_print_to_channel_tags_entries(self):
+        from repro.lang import Lit, Print, run, seq_all
+
+        program = seq_all(Print(Lit(1)), Print(Lit(2), "audit"))
+        assert run(program).output == (1, ("audit", 2))
+
+    def test_parser_accepts_channel(self):
+        from repro.lang import parse_program, run
+
+        program = parse_program('print(7, audit)\nprint(8)')
+        assert run(program).output == (("audit", 7), 8)
+
+    def test_unobservable_high_print_is_permitted(self):
+        from repro.lang import parse_program
+        from repro.verifier import ProgramSpec, verify
+
+        program = parse_program("print(h, audit)")
+        spec = ProgramSpec(
+            name="audit-high",
+            program=program,
+            resources=(),
+            high_inputs=frozenset({"h"}),
+            low_channels=frozenset({"out"}),
+        )
+        assert verify(spec).verified
+
+    def test_observable_high_print_is_rejected(self):
+        from repro.lang import parse_program
+        from repro.verifier import ProgramSpec, verify
+
+        program = parse_program("print(h, audit)")
+        spec = ProgramSpec(
+            name="audit-high-observable",
+            program=program,
+            resources=(),
+            high_inputs=frozenset({"h"}),
+            low_channels=frozenset({"out", "audit"}),
+        )
+        assert not verify(spec).verified

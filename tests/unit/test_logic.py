@@ -1,0 +1,231 @@
+"""Unit tests for the CommCSL proof rules (Fig. 8 / Fig. 10)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.assertions import (
+    BoolAssert,
+    Conj,
+    Emp,
+    Low,
+    PointsTo,
+    SepConj,
+)
+from repro.heap import ExtendedHeap, PermissionHeap
+from repro.lang.ast import Lit, Var
+from repro.lang.parser import parse_expr
+from repro.logic import (
+    ProofError,
+    alloc_rule,
+    assign_rule,
+    cons_rule,
+    entails,
+    exists_rule,
+    frame_rule,
+    if_high_rule,
+    if_low_rule,
+    par_rule,
+    read_rule,
+    seq_rule,
+    skip_rule,
+    while_high_rule,
+    while_low_rule,
+    write_rule,
+)
+
+X_IS_1 = BoolAssert(parse_expr("x == 1"))
+
+
+class TestSmallAxioms:
+    def test_skip(self):
+        node = skip_rule(None, Emp())
+        assert node.judgment.pre == node.judgment.post
+
+    def test_assign_computes_backwards_precondition(self):
+        node = assign_rule(None, "x", Lit(1), Low(Var("x")))
+        assert node.judgment.pre == Low(Lit(1))
+
+    def test_alloc(self):
+        node = alloc_rule(None, "p", Lit(0))
+        assert node.judgment.pre == Emp()
+        assert node.judgment.post == PointsTo(Var("p"), Lit(0), Fraction(1))
+
+    def test_alloc_rejects_target_in_initializer(self):
+        with pytest.raises(ProofError):
+            alloc_rule(None, "p", Var("p"))
+
+    def test_read(self):
+        node = read_rule(None, "t", Var("p"), Lit(5))
+        assert isinstance(node.judgment.post, SepConj)
+
+    def test_read_rejects_target_in_address(self):
+        with pytest.raises(ProofError):
+            read_rule(None, "p", Var("p"), Lit(5))
+
+    def test_write(self):
+        node = write_rule(None, Var("p"), Lit(0), Lit(5))
+        assert node.judgment.post == PointsTo(Var("p"), Lit(5), Fraction(1))
+
+
+class TestSequencing:
+    def test_seq_composes(self):
+        first = assign_rule(None, "x", Lit(1), X_IS_1)
+        second = skip_rule(None, X_IS_1)
+        node = seq_rule(first, second)
+        assert node.judgment.post == X_IS_1
+
+    def test_seq_rejects_mismatched_middle(self):
+        first = assign_rule(None, "x", Lit(1), X_IS_1)
+        second = skip_rule(None, Emp())
+        with pytest.raises(ProofError):
+            seq_rule(first, second)
+
+
+class TestConditionals:
+    def _branches(self, post):
+        condition = parse_expr("b > 0")
+        then_pre = Conj(Emp(), BoolAssert(condition))
+        else_pre = Conj(Emp(), BoolAssert(parse_expr("!(b > 0)")))
+        then_proof = cons_rule(skip_rule(None, then_pre), then_pre, post, trusted=True)
+        else_proof = cons_rule(skip_rule(None, else_pre), else_pre, post, trusted=True)
+        return condition, then_proof, else_proof
+
+    def test_if_low_allows_relational_post(self):
+        condition, then_proof, else_proof = self._branches(Low(Var("y")))
+        node = if_low_rule(condition, then_proof, else_proof)
+        assert node.judgment.pre == Conj(Emp(), Low(condition))
+
+    def test_if_high_requires_unary_post(self):
+        condition, then_proof, else_proof = self._branches(Low(Var("y")))
+        with pytest.raises(ProofError, match="unary"):
+            if_high_rule(condition, then_proof, else_proof)
+
+    def test_if_high_accepts_unary_post(self):
+        condition, then_proof, else_proof = self._branches(Emp())
+        node = if_high_rule(condition, then_proof, else_proof)
+        assert node.judgment.pre == Emp()
+
+    def test_implicit_flow_blocked(self):
+        """{Low(x)} if (h) {x:=1} else {x:=0} {Low(x)} must NOT be derivable
+        via If2 — the canonical implicit-flow example of App. B.2."""
+        condition = parse_expr("h > 0")
+        post = Low(Var("x"))
+        then_pre = Conj(assign_rule(None, "x", Lit(1), post).judgment.pre, BoolAssert(condition))
+        then_proof = cons_rule(
+            assign_rule(None, "x", Lit(1), post), then_pre, post, trusted=True
+        )
+        else_pre = Conj(
+            assign_rule(None, "x", Lit(0), post).judgment.pre,
+            BoolAssert(parse_expr("!(h > 0)")),
+        )
+        else_proof = cons_rule(
+            assign_rule(None, "x", Lit(0), post), else_pre, post, trusted=True
+        )
+        with pytest.raises(ProofError, match="unary"):
+            if_high_rule(condition, then_proof, else_proof)
+
+
+class TestLoops:
+    def test_while_low(self):
+        condition = parse_expr("i < n")
+        invariant = Emp()
+        body_pre = Conj(invariant, BoolAssert(condition))
+        body_post = Conj(invariant, Low(condition))
+        body = cons_rule(skip_rule(None, body_pre), body_pre, body_post, trusted=True)
+        node = while_low_rule(condition, body)
+        assert node.judgment.post == Conj(invariant, BoolAssert(parse_expr("!(i < n)")))
+
+    def test_while_high_requires_unary_invariant(self):
+        condition = parse_expr("i < h")
+        invariant = Low(Var("x"))
+        body_pre = Conj(invariant, BoolAssert(condition))
+        body = cons_rule(skip_rule(None, body_pre), body_pre, invariant, trusted=True)
+        with pytest.raises(ProofError, match="unary"):
+            while_high_rule(condition, body)
+
+    def test_while_high_with_unary_invariant(self):
+        condition = parse_expr("i < h")
+        invariant = Emp()
+        body_pre = Conj(invariant, BoolAssert(condition))
+        body = cons_rule(skip_rule(None, body_pre), body_pre, invariant, trusted=True)
+        node = while_high_rule(condition, body)
+        assert node.judgment.pre == invariant
+
+
+class TestParAndFrame:
+    def test_par_composes_disjoint_threads(self):
+        left = write_rule(None, Var("p"), Lit(0), Lit(1))
+        right = write_rule(None, Var("q"), Lit(0), Lit(2))
+        node = par_rule(left, right)
+        assert isinstance(node.judgment.pre, SepConj)
+
+    def test_par_rejects_variable_interference(self):
+        left = assign_rule(None, "x", Lit(1), X_IS_1)
+        right = assign_rule(None, "x", Lit(2), BoolAssert(parse_expr("x == 2")))
+        with pytest.raises(ProofError, match="modifies"):
+            par_rule(left, right)
+
+    def test_frame_preserves_disjoint_state(self):
+        node = frame_rule(
+            write_rule(None, Var("p"), Lit(0), Lit(1)),
+            PointsTo(Var("q"), Lit(7)),
+        )
+        assert isinstance(node.judgment.pre, SepConj)
+
+    def test_frame_rejects_modified_variables(self):
+        proof = assign_rule(None, "x", Lit(1), X_IS_1)
+        with pytest.raises(ProofError):
+            frame_rule(proof, PointsTo(Var("x"), Lit(0)))
+
+
+class TestConsAndExists:
+    def _probe_states(self):
+        gh = ExtendedHeap(PermissionHeap.singleton(1, 5))
+        return [
+            ({"p": 1, "x": 5}, gh, {"p": 1, "x": 5}, gh),
+            ({"p": 1, "x": 5}, gh, {"p": 1, "x": 6}, gh),
+        ]
+
+    def test_entails_on_probes(self):
+        probes = self._probe_states()
+        assert entails(Low(Var("x")), BoolAssert(parse_expr("x == 5")), probes)
+        # x >= 5 holds of the (5, 6) probe pair but Low(x) does not.
+        assert not entails(BoolAssert(parse_expr("x >= 5")), Low(Var("x")), probes)
+
+    def test_cons_checks_entailment(self):
+        proof = skip_rule(None, Low(Var("x")))
+        probes = self._probe_states()
+        node = cons_rule(proof, Low(Var("x")), BoolAssert(parse_expr("x == 5")), probes)
+        assert node.judgment.post == BoolAssert(parse_expr("x == 5"))
+
+    def test_cons_rejects_bad_entailment(self):
+        proof = skip_rule(None, BoolAssert(parse_expr("x >= 5")))
+        with pytest.raises(ProofError):
+            cons_rule(
+                proof,
+                BoolAssert(parse_expr("x >= 5")),
+                Low(Var("x")),
+                self._probe_states(),
+            )
+
+    def test_trusted_cons_is_marked(self):
+        node = cons_rule(skip_rule(None, Emp()), Emp(), Emp(), trusted=True)
+        assert node.note == "trusted"
+
+    def test_exists_requires_unambiguity(self):
+        proof = skip_rule(None, Low(Var("v")))
+        with pytest.raises(ProofError, match="determine"):
+            exists_rule(proof, "v")
+
+    def test_exists_over_points_to(self):
+        proof = skip_rule(None, PointsTo(Var("p"), Var("v")))
+        node = exists_rule(proof, "v")
+        assert "∃" in str(node.judgment.pre)
+
+    def test_proof_tree_size_and_pretty(self):
+        first = assign_rule(None, "x", Lit(1), X_IS_1)
+        second = skip_rule(None, X_IS_1)
+        node = seq_rule(first, second)
+        assert node.size() == 3
+        assert "[Seq]" in node.pretty()

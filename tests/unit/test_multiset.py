@@ -1,0 +1,118 @@
+"""Unit tests for repro.heap.multiset."""
+
+import pytest
+
+from repro.heap.multiset import EMPTY_MULTISET, Multiset
+
+
+class TestConstruction:
+    def test_empty(self):
+        assert len(Multiset()) == 0
+        assert not Multiset()
+
+    def test_from_iterable_counts_duplicates(self):
+        m = Multiset([1, 1, 2])
+        assert m.count(1) == 2
+        assert m.count(2) == 1
+        assert m.count(3) == 0
+
+    def test_from_counts(self):
+        m = Multiset.from_counts({"a": 2, "b": 0})
+        assert m.count("a") == 2
+        assert "b" not in m
+
+    def test_from_counts_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Multiset.from_counts({"a": -1})
+
+    def test_heterogeneous_elements(self):
+        m = Multiset([(1, 2), "x", 3])
+        assert (1, 2) in m
+        assert "x" in m
+
+
+class TestQueries:
+    def test_len_counts_multiplicity(self):
+        assert len(Multiset([1, 1, 1, 2])) == 4
+
+    def test_support(self):
+        assert Multiset([1, 1, 2]).support() == frozenset({1, 2})
+
+    def test_elements_repeats(self):
+        assert sorted(Multiset([2, 1, 1]).elements()) == [1, 1, 2]
+
+    def test_items(self):
+        assert dict(Multiset([1, 1, 2]).items()) == {1: 2, 2: 1}
+
+    def test_contains(self):
+        m = Multiset([5])
+        assert 5 in m
+        assert 6 not in m
+
+
+class TestAlgebra:
+    def test_union_adds_multiplicities(self):
+        assert (Multiset([1]) + Multiset([1, 2])).count(1) == 2
+
+    def test_union_identity(self):
+        m = Multiset([1, 2, 2])
+        assert m + EMPTY_MULTISET == m
+
+    def test_union_commutative(self):
+        a, b = Multiset([1, 2]), Multiset([2, 3])
+        assert a + b == b + a
+
+    def test_difference_floors_at_zero(self):
+        assert (Multiset([1]) - Multiset([1, 1])).count(1) == 0
+
+    def test_difference_partial(self):
+        m = Multiset([1, 1, 2]) - Multiset([1])
+        assert m.count(1) == 1
+        assert m.count(2) == 1
+
+    def test_add_single(self):
+        assert Multiset().add("x").count("x") == 1
+
+    def test_add_many(self):
+        assert Multiset().add("x", 3).count("x") == 3
+
+    def test_add_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Multiset().add("x", -1)
+
+    def test_remove(self):
+        assert Multiset([1, 1]).remove(1).count(1) == 1
+
+    def test_remove_too_many_raises(self):
+        with pytest.raises(KeyError):
+            Multiset([1]).remove(1, 2)
+
+    def test_issubset(self):
+        assert Multiset([1]).issubset(Multiset([1, 1]))
+        assert not Multiset([1, 1]).issubset(Multiset([1]))
+
+    def test_empty_is_subset_of_all(self):
+        assert EMPTY_MULTISET.issubset(Multiset([42]))
+
+
+class TestEqualityHashing:
+    def test_order_irrelevant(self):
+        assert Multiset([1, 2, 1]) == Multiset([2, 1, 1])
+
+    def test_multiplicity_matters(self):
+        assert Multiset([1]) != Multiset([1, 1])
+
+    def test_hashable_and_consistent(self):
+        assert hash(Multiset([1, 2])) == hash(Multiset([2, 1]))
+
+    def test_usable_as_dict_key(self):
+        d = {Multiset([1]): "one"}
+        assert d[Multiset([1])] == "one"
+
+    def test_not_equal_to_other_types(self):
+        assert Multiset([1]) != [1]
+
+    def test_immutability_of_operations(self):
+        m = Multiset([1])
+        m.add(2)
+        assert 2 not in m

@@ -1,0 +1,124 @@
+"""Tests for proof outlines (Fig. 5 style) and derivation re-checking."""
+
+import pytest
+
+from repro.assertions.ast import BoolAssert, Conj, Emp, Low
+from repro.lang.ast import Assign, BinOp, Lit, Seq, Skip, Var
+from repro.logic import ProofError, assign_rule, seq_rule, skip_rule
+from repro.logic.judgment import Judgment, ProofNode
+from repro.logic.outline import (
+    OutlineBuilder,
+    ProofOutline,
+    rules_used,
+    to_outline,
+    validate_structure,
+)
+
+
+def _simple_assign_proof():
+    # {Low(e+1)} x := e + 1 {Low(x)}
+    return assign_rule(None, "x", BinOp("+", Var("e"), Lit(1)), Low(Var("x")))
+
+
+class TestOutlineBuilder:
+    def test_single_step(self):
+        node = _simple_assign_proof()
+        builder = OutlineBuilder(None, node.judgment.pre)
+        proof = builder.step(node).close()
+        assert proof.judgment == node.judgment
+
+    def test_two_steps_compose_with_seq(self):
+        first = assign_rule(None, "x", Lit(1), Low(Var("x")))
+        second = assign_rule(None, "y", Var("x"), Conj(Low(Var("y")), Low(Var("x"))))
+        builder = OutlineBuilder(None, first.judgment.pre)
+        builder.step(first)
+        # bridge: Low(x) ⇒ Low(x) ∧ Low(x)  — matches second's pre Low(x)[x/y]
+        assert second.judgment.pre == Conj(Low(Var("x")), Low(Var("x")))
+        builder.entail(second.judgment.pre, trusted=True)
+        builder.step(second)
+        proof = builder.close()
+        assert proof.rule == "Seq"
+        assert isinstance(proof.judgment.command, Seq)
+
+    def test_step_with_wrong_pre_raises(self):
+        node = _simple_assign_proof()
+        builder = OutlineBuilder(None, Emp())
+        with pytest.raises(ProofError, match="does not\n?.*match|match"):
+            builder.step(node)
+
+    def test_entail_before_any_step_strengthens_pre(self):
+        builder = OutlineBuilder(None, Conj(Emp(), BoolAssert(Lit(True))))
+        builder.entail(Emp(), trusted=True)
+        proof = builder.close()
+        assert proof.judgment.pre == Conj(Emp(), BoolAssert(Lit(True)))
+        assert proof.judgment.post == Emp()
+
+    def test_empty_builder_closes_to_skip(self):
+        builder = OutlineBuilder(None, Emp())
+        proof = builder.close()
+        assert proof.rule == "Skip"
+
+    def test_current_tracks_postcondition(self):
+        node = _simple_assign_proof()
+        builder = OutlineBuilder(None, node.judgment.pre)
+        builder.step(node)
+        assert builder.current == Low(Var("x"))
+
+
+class TestToOutline:
+    def test_renders_assertions_around_commands(self):
+        node = _simple_assign_proof()
+        outline = to_outline(node)
+        text = outline.render()
+        assert text.splitlines()[0].startswith("{")
+        assert "x := " in text
+        assert text.splitlines()[-1].startswith("{")
+
+    def test_seq_renders_middle_assertion(self):
+        first = assign_rule(None, "x", Lit(1), Low(Var("x")))
+        second = skip_rule(None, Low(Var("x")))
+        outline = to_outline(seq_rule(first, second))
+        lines = outline.render().splitlines()
+        # pre, command, middle, command, post
+        assert len(lines) == 5
+        assert lines[2] == "{ Low(x) }"
+
+
+class TestRulesUsed:
+    def test_histogram(self):
+        first = assign_rule(None, "x", Lit(1), Low(Var("x")))
+        second = skip_rule(None, Low(Var("x")))
+        counts = rules_used(seq_rule(first, second))
+        assert counts == {"Seq": 1, "Assign": 1, "Skip": 1}
+
+
+class TestValidateStructure:
+    def test_valid_tree_has_no_problems(self):
+        first = assign_rule(None, "x", Lit(1), Low(Var("x")))
+        second = skip_rule(None, Low(Var("x")))
+        assert validate_structure(seq_rule(first, second)) == []
+
+    def test_detects_mutated_seq_node(self):
+        first = assign_rule(None, "x", Lit(1), Low(Var("x")))
+        second = skip_rule(None, Emp())  # pre Emp ≠ first's post
+        bogus = ProofNode(
+            "Seq",
+            Judgment(None, first.judgment.pre, Seq(first.judgment.command, Skip()), Emp()),
+            (first, second),
+        )
+        problems = validate_structure(bogus)
+        assert any("mismatched middle" in problem for problem in problems)
+
+    def test_detects_bogus_skip(self):
+        bogus = ProofNode("Skip", Judgment(None, Emp(), Assign("x", Lit(1)), Emp()))
+        problems = validate_structure(bogus)
+        assert any("Skip node concluding" in problem for problem in problems)
+
+    def test_detects_share_under_gamma(self):
+        from repro.spec.library import counter_increment_spec
+        from repro.spec.resource import ResourceContext
+
+        ctx = ResourceContext(counter_increment_spec(), "c")
+        bogus = ProofNode("Share", Judgment(ctx, Emp(), Skip(), Emp()))
+        problems = validate_structure(bogus)
+        assert any("must be under ⊥" in problem for problem in problems)

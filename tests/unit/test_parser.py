@@ -1,0 +1,156 @@
+"""Unit tests for the concrete-syntax parser."""
+
+import pytest
+
+from repro.lang.ast import (
+    Alloc,
+    Assign,
+    Atomic,
+    BinOp,
+    Call,
+    If,
+    Lit,
+    Load,
+    Par,
+    Print,
+    Seq,
+    Share,
+    Skip,
+    Store,
+    UnOp,
+    Unshare,
+    Var,
+    While,
+)
+from repro.lang.parser import ParseError, parse_expr, parse_program
+
+
+class TestExpressions:
+    def test_int_literal(self):
+        assert parse_expr("42") == Lit(42)
+
+    def test_booleans(self):
+        assert parse_expr("true") == Lit(True)
+        assert parse_expr("false") == Lit(False)
+
+    def test_string_literal(self):
+        assert parse_expr('"prod"') == Lit("prod")
+
+    def test_variable(self):
+        assert parse_expr("x") == Var("x")
+
+    def test_precedence_mul_over_add(self):
+        assert parse_expr("1 + 2 * 3") == BinOp("+", Lit(1), BinOp("*", Lit(2), Lit(3)))
+
+    def test_parentheses(self):
+        assert parse_expr("(1 + 2) * 3") == BinOp("*", BinOp("+", Lit(1), Lit(2)), Lit(3))
+
+    def test_comparison(self):
+        assert parse_expr("x <= 5") == BinOp("<=", Var("x"), Lit(5))
+
+    def test_conjunction(self):
+        parsed = parse_expr("x > 0 && y > 0")
+        assert parsed.op == "&&"
+
+    def test_unary(self):
+        assert parse_expr("-x") == UnOp("-", Var("x"))
+        assert parse_expr("!b") == UnOp("!", Var("b"))
+
+    def test_call(self):
+        assert parse_expr("pair(a, 1)") == Call("pair", (Var("a"), Lit(1)))
+
+    def test_nested_call(self):
+        parsed = parse_expr("sort(setToSeq(keys(m)))")
+        assert parsed == Call("sort", (Call("setToSeq", (Call("keys", (Var("m"),)),)),))
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("1 + ")
+
+
+class TestStatements:
+    def test_assign(self):
+        assert parse_program("x := 1") == Assign("x", Lit(1))
+
+    def test_load(self):
+        assert parse_program("x := [p]") == Load("x", Var("p"))
+
+    def test_store(self):
+        assert parse_program("[p] := 5") == Store(Var("p"), Lit(5))
+
+    def test_alloc(self):
+        assert parse_program("x := alloc(0)") == Alloc("x", Lit(0))
+
+    def test_skip(self):
+        assert parse_program("skip") == Skip()
+
+    def test_sequence_newline_separated(self):
+        parsed = parse_program("x := 1\ny := 2")
+        assert parsed == Seq(Assign("x", Lit(1)), Assign("y", Lit(2)))
+
+    def test_sequence_semicolon_separated(self):
+        parsed = parse_program("x := 1; y := 2")
+        assert isinstance(parsed, Seq)
+
+    def test_if_else(self):
+        parsed = parse_program("if (x > 0) { y := 1 } else { y := 2 }")
+        assert isinstance(parsed, If)
+        assert parsed.else_branch == Assign("y", Lit(2))
+
+    def test_if_without_else(self):
+        parsed = parse_program("if (x > 0) { y := 1 }")
+        assert parsed.else_branch == Skip()
+
+    def test_while(self):
+        parsed = parse_program("while (i < n) { i := i + 1 }")
+        assert isinstance(parsed, While)
+
+    def test_parallel(self):
+        parsed = parse_program("{ x := 1 } || { y := 2 }")
+        assert parsed == Par(Assign("x", Lit(1)), Assign("y", Lit(2)))
+
+    def test_three_way_parallel_right_associated(self):
+        parsed = parse_program("{ a := 1 } || { b := 2 } || { c := 3 }")
+        assert isinstance(parsed, Par)
+        assert isinstance(parsed.right, Par)
+
+    def test_atomic_plain(self):
+        parsed = parse_program("atomic { [p] := 1 }")
+        assert isinstance(parsed, Atomic)
+        assert parsed.action is None
+
+    def test_atomic_annotated(self):
+        parsed = parse_program("atomic [Put(pair(k, v))] { [p] := 1 }")
+        assert parsed.action == "Put"
+        assert parsed.argument == Call("pair", (Var("k"), Var("v")))
+
+    def test_atomic_with_empty_args(self):
+        parsed = parse_program("atomic [Inc()] { [p] := 1 }")
+        assert parsed.action == "Inc"
+        assert parsed.argument == Lit(0)
+
+    def test_atomic_when_guard(self):
+        parsed = parse_program("atomic [Cons(0)] when (qSize(deref(q)) > 0) { skip }")
+        assert parsed.when is not None
+        assert parsed.when.op == ">"
+
+    def test_share_unshare(self):
+        assert parse_program("share R") == Share("R")
+        assert parse_program("unshare R") == Unshare("R")
+
+    def test_print(self):
+        assert parse_program("print(x)") == Print(Var("x"))
+
+    def test_comments_skipped(self):
+        parsed = parse_program("// a comment\nx := 1 // trailing\n")
+        assert parsed == Assign("x", Lit(1))
+
+    def test_error_reports_position(self):
+        with pytest.raises(ParseError, match=r"line 2"):
+            parse_program("x := 1\n:= 2")
+
+    def test_roundtrip_of_case_study_sources(self):
+        from repro.casestudies import ALL_CASES
+
+        for case in ALL_CASES:
+            case.program()  # must parse without error

@@ -1,0 +1,100 @@
+"""Unit tests for fractional permission heaps (App. B.1 Eq. (5)/(6))."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.heap.permheap import FULL, HeapAdditionUndefined, PermissionHeap
+
+HALF = Fraction(1, 2)
+
+
+class TestConstruction:
+    def test_empty(self):
+        assert len(PermissionHeap.empty()) == 0
+
+    def test_singleton(self):
+        h = PermissionHeap.singleton(3, "v")
+        assert h.permission(3) == FULL
+        assert h.value(3) == "v"
+
+    def test_rejects_zero_permission(self):
+        with pytest.raises(ValueError):
+            PermissionHeap({1: (Fraction(0), 5)})
+
+    def test_rejects_over_full_permission(self):
+        with pytest.raises(ValueError):
+            PermissionHeap({1: (Fraction(3, 2), 5)})
+
+    def test_permission_of_absent_location_is_zero(self):
+        assert PermissionHeap.empty().permission(7) == 0
+
+
+class TestAddition:
+    def test_disjoint_union(self):
+        h = PermissionHeap.singleton(1, "a") + PermissionHeap.singleton(2, "b")
+        assert h.domain() == frozenset({1, 2})
+
+    def test_fractions_add(self):
+        half = PermissionHeap.singleton(1, "v", HALF)
+        assert (half + half).permission(1) == FULL
+
+    def test_conflicting_values_undefined(self):
+        a = PermissionHeap.singleton(1, "x", HALF)
+        b = PermissionHeap.singleton(1, "y", HALF)
+        with pytest.raises(HeapAdditionUndefined):
+            a + b
+
+    def test_permission_overflow_undefined(self):
+        a = PermissionHeap.singleton(1, "v", FULL)
+        b = PermissionHeap.singleton(1, "v", HALF)
+        with pytest.raises(HeapAdditionUndefined):
+            a + b
+
+    def test_compatible(self):
+        half = PermissionHeap.singleton(1, "v", HALF)
+        assert half.compatible(half)
+        assert not PermissionHeap.singleton(1, "v").compatible(half)
+
+    def test_addition_commutative(self):
+        a = PermissionHeap.singleton(1, "v", HALF)
+        b = PermissionHeap.singleton(2, "w", FULL)
+        assert a + b == b + a
+
+
+class TestMutators:
+    def test_update_requires_full_permission(self):
+        half = PermissionHeap.singleton(1, "v", HALF)
+        with pytest.raises(PermissionError):
+            half.update(1, "w")
+
+    def test_update_with_full_permission(self):
+        h = PermissionHeap.singleton(1, "v").update(1, "w")
+        assert h.value(1) == "w"
+
+    def test_allocate_fresh(self):
+        h = PermissionHeap.empty().allocate(5, "v")
+        assert h.value(5) == "v"
+        assert h.permission(5) == FULL
+
+    def test_allocate_existing_raises(self):
+        h = PermissionHeap.singleton(1, "v")
+        with pytest.raises(ValueError):
+            h.allocate(1, "w")
+
+    def test_remove(self):
+        h = PermissionHeap.singleton(1, "v").remove(1)
+        assert 1 not in h
+
+
+class TestNormalization:
+    def test_normalize_strips_permissions(self):
+        h = PermissionHeap({1: (HALF, "a"), 2: (FULL, "b")})
+        assert h.normalize() == {1: "a", 2: "b"}
+
+    def test_has_full_permissions(self):
+        assert PermissionHeap.singleton(1, "v").has_full_permissions()
+        assert not PermissionHeap.singleton(1, "v", HALF).has_full_permissions()
+
+    def test_empty_heap_has_full_permissions_vacuously(self):
+        assert PermissionHeap.empty().has_full_permissions()

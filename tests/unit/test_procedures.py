@@ -1,0 +1,133 @@
+"""Tests for procedure declarations and substitution (repro.lang.procedures)."""
+
+import pytest
+
+from repro.lang import (
+    Assign,
+    Atomic,
+    BinOp,
+    Call,
+    Fork,
+    If,
+    Join,
+    Lit,
+    Print,
+    Procedure,
+    ProcedureError,
+    Seq,
+    Skip,
+    Store,
+    ThreadedProgram,
+    Var,
+    While,
+    run,
+    seq_all,
+)
+from repro.lang.procedures import command_subst_expr
+
+
+class TestProcedure:
+    def test_duplicate_params_rejected(self):
+        with pytest.raises(ProcedureError):
+            Procedure("p", ("x", "x"), Skip())
+
+    def test_instantiate_substitutes_arguments(self):
+        proc = Procedure("p", ("a", "b"), Print(BinOp("+", Var("a"), Var("b"))))
+        body = proc.instantiate((Lit(2), Lit(3)))
+        assert run(body).output == (5,)
+
+    def test_instantiate_wrong_arity(self):
+        proc = Procedure("p", ("a",), Skip())
+        with pytest.raises(ProcedureError):
+            proc.instantiate((Lit(1), Lit(2)))
+
+    def test_instantiate_refuses_shadowing(self):
+        # The body assigns to its own parameter: substitution would be
+        # inexact, so it is rejected loudly.
+        proc = Procedure("p", ("a",), Seq(Assign("a", Lit(0)), Print(Var("a"))))
+        with pytest.raises(ProcedureError, match="shadow"):
+            proc.instantiate((Lit(9),))
+
+    def test_table_lookup(self):
+        program = ThreadedProgram(Skip(), (Procedure("p", (), Skip()),))
+        assert program.procedure("p").name == "p"
+        with pytest.raises(ProcedureError):
+            program.procedure("q")
+
+
+class TestCommandSubstExpr:
+    def test_substitutes_reads_everywhere(self):
+        cmd = seq_all(
+            Store(Var("cell"), Var("x")),
+            If(BinOp(">", Var("x"), Lit(0)), Print(Var("x")), Skip()),
+            While(BinOp("<", Var("k"), Var("x")), Assign("k", BinOp("+", Var("k"), Lit(1)))),
+        )
+        result = command_subst_expr(cmd, "x", Lit(7))
+        assert "x" not in str(result)
+        assert "7" in str(result)
+
+    def test_substitutes_atomic_annotations(self):
+        cmd = Atomic(Store(Var("c"), Var("v")), "Put", Call("pair", (Var("k"), Var("v"))))
+        result = command_subst_expr(cmd, "k", Lit(1))
+        assert "pair(1, v)" in str(result)
+
+    def test_substitutes_fork_arguments(self):
+        cmd = Fork("t", "p", (Var("x"), Lit(2)))
+        result = command_subst_expr(cmd, "x", Lit(5))
+        assert result == Fork("t", "p", (Lit(5), Lit(2)))
+
+    def test_substitutes_join_tokens(self):
+        cmd = Join("p", Var("x"))
+        result = command_subst_expr(cmd, "x", Var("token"))
+        assert result == Join("p", Var("token"))
+
+    def test_refuses_assigned_variable(self):
+        cmd = Assign("x", Lit(1))
+        with pytest.raises(ProcedureError):
+            command_subst_expr(cmd, "x", Lit(9))
+
+
+class TestDesugarOverApproximation:
+    """Joins interleaved with later middle statements: the reduction may
+    admit *more* interleavings than the threaded machine (the middle runs
+    in parallel with an already-joined worker).  That direction is sound
+    for verification — the desugared program's behaviours are a superset
+    — and this test documents it."""
+
+    def test_desugared_behaviours_superset(self):
+        from repro.lang import (
+            Alloc,
+            Load,
+            enumerate_executions,
+            enumerate_threaded_executions,
+            forks_to_par,
+        )
+        from repro.lang.semantics import Config, State
+        from repro.lang.threads import MAIN_TID
+
+        setter = Procedure("setter", ("cell", "value"), Atomic(Store(Var("cell"), Var("value"))))
+        program = ThreadedProgram(
+            seq_all(
+                Alloc("c", Lit(0)),
+                Fork("t1", "setter", (Var("c"), Lit(1))),
+                Fork("t2", "setter", (Var("c"), Lit(2))),
+                Join("setter", Var("t1")),
+                # after t1 is joined, the main thread overwrites:
+                Store(Var("c"), Lit(9)),
+                Join("setter", Var("t2")),
+                Load("r", Var("c")),
+            ),
+            (setter,),
+        )
+        threaded = {
+            config.thread(MAIN_TID).store_dict()["r"]
+            for config in enumerate_threaded_executions(program)
+            if config not in ("abort", "deadlock")
+        }
+        structured = forks_to_par(program)
+        reduced = {
+            config.state.store_dict()["r"]
+            for config in enumerate_executions(Config(structured, State.make()))
+            if config != "abort"
+        }
+        assert threaded <= reduced

@@ -1,0 +1,201 @@
+"""Tests for the modular product program construction (Eilers et al. 2018)."""
+
+import pytest
+
+from repro.lang import (
+    Alloc,
+    Assign,
+    Atomic,
+    BinOp,
+    Call,
+    Fork,
+    If,
+    Join,
+    Lit,
+    Load,
+    Par,
+    Print,
+    Share,
+    Skip,
+    Store,
+    UnOp,
+    Unshare,
+    Var,
+    While,
+    run,
+    seq_all,
+)
+from repro.verifier.product import (
+    ProductError,
+    build_product,
+    is_productable,
+    product_noninterference,
+    run_product,
+)
+
+
+def _pairwise_outputs(program, inputs1, inputs2):
+    return run(program, inputs=dict(inputs1)).output, run(program, inputs=dict(inputs2)).output
+
+
+class TestConstruction:
+    def test_assignment_copies_are_independent(self):
+        program = Assign("x", BinOp("+", Var("a"), Lit(1)))
+        outcome = run_product(build_product(program), {"a": 1}, {"a": 5})
+        # no prints: both traces empty
+        assert outcome.output1 == outcome.output2 == ()
+
+    def test_print_collects_both_traces(self):
+        program = seq_all(Assign("x", Var("h")), Print(Var("x")))
+        outcome = run_product(build_product(program), {"h": 1}, {"h": 2})
+        assert outcome.output1 == (1,)
+        assert outcome.output2 == (2,)
+        assert not outcome.outputs_agree
+
+    def test_low_branching_agrees(self):
+        program = If(BinOp(">", Var("l"), Lit(0)), Print(Lit(1)), Print(Lit(2)))
+        outcome = run_product(build_product(program), {"l": 5}, {"l": 7})
+        assert outcome.outputs_agree
+
+    def test_high_branching_splits_activation(self):
+        # One copy takes then, the other else — both still print.
+        program = If(BinOp(">", Var("h"), Lit(0)), Print(Lit(1)), Print(Lit(2)))
+        outcome = run_product(build_product(program), {"h": 5}, {"h": -5})
+        assert outcome.output1 == (1,)
+        assert outcome.output2 == (2,)
+
+    def test_loop_iteration_counts_differ(self):
+        # Copies run the loop different numbers of times (lock-step product
+        # with activation variables keeps going while either copy is live).
+        program = seq_all(
+            Assign("i", Lit(0)),
+            While(
+                BinOp("<", Var("i"), Var("h")),
+                seq_all(Print(Var("i")), Assign("i", BinOp("+", Var("i"), Lit(1)))),
+            ),
+        )
+        outcome = run_product(build_product(program), {"h": 2}, {"h": 4})
+        assert outcome.output1 == (0, 1)
+        assert outcome.output2 == (0, 1, 2, 3)
+
+    def test_heap_cells_are_duplicated(self):
+        program = seq_all(
+            Alloc("p", Var("h")),
+            Load("x", Var("p")),
+            Print(Var("x")),
+        )
+        outcome = run_product(build_product(program), {"h": 10}, {"h": 20})
+        assert outcome.output1 == (10,)
+        assert outcome.output2 == (20,)
+
+    def test_store_through_pointer(self):
+        program = seq_all(
+            Alloc("p", Lit(0)),
+            Store(Var("p"), Var("h")),
+            Load("x", Var("p")),
+            Print(Var("x")),
+        )
+        outcome = run_product(build_product(program), {"h": 3}, {"h": 4})
+        assert (outcome.output1, outcome.output2) == ((3,), (4,))
+
+    def test_atomic_body_is_inlined(self):
+        program = seq_all(
+            Alloc("c", Lit(0)),
+            Atomic(seq_all(Load("t", Var("c")), Store(Var("c"), BinOp("+", Var("t"), Lit(1))))),
+            Load("r", Var("c")),
+            Print(Var("r")),
+        )
+        outcome = run_product(build_product(program), {}, {})
+        assert outcome.output1 == outcome.output2 == (1,)
+
+    def test_share_unshare_are_erased(self):
+        program = seq_all(Share("R"), Print(Lit(1)), Unshare("R"))
+        outcome = run_product(build_product(program), {}, {})
+        assert outcome.outputs_agree
+
+    def test_nested_conditionals(self):
+        program = If(
+            BinOp(">", Var("h"), Lit(0)),
+            If(BinOp(">", Var("h"), Lit(10)), Print(Lit(1)), Print(Lit(2))),
+            Print(Lit(3)),
+        )
+        outcome = run_product(build_product(program), {"h": 20}, {"h": -1})
+        assert (outcome.output1, outcome.output2) == ((1,), (3,))
+
+
+class TestFragmentLimits:
+    def test_par_rejected(self):
+        with pytest.raises(ProductError):
+            build_product(Par(Skip(), Skip()))
+
+    def test_fork_rejected(self):
+        with pytest.raises(ProductError):
+            build_product(Fork("t", "p", ()))
+
+    def test_join_rejected(self):
+        with pytest.raises(ProductError):
+            build_product(Join("p", Var("t")))
+
+    def test_pointer_arithmetic_rejected(self):
+        with pytest.raises(ProductError):
+            build_product(Load("x", BinOp("+", Var("base"), Lit(1))))
+
+    def test_is_productable(self):
+        assert is_productable(Assign("x", Lit(1)))
+        assert not is_productable(Par(Skip(), Skip()))
+
+
+class TestProductNI:
+    def _leaky(self):
+        # Classic explicit flow.
+        return seq_all(Assign("x", Var("h")), Print(Var("x")))
+
+    def _secure(self):
+        return seq_all(Assign("x", Var("l")), Print(Var("x")))
+
+    def _implicit_leak(self):
+        return If(BinOp(">", Var("h"), Lit(0)), Print(Lit(1)), Print(Lit(0)))
+
+    def test_detects_explicit_flow(self):
+        report = product_noninterference(
+            self._leaky(), [[{"h": 1}, {"h": 2}]]
+        )
+        assert not report.secure
+        assert report.witness is not None
+
+    def test_detects_implicit_flow(self):
+        report = product_noninterference(
+            self._implicit_leak(), [[{"h": 1}, {"h": -1}]]
+        )
+        assert not report.secure
+
+    def test_accepts_secure_program(self):
+        report = product_noninterference(
+            self._secure(), [[{"l": 3, "h": 1}, {"l": 3, "h": 2}]]
+        )
+        assert report.secure
+        assert report.pairs_checked == 1
+
+    def test_agrees_with_pairwise_execution(self):
+        # Cross-validation: product result == comparing two plain runs.
+        programs = [self._leaky(), self._secure(), self._implicit_leak()]
+        pairs = [({"l": 3, "h": 1}, {"l": 3, "h": 2}), ({"l": 0, "h": 5}, {"l": 0, "h": -5})]
+        for program in programs:
+            for inputs1, inputs2 in pairs:
+                expected = (
+                    run(program, inputs=dict(inputs1)).output
+                    == run(program, inputs=dict(inputs2)).output
+                )
+                report = product_noninterference(program, [[inputs1, inputs2]])
+                assert report.secure == expected
+
+    def test_multiple_groups_counted(self):
+        report = product_noninterference(
+            self._secure(),
+            [
+                [{"l": 1, "h": 0}, {"l": 1, "h": 9}],
+                [{"l": 2, "h": 0}, {"l": 2, "h": 9}, {"l": 2, "h": 5}],
+            ],
+        )
+        assert report.secure
+        assert report.pairs_checked == 1 + 3

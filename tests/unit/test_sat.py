@@ -1,0 +1,191 @@
+"""Tests for the SAT/EUF layer of the SMT substrate (cnf, dpll, euf)."""
+
+import pytest
+
+from repro.smt.cnf import cnf_of, is_atom, to_nnf, tseitin
+from repro.smt.dpll import dpll, dpllt_equality, euf_valid, propositionally_valid, sat
+from repro.smt.euf import CongruenceClosure, congruence_closure_consistent
+from repro.smt.solver import Verdict, check_validity
+from repro.smt.sorts import BOOL, INT
+from repro.smt.terms import App, Const, SymVar, conj, disj, eq, implies, negate
+
+a = SymVar("a", BOOL)
+b = SymVar("b", BOOL)
+c = SymVar("c", BOOL)
+x = SymVar("x", INT)
+y = SymVar("y", INT)
+z = SymVar("z", INT)
+
+
+def f(term):
+    return App("f", (term,))
+
+
+class TestNNF:
+    def test_pushes_negation_over_and(self):
+        nnf = to_nnf(negate(conj(a, b)))
+        assert nnf == App("or", (negate(a), negate(b)))
+
+    def test_double_negation(self):
+        assert to_nnf(negate(negate(a))) == a
+
+    def test_implication_unfolds(self):
+        nnf = to_nnf(implies(a, b))
+        assert nnf == App("or", (negate(a), b))
+
+    def test_negated_implication(self):
+        nnf = to_nnf(negate(implies(a, b)))
+        assert nnf == App("and", (a, negate(b)))
+
+    def test_constants(self):
+        assert to_nnf(Const(True), negated=True) == Const(False)
+
+    def test_atoms_kept_opaque(self):
+        comparison = App("<", (x, y))
+        assert is_atom(comparison)
+        assert to_nnf(negate(comparison)) == negate(comparison)
+
+
+class TestDPLL:
+    def test_sat_simple(self):
+        model = sat(conj(a, negate(b)))
+        assert model is not None
+
+    def test_unsat_contradiction(self):
+        assert sat(conj(a, negate(a))) is None
+
+    def test_tautology_is_propositionally_valid(self):
+        assert propositionally_valid(disj(a, negate(a)))
+
+    def test_modus_ponens_valid(self):
+        formula = implies(conj(implies(a, b), a), b)
+        assert propositionally_valid(formula)
+
+    def test_contingent_formula_not_valid(self):
+        assert not propositionally_valid(a)
+        assert not propositionally_valid(implies(a, b))
+
+    def test_pigeonhole_2_into_1_unsat(self):
+        # p_ij: pigeon i in hole j (2 pigeons, 1 hole) — both in the hole
+        # but not together: unsat.
+        p1 = SymVar("p1", BOOL)
+        p2 = SymVar("p2", BOOL)
+        formula = conj(p1, p2, disj(negate(p1), negate(p2)))
+        assert sat(formula) is None
+
+    def test_dpll_model_satisfies_clauses(self):
+        clauses, _ = cnf_of(conj(disj(a, b), disj(negate(a), c), disj(negate(b), negate(c))))
+        model = dpll(clauses)
+        assert model is not None
+        for clause in clauses:
+            assert any((lit > 0) == model.get(abs(lit), False) for lit in clause)
+
+    def test_tseitin_root_asserted(self):
+        clauses, table, root = tseitin(a)
+        assert table.count >= 1
+        assert isinstance(root, int)
+
+
+class TestCongruenceClosure:
+    def test_transitivity(self):
+        cc = CongruenceClosure()
+        cc.merge(x, y)
+        cc.merge(y, z)
+        assert cc.same(x, z)
+
+    def test_congruence_propagates_through_functions(self):
+        cc = CongruenceClosure()
+        cc.merge(x, y)
+        assert cc.same(f(x), f(y))
+        assert cc.same(f(f(x)), f(f(y)))
+
+    def test_no_spurious_equalities(self):
+        cc = CongruenceClosure()
+        cc.merge(x, y)
+        assert not cc.same(f(x), f(z))
+
+    def test_nested_congruence(self):
+        g_xy = App("g", (x, y))
+        g_yx = App("g", (y, x))
+        cc = CongruenceClosure()
+        cc.merge(x, y)
+        assert cc.same(g_xy, g_yx)
+
+    def test_consistency_with_disequalities(self):
+        assert congruence_closure_consistent([(x, y)], [(x, z)])
+        assert not congruence_closure_consistent([(x, y), (y, z)], [(x, z)])
+
+    def test_distinct_constants_inconsistent(self):
+        assert not congruence_closure_consistent([(Const(1), Const(2))], [])
+        assert congruence_closure_consistent([(Const(1), Const(1))], [])
+
+    def test_self_disequality_inconsistent(self):
+        assert not congruence_closure_consistent([], [(x, x)])
+
+    def test_classic_euf_example(self):
+        # f(f(f(a))) = a ∧ f(f(f(f(f(a))))) = a ⟹ f(a) = a
+        fa = f(x)
+        f3 = f(f(f(x)))
+        f5 = f(f(f(f(f(x)))))
+        assert not congruence_closure_consistent([(f3, x), (f5, x)], [(fa, x)])
+
+
+class TestDPLLT:
+    def test_equality_chain_unsat(self):
+        formula = conj(eq(x, y), eq(y, z), negate(eq(x, z)))
+        result = dpllt_equality(formula)
+        assert result is not None
+        assert not result.satisfiable
+
+    def test_equality_sat(self):
+        formula = conj(eq(x, y), negate(eq(y, z)))
+        result = dpllt_equality(formula)
+        assert result is not None
+        assert result.satisfiable
+
+    def test_boolean_structure_with_theory_conflict(self):
+        # (x=y ∨ x=z) ∧ x≠y ∧ x≠z is unsat; needs model blocking.
+        formula = conj(disj(eq(x, y), eq(x, z)), negate(eq(x, y)), negate(eq(x, z)))
+        result = dpllt_equality(formula)
+        assert result is not None
+        assert not result.satisfiable
+
+    def test_congruence_in_dpllt(self):
+        formula = conj(eq(x, y), negate(eq(f(x), f(y))))
+        result = dpllt_equality(formula)
+        assert result is not None
+        assert not result.satisfiable
+
+    def test_outside_fragment_returns_none(self):
+        formula = App("<", (x, y))
+        assert dpllt_equality(formula) is None
+
+    def test_euf_validity(self):
+        # x=y ⟹ f(x)=f(y) is EUF-valid.
+        assert euf_valid(implies(eq(x, y), eq(f(x), f(y)))) is True
+        # x=y is not valid.
+        assert euf_valid(eq(x, y)) is False
+
+
+class TestSolverIntegration:
+    def test_propositional_tautology_is_proved_not_bounded(self):
+        formula = disj(App("<", (x, y)), negate(App("<", (x, y))))
+        result = check_validity(formula)
+        assert result.verdict == Verdict.PROVED
+
+    def test_euf_validity_is_proved(self):
+        formula = implies(eq(x, y), eq(f(x), f(y)))
+        result = check_validity(formula)
+        assert result.verdict == Verdict.PROVED
+
+    def test_sat_pre_pass_can_be_disabled(self):
+        formula = disj(App("<", (x, y)), negate(App("<", (x, y))))
+        result = check_validity(formula, use_sat=False)
+        # Without the SAT path the enumerator still accepts, but only boundedly.
+        assert result.is_valid()
+
+    def test_refutation_still_concrete(self):
+        formula = App("<", (x, y))
+        result = check_validity(formula)
+        assert result.verdict == Verdict.REFUTED
+        assert result.model is not None

@@ -1,0 +1,180 @@
+"""Unit tests for the in-house term language and bounded solver."""
+
+import pytest
+
+from repro.lang.parser import parse_expr
+from repro.smt import (
+    App,
+    BOOL,
+    Const,
+    INT,
+    Scope,
+    SymVar,
+    Verdict,
+    check_validity,
+    conj,
+    eq,
+    evaluate_term,
+    find_model,
+    free_symvars,
+    from_expr,
+    implies,
+    int_constants,
+    is_literally_true,
+    negate,
+    simplify,
+    substitute,
+)
+
+
+class TestTerms:
+    def test_evaluate_constant(self):
+        assert evaluate_term(Const(5), {}) == 5
+
+    def test_evaluate_variable(self):
+        assert evaluate_term(SymVar("x", INT), {"x": 3}) == 3
+
+    def test_unassigned_variable_raises(self):
+        with pytest.raises(KeyError):
+            evaluate_term(SymVar("x", INT), {})
+
+    def test_evaluate_app(self):
+        term = App("+", (SymVar("x", INT), Const(1)))
+        assert evaluate_term(term, {"x": 4}) == 5
+
+    def test_division_total(self):
+        assert evaluate_term(App("/", (Const(1), Const(0))), {}) == 0
+
+    def test_lazy_implies(self):
+        # consequent would fail to evaluate; antecedent false short-circuits
+        term = implies(Const(False), App("at", (Const(0), Const(0))))
+        assert evaluate_term(term, {}) is True
+
+    def test_free_symvars(self):
+        term = App("+", (SymVar("x", INT), SymVar("y", INT)))
+        assert {v.name for v in free_symvars(term)} == {"x", "y"}
+
+    def test_substitute(self):
+        term = App("+", (SymVar("x", INT), Const(1)))
+        assert substitute(term, {"x": Const(2)}) == App("+", (Const(2), Const(1)))
+
+    def test_int_constants(self):
+        term = App("+", (Const(7), App("*", (Const(-3), SymVar("x", INT)))))
+        assert int_constants(term) == frozenset({7, -3})
+
+    def test_from_expr_lifts_program_expression(self):
+        term = from_expr(parse_expr("x + 2 * y"))
+        assert evaluate_term(term, {"x": 1, "y": 3}) == 7
+
+    def test_from_expr_maps_boolean_ops(self):
+        term = from_expr(parse_expr("x > 0 && !(x > 5)"))
+        assert evaluate_term(term, {"x": 3}) is True
+        assert evaluate_term(term, {"x": 9}) is False
+
+
+class TestSimplify:
+    def test_constant_folding(self):
+        assert simplify(App("+", (Const(2), Const(3)))) == Const(5)
+
+    def test_and_unit(self):
+        x = SymVar("b", BOOL)
+        assert simplify(App("and", (Const(True), x))) == x
+
+    def test_and_zero(self):
+        x = SymVar("b", BOOL)
+        assert simplify(App("and", (x, Const(False)))) == Const(False)
+
+    def test_or_unit(self):
+        x = SymVar("b", BOOL)
+        assert simplify(App("or", (Const(False), x))) == x
+
+    def test_double_negation(self):
+        x = SymVar("b", BOOL)
+        assert simplify(App("not", (App("not", (x,)),))) == x
+
+    def test_reflexive_equality(self):
+        x = SymVar("x", INT)
+        assert simplify(eq(x, x)) == Const(True)
+
+    def test_implies_reflexive(self):
+        x = SymVar("b", BOOL)
+        assert is_literally_true(implies(x, x))
+
+    def test_arith_units(self):
+        x = SymVar("x", INT)
+        assert simplify(App("+", (x, Const(0)))) == x
+        assert simplify(App("*", (x, Const(1)))) == x
+        assert simplify(App("*", (x, Const(0)))) == Const(0)
+        assert simplify(App("-", (x, x))) == Const(0)
+
+    def test_ite_collapses(self):
+        x = SymVar("x", INT)
+        assert simplify(App("ite", (Const(True), x, Const(0)))) == x
+        assert simplify(App("ite", (SymVar("b", BOOL), x, x))) == x
+
+    def test_simplification_recursive(self):
+        inner = App("+", (Const(1), Const(1)))
+        assert simplify(eq(inner, Const(2))) == Const(True)
+
+
+class TestSolver:
+    def test_tautology_proved_by_rewriting(self):
+        x = SymVar("x", INT)
+        result = check_validity(eq(x, x))
+        assert result.verdict == Verdict.PROVED
+
+    def test_refutable_formula_gives_model(self):
+        x = SymVar("x", INT)
+        result = check_validity(App(">", (x, Const(0))))
+        assert result.verdict == Verdict.REFUTED
+        assert result.model["x"] <= 0
+
+    def test_bounded_validity(self):
+        x = SymVar("x", INT)
+        # x*0 == 0 holds everywhere; enumeration cannot prove it outright
+        result = check_validity(eq(App("*", (x, Const(0))), Const(0)))
+        assert result.is_valid()
+
+    def test_exhaustive_upgrades_to_proved(self):
+        b = SymVar("b", BOOL)
+        result = check_validity(App("or", (b, App("not", (b,)))), exhaustive=True)
+        assert result.verdict == Verdict.PROVED
+
+    def test_scope_widened_with_formula_constants(self):
+        x = SymVar("x", INT)
+        # counterexample requires trying x = 100, outside the default window
+        formula = negate(eq(x, Const(100)))
+        result = check_validity(formula)
+        assert result.verdict == Verdict.REFUTED
+        assert result.model["x"] == 100
+
+    def test_find_model(self):
+        x = SymVar("x", INT)
+        model = find_model(App(">", (x, Const(1))))
+        assert model is not None
+        assert model["x"] > 1
+
+    def test_find_model_unsat_in_scope(self):
+        x = SymVar("x", INT)
+        assert find_model(App("!=", (x, x))) is None
+
+    def test_conjunction_helper(self):
+        assert conj() == Const(True)
+        x = SymVar("b", BOOL)
+        assert conj(Const(True), x) == x
+
+    def test_multiset_sort_domain(self):
+        from repro.smt import MultisetSort
+        from repro.heap.multiset import Multiset
+
+        values = list(MultisetSort(BOOL).domain(Scope(max_size=2)))
+        assert Multiset([True, False]) in values
+        # sizes 0,1,2 over {F,T}: 1 + 2 + 3 = 6
+        assert len(values) == 6
+
+    def test_map_sort_domain(self):
+        from repro.smt import MapSort
+
+        values = list(MapSort(BOOL, BOOL).domain(Scope(max_size=1)))
+        # empty map + 2 keys x 2 values singleton maps
+        assert len(values) == 5

@@ -1,0 +1,239 @@
+"""Unit tests for resource specifications, validity, and consistency."""
+
+import pytest
+
+from repro.heap.multiset import Multiset
+from repro.lang.values import PMap
+from repro.spec import (
+    Action,
+    ResourceSpecification,
+    check_condition_a,
+    check_condition_b,
+    check_validity,
+    fuzz_validity,
+    is_consistent,
+    lemma_4_2_holds,
+    merge_shared,
+    reachable_values,
+    abstractions_of_interleavings,
+)
+from repro.spec.library import (
+    INVALID_SPECS,
+    VALID_SPECS,
+    integer_add_spec,
+    map_disjoint_put_spec,
+    map_put_keyset_spec,
+    multi_producer_sequence_spec,
+    producer_consumer_spec,
+)
+
+
+class TestActions:
+    def test_precondition_low_projection(self):
+        put = map_put_keyset_spec().shared_action
+        assert put.precondition((1, 10), (1, 99))  # same key, different value
+        assert not put.precondition((1, 10), (2, 10))  # different key
+
+    def test_unary_precondition_diagonal(self):
+        put1 = map_disjoint_put_spec().action("Put1")
+        assert put1.unary_precondition((1, 10))
+        assert not put1.unary_precondition((2, 10))  # key outside range 1
+
+    def test_action_kinds(self):
+        spec = producer_consumer_spec(1, 1)
+        assert spec.action("Prod").is_unique
+        assert spec.action("Cons").is_unique
+        assert spec.shared_action is None
+
+
+class TestResourceSpecification:
+    def test_rejects_two_shared_actions(self):
+        a = Action.shared("A", lambda v, x: v)
+        b = Action.shared("B", lambda v, x: v)
+        with pytest.raises(ValueError, match="at most one shared"):
+            ResourceSpecification("Bad", lambda v: v, (a, b), 0, (0,), {"A": (0,), "B": (0,)})
+
+    def test_rejects_duplicate_names(self):
+        a = Action.shared("A", lambda v, x: v)
+        b = Action.unique("A", lambda v, x: v)
+        with pytest.raises(ValueError, match="duplicate"):
+            ResourceSpecification("Bad", lambda v: v, (a, b), 0, (0,), {"A": (0,)})
+
+    def test_requires_arg_domains(self):
+        a = Action.shared("A", lambda v, x: v)
+        with pytest.raises(ValueError, match="argument domain"):
+            ResourceSpecification("Bad", lambda v: v, (a,), 0, (0,), {})
+
+    def test_commuting_pairs_exclude_unique_self(self):
+        spec = producer_consumer_spec(1, 1)
+        pairs = {(a.name, b.name) for a, b in spec.commuting_pairs()}
+        assert ("Prod", "Prod") not in pairs
+        assert ("Prod", "Cons") in pairs
+        assert ("Cons", "Prod") in pairs
+
+    def test_commuting_pairs_include_shared_self(self):
+        spec = integer_add_spec()
+        pairs = {(a.name, b.name) for a, b in spec.commuting_pairs()}
+        assert ("Add", "Add") in pairs
+
+    def test_merge_shared(self):
+        inc = Action.shared("Inc", lambda v, _: v + 1)
+        dec = Action.shared("Dec", lambda v, _: v - 1)
+        merged = merge_shared(
+            "Mixed",
+            abstraction=lambda v: 0,
+            shared_actions=[inc, dec],
+            initial_value=0,
+            value_domain=(0, 1),
+            arg_domains={"Inc": (0,), "Dec": (0,)},
+        )
+        action = merged.shared_action
+        assert action.apply(5, ("Inc", 0)) == 6
+        assert action.apply(5, ("Dec", 0)) == 4
+        assert not action.precondition(("Inc", 0), ("Dec", 0))  # tags must match
+        assert check_validity(merged).valid  # constant abstraction commutes
+
+
+class TestValidity:
+    @pytest.mark.parametrize("name", sorted(VALID_SPECS))
+    def test_catalogue_specs_valid(self, name):
+        report = check_validity(VALID_SPECS[name]())
+        assert report.valid, str(report.counterexamples[:1])
+
+    @pytest.mark.parametrize("name", sorted(INVALID_SPECS))
+    def test_invalid_controls_rejected(self, name):
+        report = check_validity(INVALID_SPECS[name]())
+        assert not report.valid
+        assert report.counterexamples
+
+    def test_counterexamples_are_genuine(self):
+        """Every reported counterexample must re-verify by direct evaluation."""
+        for name in INVALID_SPECS:
+            spec = INVALID_SPECS[name]()
+            report = check_validity(spec, stop_at_first=False)
+            for ce in report.counterexamples:
+                alpha = spec.abstraction
+                if ce.condition == "A":
+                    action = spec.action(ce.action)
+                    v1, v2 = ce.values
+                    a1, a2 = ce.args
+                    assert alpha(v1) == alpha(v2)
+                    assert action.precondition(a1, a2)
+                    assert alpha(action.apply(v1, a1)) != alpha(action.apply(v2, a2))
+                else:
+                    first = spec.action(ce.action)
+                    second = spec.action(ce.other_action)
+                    v1, v2 = ce.values
+                    a1, a2 = ce.args
+                    assert alpha(v1) == alpha(v2)
+                    left = alpha(second.apply(first.apply(v1, a1), a2))
+                    right = alpha(first.apply(second.apply(v2, a2), a1))
+                    assert left != right
+
+    def test_condition_a_violation_detected(self):
+        """An action whose precondition is too weak fails (A)."""
+        leaky = Action.shared("Set", lambda v, x: x)  # no lowness requirement
+        spec = ResourceSpecification(
+            "LeakySet", lambda v: v, (leaky,), 0, (0, 1), {"Set": (0, 1)}
+        )
+        ces, _ = check_condition_a(spec)
+        assert ces and ces[0].condition == "A"
+
+    def test_condition_b_checked_from_distinct_starts(self):
+        """(B) quantifies over two values with equal abstraction — an action
+        sensitive to abstracted-away state must fail even though it commutes
+        from any single start value."""
+        # value = (visible, hidden); action adds hidden into visible.
+        bad = Action.shared("Mix", lambda v, _: (v[0] + v[1], v[1]))
+        spec = ResourceSpecification(
+            "HiddenMix",
+            abstraction=lambda v: v[0],
+            actions=(bad,),
+            initial_value=(0, 0),
+            value_domain=((0, 0), (0, 1)),
+            arg_domains={"Mix": (0,)},
+        )
+        report = check_validity(spec)
+        assert not report.valid
+
+    def test_fuzz_agrees_with_enumeration(self):
+        import random
+
+        spec = multi_producer_sequence_spec()
+        report = fuzz_validity(
+            spec,
+            value_gen=lambda rng: ((), tuple(rng.choices([1, 2], k=rng.randrange(3)))),
+            arg_gens={"Prod": lambda rng: rng.choice([1, 2]), "Cons": lambda rng: 0},
+            iterations=500,
+            seed=3,
+        )
+        assert not report.valid
+
+    def test_sequence_abstraction_valid_for_unique_producer(self):
+        """The 1P1C spec keeps the *sequence* abstraction because unique
+        actions need not commute with themselves (Sec. 2.7)."""
+        assert check_validity(producer_consumer_spec(1, 1)).valid
+
+    def test_sequence_abstraction_invalid_for_shared_producer(self):
+        assert not check_validity(multi_producer_sequence_spec()).valid
+
+
+class TestConsistency:
+    def test_reachable_counter_values(self):
+        spec = integer_add_spec()
+        values = reachable_values(spec, 0, Multiset([1, 2, 3]))
+        assert values == frozenset({6})  # addition commutes: single result
+
+    def test_reachable_map_values_vary(self):
+        spec = map_put_keyset_spec()
+        values = reachable_values(spec, PMap(), Multiset([(1, 10), (1, 20)]))
+        assert values == frozenset({PMap({1: 10}), PMap({1: 20})})
+
+    def test_abstractions_singleton_for_valid_spec(self):
+        spec = map_put_keyset_spec()
+        alphas = abstractions_of_interleavings(spec, PMap(), Multiset([(1, 10), (1, 20), (2, 5)]))
+        assert alphas == frozenset({frozenset({1, 2})})
+
+    def test_is_consistent(self):
+        spec = map_put_keyset_spec()
+        assert is_consistent(spec, PMap({1: 20}), PMap(), Multiset([(1, 10), (1, 20)]))
+        assert not is_consistent(spec, PMap({1: 99}), PMap(), Multiset([(1, 10), (1, 20)]))
+
+    def test_unique_sequences_keep_order(self):
+        spec = producer_consumer_spec(1, 1)
+        values = reachable_values(
+            spec, ((), ()), unique_args={"Prod": [1, 2]}
+        )
+        # single unique producer: only one order, buffer [1,2], produced (1,2)
+        assert values == frozenset({((1, 2), (1, 2))})
+
+    def test_producer_consumer_interleavings(self):
+        """Fig. 11: producer and consumer interleave; all interleavings agree
+        on the produced sequence (the abstraction)."""
+        spec = producer_consumer_spec(1, 1)
+        alphas = abstractions_of_interleavings(
+            spec, ((), ()), unique_args={"Prod": [1, 3], "Cons": [0, 0]}
+        )
+        assert alphas == frozenset({(1, 3)})
+
+    def test_lemma_4_2_on_counter(self):
+        spec = integer_add_spec()
+        assert lemma_4_2_holds(spec, 0, 0, [1, 2], [2, 1])
+
+    def test_lemma_4_2_on_map(self):
+        spec = map_put_keyset_spec()
+        # PRE-related histories: same keys, different values and order
+        assert lemma_4_2_holds(
+            spec,
+            PMap(),
+            PMap(),
+            [(1, 10), (2, 20)],
+            [(2, 99), (1, 88)],
+        )
+
+    def test_lemma_4_2_fails_for_invalid_spec(self):
+        """The conclusion genuinely fails when commutativity is absent."""
+        spec = INVALID_SPECS["MapIdentity"]()
+        assert not lemma_4_2_holds(
+            spec, PMap(), PMap(), [(1, 10), (1, 20)], [(1, 10), (1, 20)]
+        )

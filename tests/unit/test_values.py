@@ -1,0 +1,130 @@
+"""Unit tests for the pure value library (repro.lang.values)."""
+
+import pytest
+
+from repro.heap.multiset import Multiset
+from repro.lang.values import (
+    EMPTY_MAP,
+    PMap,
+    PURE_FUNCTIONS,
+    interval_set,
+    map_add_to_value,
+    map_put_if_greater,
+    pair,
+    seq_get,
+    seq_mean_times_len,
+    seq_sorted,
+    seq_to_multiset,
+)
+
+
+class TestPMap:
+    def test_put_get(self):
+        assert PMap().put("k", 1).get("k") == 1
+
+    def test_get_default(self):
+        assert PMap().get("missing") == 0
+        assert PMap().get("missing", None) is None
+
+    def test_put_is_functional(self):
+        base = PMap()
+        base.put("k", 1)
+        assert "k" not in base
+
+    def test_overwrite(self):
+        assert PMap().put("k", 1).put("k", 2).get("k") == 2
+
+    def test_remove(self):
+        m = PMap({"a": 1, "b": 2}).remove("a")
+        assert "a" not in m
+        assert m.get("b") == 2
+
+    def test_remove_missing_is_noop(self):
+        assert PMap({"a": 1}).remove("zz") == PMap({"a": 1})
+
+    def test_keys(self):
+        assert PMap({"a": 1, "b": 2}).keys() == frozenset({"a", "b"})
+
+    def test_equality_order_independent(self):
+        assert PMap({"a": 1, "b": 2}) == PMap({"b": 2, "a": 1})
+
+    def test_hashable(self):
+        assert hash(PMap({"a": 1})) == hash(PMap({"a": 1}))
+
+    def test_len(self):
+        assert len(PMap({"a": 1, "b": 2})) == 2
+
+    def test_empty_map_constant(self):
+        assert len(EMPTY_MAP) == 0
+
+
+class TestSequenceOps:
+    def test_seq_get_in_range(self):
+        assert seq_get((10, 20), 1) == 20
+
+    def test_seq_get_total_out_of_range(self):
+        assert seq_get((10,), 5) == 0
+        assert seq_get((10,), -1) == 0
+
+    def test_sorted(self):
+        assert seq_sorted((3, 1, 2)) == (1, 2, 3)
+
+    def test_to_multiset(self):
+        assert seq_to_multiset((1, 1, 2)) == Multiset([1, 1, 2])
+
+    def test_mean_times_len(self):
+        assert seq_mean_times_len((2, 4, 6)) == (12, 3)
+
+    def test_pair_projections(self):
+        p = pair("a", 1)
+        assert PURE_FUNCTIONS["fst"](p) == "a"
+        assert PURE_FUNCTIONS["snd"](p) == 1
+
+
+class TestMapOps:
+    def test_add_to_value_defaults_zero(self):
+        assert map_add_to_value(PMap(), "k", 5).get("k") == 5
+
+    def test_add_to_value_accumulates(self):
+        m = map_add_to_value(map_add_to_value(PMap(), "k", 2), "k", 3)
+        assert m.get("k") == 5
+
+    def test_put_if_greater_inserts_fresh(self):
+        assert map_put_if_greater(PMap(), "k", 10).get("k") == 10
+
+    def test_put_if_greater_keeps_max(self):
+        m = map_put_if_greater(PMap({"k": 20}), "k", 10)
+        assert m.get("k") == 20
+        m = map_put_if_greater(m, "k", 30)
+        assert m.get("k") == 30
+
+    def test_put_if_greater_is_commutative(self):
+        a = map_put_if_greater(map_put_if_greater(PMap(), "k", 10), "k", 20)
+        b = map_put_if_greater(map_put_if_greater(PMap(), "k", 20), "k", 10)
+        assert a == b
+
+
+class TestSets:
+    def test_interval_set(self):
+        assert interval_set(1, 4) == frozenset({1, 2, 3})
+        assert interval_set(3, 3) == frozenset()
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name",
+        ["pair", "fst", "snd", "append", "len", "sort", "put", "get", "keys", "setAdd",
+         "addToValue", "putIfGreater", "toSet", "toMultiset", "min", "max"],
+    )
+    def test_core_functions_registered(self, name):
+        assert name in PURE_FUNCTIONS
+
+    def test_queue_functions_registered_after_library_import(self):
+        import repro.spec.library  # noqa: F401 — registers queue ops
+
+        for name in ("qProduce", "qConsume", "qSize", "qHead", "emptyQueue", "producedSeq"):
+            assert name in PURE_FUNCTIONS
+
+    def test_registry_functions_are_callable(self):
+        assert PURE_FUNCTIONS["append"]((1,), 2) == (1, 2)
+        assert PURE_FUNCTIONS["max"](3, 5) == 5

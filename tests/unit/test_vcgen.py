@@ -1,0 +1,155 @@
+"""Tests for symbolic conformance checking (repro.verifier.vcgen)."""
+
+import pytest
+
+from repro.casestudies import case_by_name
+from repro.lang import Assign, Atomic, BinOp, Call, If, Lit, Load, Seq, Skip, Store, Var, While, seq_all
+from repro.smt.solver import Verdict
+from repro.spec.library import counter_increment_spec, integer_add_spec, map_put_keyset_spec
+from repro.verifier.conformance import check_conformance
+from repro.verifier.declarations import ResourceDecl
+from repro.verifier.vcgen import (
+    VCError,
+    conformance_vc,
+    discharge_conformance,
+    symbolic_conformance_ok,
+)
+
+
+def _atomic_blocks(cmd):
+    if isinstance(cmd, Atomic):
+        yield cmd
+        return
+    for attr in ("first", "second", "left", "right", "body", "then_branch", "else_branch"):
+        child = getattr(cmd, attr, None)
+        from repro.lang.ast import Command
+
+        if isinstance(child, Command):
+            yield from _atomic_blocks(child)
+
+
+COUNTER_DECL = ResourceDecl("CounterInc", counter_increment_spec(), "c")
+ADD_DECL = ResourceDecl("IntegerAdd", integer_add_spec(), "c")
+MAP_DECL = ResourceDecl("MapKeySet", map_put_keyset_spec(), "m")
+
+
+def _inc_body():
+    return seq_all(Load("t", Var("c")), Store(Var("c"), BinOp("+", Var("t"), Lit(1))))
+
+
+def _add_body(amount_var="a"):
+    return seq_all(Load("t", Var("c")), Store(Var("c"), BinOp("+", Var("t"), Var(amount_var))))
+
+
+class TestConformanceVC:
+    def test_counter_increment_discharges(self):
+        atomic = Atomic(_inc_body(), "Inc", Lit(0))
+        result = discharge_conformance(COUNTER_DECL, atomic)
+        assert result.is_valid(), result
+
+    def test_integer_add_discharges(self):
+        atomic = Atomic(_add_body(), "Add", Var("a"))
+        result = discharge_conformance(ADD_DECL, atomic)
+        assert result.is_valid()
+
+    def test_wrong_body_refuted_with_model(self):
+        # Body adds 2 but the annotation claims Add(a): refuted whenever
+        # a ≠ 2, with a concrete countermodel.
+        body = seq_all(Load("t", Var("c")), Store(Var("c"), BinOp("+", Var("t"), Lit(2))))
+        atomic = Atomic(body, "Add", Var("a"))
+        result = discharge_conformance(ADD_DECL, atomic)
+        assert result.verdict == Verdict.REFUTED
+        assert result.model is not None
+        assert result.model["a"] != 2
+
+    def test_map_put_discharges(self):
+        body = seq_all(
+            Load("mm", Var("m")),
+            Store(Var("m"), Call("put", (Var("mm"), Var("k"), Var("v")))),
+        )
+        atomic = Atomic(body, "Put", Call("pair", (Var("k"), Var("v"))))
+        result = discharge_conformance(MAP_DECL, atomic)
+        assert result.is_valid()
+
+    def test_branching_body_covered_by_ite(self):
+        # if (a > 0) add a else add a — both paths implement Add(a).
+        body = seq_all(
+            Load("t", Var("c")),
+            If(
+                BinOp(">", Var("a"), Lit(0)),
+                Store(Var("c"), BinOp("+", Var("t"), Var("a"))),
+                Store(Var("c"), BinOp("+", Var("a"), Var("t"))),
+            ),
+        )
+        atomic = Atomic(body, "Add", Var("a"))
+        result = discharge_conformance(ADD_DECL, atomic)
+        assert result.is_valid()
+
+    def test_branching_body_with_wrong_branch_refuted(self):
+        # The negative branch forgets the old value: caught symbolically
+        # (a sampling checker needs to hit a ≤ 0 AND a value where the
+        # mistake shows).
+        body = seq_all(
+            Load("t", Var("c")),
+            If(
+                BinOp(">", Var("a"), Lit(0)),
+                Store(Var("c"), BinOp("+", Var("t"), Var("a"))),
+                Store(Var("c"), Var("a")),
+            ),
+        )
+        atomic = Atomic(body, "Add", Var("a"))
+        result = discharge_conformance(ADD_DECL, atomic)
+        assert result.verdict == Verdict.REFUTED
+        assert result.model["a"] <= 0
+
+    def test_vc_formula_shape(self):
+        atomic = Atomic(_add_body(), "Add", Var("a"))
+        vc = conformance_vc(ADD_DECL, atomic)
+        text = str(vc.formula)
+        assert "f_IntegerAdd_Add" in text
+        assert "__cell" in text
+        assert vc.free_inputs == ("a",)
+
+    def test_loop_outside_fragment(self):
+        body = While(BinOp("<", Var("i"), Lit(3)), Assign("i", BinOp("+", Var("i"), Lit(1))))
+        atomic = Atomic(body, "Add", Var("a"))
+        with pytest.raises(VCError):
+            conformance_vc(ADD_DECL, atomic)
+
+    def test_foreign_heap_access_outside_fragment(self):
+        body = Load("t", Var("other"))
+        atomic = Atomic(body, "Add", Var("a"))
+        with pytest.raises(VCError):
+            conformance_vc(ADD_DECL, atomic)
+
+    def test_unannotated_block_rejected(self):
+        with pytest.raises(VCError):
+            conformance_vc(ADD_DECL, Atomic(Skip()))
+
+
+class TestCrossValidation:
+    """Symbolic and sampling conformance agree on the case studies."""
+
+    @pytest.mark.parametrize(
+        "case_name,decl",
+        [
+            ("Figure 2", ADD_DECL),
+            ("Count-Vaccinated", COUNTER_DECL),
+            ("Figure 3", MAP_DECL),
+        ],
+    )
+    def test_agree_on_case_study_blocks(self, case_name, decl):
+        case = case_by_name(case_name)
+        blocks = list(_atomic_blocks(case.program()))
+        assert blocks
+        for atomic in blocks:
+            symbolic = symbolic_conformance_ok(decl, atomic)
+            sampled = check_conformance(decl, atomic).ok
+            assert symbolic is not None
+            assert symbolic == sampled is True
+
+    def test_symbolic_catches_what_sampling_confirms(self):
+        body = seq_all(Load("t", Var("c")), Store(Var("c"), BinOp("-", Var("t"), Var("a"))))
+        atomic = Atomic(body, "Add", Var("a"))
+        assert symbolic_conformance_ok(ADD_DECL, atomic) is False
+        assert not check_conformance(ADD_DECL, atomic).ok

@@ -1,0 +1,260 @@
+"""Unit tests for the verifier: taint domain, static analysis, conformance."""
+
+import pytest
+
+from repro.lang.parser import parse_program
+from repro.spec.library import (
+    assign_constant_abstraction_spec,
+    counter_increment_spec,
+    integer_add_spec,
+    map_put_keyset_spec,
+)
+from repro.verifier import (
+    HIGH,
+    LOW,
+    ProgramSpec,
+    ResourceDecl,
+    TaintAnalyzer,
+    abstract,
+    check_conformance,
+    join,
+    verify,
+)
+
+
+class TestTaintDomain:
+    def test_low_is_bottom(self):
+        assert join(LOW, HIGH) == HIGH
+        assert join(LOW, LOW) == LOW
+        assert join(LOW, abstract("R")) == abstract("R")
+
+    def test_abstract_degrades_with_high(self):
+        assert join(abstract("R"), HIGH) == HIGH
+
+    def test_two_different_abstracts_degrade(self):
+        assert join(abstract("R"), abstract("S")) == HIGH
+
+    def test_join_idempotent(self):
+        for taint in (LOW, HIGH, abstract("R")):
+            assert join(taint, taint) == taint
+
+
+def analyze(source: str, low=frozenset(), high=frozenset(), resources=()):
+    spec = ProgramSpec("test", parse_program(source), tuple(resources), frozenset(low), frozenset(high))
+    analyzer = TaintAnalyzer(spec)
+    return analyzer, analyzer.analyze()
+
+
+class TestExpressionTaint:
+    def test_literal_low(self):
+        analyzer, _ = analyze("skip")
+        from repro.verifier.analysis import AnalysisState
+        from repro.lang.parser import parse_expr
+
+        assert analyzer.expr_taint(parse_expr("42"), AnalysisState()) == LOW
+
+    def test_high_propagates(self):
+        analyzer, _ = analyze("skip", high={"h"})
+        from repro.verifier.analysis import AnalysisState
+        from repro.lang.parser import parse_expr
+
+        state = AnalysisState(env={"h": HIGH})
+        assert analyzer.expr_taint(parse_expr("h + 1"), AnalysisState(env={"h": HIGH})) == HIGH
+        assert analyzer.expr_taint(parse_expr("1 + 2"), state) == LOW
+
+
+class TestImplicitFlows:
+    def test_assignment_under_high_branch_is_high(self):
+        source = "if (h > 0) { x := 1 } else { x := 0 }\nprint(x)"
+        _, report = analyze(source, high={"h"})
+        assert any("print" in error for error in report.errors)
+
+    def test_assignment_under_low_branch_stays_low(self):
+        source = "if (b > 0) { x := 1 } else { x := 0 }\nprint(x)"
+        _, report = analyze(source, low={"b"})
+        assert report.clean
+
+    def test_high_loop_taints_assignments(self):
+        source = "k := 0\nwhile (k < h) { k := k + 1 }\nprint(k)"
+        _, report = analyze(source, high={"h"})
+        assert not report.clean
+
+    def test_low_loop_counter_stays_low(self):
+        source = "k := 0\nwhile (k < n) { k := k + 1 }\nprint(k)"
+        _, report = analyze(source, low={"n"})
+        assert report.clean
+
+    def test_print_under_high_branch_rejected(self):
+        source = "if (h > 0) { print(1) }"
+        _, report = analyze(source, high={"h"})
+        assert not report.clean
+
+
+class TestCSLDiscipline:
+    def _counter_resources(self):
+        return (ResourceDecl("CounterInc", counter_increment_spec(), "c"),)
+
+    def test_read_of_shared_cell_outside_atomic_rejected(self):
+        source = "c := alloc(0)\nshare CounterInc\nx := [c]\nunshare CounterInc"
+        _, report = analyze(source, resources=self._counter_resources())
+        assert any("outside an atomic" in error for error in report.errors)
+
+    def test_write_to_shared_cell_outside_atomic_rejected(self):
+        source = "c := alloc(0)\nshare CounterInc\n[c] := 5\nunshare CounterInc"
+        _, report = analyze(source, resources=self._counter_resources())
+        assert any("outside an atomic" in error for error in report.errors)
+
+    def test_unannotated_atomic_while_shared_rejected(self):
+        source = "c := alloc(0)\nshare CounterInc\natomic { [c] := 5 }\nunshare CounterInc"
+        _, report = analyze(source, resources=self._counter_resources())
+        assert any("unannotated" in error for error in report.errors)
+
+    def test_action_without_share_rejected(self):
+        source = "c := alloc(0)\natomic [Inc()] { t := [c]; [c] := t + 1 }"
+        _, report = analyze(source, resources=self._counter_resources())
+        assert any("not shared" in error for error in report.errors)
+
+    def test_share_requires_low_initial_value(self):
+        source = "c := alloc(h)\nshare CounterInc\nunshare CounterInc"
+        _, report = analyze(source, high={"h"}, resources=self._counter_resources())
+        assert any("property 1" in error for error in report.errors)
+
+    def test_double_share_rejected(self):
+        source = "c := alloc(0)\nshare CounterInc\nshare CounterInc"
+        _, report = analyze(source, resources=self._counter_resources())
+        assert not report.clean
+
+    def test_unshare_without_share_rejected(self):
+        source = "c := alloc(0)\nunshare CounterInc"
+        _, report = analyze(source, resources=self._counter_resources())
+        assert not report.clean
+
+    def test_read_after_unshare_with_identity_abstraction_is_low(self):
+        source = (
+            "c := alloc(0)\nshare CounterInc\n"
+            "atomic [Inc()] { t := [c]; [c] := t + 1 }\n"
+            "unshare CounterInc\nx := [c]\nprint(x)"
+        )
+        _, report = analyze(source, resources=self._counter_resources())
+        assert report.clean
+
+    def test_read_after_unshare_with_proper_abstraction_is_abstract(self):
+        decl = ResourceDecl("MapKeySet", map_put_keyset_spec(), "m", low_views=("keys",))
+        source = (
+            "m := alloc(emptyMap())\nshare MapKeySet\n"
+            "atomic [Put(pair(1, 2))] { t := [m]; [m] := put(t, 1, 2) }\n"
+            "unshare MapKeySet\nx := [m]\nprint(keys(x))"
+        )
+        _, report = analyze(source, low=set(), resources=(decl,))
+        assert report.clean
+
+    def test_non_view_function_on_abstract_value_rejected(self):
+        decl = ResourceDecl("MapKeySet", map_put_keyset_spec(), "m", low_views=("keys",))
+        source = (
+            "m := alloc(emptyMap())\nshare MapKeySet\n"
+            "atomic [Put(pair(1, 2))] { t := [m]; [m] := put(t, 1, 2) }\n"
+            "unshare MapKeySet\nx := [m]\nprint(mapValues(x))"
+        )
+        _, report = analyze(source, resources=(decl,))
+        assert not report.clean
+
+
+class TestObligations:
+    def test_atomic_under_high_branch_creates_count_obligation(self):
+        source = (
+            "c := alloc(0)\nshare CounterInc\n"
+            "if (h > 0) { atomic [Inc()] { t := [c]; [c] := t + 1 } }\n"
+            "unshare CounterInc"
+        )
+        _, report = analyze(
+            source,
+            high={"h"},
+            resources=(ResourceDecl("CounterInc", counter_increment_spec(), "c"),),
+        )
+        assert any(ob.kind == "retroactive-count" for ob in report.obligations)
+
+    def test_high_argument_creates_pre_obligation(self):
+        decl = ResourceDecl("IntegerAdd", integer_add_spec(), "c")
+        source = (
+            "c := alloc(0)\nshare IntegerAdd\n"
+            "atomic [Add(h)] { t := [c]; [c] := t + h }\n"
+            "unshare IntegerAdd"
+        )
+        _, report = analyze(source, high={"h"}, resources=(decl,))
+        assert any(ob.kind == "retroactive-pre" for ob in report.obligations)
+
+    def test_no_obligation_for_low_arguments(self):
+        decl = ResourceDecl("IntegerAdd", integer_add_spec(), "c")
+        source = (
+            "c := alloc(0)\nshare IntegerAdd\n"
+            "atomic [Add(v)] { t := [c]; [c] := t + v }\n"
+            "unshare IntegerAdd"
+        )
+        _, report = analyze(source, low={"v"}, resources=(decl,))
+        assert not report.obligations
+
+
+class TestConformance:
+    def test_correct_body_conforms(self):
+        decl = ResourceDecl("IntegerAdd", integer_add_spec(), "c")
+        program = parse_program("atomic [Add(v)] { t := [c]; [c] := t + v }")
+        report = check_conformance(decl, program)
+        assert report.ok
+        assert report.samples_checked > 0
+
+    def test_wrong_body_detected(self):
+        decl = ResourceDecl("IntegerAdd", integer_add_spec(), "c")
+        program = parse_program("atomic [Add(v)] { t := [c]; [c] := t + v + 1 }")
+        report = check_conformance(decl, program)
+        assert not report.ok
+        assert report.failures
+
+    def test_failure_carries_concrete_witness(self):
+        decl = ResourceDecl("IntegerAdd", integer_add_spec(), "c")
+        program = parse_program("atomic [Add(v)] { [c] := v }")
+        report = check_conformance(decl, program)
+        failure = report.failures[0]
+        assert failure.expected != failure.actual
+
+    def test_body_ignoring_argument_annotation_detected(self):
+        # annotation says Add(v) but the body adds a constant
+        decl = ResourceDecl("IntegerAdd", integer_add_spec(), "c")
+        program = parse_program("atomic [Add(v)] { t := [c]; [c] := t + 1 }")
+        report = check_conformance(decl, program)
+        assert not report.ok
+
+
+class TestFrontend:
+    def test_verify_reports_invalid_spec(self):
+        from repro.spec.library import assign_identity_abstraction_spec
+
+        decl = ResourceDecl("AssignIdentityAlpha", assign_identity_abstraction_spec(), "s")
+        source = "s := alloc(0)\nshare AssignIdentityAlpha\nunshare AssignIdentityAlpha"
+        spec = ProgramSpec("bad-spec", parse_program(source), (decl,), frozenset(), frozenset())
+        result = verify(spec)
+        assert not result.verified
+        assert any("invalid specification" in error for error in result.errors)
+
+    def test_undischarged_obligations_without_instances(self):
+        decl = ResourceDecl("CounterInc", counter_increment_spec(), "c")
+        source = (
+            "c := alloc(0)\nshare CounterInc\n"
+            "if (h > 0) { atomic [Inc()] { t := [c]; [c] := t + 1 } }\n"
+            "unshare CounterInc"
+        )
+        spec = ProgramSpec("no-instances", parse_program(source), (decl,), frozenset(), frozenset({"h"}))
+        result = verify(spec, bounded_instances=None)
+        assert not result.verified
+        assert any("no bounded instances" in error for error in result.errors)
+
+    def test_verified_program_has_no_errors(self):
+        decl = ResourceDecl("CounterInc", counter_increment_spec(), "c")
+        source = (
+            "c := alloc(0)\nshare CounterInc\n"
+            "{ atomic [Inc()] { t1 := [c]; [c] := t1 + 1 } } || "
+            "{ atomic [Inc()] { t2 := [c]; [c] := t2 + 1 } }\n"
+            "unshare CounterInc\nout := [c]\nprint(out)"
+        )
+        spec = ProgramSpec("two-incs", parse_program(source), (decl,), frozenset(), frozenset())
+        result = verify(spec)
+        assert result.verified, result.errors
