@@ -1,0 +1,342 @@
+"""Benchmark runner: the optimized SMT core vs the retained reference.
+
+Times the seed-equivalent reference path (:mod:`repro.smt.reference`:
+recursive clause-copying DPLL, interpreted AST-walking enumeration,
+non-incremental DPLL(T), no caches) against the optimized core
+(:mod:`repro.smt`: hash-consed terms, watched-literal incremental
+DPLL(T), compiled evaluation, cross-call validity cache) on three
+workloads and writes ``BENCH_smt.json``:
+
+* ``boolean_skeleton`` — validity of boolean-skeleton-heavy formulas
+  along bench_scaling's "solver strategy" axis, both with the SAT fast
+  path (watched vs recursive DPLL) and enumeration-only (compiled vs
+  interpreted evaluation);
+* ``repeated_vc`` — the same conformance VCs discharged over and over,
+  as vcgen and spec inference do across proof outlines (cross-call
+  cache vs recomputation);
+* ``dpllt_incremental`` — EUF formulas that force many blocked boolean
+  models (incremental clause database vs re-propagating from zero).
+
+Every timed formula is checked for *verdict agreement* between the two
+paths; the JSON records per-case timings, per-workload speedups and the
+agreement flag.  Run with ``--quick`` for a CI smoke pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.lang.ast import Atomic, BinOp, If, Lit, Load, Seq, Store, Var  # noqa: E402
+from repro.smt import (  # noqa: E402
+    App,
+    Const,
+    INT,
+    SymVar,
+    check_validity,
+    clear_all_caches,
+    conj,
+    disj,
+    dpllt_equality,
+    eq,
+    implies,
+    negate,
+)
+from repro.smt import reference  # noqa: E402
+from repro.smt.cache import GLOBAL as VALIDITY_CACHE  # noqa: E402
+from repro.spec import Action, ResourceSpecification  # noqa: E402
+from repro.spec.library import integer_add_spec  # noqa: E402
+from repro.verifier.declarations import ResourceDecl  # noqa: E402
+from repro.verifier.vcgen import CELL, conformance_vc, _spec_discharge_params  # noqa: E402
+from repro.smt.sorts import Scope  # noqa: E402
+
+
+# ---------------------------------------------------------------------------
+# Workload formulas
+# ---------------------------------------------------------------------------
+
+
+def skeleton_formula(atoms: int, salt: str = ""):
+    """bench_scaling's boolean-skeleton tautology: (a1 ∧ … ∧ ak) ⇒ a1,
+    over ``<`` comparison atoms — heavy for enumeration, easy for DPLL."""
+    comparisons = [
+        App("<", (SymVar(f"x{salt}{i}", INT), SymVar(f"y{salt}{i}", INT)))
+        for i in range(atoms)
+    ]
+    return implies(conj(*comparisons), comparisons[0])
+
+
+def skeleton_chain(atoms: int, salt: str = ""):
+    """A deeper tautology: ⋀(ai ⇒ ai+1) ∧ a0 ⇒ ak — propagation-heavy."""
+    comparisons = [
+        App("<", (SymVar(f"p{salt}{i}", INT), SymVar(f"q{salt}{i}", INT)))
+        for i in range(atoms + 1)
+    ]
+    links = conj(*(implies(comparisons[i], comparisons[i + 1]) for i in range(atoms)))
+    return implies(conj(links, comparisons[0]), comparisons[atoms])
+
+
+def blocked_model_formula(pigeons: int, salt: str = ""):
+    """An EUF pigeonhole: n pigeons into the two holes {y, z}, all
+    pigeons pairwise distinct.  Propositionally satisfiable in 2^n ways,
+    but *every* boolean model is theory-inconsistent (two pigeons always
+    share a hole), so DPLL(T) must block its way to UNSAT — the workload
+    that punishes re-propagating the growing clause list from zero."""
+    xs = [SymVar(f"w{salt}{i}", INT) for i in range(pigeons)]
+    y = SymVar(f"y{salt}", INT)
+    z = SymVar(f"z{salt}", INT)
+    parts = [disj(eq(x, y), eq(x, z)) for x in xs]
+    parts.extend(
+        negate(eq(xs[i], xs[j]))
+        for i in range(pigeons)
+        for j in range(i + 1, pigeons)
+    )
+    return conj(*parts)
+
+
+def conformance_vcs():
+    """Real conformance VCs from the verifier pipeline: an increment
+    body against IntegerAdd, and a branching max body against IntegerMax."""
+    incr_body = Seq(
+        Load("t", Var("c")), Store(Var("c"), BinOp("+", Var("t"), Lit(1)))
+    )
+    incr = Atomic(incr_body, action="Add", argument=Lit(1))
+    add_decl = ResourceDecl("IntegerAdd", integer_add_spec(), "c")
+
+    max_spec = ResourceSpecification(
+        name="IntegerMax",
+        abstraction=lambda value: value,
+        actions=(Action.shared("Max", lambda value, m: value if value > m else m),),
+        initial_value=0,
+        value_domain=tuple(range(-2, 4)),
+        arg_domains={"Max": tuple(range(-2, 4))},
+    )
+    max_body = Seq(
+        Load("t", Var("c")),
+        If(
+            BinOp(">", Var("m"), Var("t")),
+            Store(Var("c"), Var("m")),
+            Store(Var("c"), Var("t")),
+        ),
+    )
+    maxi = Atomic(max_body, action="Max", argument=Var("m"))
+    max_decl = ResourceDecl("IntegerMax", max_spec, "c")
+
+    cases = []
+    for decl, atomic in ((add_decl, incr), (max_decl, maxi)):
+        vc = conformance_vc(decl, atomic)
+        extra_ints, cell_sort = _spec_discharge_params(decl.spec)
+        scope = Scope().widen(extra_ints)
+        sorts = {CELL: cell_sort}
+        cases.append((f"{decl.name}/{vc.action}", vc.formula, scope, sorts))
+    return cases
+
+
+# ---------------------------------------------------------------------------
+# Timing helpers
+# ---------------------------------------------------------------------------
+
+
+def timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return time.perf_counter() - start, result
+
+
+def bench_boolean_skeleton(quick: bool):
+    sat_sizes = (8, 120) if quick else (8, 20, 60, 160, 320)
+    enum_sizes = (2,) if quick else (2, 3)
+    reps = 1 if quick else 3
+    cases = []
+    for use_sat, sizes, strategy in (
+        (True, sat_sizes, "dpll_fast_path"),
+        (False, enum_sizes, "bounded_enumeration"),
+    ):
+        for atoms in sizes:
+            ref_total = new_total = 0.0
+            agree = True
+            verdict = None
+            for rep in range(reps):
+                # Distinct variable names per repetition: every run pays
+                # the full cold path (no intern/memo reuse across reps).
+                salt = f"s{strategy}{atoms}r{rep}_"
+                build = skeleton_chain if (use_sat and atoms >= 20) else skeleton_formula
+                formula = build(atoms, salt)
+                ref_elapsed, ref_result = timed(
+                    reference.check_validity_reference, formula, use_sat=use_sat
+                )
+                clear_all_caches()
+                formula = build(atoms, salt)
+                new_elapsed, new_result = timed(
+                    check_validity, formula, use_sat=use_sat
+                )
+                ref_total += ref_elapsed
+                new_total += new_elapsed
+                agree = agree and (ref_result.verdict == new_result.verdict)
+                verdict = new_result.verdict.value
+            cases.append(
+                {
+                    "strategy": strategy,
+                    "atoms": atoms,
+                    "reference_s": round(ref_total / reps, 6),
+                    "optimized_s": round(new_total / reps, 6),
+                    "speedup": round(ref_total / new_total, 2) if new_total else None,
+                    "verdict": verdict,
+                    "verdicts_agree": agree,
+                }
+            )
+    return cases
+
+
+def bench_repeated_vc(quick: bool):
+    repeats = 10 if quick else 40
+    cases = []
+    for name, formula, scope, sorts in conformance_vcs():
+        ref_total = 0.0
+        ref_verdicts = []
+        for _ in range(repeats):
+            elapsed, result = timed(
+                reference.check_validity_reference, formula, scope=scope, sorts=sorts
+            )
+            ref_total += elapsed
+            ref_verdicts.append(result.verdict)
+        clear_all_caches()
+        new_total = 0.0
+        new_verdicts = []
+        for _ in range(repeats):
+            elapsed, result = timed(
+                check_validity, formula, scope=scope, sorts=sorts
+            )
+            new_total += elapsed
+            new_verdicts.append(result.verdict)
+        cases.append(
+            {
+                "vc": name,
+                "repeats": repeats,
+                "reference_s": round(ref_total, 6),
+                "optimized_s": round(new_total, 6),
+                "speedup": round(ref_total / new_total, 2) if new_total else None,
+                "verdict": new_verdicts[0].value,
+                "verdicts_agree": ref_verdicts == new_verdicts,
+                "cache_hits": VALIDITY_CACHE.hits,
+            }
+        )
+    return cases
+
+
+def bench_dpllt_incremental(quick: bool):
+    sizes = (5,) if quick else (6, 7)
+    cases = []
+    for chains in sizes:
+        formula = blocked_model_formula(chains, salt=f"ref{chains}_")
+        ref_elapsed, ref_result = timed(reference.dpllt_equality_reference, formula)
+        clear_all_caches()
+        formula = blocked_model_formula(chains, salt=f"ref{chains}_")
+        new_elapsed, new_result = timed(dpllt_equality, formula)
+        cases.append(
+            {
+                "chains": chains,
+                "reference_s": round(ref_elapsed, 6),
+                "optimized_s": round(new_elapsed, 6),
+                "speedup": round(ref_elapsed / new_elapsed, 2) if new_elapsed else None,
+                "reference_blocked": ref_result.models_blocked,
+                "optimized_blocked": new_result.models_blocked,
+                "verdicts_agree": ref_result.satisfiable == new_result.satisfiable,
+            }
+        )
+    return cases
+
+
+def summarize(cases):
+    ref = sum(case["reference_s"] for case in cases)
+    new = sum(case["optimized_s"] for case in cases)
+    return {
+        "reference_s": round(ref, 6),
+        "optimized_s": round(new, 6),
+        "speedup": round(ref / new, 2) if new else None,
+        "verdicts_agree": all(case["verdicts_agree"] for case in cases),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizes")
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_smt.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    output = Path(args.output)
+    if not output.parent.is_dir():
+        parser.error(f"--output directory does not exist: {output.parent}")
+
+    workloads = {}
+    print("== boolean_skeleton (solver-strategy axis) ==")
+    cases = bench_boolean_skeleton(args.quick)
+    workloads["boolean_skeleton"] = {"cases": cases, **summarize(cases)}
+    for case in cases:
+        print(
+            f"  {case['strategy']:>20s} atoms={case['atoms']:<3d} "
+            f"ref {case['reference_s'] * 1000:8.2f} ms  "
+            f"opt {case['optimized_s'] * 1000:8.2f} ms  "
+            f"x{case['speedup']:<6}  agree={case['verdicts_agree']}"
+        )
+    print(f"  overall: x{workloads['boolean_skeleton']['speedup']}")
+
+    print("== repeated_vc (cross-call cache) ==")
+    cases = bench_repeated_vc(args.quick)
+    workloads["repeated_vc"] = {"cases": cases, **summarize(cases)}
+    for case in cases:
+        print(
+            f"  {case['vc']:>20s} x{case['repeats']:<3d} "
+            f"ref {case['reference_s'] * 1000:8.2f} ms  "
+            f"opt {case['optimized_s'] * 1000:8.2f} ms  "
+            f"x{case['speedup']:<6}  agree={case['verdicts_agree']}"
+        )
+    print(f"  overall: x{workloads['repeated_vc']['speedup']}")
+
+    print("== dpllt_incremental (blocked-model loop) ==")
+    cases = bench_dpllt_incremental(args.quick)
+    workloads["dpllt_incremental"] = {"cases": cases, **summarize(cases)}
+    for case in cases:
+        print(
+            f"  chains={case['chains']:<2d} "
+            f"ref {case['reference_s'] * 1000:8.2f} ms ({case['reference_blocked']} blocked)  "
+            f"opt {case['optimized_s'] * 1000:8.2f} ms ({case['optimized_blocked']} blocked)  "
+            f"x{case['speedup']:<6}  agree={case['verdicts_agree']}"
+        )
+
+    report = {
+        "benchmark": "smt-core: interning + compiled evaluation + watched literals + cache",
+        "quick": args.quick,
+        "workloads": workloads,
+        "summary": {
+            "boolean_skeleton_speedup": workloads["boolean_skeleton"]["speedup"],
+            "repeated_vc_speedup": workloads["repeated_vc"]["speedup"],
+            "dpllt_incremental_speedup": workloads["dpllt_incremental"]["speedup"],
+            "all_verdicts_agree": all(
+                w["verdicts_agree"] for w in workloads.values()
+            ),
+        },
+    }
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output}")
+
+    ok = report["summary"]["all_verdicts_agree"]
+    if not ok:
+        print("FAIL: verdict mismatch between optimized and reference core")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

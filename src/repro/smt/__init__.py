@@ -1,14 +1,28 @@
-"""Term language + bounded solver (the repository's Z3 substitute)."""
+"""Term language + bounded solver (the repository's Z3 substitute).
 
+See ``src/repro/smt/README.md`` for the solver architecture: hash-consed
+terms (interning), memoized simplification, a watched-literal DPLL(T)
+core, compiled bounded enumeration, and a cross-call validity cache.
+The seed's unoptimized algorithms are retained in
+:mod:`repro.smt.reference` as a correctness oracle and benchmark
+baseline.
+"""
+
+from .cache import GLOBAL as VALIDITY_CACHE
+from .cache import ValidityCache
 from .cnf import AtomTable, cnf_of, is_atom, to_nnf, tseitin
+from .compile import compile_term
 from .dpll import (
     TheoryResult,
+    WatchedSolver,
     dpll,
     dpllt_equality,
     euf_valid,
     propositionally_valid,
     sat,
 )
+from .intern import clear_all_caches
+from .intern import stats as intern_stats
 from .euf import CongruenceClosure, congruence_closure_consistent, is_equality_atom
 from .simplify import is_literally_true, simplify
 from .solver import Result, Verdict, check_validity, find_model
@@ -47,6 +61,12 @@ __all__ = [
     "AtomTable",
     "CongruenceClosure",
     "TheoryResult",
+    "VALIDITY_CACHE",
+    "ValidityCache",
+    "WatchedSolver",
+    "clear_all_caches",
+    "compile_term",
+    "intern_stats",
     "BOOL",
     "BoolSort",
     "Const",

@@ -1,0 +1,93 @@
+"""Cross-call validity cache.
+
+:mod:`repro.verifier.vcgen` and :mod:`repro.spec.inference` re-discharge
+many *syntactically identical* verification conditions — the same atomic
+block is checked under every proof outline, the same commutativity
+obligation under every candidate abstraction.  With hash-consed terms a
+formula is one canonical object, so a validity query can be cached under
+the key
+
+    (interned formula, scope, sorts fingerprint, exhaustive, use_sat)
+
+with O(1) hashing.  ``Scope`` is a frozen dataclass and sort objects are
+frozen dataclasses too, so the key is deeply hashable whenever the
+query's sort domains are; queries with unhashable domain values simply
+bypass the cache (``make_key`` returns None).
+
+Only decisive verdicts (PROVED / REFUTED / BOUNDED) are stored:
+UNKNOWN means the evaluator lacked an operation, and operations may be
+registered later (:data:`repro.smt.terms.OPERATIONS` grows as resource
+actions are declared), which would make a cached UNKNOWN stale.
+
+Hit/miss counters are surfaced on every :class:`repro.smt.solver.Result`
+via its ``cache_hits``/``cache_misses`` fields; the cache itself is
+exported as :data:`GLOBAL`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Mapping, Optional, Tuple
+
+from .intern import register_cache
+from .sorts import Scope, Sort
+from .terms import Term
+
+
+def make_key(
+    formula: Term,
+    scope: Scope,
+    sorts: Optional[Mapping[str, Sort]],
+    exhaustive: bool,
+    use_sat: bool,
+) -> Optional[Hashable]:
+    """A hashable cache key for a validity query, or None if the query
+    involves unhashable data (in which case caching is skipped)."""
+    try:
+        fingerprint: Tuple = (
+            formula,
+            scope,
+            tuple(sorted((sorts or {}).items())),
+            exhaustive,
+            use_sat,
+        )
+        hash(fingerprint)
+    except TypeError:
+        return None
+    return fingerprint
+
+
+class ValidityCache:
+    """A keyed store of validity results with hit/miss counters."""
+
+    __slots__ = ("hits", "misses", "_store")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self._store: Dict[Hashable, Any] = {}
+
+    def get(self, key: Hashable) -> Any:
+        found = self._store.get(key)
+        if found is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return found
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self._store[key] = value
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "size": len(self._store)}
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: The process-wide validity cache used by ``check_validity``.
+GLOBAL: ValidityCache = register_cache(ValidityCache())

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from .intern import register_cache
 from .terms import App, Const, SymVar, Term, negate
 
 BOOL_CONNECTIVES = frozenset({"and", "or", "not", "implies", "ite"})
@@ -75,9 +76,27 @@ def is_atom(term: Term) -> bool:
     raise TypeError(f"not a term: {term!r}")
 
 
+_NNF_CACHE: Dict[Tuple[Term, bool], Term] = register_cache({})
+
+
 def to_nnf(term: Term, negated: bool = False) -> Term:
     """Negation normal form: negations pushed onto atoms, implications
-    unfolded.  ``ite`` at the boolean level unfolds to two implications."""
+    unfolded.  ``ite`` at the boolean level unfolds to two implications.
+
+    Memoized per (interned node, polarity): shared subformulas convert
+    once per process."""
+    try:
+        return _NNF_CACHE[(term, negated)]
+    except KeyError:
+        pass
+    except TypeError:  # unhashable payload
+        return _to_nnf(term, negated)
+    result = _to_nnf(term, negated)
+    _NNF_CACHE[(term, negated)] = result
+    return result
+
+
+def _to_nnf(term: Term, negated: bool) -> Term:
     if isinstance(term, Const):
         value = bool(term.value) != negated
         return Const(value)

@@ -1,0 +1,142 @@
+"""Term-to-closure compilation for the bounded enumerator.
+
+:func:`repro.smt.solver.check_validity` may evaluate one formula under
+hundreds of thousands of assignments.  The reference evaluator
+(:func:`repro.smt.terms.evaluate_term`) re-dispatches on the node type
+and re-resolves the operation table at *every* node of *every*
+evaluation.  This module compiles a term once into a tree of closures —
+each node becomes a function ``env -> value`` — so the per-assignment
+cost is a plain call tree with all dispatch decisions already taken.
+
+The compiled form preserves the evaluator's semantics exactly:
+
+* ``and``/``or``/``implies``/``ite`` stay *lazy*, so guarded sub-terms
+  (division, indexing) are never evaluated when their guard short-circuits;
+* an unassigned variable raises ``KeyError`` as before;
+* an operation missing from :data:`~repro.smt.terms.OPERATIONS` raises
+  :class:`~repro.smt.terms.UnknownOperation` *at call time* (operations
+  may be registered after compilation, e.g. by
+  :mod:`repro.verifier.vcgen`, and must then be picked up).
+
+Compiled closures are memoized per interned term, so shared subterms of
+a formula DAG compile — and close over — a single function object.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from .intern import memoize_term_fn
+from .terms import OPERATIONS, App, Const, SymVar, Term, UnknownOperation
+
+Evaluator = Callable[[Mapping[str, Any]], Any]
+
+
+def _build(term: Term) -> Evaluator:
+    if isinstance(term, Const):
+        value = term.value
+
+        def const_fn(env: Mapping[str, Any], _value=value) -> Any:
+            return _value
+
+        return const_fn
+    if isinstance(term, SymVar):
+        name = term.name
+
+        def var_fn(env: Mapping[str, Any], _name=name) -> Any:
+            try:
+                return env[_name]
+            except KeyError:
+                raise KeyError(f"unassigned symbolic variable {_name!r}") from None
+
+        return var_fn
+    if isinstance(term, App):
+        return _build_app(term)
+    raise TypeError(f"not a term: {term!r}")
+
+
+def _build_app(term: App) -> Evaluator:
+    op = term.op
+    subs = tuple(compile_term(arg) for arg in term.args)
+    # Lazy connectives mirror evaluate_term's short-circuit semantics.
+    if op == "and":
+        if len(subs) == 2:
+            first, second = subs
+
+            def and2_fn(env: Mapping[str, Any]) -> bool:
+                return bool(first(env)) and bool(second(env))
+
+            return and2_fn
+
+        def and_fn(env: Mapping[str, Any]) -> bool:
+            return all(bool(sub(env)) for sub in subs)
+
+        return and_fn
+    if op == "or":
+        if len(subs) == 2:
+            first, second = subs
+
+            def or2_fn(env: Mapping[str, Any]) -> bool:
+                return bool(first(env)) or bool(second(env))
+
+            return or2_fn
+
+        def or_fn(env: Mapping[str, Any]) -> bool:
+            return any(bool(sub(env)) for sub in subs)
+
+        return or_fn
+    if op == "implies":
+        antecedent, consequent = subs
+
+        def implies_fn(env: Mapping[str, Any]) -> bool:
+            if not antecedent(env):
+                return True
+            return bool(consequent(env))
+
+        return implies_fn
+    if op == "ite":
+        condition, then_fn, else_fn = subs
+
+        def ite_fn(env: Mapping[str, Any]) -> Any:
+            if condition(env):
+                return then_fn(env)
+            return else_fn(env)
+
+        return ite_fn
+
+    operation = OPERATIONS.get(op)
+    if operation is None:
+        # Late binding: the op may be registered after compilation (vcgen
+        # does this); resolve per call exactly like the reference walk.
+        def late_fn(env: Mapping[str, Any], _op=op, _subs=subs) -> Any:
+            resolved = OPERATIONS.get(_op)
+            if resolved is None:
+                raise UnknownOperation(_op)
+            return resolved(*(sub(env) for sub in _subs))
+
+        return late_fn
+
+    if len(subs) == 1:
+        (only,) = subs
+
+        def unary_fn(env: Mapping[str, Any], _operation=operation) -> Any:
+            return _operation(only(env))
+
+        return unary_fn
+    if len(subs) == 2:
+        first, second = subs
+
+        def binary_fn(env: Mapping[str, Any], _operation=operation) -> Any:
+            return _operation(first(env), second(env))
+
+        return binary_fn
+
+    def nary_fn(env: Mapping[str, Any], _operation=operation) -> Any:
+        return _operation(*(sub(env) for sub in subs))
+
+    return nary_fn
+
+
+#: Compile ``term`` to a closure ``assignment -> value``, memoized per
+#: interned term (unhashable payloads bypass the cache).
+compile_term: Callable[[Term], Evaluator] = memoize_term_fn(_build)

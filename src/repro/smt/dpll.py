@@ -1,24 +1,35 @@
-"""DPLL SAT solving and a lazy DPLL(T) loop for equality logic.
+"""SAT solving with two watched literals, and an incremental lazy
+DPLL(T) loop for equality logic.
 
-The classic Davis–Putnam–Logemann–Loveland procedure over the CNF
-produced by :mod:`repro.smt.cnf`:
+The seed implementation was the textbook recursive DPLL: every decision
+level copied the clause list, re-scanned all clauses to propagate units,
+and the DPLL(T) loop re-propagated a growing clause database from zero
+for every blocked boolean model.  This module replaces it with the
+modern iterative architecture:
 
-* unit propagation,
-* pure-literal elimination,
-* branching on the most frequently occurring variable.
+* an explicit **trail** of assigned literals with chronological
+  backtracking (no clause copying, O(1) undo per literal);
+* **two watched literals** per clause, so propagation touches only the
+  clauses whose watch becomes false instead of scanning the database;
+* an **incremental clause database** (:class:`WatchedSolver.add_clause`),
+  so the DPLL(T) loop of :func:`dpllt_equality` keeps the CNF, the atom
+  table, the watch lists and every learned blocking clause across
+  blocked models instead of rebuilding them.
 
-On top of it, :func:`dpllt_equality` implements the lazy SMT loop used by
-modern solvers (and by Z3 for HyperViper's verification conditions): DPLL
-enumerates boolean models of the skeleton; each model's theory literals
-(equalities and disequalities between ground terms) are checked for
-consistency with congruence closure (:mod:`repro.smt.euf`); inconsistent
-models are blocked with a conflict clause and the search resumes.
+Found models are *shrunk* to a satisfying partial assignment (one true
+literal is kept per clause) before they are returned.  This mirrors the
+partial models the seed's recursive search produced and keeps the
+DPLL(T) blocking clauses short — blocking a total assignment would
+enumerate every don't-care combination of unconstrained theory atoms.
+
+Public API (``dpll``, ``sat``, ``propositionally_valid``,
+``dpllt_equality``, ``euf_valid``, :class:`TheoryResult`) is unchanged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from .cnf import CNF, AtomTable, Clause, cnf_of
 from .euf import congruence_closure_consistent, is_equality_atom
@@ -27,81 +38,201 @@ from .terms import App, Term
 Assignment = Dict[int, bool]
 
 
-def _propagate(clauses: List[Clause], assignment: Assignment) -> Optional[List[Clause]]:
-    """Unit propagation to fixpoint; None on conflict."""
-    changed = True
-    clauses = list(clauses)
-    while changed:
-        changed = False
-        next_clauses: List[Clause] = []
+class WatchedSolver:
+    """Iterative DPLL over an incrementally extensible clause database.
+
+    The clause database and watch lists persist across :meth:`solve`
+    calls; each call restarts the search from decision level zero, which
+    is exactly what the lazy-SMT blocking loop needs (the database only
+    ever grows).
+    """
+
+    __slots__ = ("_clauses", "_watches", "_units", "_vars", "_var_seen", "_unsat")
+
+    def __init__(self, clauses: Iterable[Clause] = ()) -> None:
+        self._clauses: List[List[int]] = []
+        self._watches: Dict[int, List[int]] = {}
+        self._units: List[int] = []
+        self._vars: List[int] = []  # in first-occurrence order (decision order)
+        self._var_seen: set[int] = set()
+        self._unsat = False
         for clause in clauses:
-            unassigned: List[int] = []
-            satisfied = False
-            for literal in clause:
-                value = assignment.get(abs(literal))
-                if value is None:
-                    unassigned.append(literal)
-                elif (literal > 0) == value:
-                    satisfied = True
-                    break
-            if satisfied:
-                continue
-            if not unassigned:
-                return None  # conflict
-            if len(unassigned) == 1:
-                literal = unassigned[0]
-                assignment[abs(literal)] = literal > 0
-                changed = True
-            else:
-                next_clauses.append(tuple(unassigned))
-        clauses = next_clauses
-    return clauses
+            self.add_clause(clause)
 
-
-def _pure_literals(clauses: List[Clause], assignment: Assignment) -> None:
-    polarity: Dict[int, set] = {}
-    for clause in clauses:
-        for literal in clause:
-            polarity.setdefault(abs(literal), set()).add(literal > 0)
-    for variable, signs in polarity.items():
-        if variable not in assignment and len(signs) == 1:
-            assignment[variable] = signs.pop()
-
-
-def _choose(clauses: List[Clause], assignment: Assignment) -> Optional[int]:
-    counts: Dict[int, int] = {}
-    for clause in clauses:
-        for literal in clause:
+    def _note_vars(self, literals: Iterable[int]) -> None:
+        for literal in literals:
             variable = abs(literal)
-            if variable not in assignment:
-                counts[variable] = counts.get(variable, 0) + 1
-    if not counts:
-        return None
-    return max(counts, key=lambda variable: (counts[variable], -variable))
+            if variable not in self._var_seen:
+                self._var_seen.add(variable)
+                self._vars.append(variable)
+
+    def add_clause(self, clause: Iterable[int]) -> None:
+        """Add a clause; duplicates are collapsed, tautologies dropped."""
+        literals: List[int] = []
+        seen: set[int] = set()
+        for literal in clause:
+            if -literal in seen:
+                return  # tautological clause: always satisfied
+            if literal not in seen:
+                seen.add(literal)
+                literals.append(literal)
+        if not literals:
+            self._unsat = True
+            return
+        self._note_vars(literals)
+        if len(literals) == 1:
+            self._units.append(literals[0])
+            return
+        index = len(self._clauses)
+        self._clauses.append(literals)
+        self._watches.setdefault(literals[0], []).append(index)
+        self._watches.setdefault(literals[1], []).append(index)
+
+    def solve(self, assumptions: Iterable[int] = ()) -> Optional[Assignment]:
+        """A satisfying (partial) assignment, or None if unsatisfiable.
+
+        ``assumptions`` are treated as level-zero facts; they are always
+        included in a returned model.
+        """
+        if self._unsat:
+            return None
+        assign: Assignment = {}
+        trail: List[int] = []
+        # (trail length at decision, decided literal, both polarities tried?)
+        decisions: List[Tuple[int, int, bool]] = []
+        clauses = self._clauses
+        watches = self._watches
+        pinned: List[int] = []  # assumption literals, kept through shrinking
+
+        def enqueue(literal: int) -> bool:
+            variable = abs(literal)
+            value = literal > 0
+            current = assign.get(variable)
+            if current is None:
+                assign[variable] = value
+                trail.append(literal)
+                return True
+            return current == value
+
+        for literal in self._units:
+            if not enqueue(literal):
+                return None
+        for literal in assumptions:
+            if not enqueue(literal):
+                return None
+            pinned.append(literal)
+
+        head = 0
+        while True:
+            conflict = False
+            # -- unit propagation over the watch lists --------------------
+            while head < len(trail):
+                false_literal = -trail[head]
+                head += 1
+                watchers = watches.get(false_literal)
+                if not watchers:
+                    continue
+                i = 0
+                while i < len(watchers):
+                    clause_index = watchers[i]
+                    clause = clauses[clause_index]
+                    if clause[0] == false_literal:
+                        clause[0], clause[1] = clause[1], clause[0]
+                    other = clause[0]
+                    other_value = assign.get(abs(other))
+                    if other_value is not None and (other > 0) == other_value:
+                        i += 1  # satisfied by the other watch
+                        continue
+                    for j in range(2, len(clause)):
+                        candidate = clause[j]
+                        value = assign.get(abs(candidate))
+                        if value is None or (candidate > 0) == value:
+                            clause[1], clause[j] = clause[j], clause[1]
+                            watches.setdefault(candidate, []).append(clause_index)
+                            watchers[i] = watchers[-1]
+                            watchers.pop()
+                            break
+                    else:
+                        if other_value is None:
+                            assign[abs(other)] = other > 0
+                            trail.append(other)
+                            i += 1
+                        else:
+                            conflict = True
+                            break
+                if conflict:
+                    break
+            if conflict:
+                # -- chronological backtracking ----------------------------
+                while decisions:
+                    base, literal, flipped = decisions.pop()
+                    for undone in trail[base:]:
+                        del assign[abs(undone)]
+                    del trail[base:]
+                    head = base
+                    if not flipped:
+                        decisions.append((base, -literal, True))
+                        assign[abs(literal)] = literal < 0
+                        trail.append(-literal)
+                        break
+                else:
+                    return None
+                continue
+            # -- all propagated: decide ------------------------------------
+            decision = 0
+            for variable in self._vars:
+                if variable not in assign:
+                    decision = variable
+                    break
+            if not decision:
+                return self._shrink(assign, trail, pinned)
+            decisions.append((len(trail), decision, False))
+            assign[decision] = True
+            trail.append(decision)
+
+    def _shrink(
+        self, assign: Assignment, trail: List[int], pinned: List[int]
+    ) -> Assignment:
+        """Reduce a total model to a satisfying partial assignment.
+
+        For every clause the true literal assigned *earliest* on the
+        trail is kept (deterministic); everything else is dropped, except
+        assumption literals.  The result satisfies every clause and is
+        the incremental analogue of the partial models the old recursive
+        search returned — crucially it keeps DPLL(T) blocking clauses
+        from mentioning don't-care atoms.
+        """
+        position = {abs(literal): rank for rank, literal in enumerate(trail)}
+        # Assumptions and unit-clause literals are forced: always kept.
+        needed: set[int] = {abs(literal) for literal in pinned}
+        needed.update(abs(literal) for literal in self._units)
+        for clause in self._clauses:
+            best: Optional[int] = None
+            best_rank = -1
+            satisfied_by_needed = False
+            for literal in clause:
+                variable = abs(literal)
+                if assign.get(variable) != (literal > 0):
+                    continue
+                if variable in needed:
+                    satisfied_by_needed = True
+                    break
+                rank = position.get(variable, 0)
+                if best is None or rank < best_rank:
+                    best, best_rank = variable, rank
+            if not satisfied_by_needed and best is not None:
+                needed.add(best)
+        return {variable: assign[variable] for variable in needed if variable in assign}
 
 
 def dpll(clauses: CNF, assignment: Optional[Assignment] = None) -> Optional[Assignment]:
     """Satisfying assignment for a CNF, or None if unsatisfiable."""
-    assignment = dict(assignment or {})
-    simplified = _propagate(list(clauses), assignment)
-    if simplified is None:
-        return None
-    _pure_literals(simplified, assignment)
-    simplified = _propagate(simplified, assignment)
-    if simplified is None:
-        return None
-    if not simplified:
-        return assignment
-    variable = _choose(simplified, assignment)
-    if variable is None:
-        return assignment
-    for value in (True, False):
-        trial = dict(assignment)
-        trial[variable] = value
-        result = dpll(simplified, trial)
-        if result is not None:
-            return result
-    return None
+    solver = WatchedSolver(clauses)
+    assumptions = [
+        variable if value else -variable
+        for variable, value in (assignment or {}).items()
+    ]
+    return solver.solve(assumptions)
 
 
 def sat(term: Term) -> Optional[Assignment]:
@@ -163,15 +294,20 @@ def dpllt_equality(term: Term, max_models: int = 10_000) -> Optional[TheoryResul
     """Lazy DPLL(T) for formulas whose atoms are ``==``/``!=`` between
     ground terms (boolean structure arbitrary).
 
+    The boolean search is *incremental*: the CNF is converted once, the
+    watch lists persist, and each theory conflict appends one blocking
+    clause to the live solver instead of re-propagating a growing clause
+    list from scratch.
+
     Returns a :class:`TheoryResult`, or ``None`` if the formula contains
     atoms outside the equality fragment (caller should fall back to the
     bounded enumerator).
     """
     clauses, table = cnf_of(term)
+    solver = WatchedSolver(clauses)
     blocked = 0
-    working = list(clauses)
     for _ in range(max_models):
-        model = dpll(working)
+        model = solver.solve()
         if model is None:
             return TheoryResult(False, models_blocked=blocked)
         split = _theory_literals(model, table)
@@ -194,7 +330,7 @@ def dpllt_equality(term: Term, max_models: int = 10_000) -> Optional[TheoryResul
         )
         if not conflict:
             return TheoryResult(False, models_blocked=blocked)
-        working.append(conflict)
+        solver.add_clause(conflict)
         blocked += 1
     return None  # model budget exhausted: undecided
 

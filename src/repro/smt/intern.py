@@ -1,0 +1,121 @@
+"""Hash-consing intern tables and memo caches for the term language.
+
+Every :class:`~repro.smt.terms.Const`, :class:`~repro.smt.terms.SymVar`
+and :class:`~repro.smt.terms.App` is routed through an intern table at
+construction, so structurally equal terms are (almost always) the *same*
+object: equality starts with an identity check, hashes are computed once
+and cached on the node, and per-term analyses (``free_symvars``,
+``int_constants``, ``simplify``, NNF, compilation) can be memoized by
+node rather than recomputed on every recursive walk.
+
+Two escape hatches keep the scheme total:
+
+* terms whose payload is unhashable (e.g. a ``Const`` wrapping a mutable
+  value produced by constant folding) are built *uninterned* with no
+  cached hash — they behave exactly like the pre-interning dataclasses;
+* :func:`clear_all_caches` empties every registered table.  Terms created
+  before a clear remain valid: structural equality falls back to a field
+  comparison whenever the identity fast path misses.
+
+The tables hold strong references for the lifetime of the process — the
+solver's working sets are small (verification conditions over a few
+hundred unique nodes) and the memoized analyses dominate the savings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Protocol
+
+
+class _Clearable(Protocol):
+    def clear(self) -> None: ...
+
+
+_REGISTRY: List[_Clearable] = []
+
+
+def register_cache(cache: _Clearable) -> Any:
+    """Register a cache (anything with ``clear()``) for global clearing."""
+    _REGISTRY.append(cache)
+    return cache
+
+
+def clear_all_caches() -> None:
+    """Empty every registered intern table and memo cache.
+
+    Safe at any time: outstanding terms stay usable because term equality
+    falls back to structural comparison when identities diverge.
+    """
+    for cache in _REGISTRY:
+        cache.clear()
+
+
+class InternTable:
+    """A keyed table of canonical instances with hit/miss counters."""
+
+    __slots__ = ("name", "hits", "misses", "_table")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+        self._table: Dict[Any, Any] = {}
+
+    def get(self, key: Any) -> Any:
+        """Canonical instance for ``key``, or None (counts a hit/miss)."""
+        found = self._table.get(key)
+        if found is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return found
+
+    def put(self, key: Any, value: Any) -> Any:
+        self._table[key] = value
+        return value
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def clear(self) -> None:
+        self._table.clear()
+
+
+#: The three intern tables backing the term constructors.
+CONSTS = register_cache(InternTable("Const"))
+SYMVARS = register_cache(InternTable("SymVar"))
+APPS = register_cache(InternTable("App"))
+
+
+def memoize_term_fn(fn: Callable[[Any], Any]) -> Callable[[Any], Any]:
+    """Memoize a pure unary function of an (interned) term.
+
+    Unhashable terms (rare, see module docstring) bypass the cache.
+    """
+    cache: Dict[Any, Any] = {}
+    register_cache(cache)
+
+    def wrapper(term: Any) -> Any:
+        try:
+            return cache[term]
+        except KeyError:
+            pass
+        except TypeError:  # unhashable payload: compute without caching
+            return fn(term)
+        result = fn(term)
+        cache[term] = result
+        return result
+
+    wrapper.__name__ = getattr(fn, "__name__", "memoized")
+    wrapper.__doc__ = fn.__doc__
+    wrapper.cache = cache  # type: ignore[attr-defined]
+    wrapper.__wrapped__ = fn  # type: ignore[attr-defined]
+    return wrapper
+
+
+def stats() -> Dict[str, Dict[str, int]]:
+    """Hit/miss/size counters for the three intern tables."""
+    return {
+        table.name: {"hits": table.hits, "misses": table.misses, "size": len(table)}
+        for table in (CONSTS, SYMVARS, APPS)
+    }

@@ -4,19 +4,37 @@ Simplification is the *sound and complete-for-PROVED* part of the solver:
 a formula rewritten to the literal ``true`` is valid, full stop.  Formulas
 that do not fold to a literal are handed to the bounded model search of
 :mod:`repro.smt.solver`.
+
+Because terms are hash-consed (:mod:`repro.smt.intern`), simplification
+is memoized per unique node: shared subterms of a formula DAG — and
+syntactically identical formulas across separate ``check_validity``
+calls — are rewritten exactly once per process.
 """
 
 from __future__ import annotations
 
-from typing import Any
-
+from .intern import register_cache
 from .terms import App, Const, Term, evaluate_term, free_symvars
+
+_SIMPLIFY_CACHE: dict = register_cache({})
 
 
 def simplify(term: Term) -> Term:
     """Simplify ``term`` bottom-up.  Pure: returns a new term."""
     if isinstance(term, Const) or not isinstance(term, App):
         return term
+    try:
+        return _SIMPLIFY_CACHE[term]
+    except KeyError:
+        pass
+    except TypeError:  # unhashable payload: simplify without caching
+        return _simplify_app(term)
+    result = _simplify_app(term)
+    _SIMPLIFY_CACHE[term] = result
+    return result
+
+
+def _simplify_app(term: App) -> Term:
     args = tuple(simplify(arg) for arg in term.args)
     folded = _try_fold(term.op, args)
     if folded is not None:
@@ -74,6 +92,13 @@ def _rewrite(op: str, args: tuple[Term, ...]) -> Term | None:
             return consequent
         if antecedent == consequent:
             return _TRUE
+        # Chaining: a ⇒ (a ⇒ b) collapses to a ⇒ b.
+        if (
+            isinstance(consequent, App)
+            and consequent.op == "implies"
+            and consequent.args[0] == antecedent
+        ):
+            return consequent
         return None
     if op == "not":
         (operand,) = args
@@ -81,13 +106,35 @@ def _rewrite(op: str, args: tuple[Term, ...]) -> Term | None:
             return _FALSE
         if operand == _FALSE:
             return _TRUE
-        if isinstance(operand, App) and operand.op == "not":
-            return operand.args[0]
+        if isinstance(operand, App):
+            if operand.op == "not":
+                return operand.args[0]
+            # Keep (dis)equality atoms in positive form: ¬(a = b) ↝ a ≠ b
+            # and ¬(a ≠ b) ↝ a = b, so the EUF fragment sees one shape.
+            if operand.op == "==":
+                return App("!=", operand.args)
+            if operand.op == "!=":
+                return App("==", operand.args)
         return None
     if op == "==":
         left, right = args
         if left == right:
             return _TRUE
+        return None
+    if op == "!=":
+        left, right = args
+        if left == right:
+            return _FALSE
+        return None
+    if op in ("<=", ">="):
+        left, right = args
+        if left == right:
+            return _TRUE
+        return None
+    if op in ("<", ">"):
+        left, right = args
+        if left == right:
+            return _FALSE
         return None
     if op == "ite":
         condition, then_term, else_term = args

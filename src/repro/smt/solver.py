@@ -16,15 +16,25 @@ HyperViper uses (see DESIGN.md "Substitutions").  Given a boolean term,
 
 ``UNKNOWN`` is reported when the formula contains operations the
 evaluator cannot interpret.
+
+Performance architecture (see ``src/repro/smt/README.md``): terms are
+hash-consed, so ``simplify``/``free_symvars``/``int_constants`` are
+memoized per unique node; the boolean/EUF fast paths run on the
+watched-literal core of :mod:`repro.smt.dpll`; the bounded enumeration
+evaluates a *compiled* closure (:mod:`repro.smt.compile`) over a single
+mutated assignment dict; and whole queries are cached across calls
+(:mod:`repro.smt.cache`) keyed on the interned formula.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from enum import Enum
 from typing import Any, Mapping, Optional
 
+from . import cache as validity_cache
+from .compile import compile_term
 from .simplify import simplify
 from .sorts import INT, Scope, Sort
 from .terms import Const, SymVar, Term, evaluate_term, free_symvars, int_constants
@@ -42,6 +52,11 @@ class Result:
     verdict: Verdict
     model: Optional[Mapping[str, Any]] = None
     checked_assignments: int = 0
+    #: True when this result was served from the cross-call validity cache.
+    from_cache: bool = False
+    #: Process-wide cache counters at the time this result was produced.
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def is_valid(self) -> bool:
         """Acceptance: PROVED or BOUNDED (no counterexample in scope)."""
@@ -60,6 +75,7 @@ def check_validity(
     sorts: Mapping[str, Sort] | None = None,
     exhaustive: bool = False,
     use_sat: bool = True,
+    use_cache: bool = True,
 ) -> Result:
     """Check that ``formula`` holds for all assignments to its free
     symbolic variables.
@@ -74,9 +90,55 @@ def check_validity(
     formulas whose atoms are ground (dis)equalities, a lazy DPLL(T) loop
     with congruence closure — both yield genuine PROVED verdicts, not
     bounded ones.
+
+    With ``use_cache`` (default), decisive results are memoized across
+    calls keyed on the interned formula + scope + sorts; repeated
+    discharges of syntactically identical VCs are O(1).  Cache hits are
+    flagged on the result (``from_cache``) and the process-wide hit/miss
+    counters ride along on every result.
     """
     scope = scope or Scope()
     scope = scope.widen(tuple(int_constants(formula)))
+
+    key = None
+    if use_cache:
+        key = validity_cache.make_key(formula, scope, sorts, exhaustive, use_sat)
+        if key is not None:
+            hit = validity_cache.GLOBAL.get(key)
+            if hit is not None:
+                return replace(
+                    hit,
+                    model=dict(hit.model) if hit.model is not None else None,
+                    from_cache=True,
+                    cache_hits=validity_cache.GLOBAL.hits,
+                    cache_misses=validity_cache.GLOBAL.misses,
+                )
+
+    result = _check_validity(formula, scope, sorts, exhaustive, use_sat)
+    if key is not None and result.verdict is not Verdict.UNKNOWN:
+        # Store a private model snapshot so callers mutating their copy
+        # cannot corrupt later hits.
+        validity_cache.GLOBAL.put(
+            key,
+            replace(
+                result,
+                model=dict(result.model) if result.model is not None else None,
+            ),
+        )
+    return replace(
+        result,
+        cache_hits=validity_cache.GLOBAL.hits,
+        cache_misses=validity_cache.GLOBAL.misses,
+    )
+
+
+def _check_validity(
+    formula: Term,
+    scope: Scope,
+    sorts: Mapping[str, Sort] | None,
+    exhaustive: bool,
+    use_sat: bool,
+) -> Result:
     simplified = simplify(formula)
     if simplified == Const(True):
         return Result(Verdict.PROVED)
@@ -111,18 +173,28 @@ def check_validity(
         sort = (sorts or {}).get(variable.name, variable.sort)
         domains.append(list(sort.domain(scope)))
 
+    try:
+        evaluator = compile_term(simplified)
+    except Exception:  # noqa: BLE001 — compilation is best-effort
+        evaluator = lambda env: evaluate_term(simplified, env)  # noqa: E731
+
+    names = [variable.name for variable in variables]
+    assignment: dict[str, Any] = {}
     checked = 0
     for combo in itertools.product(*domains):
-        assignment = {variable.name: value for variable, value in zip(variables, combo)}
+        for name, value in zip(names, combo):
+            assignment[name] = value
         checked += 1
         if checked > _MAX_ASSIGNMENTS:
             return Result(Verdict.BOUNDED, checked_assignments=checked - 1)
         try:
-            value = evaluate_term(simplified, assignment)
+            value = evaluator(assignment)
         except Exception:  # noqa: BLE001
             return Result(Verdict.UNKNOWN, checked_assignments=checked)
         if not value:
-            return Result(Verdict.REFUTED, model=assignment, checked_assignments=checked)
+            return Result(
+                Verdict.REFUTED, model=dict(assignment), checked_assignments=checked
+            )
     verdict = Verdict.PROVED if exhaustive else Verdict.BOUNDED
     return Result(verdict, checked_assignments=checked)
 

@@ -5,43 +5,185 @@ interpreted operations are the object language's operators plus the pure
 functions of :mod:`repro.lang.values`, so any program expression can be
 lifted to a term (:func:`from_expr`) and any term evaluated under a
 variable assignment (:func:`evaluate_term`).
+
+Terms are immutable and *hash-consed* (:mod:`repro.smt.intern`):
+constructing a term returns the canonical instance for its structure, so
+``==`` is an identity check in the common case, ``hash`` is O(1) via a
+hash cached at construction, and the per-term analyses below
+(:func:`free_symvars`, :func:`int_constants`) are memoized per unique
+node.  The cached hashes are computed with exactly the recipe the
+previous ``@dataclass(frozen=True)`` representation used, so dictionary
+and set behaviour is unchanged — including the longstanding conflation
+of ``Const(True)``/``Const(1)`` under ``==`` that Python's bool/int
+equality implies.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Mapping, Tuple
+from typing import Any, Callable, Iterable, Mapping, Tuple
 
 from ..lang import ast as lang_ast
 from ..lang.values import PURE_FUNCTIONS
+from .intern import APPS, CONSTS, SYMVARS, memoize_term_fn
 from .sorts import Sort
 
 
 class Term:
-    __slots__ = ()
+    """Base class of all terms (immutable, hash-consed)."""
+
+    __slots__ = ("_hash",)
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:  # unhashable payload — mirror the frozen-dataclass error
+            raise TypeError(f"unhashable term: {self!r}")
+        return h
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError(f"terms are immutable (cannot set {name!r})")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"terms are immutable (cannot delete {name!r})")
+
+    # Interned terms are canonical: copying returns the term itself.
+    def __copy__(self) -> "Term":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "Term":
+        return self
 
 
-@dataclass(frozen=True)
+_set = object.__setattr__
+
+
 class Const(Term):
     value: Any
+
+    __slots__ = ("value",)
+
+    def __new__(cls, value: Any) -> "Const":
+        try:
+            # Key on the value's class too, so True/1 keep distinct
+            # canonical nodes (their == / hash still conflate, as before).
+            key = (value.__class__, value)
+            found = CONSTS.get(key)
+        except TypeError:  # unhashable value: uninterned, lazy-unhashable
+            return cls._build(value, None)
+        if found is not None:
+            return found
+        return CONSTS.put(key, cls._build(value, hash((value,))))
+
+    @classmethod
+    def _build(cls, value: Any, cached_hash: "int | None") -> "Const":
+        self = object.__new__(cls)
+        _set(self, "value", value)
+        _set(self, "_hash", cached_hash)
+        return self
+
+    def __eq__(self, other: Any) -> Any:
+        if self is other:
+            return True
+        if other.__class__ is Const:
+            return self.value == other.value
+        return NotImplemented
+
+    __hash__ = Term.__hash__
+
+    def __reduce__(self):
+        return (Const, (self.value,))
+
+    def __repr__(self) -> str:
+        return f"Const(value={self.value!r})"
 
     def __str__(self) -> str:
         return str(self.value)
 
 
-@dataclass(frozen=True)
 class SymVar(Term):
     name: str
     sort: Sort
+
+    __slots__ = ("name", "sort")
+
+    def __new__(cls, name: str, sort: Sort) -> "SymVar":
+        try:
+            key = (name, sort)
+            found = SYMVARS.get(key)
+        except TypeError:
+            return cls._build(name, sort, None)
+        if found is not None:
+            return found
+        return SYMVARS.put(key, cls._build(name, sort, hash(key)))
+
+    @classmethod
+    def _build(cls, name: str, sort: Sort, cached_hash: "int | None") -> "SymVar":
+        self = object.__new__(cls)
+        _set(self, "name", name)
+        _set(self, "sort", sort)
+        _set(self, "_hash", cached_hash)
+        return self
+
+    def __eq__(self, other: Any) -> Any:
+        if self is other:
+            return True
+        if other.__class__ is SymVar:
+            return self.name == other.name and self.sort == other.sort
+        return NotImplemented
+
+    __hash__ = Term.__hash__
+
+    def __reduce__(self):
+        return (SymVar, (self.name, self.sort))
+
+    def __repr__(self) -> str:
+        return f"SymVar(name={self.name!r}, sort={self.sort!r})"
 
     def __str__(self) -> str:
         return self.name
 
 
-@dataclass(frozen=True)
 class App(Term):
     op: str
     args: Tuple[Term, ...]
+
+    __slots__ = ("op", "args")
+
+    def __new__(cls, op: str, args: Iterable[Term]) -> "App":
+        args = tuple(args)
+        try:
+            key = (op, args)
+            found = APPS.get(key)
+        except TypeError:  # an argument with unhashable payload
+            return cls._build(op, args, None)
+        if found is not None:
+            return found
+        return APPS.put(key, cls._build(op, args, hash(key)))
+
+    @classmethod
+    def _build(cls, op: str, args: Tuple[Term, ...], cached_hash: "int | None") -> "App":
+        self = object.__new__(cls)
+        _set(self, "op", op)
+        _set(self, "args", args)
+        _set(self, "_hash", cached_hash)
+        return self
+
+    def __eq__(self, other: Any) -> Any:
+        if self is other:
+            return True
+        if other.__class__ is App:
+            h1, h2 = self._hash, other._hash
+            if h1 is not None and h2 is not None and h1 != h2:
+                return False
+            return self.op == other.op and self.args == other.args
+        return NotImplemented
+
+    __hash__ = Term.__hash__
+
+    def __reduce__(self):
+        return (App, (self.op, self.args))
+
+    def __repr__(self) -> str:
+        return f"App(op={self.op!r}, args={self.args!r})"
 
     def __str__(self) -> str:
         if len(self.args) == 2 and not self.op.isalnum():
@@ -88,7 +230,13 @@ class UnknownOperation(Exception):
 
 
 def evaluate_term(term: Term, assignment: Mapping[str, Any]) -> Any:
-    """Evaluate a closed-under-``assignment`` term to a value."""
+    """Evaluate a closed-under-``assignment`` term to a value.
+
+    This is the *reference* evaluator: a direct recursive walk.  The hot
+    enumeration loop of :mod:`repro.smt.solver` uses the closure compiler
+    (:mod:`repro.smt.compile`) instead, which is validated against this
+    function property-by-property.
+    """
     if isinstance(term, Const):
         return term.value
     if isinstance(term, SymVar):
@@ -117,6 +265,7 @@ def evaluate_term(term: Term, assignment: Mapping[str, Any]) -> Any:
     raise TypeError(f"not a term: {term!r}")
 
 
+@memoize_term_fn
 def free_symvars(term: Term) -> frozenset[SymVar]:
     if isinstance(term, Const):
         return frozenset()
@@ -140,6 +289,7 @@ def substitute(term: Term, mapping: Mapping[str, Term]) -> Term:
     raise TypeError(f"not a term: {term!r}")
 
 
+@memoize_term_fn
 def int_constants(term: Term) -> frozenset[int]:
     """Integer constants occurring in a term (used to widen scopes)."""
     if isinstance(term, Const):
@@ -165,6 +315,8 @@ def conj(*terms: Term) -> Term:
     terms = tuple(t for t in terms if t != Const(True))
     if not terms:
         return Const(True)
+    if any(t == Const(False) for t in terms):
+        return Const(False)
     result = terms[0]
     for term in terms[1:]:
         result = App("and", (result, term))
@@ -172,8 +324,11 @@ def conj(*terms: Term) -> Term:
 
 
 def disj(*terms: Term) -> Term:
+    terms = tuple(t for t in terms if t != Const(False))
     if not terms:
         return Const(False)
+    if any(t == Const(True) for t in terms):
+        return Const(True)
     result = terms[0]
     for term in terms[1:]:
         result = App("or", (result, term))

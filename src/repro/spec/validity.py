@@ -76,24 +76,45 @@ def check_condition_a(
     spec: ResourceSpecification,
     stop_at_first: bool = True,
 ) -> Tuple[list[Counterexample], int]:
-    """Check Def. 3.1 (A) over the declared domains."""
+    """Check Def. 3.1 (A) over the declared domains.
+
+    The comparison is quadratic in the domains, but each compared side
+    depends only on one (value, argument) pair, so ``α(f_a(v, x))`` is
+    computed lazily once per pair and memoized (index-keyed, so domains
+    may contain unhashable values).  Iteration order, check counts and
+    the first counterexample are identical to the direct nested loops.
+    """
     alpha = spec.abstraction
     counterexamples: list[Counterexample] = []
     checks = 0
     groups = _alpha_groups(spec)
     for action in spec.actions:
-        args = spec.arg_domain(action.name)
+        args = list(spec.arg_domain(action.name))
         arg_pairs = [
-            (arg1, arg2)
-            for arg1, arg2 in itertools.product(args, repeat=2)
+            (j1, j2)
+            for (j1, arg1), (j2, arg2) in itertools.product(enumerate(args), repeat=2)
             if action.precondition(arg1, arg2)
         ]
+        apply_action = action.apply
         for group in groups:
-            for value1, value2 in itertools.product(group, repeat=2):
-                for arg1, arg2 in arg_pairs:
+            memo: dict[Tuple[int, int], Any] = {}
+
+            def outcome(i: int, j: int, _group=group, _memo=memo) -> Any:
+                key = (i, j)
+                try:
+                    return _memo[key]
+                except KeyError:
+                    result = alpha(apply_action(_group[i], args[j]))
+                    _memo[key] = result
+                    return result
+
+            for (i1, value1), (i2, value2) in itertools.product(
+                enumerate(group), repeat=2
+            ):
+                for j1, j2 in arg_pairs:
                     checks += 1
-                    result1 = alpha(action.apply(value1, arg1))
-                    result2 = alpha(action.apply(value2, arg2))
+                    result1 = outcome(i1, j1)
+                    result2 = outcome(i2, j2)
                     if result1 != result2:
                         counterexamples.append(
                             Counterexample(
@@ -101,7 +122,7 @@ def check_condition_a(
                                 action=action.name,
                                 other_action=None,
                                 values=(value1, value2),
-                                args=(arg1, arg2),
+                                args=(args[j1], args[j2]),
                                 detail=f"abstractions diverge: {result1!r} vs {result2!r}",
                             )
                         )
@@ -120,14 +141,49 @@ def check_condition_b(
     checks = 0
     groups = _alpha_groups(spec)
     for first, second in spec.commuting_pairs():
-        first_args = spec.arg_domain(first.name)
-        second_args = spec.arg_domain(second.name)
+        first_args = list(spec.arg_domain(first.name))
+        second_args = list(spec.arg_domain(second.name))
+        arg_index_pairs = list(
+            itertools.product(range(len(first_args)), range(len(second_args)))
+        )
         for group in groups:
-            for value1, value2 in itertools.product(group, repeat=2):
-                for arg_first, arg_second in itertools.product(first_args, second_args):
+            # Each side of the commutation equation depends on one start
+            # value and the two arguments; memoize per (value, args) so the
+            # quadratic value1 × value2 comparison reuses applications.
+            left_memo: dict[Tuple[int, int, int], Any] = {}
+            right_memo: dict[Tuple[int, int, int], Any] = {}
+
+            def left_of(i: int, jf: int, js: int, _group=group, _memo=left_memo) -> Any:
+                key = (i, jf, js)
+                try:
+                    return _memo[key]
+                except KeyError:
+                    result = alpha(
+                        second.apply(first.apply(_group[i], first_args[jf]), second_args[js])
+                    )
+                    _memo[key] = result
+                    return result
+
+            def right_of(i: int, jf: int, js: int, _group=group, _memo=right_memo) -> Any:
+                key = (i, jf, js)
+                try:
+                    return _memo[key]
+                except KeyError:
+                    result = alpha(
+                        first.apply(second.apply(_group[i], second_args[js]), first_args[jf])
+                    )
+                    _memo[key] = result
+                    return result
+
+            for (i1, value1), (i2, value2) in itertools.product(
+                enumerate(group), repeat=2
+            ):
+                for jf, js in arg_index_pairs:
+                    arg_first = first_args[jf]
+                    arg_second = second_args[js]
                     checks += 1
-                    left = alpha(second.apply(first.apply(value1, arg_first), arg_second))
-                    right = alpha(first.apply(second.apply(value2, arg_second), arg_first))
+                    left = left_of(i1, jf, js)
+                    right = right_of(i2, jf, js)
                     if left != right:
                         counterexamples.append(
                             Counterexample(

@@ -48,6 +48,7 @@ from ..lang.ast import (
     command_fv,
     expr_fv,
 )
+from ..smt.intern import register_cache
 from ..smt.solver import Result, Verdict, check_validity
 from ..smt.sorts import INT, Scope, Sort
 from ..smt.terms import App, Const, OPERATIONS, SymVar, Term, eq, from_expr
@@ -185,6 +186,34 @@ class _FiniteSort(Sort):
         return f"Finite({len(self.values)})"
 
 
+#: Per-specification discharge parameters, memoized by spec identity (the
+#: stored strong reference keeps the id stable).  Specs are built once and
+#: re-discharged for every atomic block and every proof outline, so the
+#: widened-scope/finite-sort construction is hoisted out of the hot path;
+#: the resulting scope+sorts are also *canonical* objects, which lets the
+#: cross-call validity cache (:mod:`repro.smt.cache`) key repeated
+#: discharges of the same VC to an O(1) hit.
+_DISCHARGE_PARAMS: Dict[int, Tuple[Any, Tuple[int, ...], "_FiniteSort"]] = register_cache({})
+
+
+def _spec_discharge_params(spec: Any) -> Tuple[Tuple[int, ...], "_FiniteSort"]:
+    cached = _DISCHARGE_PARAMS.get(id(spec))
+    if cached is not None and cached[0] is spec:
+        return cached[1], cached[2]
+    extra_ints = []
+    for action in spec.actions:
+        for arg in spec.arg_domain(action.name):
+            if isinstance(arg, int) and not isinstance(arg, bool):
+                extra_ints.append(arg)
+            if isinstance(arg, tuple):
+                extra_ints.extend(
+                    x for x in arg if isinstance(x, int) and not isinstance(x, bool)
+                )
+    params = (tuple(extra_ints), _FiniteSort(tuple(spec.value_domain)))
+    _DISCHARGE_PARAMS[id(spec)] = (spec, params[0], params[1])
+    return params
+
+
 def discharge_conformance(
     decl: ResourceDecl,
     atomic: Atomic,
@@ -196,17 +225,17 @@ def discharge_conformance(
     domain; the body's free inputs range over the solver scope widened
     with the argument-domain components.  REFUTED results carry a
     concrete assignment (cell value + inputs) reproducing the mismatch.
+
+    Because terms are hash-consed and the scope/sorts here are memoized
+    per spec, re-discharging a syntactically identical VC (the common
+    case across proof outlines and repeated verifier runs) is answered
+    by the cross-call validity cache; the result's ``from_cache`` flag
+    records when that happened.
     """
     vc = conformance_vc(decl, atomic)
-    extra_ints = []
-    for action in decl.spec.actions:
-        for arg in decl.spec.arg_domain(action.name):
-            if isinstance(arg, int) and not isinstance(arg, bool):
-                extra_ints.append(arg)
-            if isinstance(arg, tuple):
-                extra_ints.extend(x for x in arg if isinstance(x, int) and not isinstance(x, bool))
-    scope = (scope or Scope()).widen(tuple(extra_ints))
-    sorts: Dict[str, Sort] = {CELL: _FiniteSort(tuple(decl.spec.value_domain))}
+    extra_ints, cell_sort = _spec_discharge_params(decl.spec)
+    scope = (scope or Scope()).widen(extra_ints)
+    sorts: Dict[str, Sort] = {CELL: cell_sort}
     return check_validity(vc.formula, scope=scope, sorts=sorts)
 
 
