@@ -14,12 +14,20 @@ workloads and writes ``BENCH_smt.json``:
 * ``repeated_vc`` — the same conformance VCs discharged over and over,
   as vcgen and spec inference do across proof outlines (cross-call
   cache vs recomputation);
-* ``dpllt_incremental`` — EUF formulas that force many blocked boolean
-  models (incremental clause database vs re-propagating from zero).
+* ``dpllt_incremental`` — EUF formulas whose boolean abstraction has
+  exponentially many models, all theory-inconsistent: the CDCL core's
+  theory propagation refutes them mid-search (``models_blocked`` stays
+  0) where the reference blocks model after model;
+* ``spec_inference`` — the ROADMAP's spec-inference axis
+  (``bench_inference.py`` workload): precondition + abstraction
+  inference over catalogue specifications, cold caches vs warm caches
+  (the repeated-discharge profile of a long-lived verifier process).
 
 Every timed formula is checked for *verdict agreement* between the two
 paths; the JSON records per-case timings, per-workload speedups and the
-agreement flag.  Run with ``--quick`` for a CI smoke pass.
+agreement flag.  Run with ``--quick`` for a CI smoke pass and
+``--compare BENCH_smt.json`` to print per-axis deltas against a
+committed report (regressions become visible in the CI job log).
 """
 
 from __future__ import annotations
@@ -249,7 +257,66 @@ def bench_dpllt_incremental(quick: bool):
                 "speedup": round(ref_elapsed / new_elapsed, 2) if new_elapsed else None,
                 "reference_blocked": ref_result.models_blocked,
                 "optimized_blocked": new_result.models_blocked,
+                "theory_propagations": new_result.theory_propagations,
                 "verdicts_agree": ref_result.satisfiable == new_result.satisfiable,
+            }
+        )
+    return cases
+
+
+def bench_spec_inference(quick: bool):
+    """The ROADMAP's spec-inference axis: infer preconditions and the
+    finest valid abstraction for catalogue specs, cold vs warm caches."""
+    from repro.spec.inference import infer_abstraction, infer_preconditions
+    from repro.spec.library import (
+        counter_increment_spec,
+        integer_add_spec,
+        list_append_multiset_spec,
+        map_put_keyset_spec,
+        set_add_spec,
+    )
+
+    factories = (
+        (counter_increment_spec, integer_add_spec)
+        if quick
+        else (
+            counter_increment_spec,
+            integer_add_spec,
+            set_add_spec,
+            map_put_keyset_spec,
+            list_append_multiset_spec,
+        )
+    )
+
+    def run(spec):
+        preconditions = infer_preconditions(spec)
+        abstraction = infer_abstraction(spec)
+        fingerprint = (
+            preconditions.found,
+            tuple(
+                (entry.action, tuple(entry.low_projections))
+                for entry in preconditions.preconditions
+            ),
+            abstraction.finest.name if abstraction.finest else None,
+        )
+        return fingerprint
+
+    cases = []
+    for factory in factories:
+        spec = factory()
+        clear_all_caches()
+        cold_elapsed, cold = timed(run, spec)
+        warm_elapsed, warm = timed(run, spec)
+        cases.append(
+            {
+                "spec": spec.name,
+                "reference_s": round(cold_elapsed, 6),
+                "optimized_s": round(warm_elapsed, 6),
+                "speedup": round(cold_elapsed / warm_elapsed, 2)
+                if warm_elapsed
+                else None,
+                "finest_abstraction": cold[2],
+                "verdicts_agree": cold == warm,
             }
         )
     return cases
@@ -266,6 +333,39 @@ def summarize(cases):
     }
 
 
+def print_deltas(committed, report):
+    """Per-axis deltas of the fresh report against a committed one, so a
+    regression is visible directly in the CI job log."""
+    print("== per-axis deltas vs committed report ==")
+    if committed.get("quick") != report.get("quick"):
+        print(
+            "  (note: case sizes differ — committed quick="
+            f"{committed.get('quick')}, current quick={report.get('quick')}; "
+            "deltas are indicative, not like-for-like)"
+        )
+    for name, workload in report["workloads"].items():
+        old = committed.get("workloads", {}).get(name)
+        if old is None:
+            print(f"  {name:>20s}: new axis (no committed numbers)")
+            continue
+        old_speedup = old.get("speedup")
+        new_speedup = workload.get("speedup")
+        line = f"  {name:>20s}: speedup x{old_speedup} -> x{new_speedup}"
+        if old_speedup and new_speedup:
+            line += f"  ({new_speedup / old_speedup - 1.0:+.0%})"
+        print(line)
+        if name == "dpllt_incremental":
+            old_blocked = sum(
+                case.get("optimized_blocked", 0) for case in old.get("cases", ())
+            )
+            new_blocked = sum(
+                case.get("optimized_blocked", 0) for case in workload["cases"]
+            )
+            print(
+                f"  {'':>20s}  models_blocked {old_blocked} -> {new_blocked}"
+            )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="CI smoke sizes")
@@ -274,11 +374,24 @@ def main(argv=None) -> int:
         default=str(REPO_ROOT / "BENCH_smt.json"),
         help="where to write the JSON report",
     )
+    parser.add_argument(
+        "--compare",
+        default=None,
+        help="committed BENCH_smt.json to print per-axis deltas against",
+    )
     args = parser.parse_args(argv)
 
     output = Path(args.output)
     if not output.parent.is_dir():
         parser.error(f"--output directory does not exist: {output.parent}")
+    committed = None
+    if args.compare:
+        compare_path = Path(args.compare)
+        if compare_path.is_file():
+            # Read up front: --output may overwrite the same file.
+            committed = json.loads(compare_path.read_text())
+        else:
+            print(f"(no committed report at {compare_path}: deltas skipped)")
 
     workloads = {}
     print("== boolean_skeleton (solver-strategy axis) ==")
@@ -305,25 +418,47 @@ def main(argv=None) -> int:
         )
     print(f"  overall: x{workloads['repeated_vc']['speedup']}")
 
-    print("== dpllt_incremental (blocked-model loop) ==")
+    print("== dpllt_incremental (theory propagation vs blocked models) ==")
     cases = bench_dpllt_incremental(args.quick)
     workloads["dpllt_incremental"] = {"cases": cases, **summarize(cases)}
     for case in cases:
         print(
             f"  chains={case['chains']:<2d} "
             f"ref {case['reference_s'] * 1000:8.2f} ms ({case['reference_blocked']} blocked)  "
-            f"opt {case['optimized_s'] * 1000:8.2f} ms ({case['optimized_blocked']} blocked)  "
+            f"opt {case['optimized_s'] * 1000:8.2f} ms ({case['optimized_blocked']} blocked, "
+            f"{case['theory_propagations']} propagated)  "
             f"x{case['speedup']:<6}  agree={case['verdicts_agree']}"
         )
 
+    print("== spec_inference (cold vs warm caches) ==")
+    cases = bench_spec_inference(args.quick)
+    workloads["spec_inference"] = {"cases": cases, **summarize(cases)}
+    for case in cases:
+        print(
+            f"  {case['spec']:>20s} "
+            f"cold {case['reference_s'] * 1000:8.2f} ms  "
+            f"warm {case['optimized_s'] * 1000:8.2f} ms  "
+            f"x{case['speedup']:<6}  α={case['finest_abstraction']}  "
+            f"agree={case['verdicts_agree']}"
+        )
+    print(f"  overall: x{workloads['spec_inference']['speedup']}")
+
     report = {
-        "benchmark": "smt-core: interning + compiled evaluation + watched literals + cache",
+        "benchmark": (
+            "smt-core: interning + compiled evaluation + CDCL watched literals"
+            " + theory propagation + cache"
+        ),
         "quick": args.quick,
         "workloads": workloads,
         "summary": {
             "boolean_skeleton_speedup": workloads["boolean_skeleton"]["speedup"],
             "repeated_vc_speedup": workloads["repeated_vc"]["speedup"],
             "dpllt_incremental_speedup": workloads["dpllt_incremental"]["speedup"],
+            "spec_inference_speedup": workloads["spec_inference"]["speedup"],
+            "dpllt_models_blocked": sum(
+                case["optimized_blocked"]
+                for case in workloads["dpllt_incremental"]["cases"]
+            ),
             "all_verdicts_agree": all(
                 w["verdicts_agree"] for w in workloads.values()
             ),
@@ -331,6 +466,9 @@ def main(argv=None) -> int:
     }
     output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {output}")
+
+    if committed is not None:
+        print_deltas(committed, report)
 
     ok = report["summary"]["all_verdicts_agree"]
     if not ok:

@@ -23,7 +23,12 @@ from .dpll import (
 )
 from .intern import clear_all_caches
 from .intern import stats as intern_stats
-from .euf import CongruenceClosure, congruence_closure_consistent, is_equality_atom
+from .euf import (
+    CongruenceClosure,
+    EqualityPropagator,
+    congruence_closure_consistent,
+    is_equality_atom,
+)
 from .simplify import is_literally_true, simplify
 from .solver import Result, Verdict, check_validity, find_model
 from .sorts import (
@@ -60,6 +65,7 @@ __all__ = [
     "App",
     "AtomTable",
     "CongruenceClosure",
+    "EqualityPropagator",
     "TheoryResult",
     "VALIDITY_CACHE",
     "ValidityCache",

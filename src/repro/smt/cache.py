@@ -32,6 +32,9 @@ from .intern import register_cache
 from .sorts import Scope, Sort
 from .terms import Term
 
+#: Private miss sentinel — ``None`` is a storable value, not a miss marker.
+_MISSING = object()
+
 
 def make_key(
     formula: Term,
@@ -66,12 +69,16 @@ class ValidityCache:
         self.misses = 0
         self._store: Dict[Hashable, Any] = {}
 
-    def get(self, key: Hashable) -> Any:
-        found = self._store.get(key)
-        if found is None:
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Stored result for ``key``, or ``default``.  A private sentinel
+        decides membership, so a stored falsy result (e.g. a REFUTED
+        :class:`~repro.smt.solver.Result`, whose ``__bool__`` is False)
+        still counts as a hit and stays cacheable."""
+        found = self._store.get(key, _MISSING)
+        if found is _MISSING:
             self.misses += 1
-        else:
-            self.hits += 1
+            return default
+        self.hits += 1
         return found
 
     def put(self, key: Hashable, value: Any) -> None:

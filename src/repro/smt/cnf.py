@@ -5,8 +5,10 @@ formulas with rich *boolean* structure but few distinct theory atoms this
 is wasteful.  This module extracts the boolean skeleton of a term —
 treating every non-boolean-connective subterm (a comparison, a boolean
 variable, an uninterpreted application) as an opaque *atom* — and
-converts it to CNF by the Tseitin transformation, which is equisatisfiable
-and only linearly larger than the input.
+converts it to CNF by a polarity-aware (Plaisted–Greenbaum) Tseitin
+transformation, which is equisatisfiable, only linearly larger than the
+input, and emits definition clauses only in the polarity each
+subformula is observed from the root.
 
 A CNF is a list of clauses; a clause is a tuple of non-zero integers
 (DIMACS convention: ``n`` is atom ``n``, ``-n`` its negation).  The
@@ -130,69 +132,92 @@ def _to_nnf(term: Term, negated: bool) -> Term:
 
 
 def tseitin(term: Term) -> tuple[CNF, AtomTable, int]:
-    """Tseitin CNF of a boolean term.
+    """Polarity-aware (Plaisted–Greenbaum) CNF of a boolean term.
 
-    Returns ``(clauses, atoms, root)`` where ``root`` is the literal that
-    is equivalent to the whole formula; ``clauses + [(root,)]`` is
-    equisatisfiable with the input.
+    Returns ``(clauses, atoms, root)`` where ``root`` is a literal such
+    that ``clauses + [(root,)]`` is equisatisfiable with the input, and
+    every model of it restricted to the theory atoms satisfies the
+    input.  Definition clauses are emitted only in the direction each
+    subformula is actually observed from the (positive) root — roughly
+    half the clauses of the classical both-direction Tseitin encoding —
+    and negation/implication polarities are tracked directly, so no
+    separate NNF pass is needed.
     """
     table = AtomTable()
     clauses: CNF = []
-    cache: Dict[Term, int] = {}
+    literal_cache: Dict[Term, int] = {}  # term -> defining literal
+    emitted: set = set()  # (term, polarity) definition directions done
 
-    def convert(current: Term) -> int:
-        if current in cache:
-            return cache[current]
+    def convert(current: Term, polarity: int) -> int:
+        if isinstance(current, App):
+            op = current.op
+            if op not in BOOL_CONNECTIVES:
+                return table.atom(current)  # an opaque theory atom
+            if op == "not":
+                return -convert(current.args[0], -polarity)
+            if op == "ite":
+                condition, then_term, else_term = current.args
+                rewritten = App(
+                    "and",
+                    (
+                        App("or", (App("not", (condition,)), then_term)),
+                        App("or", (condition, else_term)),
+                    ),
+                )
+                return convert(rewritten, polarity)
+            fresh = literal_cache.get(current)
+            if fresh is None:
+                fresh = table.fresh()
+                literal_cache[current] = fresh
+            # A shared subformula seen under both polarities gets both
+            # definition directions, each emitted once.
+            if polarity > 0:
+                if (current, 1) in emitted:
+                    return fresh
+                emitted.add((current, 1))
+                if op == "and":
+                    # fresh ⇒ (a ∧ b): (¬fresh ∨ a), (¬fresh ∨ b)
+                    for arg in current.args:
+                        clauses.append((-fresh, convert(arg, 1)))
+                elif op == "or":
+                    # fresh ⇒ (a ∨ b): (¬fresh ∨ a ∨ b)
+                    clauses.append(
+                        tuple([-fresh] + [convert(arg, 1) for arg in current.args])
+                    )
+                else:  # implies, as ¬a ∨ b: (¬fresh ∨ ¬a ∨ b)
+                    left, right = current.args
+                    clauses.append((-fresh, -convert(left, -1), convert(right, 1)))
+            else:
+                if (current, -1) in emitted:
+                    return fresh
+                emitted.add((current, -1))
+                if op == "and":
+                    # ¬fresh ⇒ ¬(a ∧ b): (fresh ∨ ¬a ∨ ¬b)
+                    clauses.append(
+                        tuple([fresh] + [-convert(arg, -1) for arg in current.args])
+                    )
+                elif op == "or":
+                    # ¬fresh ⇒ ¬(a ∨ b): (fresh ∨ ¬a), (fresh ∨ ¬b)
+                    for arg in current.args:
+                        clauses.append((fresh, -convert(arg, -1)))
+                else:  # ¬fresh ⇒ a ∧ ¬b
+                    left, right = current.args
+                    clauses.append((fresh, convert(left, 1)))
+                    clauses.append((fresh, -convert(right, -1)))
+            return fresh
         if isinstance(current, Const):
             # Encode constants as a fresh always-true/false literal.
-            literal = table.fresh()
-            clauses.append((literal,) if current.value else (-literal,))
-            cache[current] = literal
+            literal = literal_cache.get(current)
+            if literal is None:
+                literal = table.fresh()
+                clauses.append((literal,) if current.value else (-literal,))
+                literal_cache[current] = literal
             return literal
-        if is_atom(current):
-            literal = table.atom(current)
-            cache[current] = literal
-            return literal
-        assert isinstance(current, App)
-        if current.op == "not":
-            literal = -convert(current.args[0])
-            cache[current] = literal
-            return literal
-        if current.op in ("and", "or"):
-            sub = [convert(arg) for arg in current.args]
-            fresh = table.fresh()
-            if current.op == "and":
-                # fresh ↔ (a ∧ b): (¬fresh ∨ a), (¬fresh ∨ b), (fresh ∨ ¬a ∨ ¬b)
-                for literal in sub:
-                    clauses.append((-fresh, literal))
-                clauses.append(tuple([fresh] + [-literal for literal in sub]))
-            else:
-                for literal in sub:
-                    clauses.append((fresh, -literal))
-                clauses.append(tuple([-fresh] + sub))
-            cache[current] = fresh
-            return fresh
-        if current.op == "implies":
-            rewritten = App("or", (App("not", (current.args[0],)), current.args[1]))
-            literal = convert(rewritten)
-            cache[current] = literal
-            return literal
-        if current.op == "ite":
-            condition, then_term, else_term = current.args
-            rewritten = App(
-                "and",
-                (
-                    App("or", (App("not", (condition,)), then_term)),
-                    App("or", (condition, else_term)),
-                ),
-            )
-            literal = convert(rewritten)
-            cache[current] = literal
-            return literal
-        raise TypeError(f"unexpected boolean connective {current.op!r}")
+        if isinstance(current, SymVar):
+            return table.atom(current)
+        raise TypeError(f"not a term: {current!r}")
 
-    nnf = to_nnf(term)
-    root = convert(nnf)
+    root = convert(term, 1)
     return clauses, table, root
 
 

@@ -1,218 +1,572 @@
-"""SAT solving with two watched literals, and an incremental lazy
-DPLL(T) loop for equality logic.
+"""CDCL SAT solving with two watched literals, and a DPLL(T) loop with
+incremental theory propagation for equality logic.
 
-The seed implementation was the textbook recursive DPLL: every decision
-level copied the clause list, re-scanned all clauses to propagate units,
-and the DPLL(T) loop re-propagated a growing clause database from zero
-for every blocked boolean model.  This module replaces it with the
-modern iterative architecture:
+PR 2 replaced the seed's recursive clause-copying DPLL with an iterative
+trail + two-watched-literal search, but kept *chronological*
+backtracking (flip the last decision) and a *lazy* DPLL(T) loop that
+only consulted congruence closure on full boolean models.  This module
+upgrades both halves to the modern architecture:
 
-* an explicit **trail** of assigned literals with chronological
-  backtracking (no clause copying, O(1) undo per literal);
-* **two watched literals** per clause, so propagation touches only the
-  clauses whose watch becomes false instead of scanning the database;
-* an **incremental clause database** (:class:`WatchedSolver.add_clause`),
-  so the DPLL(T) loop of :func:`dpllt_equality` keeps the CNF, the atom
-  table, the watch lists and every learned blocking clause across
-  blocked models instead of rebuilding them.
+* **Conflict-driven clause learning** — every implied literal records
+  its reason clause; a conflict is analyzed back to the first unique
+  implication point (first UIP), the learned clause is added to the
+  database, and the search *backjumps* non-chronologically to the
+  second-highest decision level in the clause;
+* **VSIDS decision ordering** — variables touched by conflict analysis
+  have their activity bumped (with exponential decay via a growing
+  increment); decisions pop a lazy max-heap instead of the previous
+  O(n) first-occurrence scan;
+* **Phase saving** — each variable remembers the polarity it last held,
+  so restarts and backjumps re-explore the same part of the space;
+* **Luby restarts** — the search restarts to the root after a
+  Luby-sequence-scheduled number of conflicts, keeping the learned
+  clauses;
+* **Theory propagation** — an attached theory propagator
+  (:class:`repro.smt.euf.EqualityPropagator`) is consulted at every
+  propagation fixpoint: entailed theory atoms are enqueued with theory
+  reason clauses (participating in conflict analysis like any other
+  implication) and theory conflicts are raised mid-search instead of
+  waiting for a full boolean model.
 
-Found models are *shrunk* to a satisfying partial assignment (one true
-literal is kept per clause) before they are returned.  This mirrors the
-partial models the seed's recursive search produced and keeps the
-DPLL(T) blocking clauses short — blocking a total assignment would
-enumerate every don't-care combination of unconstrained theory atoms.
-
-Public API (``dpll``, ``sat``, ``propositionally_valid``,
-``dpllt_equality``, ``euf_valid``, :class:`TheoryResult`) is unchanged.
+The clause database is still incremental (:meth:`WatchedSolver.add_clause`
+between :meth:`WatchedSolver.solve` calls), found models are still
+*shrunk* to a satisfying partial assignment over the input clauses (so
+DPLL(T) blocking clauses never mention don't-care atoms), and the public
+API (``dpll``, ``sat``, ``propositionally_valid``, ``dpllt_equality``,
+``euf_valid``, :class:`TheoryResult`) is unchanged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from heapq import heapify, heappop, heappush
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from .cnf import CNF, AtomTable, Clause, cnf_of
-from .euf import congruence_closure_consistent, is_equality_atom
+from .euf import EqualityPropagator, congruence_closure_consistent, is_equality_atom
 from .terms import App, Term
 
 Assignment = Dict[int, bool]
 
+#: Conflicts before the first restart; later restarts scale by Luby.
+_RESTART_BASE = 100
+#: VSIDS: the bump increment grows by 1/0.95 per conflict (equivalent to
+#: decaying every variable's activity by 0.95).
+_ACTIVITY_GROWTH = 1.0 / 0.95
+_ACTIVITY_RESCALE = 1e100
+
+
+#: Reason markers: -1 is a decision/assumption/root fact; -2 marks a
+#: theory propagation whose explanation lives in ``_theory_reasons``.
+_NO_REASON = -1
+_THEORY_REASON = -2
+
+
+def _luby(index: int) -> int:
+    """The Luby restart sequence 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,…(0-based)."""
+    size, exponent = 1, 0
+    while size < index + 1:
+        exponent += 1
+        size = 2 * size + 1
+    while size - 1 != index:
+        size = (size - 1) >> 1
+        exponent -= 1
+        index %= size
+    return 1 << exponent
+
 
 class WatchedSolver:
-    """Iterative DPLL over an incrementally extensible clause database.
+    """CDCL over an incrementally extensible clause database.
 
-    The clause database and watch lists persist across :meth:`solve`
-    calls; each call restarts the search from decision level zero, which
-    is exactly what the lazy-SMT blocking loop needs (the database only
-    ever grows).
+    The clause database, watch lists, learned clauses, variable
+    activities and saved phases persist across :meth:`solve` calls; each
+    call restarts the search from decision level zero, which is exactly
+    what the lazy-SMT blocking loop needs (the database only grows).
+
+    ``attach_theory`` plugs in a DPLL(T) propagator consulted at every
+    propagation fixpoint (see :class:`repro.smt.euf.EqualityPropagator`
+    for the protocol: ``reset`` / ``assert_literal`` / ``backjump`` /
+    ``check``).
     """
 
-    __slots__ = ("_clauses", "_watches", "_units", "_vars", "_var_seen", "_unsat")
+    __slots__ = (
+        # persistent clause database
+        "_clauses", "_learned", "_watches", "_units", "_unit_set", "_unsat",
+        # persistent heuristic state
+        "_nvars", "_activity", "_phase", "_var_inc", "_theory",
+        # per-solve search state
+        "_assign", "_level", "_reason", "_trail", "_trail_lim",
+        "_head", "_theory_head", "_heap", "_pinned", "_theory_reasons",
+        # counters (exposed for tests and benchmarks)
+        "conflicts", "restarts", "learned_clauses",
+    )
 
     def __init__(self, clauses: Iterable[Clause] = ()) -> None:
         self._clauses: List[List[int]] = []
+        self._learned: List[bool] = []
         self._watches: Dict[int, List[int]] = {}
         self._units: List[int] = []
-        self._vars: List[int] = []  # in first-occurrence order (decision order)
-        self._var_seen: set[int] = set()
+        self._unit_set: set[int] = set()
         self._unsat = False
+        self._nvars = 0
+        self._activity: List[float] = [0.0]
+        self._phase: List[bool] = [True]
+        self._var_inc = 1.0
+        self._theory = None
+        self._assign: List[int] = []
+        self._level: List[int] = []
+        self._reason: List[int] = []
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._head = 0
+        self._theory_head = 0
+        self._heap: Optional[List[Tuple[float, int]]] = None
+        self._pinned: List[int] = []
+        self._theory_reasons: Dict[int, List[int]] = {}
+        self.conflicts = 0
+        self.restarts = 0
+        self.learned_clauses = 0
         for clause in clauses:
             self.add_clause(clause)
 
+    def attach_theory(self, propagator) -> None:
+        """Attach a theory propagator consulted at every fixpoint.
+
+        The propagator's atom variables are registered eagerly: an atom
+        can drop out of every clause (e.g. it only occurred in a dropped
+        tautology) yet still be propagated by the theory.
+        """
+        self._theory = propagator
+        atom_vars = list(propagator.atom_vars())
+        if atom_vars:
+            self._note_vars(atom_vars)
+
     def _note_vars(self, literals: Iterable[int]) -> None:
-        for literal in literals:
-            variable = abs(literal)
-            if variable not in self._var_seen:
-                self._var_seen.add(variable)
-                self._vars.append(variable)
+        top = max(map(abs, literals))
+        if top > self._nvars:
+            grow = top - self._nvars
+            self._activity.extend([0.0] * grow)
+            self._phase.extend([True] * grow)
+            self._nvars = top
 
     def add_clause(self, clause: Iterable[int]) -> None:
-        """Add a clause; duplicates are collapsed, tautologies dropped."""
-        literals: List[int] = []
-        seen: set[int] = set()
-        for literal in clause:
+        """Add a clause; duplicates are collapsed, tautologies dropped.
+
+        Unit clauses are deduplicated (re-adding a known fact is a
+        no-op) and a unit contradicting an existing root-level fact
+        marks the database unsatisfiable immediately.
+        """
+        literals = list(clause)
+        seen = set(literals)
+        if len(seen) != len(literals):
+            deduped: List[int] = []
+            emitted: set[int] = set()
+            for literal in literals:
+                if literal not in emitted:
+                    emitted.add(literal)
+                    deduped.append(literal)
+            literals = deduped
+        for literal in literals:
             if -literal in seen:
                 return  # tautological clause: always satisfied
-            if literal not in seen:
-                seen.add(literal)
-                literals.append(literal)
         if not literals:
             self._unsat = True
             return
         self._note_vars(literals)
         if len(literals) == 1:
-            self._units.append(literals[0])
+            literal = literals[0]
+            unit_set = self._unit_set
+            if -literal in unit_set:
+                self._unsat = True  # root-level conflict, caught at add time
+                return
+            if literal not in unit_set:
+                unit_set.add(literal)
+                self._units.append(literal)
             return
         index = len(self._clauses)
         self._clauses.append(literals)
-        self._watches.setdefault(literals[0], []).append(index)
-        self._watches.setdefault(literals[1], []).append(index)
+        self._learned.append(False)
+        watches = self._watches
+        watches.setdefault(literals[0], []).append(index)
+        watches.setdefault(literals[1], []).append(index)
+
+    # -- search ----------------------------------------------------------
 
     def solve(self, assumptions: Iterable[int] = ()) -> Optional[Assignment]:
         """A satisfying (partial) assignment, or None if unsatisfiable.
 
-        ``assumptions`` are treated as level-zero facts; they are always
+        ``assumptions`` are asserted as pseudo-decisions at the bottom
+        of the decision stack (MiniSat-style), so clauses learned under
+        them remain valid for later calls without them; they are always
         included in a returned model.
         """
         if self._unsat:
             return None
-        assign: Assignment = {}
-        trail: List[int] = []
-        # (trail length at decision, decided literal, both polarities tried?)
-        decisions: List[Tuple[int, int, bool]] = []
-        clauses = self._clauses
-        watches = self._watches
-        pinned: List[int] = []  # assumption literals, kept through shrinking
-
-        def enqueue(literal: int) -> bool:
-            variable = abs(literal)
-            value = literal > 0
-            current = assign.get(variable)
-            if current is None:
-                assign[variable] = value
-                trail.append(literal)
-                return True
-            return current == value
+        assumptions = list(assumptions)
+        if assumptions:
+            self._note_vars(assumptions)
+        nvars = self._nvars
+        assign = self._assign = [0] * (nvars + 1)
+        self._level = [0] * (nvars + 1)
+        self._reason = [-1] * (nvars + 1)
+        trail = self._trail = []
+        trail_lim = self._trail_lim = []
+        self._head = 0
+        self._theory_head = 0
+        self._heap = None
+        self._pinned = assumptions
+        self._theory_reasons = {}
+        theory = self._theory
+        if theory is not None:
+            theory.reset()
 
         for literal in self._units:
-            if not enqueue(literal):
+            variable = literal if literal > 0 else -literal
+            value = 1 if literal > 0 else -1
+            current = assign[variable]
+            if current == 0:
+                assign[variable] = value
+                trail.append(literal)
+            elif current != value:
+                self._unsat = True
                 return None
-        for literal in assumptions:
-            if not enqueue(literal):
-                return None
-            pinned.append(literal)
 
-        head = 0
+        restart_count = 0
+        conflicts_since_restart = 0
+        restart_limit = _RESTART_BASE * _luby(0)
+        level = self._level
+
         while True:
-            conflict = False
-            # -- unit propagation over the watch lists --------------------
-            while head < len(trail):
-                false_literal = -trail[head]
-                head += 1
-                watchers = watches.get(false_literal)
-                if not watchers:
-                    continue
-                i = 0
-                while i < len(watchers):
-                    clause_index = watchers[i]
-                    clause = clauses[clause_index]
-                    if clause[0] == false_literal:
-                        clause[0], clause[1] = clause[1], clause[0]
-                    other = clause[0]
-                    other_value = assign.get(abs(other))
-                    if other_value is not None and (other > 0) == other_value:
-                        i += 1  # satisfied by the other watch
-                        continue
-                    for j in range(2, len(clause)):
-                        candidate = clause[j]
-                        value = assign.get(abs(candidate))
-                        if value is None or (candidate > 0) == value:
-                            clause[1], clause[j] = clause[j], clause[1]
-                            watches.setdefault(candidate, []).append(clause_index)
-                            watchers[i] = watchers[-1]
-                            watchers.pop()
-                            break
-                    else:
-                        if other_value is None:
-                            assign[abs(other)] = other > 0
-                            trail.append(other)
-                            i += 1
-                        else:
-                            conflict = True
-                            break
-                if conflict:
+            conflict = self._propagate()
+            if conflict is None and theory is not None:
+                conflict = self._theory_sync()
+                if conflict is None and self._head < len(trail):
+                    continue  # theory enqueued literals: propagate them
+            if conflict is not None:
+                self.conflicts += 1
+                if not trail_lim:
+                    self._unsat = True
+                    return None
+                # Theory conflicts can live entirely below the current
+                # decision level; fall back to where they bite.
+                top = 0
+                for literal in conflict:
+                    variable = literal if literal > 0 else -literal
+                    if level[variable] > top:
+                        top = level[variable]
+                if top == 0:
+                    self._unsat = True
+                    return None
+                if top < len(trail_lim):
+                    self._cancel_until(top)
+                learned, back_level = self._analyze(conflict)
+                self._cancel_until(back_level)
+                self._assert_learned(learned)
+                self._var_inc *= _ACTIVITY_GROWTH
+                conflicts_since_restart += 1
+                if conflicts_since_restart >= restart_limit:
+                    conflicts_since_restart = 0
+                    restart_count += 1
+                    self.restarts += 1
+                    restart_limit = _RESTART_BASE * _luby(restart_count)
+                    if trail_lim:
+                        self._cancel_until(0)
+                continue
+            # -- all propagated: assert assumptions, then decide ----------
+            while len(trail_lim) < len(assumptions):
+                literal = assumptions[len(trail_lim)]
+                variable = literal if literal > 0 else -literal
+                value = assign[variable]
+                if value == 0:
+                    trail_lim.append(len(trail))
+                    self._enqueue(literal, -1)
                     break
-            if conflict:
-                # -- chronological backtracking ----------------------------
-                while decisions:
-                    base, literal, flipped = decisions.pop()
-                    for undone in trail[base:]:
-                        del assign[abs(undone)]
-                    del trail[base:]
-                    head = base
-                    if not flipped:
-                        decisions.append((base, -literal, True))
-                        assign[abs(literal)] = literal < 0
-                        trail.append(-literal)
+                if (value > 0) != (literal > 0):
+                    return None  # assumption falsified by the database
+                trail_lim.append(len(trail))  # already true: dummy level
+            else:
+                variable = self._pick_branch()
+                if variable == 0:
+                    return self._shrink()
+                trail_lim.append(len(trail))
+                self._enqueue(
+                    variable if self._phase[variable] else -variable, -1
+                )
+
+    def _enqueue(self, literal: int, reason_index: int) -> None:
+        variable = literal if literal > 0 else -literal
+        self._assign[variable] = 1 if literal > 0 else -1
+        self._level[variable] = len(self._trail_lim)
+        self._reason[variable] = reason_index
+        self._trail.append(literal)
+
+    def _propagate(self) -> Optional[List[int]]:
+        """Unit propagation to fixpoint; the falsified clause on conflict."""
+        clauses = self._clauses
+        watches = self._watches
+        assign = self._assign
+        level = self._level
+        reason = self._reason
+        trail = self._trail
+        head = self._head
+        current_level = len(self._trail_lim)
+        while head < len(trail):
+            false_literal = -trail[head]
+            head += 1
+            watchers = watches.get(false_literal)
+            if not watchers:
+                continue
+            i = 0
+            while i < len(watchers):
+                clause_index = watchers[i]
+                clause = clauses[clause_index]
+                if clause[0] == false_literal:
+                    clause[0], clause[1] = clause[1], clause[0]
+                other = clause[0]
+                other_value = assign[other if other > 0 else -other]
+                if other_value != 0 and (other_value > 0) == (other > 0):
+                    i += 1  # satisfied by the other watch
+                    continue
+                for j in range(2, len(clause)):
+                    candidate = clause[j]
+                    value = assign[candidate if candidate > 0 else -candidate]
+                    if value == 0 or (value > 0) == (candidate > 0):
+                        clause[1], clause[j] = clause[j], clause[1]
+                        watches.setdefault(candidate, []).append(clause_index)
+                        watchers[i] = watchers[-1]
+                        watchers.pop()
                         break
                 else:
-                    return None
-                continue
-            # -- all propagated: decide ------------------------------------
-            decision = 0
-            for variable in self._vars:
-                if variable not in assign:
-                    decision = variable
-                    break
-            if not decision:
-                return self._shrink(assign, trail, pinned)
-            decisions.append((len(trail), decision, False))
-            assign[decision] = True
-            trail.append(decision)
+                    if other_value == 0:
+                        variable = other if other > 0 else -other
+                        assign[variable] = 1 if other > 0 else -1
+                        level[variable] = current_level
+                        reason[variable] = clause_index
+                        trail.append(other)
+                        i += 1
+                    else:
+                        self._head = head
+                        return clause  # conflict
+        self._head = head
+        return None
 
-    def _shrink(
-        self, assign: Assignment, trail: List[int], pinned: List[int]
-    ) -> Assignment:
+    def _theory_sync(self) -> Optional[List[int]]:
+        """Feed new trail literals to the theory and act on its verdict.
+
+        Returns a conflict clause (every literal false), or None after
+        enqueueing any theory-entailed literals.  Explanations are kept
+        *lazily* — the reason literal list is stashed per variable and
+        only consulted if conflict analysis actually resolves on the
+        propagated literal — so theory propagation never grows the
+        clause database or the watch lists.
+        """
+        theory = self._theory
+        trail = self._trail
+        head = self._theory_head
+        while head < len(trail):
+            theory.assert_literal(trail[head])
+            head += 1
+        self._theory_head = head
+        status, payload = theory.check(self._assign)
+        if status == "conflict":
+            return payload
+        assign = self._assign
+        for literal, premises in payload:
+            variable = literal if literal > 0 else -literal
+            value = assign[variable]
+            if value != 0:
+                if (value > 0) == (literal > 0):
+                    continue  # already true: nothing to do
+                clause = [literal]
+                clause.extend(-premise for premise in premises)
+                return clause  # entailed literal already false
+            reason_literals = [literal]
+            reason_literals.extend(-premise for premise in premises)
+            self._theory_reasons[variable] = reason_literals
+            if len(reason_literals) == 1 and literal not in self._unit_set:
+                # Premise-free entailment (e.g. an x ≠ x atom): also a
+                # root-level fact for future solve calls.
+                self._unit_set.add(literal)
+                self._units.append(literal)
+            self._enqueue(literal, _THEORY_REASON)
+        return None
+
+    def _analyze(self, conflict: List[int]) -> Tuple[List[int], int]:
+        """First-UIP conflict analysis.
+
+        Resolves the conflict clause backwards along the trail until a
+        single literal of the current decision level remains; returns
+        the learned clause (asserting literal first, a literal of the
+        backjump level second) and the backjump level.
+        """
+        clauses = self._clauses
+        level = self._level
+        reason = self._reason
+        trail = self._trail
+        activity = self._activity
+        increment = self._var_inc
+        current = len(self._trail_lim)
+        seen = bytearray(self._nvars + 1)
+        learned: List[int] = [0]
+        counter = 0
+        resolved = 0  # the literal whose reason we are resolving with
+        index = len(trail)
+        rescale = False
+        literals = conflict
+        while True:
+            for literal in literals:
+                if literal == resolved:
+                    continue
+                variable = literal if literal > 0 else -literal
+                if not seen[variable] and level[variable] > 0:
+                    seen[variable] = 1
+                    activity[variable] += increment
+                    if activity[variable] > _ACTIVITY_RESCALE:
+                        rescale = True
+                    if level[variable] >= current:
+                        counter += 1
+                    else:
+                        learned.append(literal)
+            while True:
+                index -= 1
+                resolved = trail[index]
+                variable = resolved if resolved > 0 else -resolved
+                if seen[variable]:
+                    break
+            seen[variable] = 0
+            counter -= 1
+            if counter == 0:
+                break
+            reason_index = reason[variable]
+            literals = (
+                self._theory_reasons[variable]
+                if reason_index == _THEORY_REASON
+                else clauses[reason_index]
+            )
+        learned[0] = -resolved
+        if rescale:
+            self._rescale_activity()
+        if len(learned) == 1:
+            return learned, 0
+        best = 1
+        best_level = level[abs(learned[1])]
+        for i in range(2, len(learned)):
+            at = level[abs(learned[i])]
+            if at > best_level:
+                best, best_level = i, at
+        learned[1], learned[best] = learned[best], learned[1]
+        return learned, best_level
+
+    def _assert_learned(self, learned: List[int]) -> None:
+        """Install a learned clause and assert its UIP literal."""
+        self.learned_clauses += 1
+        literal = learned[0]
+        if len(learned) == 1:
+            # Backjumped to the root: the UIP is a new global fact.
+            if literal not in self._unit_set:
+                self._unit_set.add(literal)
+                self._units.append(literal)
+            self._enqueue(literal, -1)
+            return
+        index = len(self._clauses)
+        self._clauses.append(learned)
+        self._learned.append(True)
+        watches = self._watches
+        watches.setdefault(learned[0], []).append(index)
+        watches.setdefault(learned[1], []).append(index)
+        self._enqueue(literal, index)
+
+    def _cancel_until(self, target: int) -> None:
+        """Undo all assignments above decision level ``target``."""
+        trail_lim = self._trail_lim
+        if len(trail_lim) <= target:
+            return
+        base = trail_lim[target]
+        trail = self._trail
+        assign = self._assign
+        reason = self._reason
+        phase = self._phase
+        activity = self._activity
+        heap = self._heap
+        for literal in trail[base:]:
+            variable = literal if literal > 0 else -literal
+            phase[variable] = literal > 0  # phase saving
+            assign[variable] = 0
+            reason[variable] = -1
+            if heap is not None:
+                heappush(heap, (-activity[variable], variable))
+        del trail[base:]
+        del trail_lim[target:]
+        self._head = base
+        if self._theory is not None and self._theory_head > base:
+            self._theory.backjump(base)
+            self._theory_head = base
+
+    def _pick_branch(self) -> int:
+        """Unassigned variable of maximal activity (0 when none left)."""
+        heap = self._heap
+        assign = self._assign
+        if heap is None:
+            activity = self._activity
+            heap = self._heap = [
+                (-activity[variable], variable)
+                for variable in range(1, self._nvars + 1)
+                if assign[variable] == 0
+            ]
+            heapify(heap)
+        while heap:
+            _, variable = heappop(heap)
+            if assign[variable] == 0:
+                return variable
+        return 0
+
+    def _rescale_activity(self) -> None:
+        scale = 1.0 / _ACTIVITY_RESCALE
+        self._activity = [value * scale for value in self._activity]
+        self._var_inc *= scale
+        if self._heap is not None:
+            assign = self._assign
+            activity = self._activity
+            heap = [
+                (-activity[variable], variable)
+                for variable in range(1, self._nvars + 1)
+                if assign[variable] == 0
+            ]
+            heapify(heap)
+            self._heap = heap
+
+    def _shrink(self) -> Assignment:
         """Reduce a total model to a satisfying partial assignment.
 
-        For every clause the true literal assigned *earliest* on the
-        trail is kept (deterministic); everything else is dropped, except
-        assumption literals.  The result satisfies every clause and is
-        the incremental analogue of the partial models the old recursive
-        search returned — crucially it keeps DPLL(T) blocking clauses
-        from mentioning don't-care atoms.
+        For every *input* clause the true literal assigned earliest on
+        the trail is kept (deterministic); everything else is dropped,
+        except assumption and unit-clause literals.  Learned clauses are
+        skipped — they are implied, so any extension of a partial model
+        satisfying the input clauses satisfies them too — which keeps
+        DPLL(T) blocking clauses from mentioning don't-care atoms.
         """
-        position = {abs(literal): rank for rank, literal in enumerate(trail)}
-        # Assumptions and unit-clause literals are forced: always kept.
-        needed: set[int] = {abs(literal) for literal in pinned}
-        needed.update(abs(literal) for literal in self._units)
-        for clause in self._clauses:
+        assign = self._assign
+        position = {
+            (literal if literal > 0 else -literal): rank
+            for rank, literal in enumerate(self._trail)
+        }
+        needed: set[int] = {
+            literal if literal > 0 else -literal for literal in self._pinned
+        }
+        needed.update(
+            literal if literal > 0 else -literal for literal in self._units
+        )
+        learned_flags = self._learned
+        for clause_index, clause in enumerate(self._clauses):
+            if learned_flags[clause_index]:
+                continue
             best: Optional[int] = None
             best_rank = -1
             satisfied_by_needed = False
             for literal in clause:
-                variable = abs(literal)
-                if assign.get(variable) != (literal > 0):
+                variable = literal if literal > 0 else -literal
+                value = assign[variable]
+                if value == 0 or (value > 0) != (literal > 0):
                     continue
                 if variable in needed:
                     satisfied_by_needed = True
@@ -222,7 +576,11 @@ class WatchedSolver:
                     best, best_rank = variable, rank
             if not satisfied_by_needed and best is not None:
                 needed.add(best)
-        return {variable: assign[variable] for variable in needed if variable in assign}
+        return {
+            variable: assign[variable] > 0
+            for variable in needed
+            if assign[variable] != 0
+        }
 
 
 def dpll(clauses: CNF, assignment: Optional[Assignment] = None) -> Optional[Assignment]:
@@ -250,7 +608,7 @@ def propositionally_valid(term: Term) -> bool:
 
 
 # ---------------------------------------------------------------------------
-# Lazy DPLL(T) for equality logic
+# DPLL(T) for equality logic
 # ---------------------------------------------------------------------------
 
 
@@ -263,6 +621,8 @@ class TheoryResult:
     equalities: Tuple[Tuple[Term, Term], ...] = ()
     disequalities: Tuple[Tuple[Term, Term], ...] = ()
     models_blocked: int = 0
+    #: Atoms enqueued by theory propagation (0 when the lazy loop ran).
+    theory_propagations: int = 0
 
 
 def _theory_literals(
@@ -291,25 +651,36 @@ def _theory_literals(
 
 
 def dpllt_equality(term: Term, max_models: int = 10_000) -> Optional[TheoryResult]:
-    """Lazy DPLL(T) for formulas whose atoms are ``==``/``!=`` between
-    ground terms (boolean structure arbitrary).
+    """DPLL(T) for formulas whose atoms are ``==``/``!=`` between ground
+    terms (boolean structure arbitrary).
 
-    The boolean search is *incremental*: the CNF is converted once, the
-    watch lists persist, and each theory conflict appends one blocking
-    clause to the live solver instead of re-propagating a growing clause
-    list from scratch.
-
-    Returns a :class:`TheoryResult`, or ``None`` if the formula contains
-    atoms outside the equality fragment (caller should fall back to the
-    bounded enumerator).
+    For formulas entirely inside the equality fragment an
+    :class:`~repro.smt.euf.EqualityPropagator` is attached to the CDCL
+    search: congruence closure runs incrementally along the boolean
+    trail, entailed atoms are propagated into it, and theory conflicts
+    become learned clauses mid-search — the model-blocking loop below
+    then serves only as a safety net (``models_blocked`` stays 0).
+    Formulas with atoms outside the fragment keep the PR 2 behaviour:
+    lazy model blocking, bailing out (``None``) on the first model that
+    asserts a non-equality atom so the caller falls back to the bounded
+    enumerator.
     """
     clauses, table = cnf_of(term)
     solver = WatchedSolver(clauses)
+    atoms = table.atoms()
+    propagator = None
+    if atoms and all(is_equality_atom(atom) for atom in atoms.values()):
+        propagator = EqualityPropagator(table)
+        solver.attach_theory(propagator)
     blocked = 0
+    propagated = 0
     for _ in range(max_models):
         model = solver.solve()
+        propagated = propagator.propagations if propagator is not None else 0
         if model is None:
-            return TheoryResult(False, models_blocked=blocked)
+            return TheoryResult(
+                False, models_blocked=blocked, theory_propagations=propagated
+            )
         split = _theory_literals(model, table)
         if split is None:
             return None  # outside the fragment
@@ -321,6 +692,7 @@ def dpllt_equality(term: Term, max_models: int = 10_000) -> Optional[TheoryResul
                 equalities=tuple(equalities),
                 disequalities=tuple(disequalities),
                 models_blocked=blocked,
+                theory_propagations=propagated,
             )
         # Block this boolean model (only its theory-atom part).
         conflict = tuple(
@@ -329,7 +701,9 @@ def dpllt_equality(term: Term, max_models: int = 10_000) -> Optional[TheoryResul
             if table.term_of(index) is not None
         )
         if not conflict:
-            return TheoryResult(False, models_blocked=blocked)
+            return TheoryResult(
+                False, models_blocked=blocked, theory_propagations=propagated
+            )
         solver.add_clause(conflict)
         blocked += 1
     return None  # model budget exhausted: undecided

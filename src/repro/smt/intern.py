@@ -50,6 +50,11 @@ def clear_all_caches() -> None:
         cache.clear()
 
 
+#: Private miss sentinel: ``None`` (or any falsy value) is a perfectly
+#: legitimate canonical instance, so membership cannot be tested against it.
+_MISSING = object()
+
+
 class InternTable:
     """A keyed table of canonical instances with hit/miss counters."""
 
@@ -61,13 +66,15 @@ class InternTable:
         self.misses = 0
         self._table: Dict[Any, Any] = {}
 
-    def get(self, key: Any) -> Any:
-        """Canonical instance for ``key``, or None (counts a hit/miss)."""
-        found = self._table.get(key)
-        if found is None:
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Canonical instance for ``key``, or ``default`` (counts a
+        hit/miss).  Membership is decided by a private sentinel, so a
+        stored ``None``/falsy value is a genuine hit, not a miss."""
+        found = self._table.get(key, _MISSING)
+        if found is _MISSING:
             self.misses += 1
-        else:
-            self.hits += 1
+            return default
+        self.hits += 1
         return found
 
     def put(self, key: Any, value: Any) -> Any:
@@ -97,13 +104,12 @@ def memoize_term_fn(fn: Callable[[Any], Any]) -> Callable[[Any], Any]:
 
     def wrapper(term: Any) -> Any:
         try:
-            return cache[term]
-        except KeyError:
-            pass
+            result = cache.get(term, _MISSING)
         except TypeError:  # unhashable payload: compute without caching
             return fn(term)
-        result = fn(term)
-        cache[term] = result
+        if result is _MISSING:
+            result = fn(term)
+            cache[term] = result
         return result
 
     wrapper.__name__ = getattr(fn, "__name__", "memoized")

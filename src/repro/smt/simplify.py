@@ -18,37 +18,42 @@ from .terms import App, Const, Term, evaluate_term, free_symvars
 
 _SIMPLIFY_CACHE: dict = register_cache({})
 
+#: Private memo-miss sentinel (cheaper than raising KeyError per cold node).
+_MISS = object()
+
 
 def simplify(term: Term) -> Term:
     """Simplify ``term`` bottom-up.  Pure: returns a new term."""
-    if isinstance(term, Const) or not isinstance(term, App):
+    if not isinstance(term, App):
         return term
     try:
-        return _SIMPLIFY_CACHE[term]
-    except KeyError:
-        pass
+        result = _SIMPLIFY_CACHE.get(term, _MISS)
     except TypeError:  # unhashable payload: simplify without caching
         return _simplify_app(term)
-    result = _simplify_app(term)
-    _SIMPLIFY_CACHE[term] = result
+    if result is _MISS:
+        result = _simplify_app(term)
+        _SIMPLIFY_CACHE[term] = result
     return result
 
 
 def _simplify_app(term: App) -> Term:
-    args = tuple(simplify(arg) for arg in term.args)
+    args = tuple([simplify(arg) for arg in term.args])
     folded = _try_fold(term.op, args)
     if folded is not None:
         return folded
     rewritten = _rewrite(term.op, args)
     if rewritten is not None:
         return rewritten
+    if args == term.args:
+        return term  # nothing changed: keep the canonical node
     return App(term.op, args)
 
 
 def _try_fold(op: str, args: tuple[Term, ...]) -> Term | None:
     """Constant-fold if all arguments are literals."""
-    if not all(isinstance(arg, Const) for arg in args):
-        return None
+    for arg in args:
+        if arg.__class__ is not Const:
+            return None
     try:
         value = evaluate_term(App(op, args), {})
     except Exception:  # noqa: BLE001 — folding is best-effort

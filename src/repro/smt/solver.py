@@ -19,8 +19,11 @@ evaluator cannot interpret.
 
 Performance architecture (see ``src/repro/smt/README.md``): terms are
 hash-consed, so ``simplify``/``free_symvars``/``int_constants`` are
-memoized per unique node; the boolean/EUF fast paths run on the
-watched-literal core of :mod:`repro.smt.dpll`; the bounded enumeration
+memoized per unique node; the boolean/EUF fast paths run on the CDCL
+core of :mod:`repro.smt.dpll` (first-UIP clause learning, VSIDS, phase
+saving, Luby restarts) fed by a polarity-aware Tseitin conversion, with
+congruence closure propagating entailed equality atoms into the search
+(:class:`repro.smt.euf.EqualityPropagator`); the bounded enumeration
 evaluates a *compiled* closure (:mod:`repro.smt.compile`) over a single
 mutated assignment dict; and whole queries are cached across calls
 (:mod:`repro.smt.cache`) keyed on the interned formula.

@@ -1,0 +1,281 @@
+"""Property suite for the CDCL upgrade of the SAT core.
+
+Three contracts are pinned here:
+
+* **agreement** — the CDCL :class:`~repro.smt.dpll.WatchedSolver`
+  (first-UIP learning, VSIDS, phase saving, Luby restarts) decides
+  exactly the same random CNF instances as the retained seed solver
+  (:func:`repro.smt.reference.dpll_reference`), and its models genuinely
+  satisfy every clause;
+* **learned-clause soundness** — every clause the solver learns is
+  implied by the input clauses: asserting its negation alongside the
+  input is unsatisfiable (checked with the reference solver);
+* **use-list congruence closure** — the Downey–Sethi–Tarjan-style
+  closure produces the identical partition to the seed's quadratic
+  rescan, and theory propagation never changes DPLL(T) verdicts while
+  reducing the blocked-model count to zero on the pure fragment.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt import reference
+from repro.smt.dpll import WatchedSolver, dpllt_equality
+from repro.smt.euf import CongruenceClosure
+from repro.smt.sorts import INT
+from repro.smt.terms import App, SymVar
+
+INT_VARS = [SymVar(name, INT) for name in ("x", "y", "z")]
+
+
+# ---------------------------------------------------------------------------
+# Random CNF instances
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def cnf_instances(draw):
+    """Random ≤3-CNF over at most 8 variables (dense enough for UNSAT)."""
+    nvars = draw(st.integers(min_value=1, max_value=8))
+    nclauses = draw(st.integers(min_value=1, max_value=28))
+    clauses = []
+    for _ in range(nclauses):
+        width = draw(st.integers(min_value=1, max_value=3))
+        variables = draw(
+            st.lists(
+                st.integers(min_value=1, max_value=nvars),
+                min_size=width,
+                max_size=width,
+            )
+        )
+        signs = draw(st.lists(st.booleans(), min_size=width, max_size=width))
+        clauses.append(
+            tuple(v if s else -v for v, s in zip(variables, signs))
+        )
+    return clauses
+
+
+def _satisfies(model, clause):
+    if any(-literal in clause for literal in clause):
+        return True  # tautological: satisfied by every extension
+    return any(model.get(abs(literal)) == (literal > 0) for literal in clause)
+
+
+class TestCDCLAgainstReference:
+    @given(cnf_instances())
+    @settings(max_examples=300, deadline=None)
+    def test_sat_unsat_agreement(self, clauses):
+        ours = WatchedSolver(clauses).solve()
+        theirs = reference.dpll_reference(clauses)
+        assert (ours is None) == (theirs is None)
+
+    @given(cnf_instances())
+    @settings(max_examples=200, deadline=None)
+    def test_models_satisfy_every_clause(self, clauses):
+        model = WatchedSolver(clauses).solve()
+        if model is not None:
+            for clause in clauses:
+                assert _satisfies(model, clause)
+
+    @given(cnf_instances())
+    @settings(max_examples=200, deadline=None)
+    def test_repeated_solves_stay_stable(self, clauses):
+        # Learned clauses and saved phases persist across calls; the
+        # verdict must not drift.
+        solver = WatchedSolver(clauses)
+        first = solver.solve()
+        second = solver.solve()
+        assert (first is None) == (second is None)
+        if second is not None:
+            for clause in clauses:
+                assert _satisfies(second, clause)
+
+    @given(cnf_instances(), st.lists(st.integers(min_value=-8, max_value=8)))
+    @settings(max_examples=150, deadline=None)
+    def test_assumptions_behave_like_units(self, clauses, raw_assumptions):
+        assumptions = []
+        seen = set()
+        for literal in raw_assumptions:
+            if literal != 0 and abs(literal) not in seen:
+                seen.add(abs(literal))
+                assumptions.append(literal)
+        under_assumptions = WatchedSolver(clauses).solve(assumptions)
+        as_units = reference.dpll_reference(
+            list(clauses) + [(literal,) for literal in assumptions]
+        )
+        assert (under_assumptions is None) == (as_units is None)
+        if under_assumptions is not None:
+            for literal in assumptions:
+                assert under_assumptions.get(abs(literal)) == (literal > 0)
+
+
+class TestLearnedClauseSoundness:
+    @given(cnf_instances())
+    @settings(max_examples=100, deadline=None)
+    def test_learned_clauses_are_implied(self, clauses):
+        solver = WatchedSolver(clauses)
+        solver.solve()
+        learned = [
+            clause
+            for clause, is_learned in zip(solver._clauses, solver._learned)
+            if is_learned
+        ]
+        for clause in learned:
+            # input ∧ ¬clause must be unsatisfiable if the clause is implied.
+            negated_units = [(-literal,) for literal in clause]
+            assert reference.dpll_reference(list(clauses) + negated_units) is None
+
+    @given(cnf_instances())
+    @settings(max_examples=100, deadline=None)
+    def test_learned_units_are_implied(self, clauses):
+        solver = WatchedSolver(clauses)
+        solver.solve()
+        if solver._unsat:
+            return
+        for literal in solver._units:
+            assert reference.dpll_reference(list(clauses) + [(-literal,)]) is None
+
+
+# ---------------------------------------------------------------------------
+# Congruence closure: use lists vs the seed's quadratic rescan
+# ---------------------------------------------------------------------------
+
+
+def _quadratic_classes(pairs, universe):
+    """The seed's congruence closure: union-find plus a full rescan of
+    every ``App`` per fixpoint round (kept here as the oracle)."""
+    parent = {}
+
+    def register(term):
+        if term in parent:
+            return
+        parent[term] = term
+        if isinstance(term, App):
+            for arg in term.args:
+                register(arg)
+
+    def find(term):
+        root = term
+        while parent[root] != root:
+            root = parent[root]
+        while parent[term] != root:
+            parent[term], term = root, parent[term]
+        return root
+
+    def union(left, right):
+        root_left, root_right = find(left), find(right)
+        if root_left != root_right:
+            parent[root_left] = root_right
+
+    for term in universe:
+        register(term)
+    for left, right in pairs:
+        register(left)
+        register(right)
+        union(left, right)
+    changed = True
+    while changed:
+        changed = False
+        by_signature = {}
+        for term in [t for t in parent if isinstance(t, App)]:
+            signature = (term.op, tuple(find(arg) for arg in term.args))
+            other = by_signature.get(signature)
+            if other is None:
+                by_signature[signature] = term
+            elif find(term) != find(other):
+                union(term, other)
+                changed = True
+    groups = {}
+    for term in parent:
+        groups.setdefault(find(term), set()).add(term)
+    return {frozenset(members) for members in groups.values()}
+
+
+@st.composite
+def merge_sequences(draw):
+    terms = INT_VARS + [App("f", (v,)) for v in INT_VARS]
+    terms = terms + [App("g", (a, b)) for a in INT_VARS[:2] for b in INT_VARS[:2]]
+    pairs = draw(
+        st.lists(
+            st.tuples(st.sampled_from(terms), st.sampled_from(terms)),
+            max_size=6,
+        )
+    )
+    return pairs, terms
+
+
+class TestUseListClosure:
+    @given(merge_sequences())
+    @settings(max_examples=200, deadline=None)
+    def test_partition_identical_to_quadratic_rescan(self, case):
+        pairs, universe = case
+        cc = CongruenceClosure()
+        for term in universe:
+            cc.find(term)
+        for left, right in pairs:
+            cc.merge(left, right)
+        ours = {members for members in cc.classes().values()}
+        assert ours == _quadratic_classes(pairs, universe)
+
+    @given(merge_sequences())
+    @settings(max_examples=150, deadline=None)
+    def test_registration_order_is_irrelevant(self, case):
+        # Terms first seen after their arguments merged still land in
+        # the right class (the signature-table path of _register).
+        pairs, universe = case
+        eager = CongruenceClosure()
+        for term in universe:
+            eager.find(term)
+        for left, right in pairs:
+            eager.merge(left, right)
+        lazy = CongruenceClosure()
+        for left, right in pairs:
+            lazy.merge(left, right)
+        for a, b in itertools.combinations(universe, 2):
+            assert eager.same(a, b) == lazy.same(a, b)
+
+
+# ---------------------------------------------------------------------------
+# Theory propagation
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def euf_formulas(draw, depth=2):
+    """Boolean combinations of equalities over {x, y, z, f(x), f(y), f(z)}."""
+    terms = INT_VARS + [App("f", (v,)) for v in INT_VARS]
+    if depth == 0:
+        op = draw(st.sampled_from(["==", "!="]))
+        return App(op, (draw(st.sampled_from(terms)), draw(st.sampled_from(terms))))
+    choice = draw(st.integers(min_value=0, max_value=3))
+    if choice == 0:
+        op = draw(st.sampled_from(["==", "!="]))
+        return App(op, (draw(st.sampled_from(terms)), draw(st.sampled_from(terms))))
+    if choice == 1:
+        return App("not", (draw(euf_formulas(depth=depth - 1)),))
+    op = draw(st.sampled_from(["and", "or", "implies"]))
+    return App(
+        op, (draw(euf_formulas(depth=depth - 1)), draw(euf_formulas(depth=depth - 1)))
+    )
+
+
+class TestTheoryPropagation:
+    @given(euf_formulas())
+    @settings(max_examples=150, deadline=None)
+    def test_verdicts_match_lazy_reference(self, term):
+        ours = dpllt_equality(term)
+        theirs = reference.dpllt_equality_reference(term)
+        assert (ours is None) == (theirs is None)
+        if ours is not None:
+            assert ours.satisfiable == theirs.satisfiable
+
+    @given(euf_formulas())
+    @settings(max_examples=150, deadline=None)
+    def test_pure_fragment_blocks_no_models(self, term):
+        # With theory conflicts raised mid-search, the blocking loop
+        # is a safety net that never fires inside the pure fragment.
+        result = dpllt_equality(term)
+        assert result is not None  # pure EUF: always decided
+        assert result.models_blocked == 0

@@ -222,6 +222,173 @@ class TestWatchedSolver:
         assert solver.solve() is None
 
 
+class TestMissSentinels:
+    def test_intern_table_stores_none_and_falsy_values(self):
+        from repro.smt.intern import InternTable
+
+        table = InternTable("regression")
+        table.put("none", None)
+        table.put("zero", 0)
+        missing = object()
+        assert table.get("none", missing) is None
+        assert table.get("zero", missing) == 0
+        assert table.hits == 2
+        assert table.misses == 0
+        assert table.get("absent", missing) is missing
+        assert table.misses == 1
+
+    def test_validity_cache_stores_falsy_results(self):
+        from repro.smt.cache import ValidityCache
+        from repro.smt.solver import Result, Verdict
+
+        cache = ValidityCache()
+        refuted = Result(Verdict.REFUTED, model={})
+        assert not refuted  # __bool__ is False: the regression trigger
+        cache.put("key", refuted)
+        assert cache.get("key") is refuted
+        assert cache.hits == 1
+        assert cache.misses == 0
+        cache.put("none", None)
+        assert cache.get("none", "fallback") is None
+        assert cache.hits == 2
+        assert cache.get("absent", "fallback") == "fallback"
+        assert cache.misses == 1
+
+
+class TestUnitClauseHandling:
+    def test_duplicate_units_are_not_accumulated(self):
+        solver = WatchedSolver([(1, 2)])
+        for _ in range(50):
+            solver.add_clause((1,))
+            assert solver.solve() is not None
+        assert solver._units == [1]
+
+    def test_contradicting_unit_detected_at_add_time(self):
+        solver = WatchedSolver([(1,)])
+        solver.add_clause((-1,))
+        assert solver._unsat  # caught without running the search
+        assert solver.solve() is None
+
+    def test_unit_inside_clause_list_constructor(self):
+        assert WatchedSolver([(3,), (-3,)]).solve() is None
+        assert WatchedSolver([(3,), (3,)]).solve() is not None
+
+
+class TestCDCL:
+    @staticmethod
+    def _pigeonhole_clauses(pigeons, holes):
+        def var(pigeon, hole):
+            return pigeon * holes + hole + 1
+
+        clauses = [
+            tuple(var(p, h) for h in range(holes)) for p in range(pigeons)
+        ]
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    clauses.append((-var(p1, h), -var(p2, h)))
+        return clauses
+
+    def test_pigeonhole_unsat_with_learning(self):
+        solver = WatchedSolver(self._pigeonhole_clauses(4, 3))
+        assert solver.solve() is None
+        assert solver.conflicts > 0
+        assert solver.learned_clauses > 0
+
+    def test_learned_clauses_persist_across_solves(self):
+        solver = WatchedSolver(self._pigeonhole_clauses(4, 3))
+        assert solver.solve() is None
+        conflicts_first = solver.conflicts
+        assert solver.solve() is None  # _unsat latched: no new search
+        assert solver.conflicts == conflicts_first
+
+    def test_backjumping_instance_model_correct(self):
+        clauses = self._pigeonhole_clauses(4, 4)  # satisfiable: a perfect matching
+        model = WatchedSolver(clauses).solve()
+        assert model is not None
+        for clause in clauses:
+            assert any(model.get(abs(lit)) == (lit > 0) for lit in clause)
+
+
+class TestTheoryPropagation:
+    def test_pigeonhole_euf_needs_no_blocked_models(self):
+        from repro.smt.dpll import dpllt_equality
+
+        xs = [SymVar(f"tp_w{i}", INT) for i in range(4)]
+        y, z = SymVar("tp_y", INT), SymVar("tp_z", INT)
+        parts = [disj(eq(x, y), eq(x, z)) for x in xs]
+        parts.extend(
+            negate(eq(xs[i], xs[j]))
+            for i in range(4)
+            for j in range(i + 1, 4)
+        )
+        result = dpllt_equality(conj(*parts))
+        assert result is not None
+        assert not result.satisfiable
+        assert result.models_blocked == 0
+        assert result.theory_propagations > 0
+
+    def test_entailed_atom_is_propagated(self):
+        from repro.smt.cnf import AtomTable
+        from repro.smt.euf import EqualityPropagator
+
+        x, y, z = (SymVar(f"ep_{n}", INT) for n in "xyz")
+        table = AtomTable()
+        xy = table.atom(eq(x, y))
+        yz = table.atom(eq(y, z))
+        xz = table.atom(eq(x, z))
+        propagator = EqualityPropagator(table)
+        propagator.reset()
+        propagator.assert_literal(xy)
+        propagator.assert_literal(yz)
+        assign = [0, 1, 1, 0]  # xy, yz true; xz unassigned
+        status, implied = propagator.check(assign)
+        assert status == "ok"
+        assert (xz, [xy, yz]) in implied
+
+    def test_theory_conflict_detected_before_full_model(self):
+        from repro.smt.cnf import AtomTable
+        from repro.smt.euf import EqualityPropagator
+
+        x, y, z = (SymVar(f"tc_{n}", INT) for n in "xyz")
+        table = AtomTable()
+        xy = table.atom(eq(x, y))
+        yz = table.atom(eq(y, z))
+        xz = table.atom(eq(x, z))
+        propagator = EqualityPropagator(table)
+        propagator.reset()
+        propagator.assert_literal(xy)
+        propagator.assert_literal(yz)
+        propagator.assert_literal(-xz)  # x ≠ z: inconsistent
+        status, clause = propagator.check([0, 1, 1, -1])
+        assert status == "conflict"
+        assert xz in clause  # ¬(x ≠ z) is part of the explanation
+        assert all(lit in (xz, -xy, -yz) for lit in clause)
+
+    def test_backjump_rewinds_the_mirrored_trail(self):
+        from repro.smt.cnf import AtomTable
+        from repro.smt.euf import EqualityPropagator
+
+        x, y = SymVar("bj_x", INT), SymVar("bj_y", INT)
+        table = AtomTable()
+        xy = table.atom(eq(x, y))
+        propagator = EqualityPropagator(table)
+        propagator.reset()
+        propagator.assert_literal(xy)
+        propagator.backjump(0)
+        status, implied = propagator.check([0, 0])
+        assert status == "ok"
+        assert implied == []  # nothing asserted any more
+
+    def test_mixed_fragment_keeps_lazy_behaviour(self):
+        from repro.smt.dpll import dpllt_equality
+
+        x, y = SymVar("mx_x", INT), SymVar("mx_y", INT)
+        mixed = conj(App("<", (x, y)), eq(x, y))
+        # A found model asserts the non-equality atom: outside the fragment.
+        assert dpllt_equality(mixed) is None
+
+
 class TestValidityCache:
     def setup_method(self):
         clear_all_caches()
