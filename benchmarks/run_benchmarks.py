@@ -21,7 +21,14 @@ workloads and writes ``BENCH_smt.json``:
 * ``spec_inference`` — the ROADMAP's spec-inference axis
   (``bench_inference.py`` workload): precondition + abstraction
   inference over catalogue specifications, cold caches vs warm caches
-  (the repeated-discharge profile of a long-lived verifier process).
+  (the repeated-discharge profile of a long-lived verifier process);
+* ``incremental_vc`` — batches of structurally related VCs discharged
+  fresh-per-VC vs through one shared
+  :class:`repro.smt.session.SolverSession` (assumption-activated VCs
+  over one clause database, retired after each query);
+* ``persistent_cache`` — a VC corpus run cold (empty store) vs warm
+  (store saved, reloaded into a cold process state, and replayed):
+  the ``--cache-dir`` profile of repeated CLI/CI invocations.
 
 Every timed formula is checked for *verdict agreement* between the two
 paths; the JSON records per-case timings, per-workload speedups and the
@@ -60,6 +67,7 @@ from repro.smt import (  # noqa: E402
 )
 from repro.smt import reference  # noqa: E402
 from repro.smt.cache import GLOBAL as VALIDITY_CACHE  # noqa: E402
+from repro.smt.session import SolverSession  # noqa: E402
 from repro.spec import Action, ResourceSpecification  # noqa: E402
 from repro.spec.library import integer_add_spec  # noqa: E402
 from repro.verifier.declarations import ResourceDecl  # noqa: E402
@@ -322,6 +330,141 @@ def bench_spec_inference(quick: bool):
     return cases
 
 
+def related_skeleton_family(count, width, salt=""):
+    """Structurally related VCs: one big shared conjunction, a per-VC
+    conclusion — the repeated-structure profile of a proof outline."""
+    atoms = [
+        App("<", (SymVar(f"iv{salt}{j}", INT), SymVar(f"jv{salt}{j}", INT)))
+        for j in range(width)
+    ]
+    shared = conj(*atoms)
+    return [implies(shared, atoms[i % width]) for i in range(count)]
+
+
+def related_euf_family(count, width, salt=""):
+    """Related EUF VCs: a shared equality chain entails each link's
+    transitive consequence."""
+    xs = [SymVar(f"ev{salt}{j}", INT) for j in range(width + 1)]
+    chain = conj(*(eq(xs[j], xs[j + 1]) for j in range(width)))
+    return [implies(chain, eq(xs[0], xs[i % width + 1])) for i in range(count)]
+
+
+def bench_incremental_vc(quick):
+    """Fresh solver per VC vs one shared SolverSession (the tentpole):
+    assumption-activated VCs over one clause database, learned clauses
+    and Tseitin definitions shared, activation literals retired."""
+    families = (
+        (("skeleton", 12, 48),)
+        if quick
+        else (
+            ("skeleton", 40, 120),
+            ("skeleton_wide", 24, 320),
+            ("euf_chain", 30, 20),
+        )
+    )
+
+    def build(kind, count, width, salt):
+        if kind.startswith("skeleton"):
+            return related_skeleton_family(count, width, salt)
+        return related_euf_family(count, width, salt)
+
+    def run_fresh(formulas):
+        return [check_validity(f, use_cache=False) for f in formulas]
+
+    def run_session(formulas):
+        session = SolverSession()
+        return (
+            [check_validity(f, use_cache=False, session=session) for f in formulas],
+            session,
+        )
+
+    cases = []
+    for kind, count, width, in families:
+        salt = f"{kind}{count}x{width}_"
+        clear_all_caches()
+        formulas = build(kind, count, width, salt)
+        fresh_elapsed, fresh_results = timed(run_fresh, formulas)
+        clear_all_caches()
+        formulas = build(kind, count, width, salt)
+        session_elapsed, (session_results, session) = timed(run_session, formulas)
+        agree = all(
+            a.verdict == b.verdict and a.model == b.model
+            for a, b in zip(fresh_results, session_results)
+        )
+        stats = session.stats()
+        cases.append(
+            {
+                "family": kind,
+                "vcs": count,
+                "width": width,
+                "reference_s": round(fresh_elapsed, 6),
+                "optimized_s": round(session_elapsed, 6),
+                "speedup": round(fresh_elapsed / session_elapsed, 2)
+                if session_elapsed
+                else None,
+                "verdict": fresh_results[0].verdict.value,
+                "verdicts_agree": agree,
+                "definition_hits": stats["definition_hits"],
+                "retired_clauses": stats["retired_clauses"],
+                "live_clauses": stats["live_clauses"],
+            }
+        )
+    return cases
+
+
+def bench_persistent_cache(quick):
+    """Cold corpus run (empty persistent store) vs warm replay (store
+    saved, process state cleared, store reloaded) — the ``--cache-dir``
+    profile of repeated CLI/CI invocations."""
+    import tempfile
+    from pathlib import Path as _Path
+
+    entries = []
+    for name, formula, scope, sorts in conformance_vcs():
+        entries.append((name, formula, scope, sorts))
+    count = 6 if quick else 16
+    for index, formula in enumerate(related_skeleton_family(count, 24, "pc_")):
+        entries.append((f"skeleton/{index}", formula, None, None))
+    for index, formula in enumerate(related_euf_family(count, 10, "pc_")):
+        entries.append((f"euf/{index}", formula, None, None))
+
+    def run_corpus():
+        return [
+            check_validity(formula, scope=scope, sorts=sorts).verdict.value
+            for _name, formula, scope, sorts in entries
+        ]
+
+    with tempfile.TemporaryDirectory() as directory:
+        store = _Path(directory) / "validity_cache.json"
+        VALIDITY_CACHE.forget_persistent()
+        clear_all_caches()
+        VALIDITY_CACHE.enable_persistence()
+        cold_elapsed, cold = timed(run_corpus)
+        saved = VALIDITY_CACHE.save(store)
+
+        VALIDITY_CACHE.forget_persistent()
+        clear_all_caches()
+        loaded = VALIDITY_CACHE.load(store)
+        warm_elapsed, warm = timed(run_corpus)
+        hits = VALIDITY_CACHE.stats()["persistent_hits"]
+        VALIDITY_CACHE.forget_persistent()
+        clear_all_caches()
+
+    return [
+        {
+            "corpus": f"{len(entries)} VCs (conformance + skeleton + EUF)",
+            "reference_s": round(cold_elapsed, 6),
+            "optimized_s": round(warm_elapsed, 6),
+            "speedup": round(cold_elapsed / warm_elapsed, 2) if warm_elapsed else None,
+            "saved_entries": saved,
+            "loaded_entries": loaded,
+            "persistent_hits": hits,
+            "hit_rate": round(hits / len(entries), 3),
+            "verdicts_agree": cold == warm,
+        }
+    ]
+
+
 def summarize(cases):
     ref = sum(case["reference_s"] for case in cases)
     new = sum(case["optimized_s"] for case in cases)
@@ -443,6 +586,32 @@ def main(argv=None) -> int:
         )
     print(f"  overall: x{workloads['spec_inference']['speedup']}")
 
+    print("== incremental_vc (fresh solver per VC vs shared session) ==")
+    cases = bench_incremental_vc(args.quick)
+    workloads["incremental_vc"] = {"cases": cases, **summarize(cases)}
+    for case in cases:
+        print(
+            f"  {case['family']:>16s} vcs={case['vcs']:<3d} width={case['width']:<4d} "
+            f"fresh {case['reference_s'] * 1000:8.2f} ms  "
+            f"session {case['optimized_s'] * 1000:8.2f} ms  "
+            f"x{case['speedup']:<6}  defs_reused={case['definition_hits']}  "
+            f"agree={case['verdicts_agree']}"
+        )
+    print(f"  overall: x{workloads['incremental_vc']['speedup']}")
+
+    print("== persistent_cache (cold store vs warm replay) ==")
+    cases = bench_persistent_cache(args.quick)
+    workloads["persistent_cache"] = {"cases": cases, **summarize(cases)}
+    for case in cases:
+        print(
+            f"  {case['corpus']:>40s} "
+            f"cold {case['reference_s'] * 1000:8.2f} ms  "
+            f"warm {case['optimized_s'] * 1000:8.2f} ms  "
+            f"x{case['speedup']:<6}  hit_rate={case['hit_rate']}  "
+            f"agree={case['verdicts_agree']}"
+        )
+    print(f"  overall: x{workloads['persistent_cache']['speedup']}")
+
     report = {
         "benchmark": (
             "smt-core: interning + compiled evaluation + CDCL watched literals"
@@ -455,6 +624,11 @@ def main(argv=None) -> int:
             "repeated_vc_speedup": workloads["repeated_vc"]["speedup"],
             "dpllt_incremental_speedup": workloads["dpllt_incremental"]["speedup"],
             "spec_inference_speedup": workloads["spec_inference"]["speedup"],
+            "incremental_vc_speedup": workloads["incremental_vc"]["speedup"],
+            "persistent_cache_speedup": workloads["persistent_cache"]["speedup"],
+            "warm_cache_hit_rate": workloads["persistent_cache"]["cases"][0][
+                "hit_rate"
+            ],
             "dpllt_models_blocked": sum(
                 case["optimized_blocked"]
                 for case in workloads["dpllt_incremental"]["cases"]

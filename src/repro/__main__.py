@@ -2,19 +2,35 @@
 
 Usage::
 
-    python -m repro            # all case studies
-    python -m repro "Figure 3" # one case study, with full detail
+    python -m repro                       # all case studies
+    python -m repro "Figure 3"            # one case study, with full detail
+    python -m repro --jobs 4              # fan independent VCs over 4 workers
+    python -m repro --cache-dir .vcache   # persistent validity cache: the
+                                          # second run starts warm (decisive
+                                          # verdicts keyed by stable term
+                                          # fingerprints survive the process)
+
+``--cache-dir`` loads ``<dir>/validity_cache.json`` before verifying and
+saves it (merged with any concurrent writers) afterwards; the final
+summary line reports in-memory vs persistent hit counts.  ``--jobs 0``
+uses every core.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
+from pathlib import Path
 
 from .casestudies import ALL_CASES, case_by_name
+from .parallel import default_jobs
+from .smt.cache import GLOBAL as VALIDITY_CACHE
+
+CACHE_FILENAME = "validity_cache.json"
 
 
-def _print_all() -> int:
+def _print_all(jobs: int) -> int:
     width = 96
     print("=" * width)
     print("CommCSL / HyperViper reproduction — verification of all case studies")
@@ -22,7 +38,7 @@ def _print_all() -> int:
     failures = 0
     for case in ALL_CASES:
         start = time.perf_counter()
-        result = case.verify()
+        result = case.verify(jobs=jobs)
         elapsed = time.perf_counter() - start
         expected = "secure" if case.expected_verified else "insecure"
         verdict = "VERIFIED" if result.verified else "REJECTED"
@@ -40,14 +56,14 @@ def _print_all() -> int:
     return 0
 
 
-def _print_one(name: str) -> int:
+def _print_one(name: str, jobs: int) -> int:
     case = case_by_name(name)
     print(f"== {case.name} ==")
     print(case.description)
     print("\n--- program ---")
     print(case.source.strip())
     print("\n--- verification ---")
-    result = case.verify()
+    result = case.verify(jobs=jobs)
     print(result.summary())
     for decl_name, report in result.validity_reports.items():
         print(f"spec {decl_name}: valid={report.valid} ({report.checks_performed} checks)")
@@ -57,13 +73,57 @@ def _print_one(name: str) -> int:
 
 
 def main(argv: list[str]) -> int:
-    if len(argv) > 1:
-        try:
-            return _print_one(argv[1])
-        except KeyError as error:
-            print(error)
-            return 2
-    return _print_all()
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Verify the paper's case studies.",
+    )
+    parser.add_argument(
+        "case",
+        nargs="?",
+        default=None,
+        help="verify one case study by name (default: all, as a table)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent VC discharge (0 = all cores)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=f"persist the validity cache to DIR/{CACHE_FILENAME} across runs",
+    )
+    args = parser.parse_args(argv[1:])
+    jobs = default_jobs() if args.jobs == 0 else max(1, args.jobs)
+
+    cache_path = None
+    if args.cache_dir is not None:
+        cache_dir = Path(args.cache_dir)
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        cache_path = cache_dir / CACHE_FILENAME
+        loaded = VALIDITY_CACHE.load(cache_path)
+        print(f"validity cache: loaded {loaded} persistent entr{'y' if loaded == 1 else 'ies'} from {cache_path}")
+
+    try:
+        if args.case is not None:
+            status = _print_one(args.case, jobs)
+        else:
+            status = _print_all(jobs)
+    except KeyError as error:
+        print(error)
+        return 2
+
+    if cache_path is not None:
+        saved = VALIDITY_CACHE.save(cache_path)
+        stats = VALIDITY_CACHE.stats()
+        print(
+            f"validity cache: {stats['hits']} memory hits, "
+            f"{stats['persistent_hits']} persistent hits, "
+            f"{stats['misses']} misses; saved {saved} entries to {cache_path}"
+        )
+    return status
 
 
 if __name__ == "__main__":

@@ -1,0 +1,132 @@
+"""Process-pool fan-out for independent verification obligations.
+
+The verifier discharges many obligations that do not depend on each
+other — one spec-validity report per resource, one conformance VC per
+atomic block, one candidate per inference step.  This module fans such
+task lists out over a :mod:`concurrent.futures` process pool and, for
+tasks that touch the SMT validity cache, merges each worker's
+fingerprint-keyed cache *delta* back into the parent's store
+(:meth:`repro.smt.cache.ValidityCache.merge`), so work done in a worker
+warms every later query in the run — and, via ``--cache-dir``, every
+later run.
+
+Graceful degradation is the contract: specifications carry arbitrary
+Python callables (abstractions, action bodies), and lambdas do not
+pickle.  ``parallel_map`` therefore *probes* picklability first and
+silently falls back to in-process sequential execution whenever the
+tasks (or the pool itself — e.g. a sandbox without working semaphores)
+cannot be shipped to workers.  Results are byte-identical either way;
+only the wall-clock changes.  Callables must be module-level for the
+pool path to engage (pickle ships functions by reference).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+
+def default_jobs() -> int:
+    """A sensible worker count for ``--jobs 0`` (all cores)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _run_task(payload: Tuple[Callable[..., Any], tuple]) -> Tuple[Any, dict]:
+    """Worker-side wrapper: run one task, return its result plus the
+    validity-cache entries the task produced (the *delta*).
+
+    The delta marker is reset first because a forked worker inherits the
+    parent's dirty set and would otherwise re-ship entries the parent
+    already has; persistence is enabled so fingerprint keys get computed
+    and the delta actually accumulates.
+    """
+    from .smt.cache import GLOBAL
+
+    fn, args = payload
+    GLOBAL.reset_delta()
+    GLOBAL.enable_persistence()
+    result = fn(*args)
+    return result, GLOBAL.export_delta()
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    jobs: int = 1,
+    chunksize: int = 1,
+    fallback_fn: Optional[Callable[[Any], Any]] = None,
+) -> List[Any]:
+    """``[fn(item) for item in items]``, fanned out over ``jobs`` worker
+    processes when possible.
+
+    Order is preserved.  With ``jobs <= 1``, a single item, unpicklable
+    tasks, or a pool that fails to start, execution is sequential and
+    in-process — running ``fallback_fn`` (default: ``fn``) so callers
+    whose pool task relies on worker-process state (e.g. a per-worker
+    solver session) can substitute an in-process equivalent.  On the
+    pool path, each worker's validity-cache delta is merged back into
+    the parent store before returning.
+    """
+    sequential = fallback_fn if fallback_fn is not None else fn
+    if jobs <= 1 or len(items) <= 1:
+        return [sequential(item) for item in items]
+    payloads = [(fn, (item,)) for item in items]
+    try:
+        pickle.dumps(payloads)
+    except Exception:  # noqa: BLE001 — lambdas/closures: stay in-process
+        return [sequential(item) for item in items]
+    try:
+        import concurrent.futures
+
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(jobs, len(items))
+        ) as pool:
+            outcomes = list(pool.map(_run_task, payloads, chunksize=chunksize))
+    except Exception:  # noqa: BLE001 — broken pool/sandbox: fall back
+        return [sequential(item) for item in items]
+
+    from .smt.cache import GLOBAL
+
+    for _result, delta in outcomes:
+        if delta:
+            GLOBAL.merge(delta)
+    return [result for result, _delta in outcomes]
+
+
+def first_in_order(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    accept: Callable[[Any], bool],
+    jobs: int = 1,
+    batch: Optional[int] = None,
+) -> Tuple[Optional[int], Optional[Any], int]:
+    """Find the first item (in sequence order) whose result satisfies
+    ``accept``; returns ``(index, result, evaluated_count)`` or
+    ``(None, None, evaluated_count)``.
+
+    Sequentially this is a plain early-exit scan.  With ``jobs > 1``
+    items are evaluated in parallel batches; the scan still stops at the
+    first accepted *index*, so the winner is identical to the sequential
+    one — only the number of evaluated candidates may overshoot by at
+    most one batch.  Used by the inference searches, whose contract is
+    "the weakest valid candidate in ranked order".
+    """
+    if jobs <= 1:
+        evaluated = 0
+        for index, item in enumerate(items):
+            evaluated += 1
+            result = fn(item)
+            if accept(result):
+                return index, result, evaluated
+        return None, None, evaluated
+    width = batch if batch is not None else max(jobs * 2, 4)
+    evaluated = 0
+    for start in range(0, len(items), width):
+        chunk = list(items[start : start + width])
+        results = parallel_map(fn, chunk, jobs=jobs)
+        evaluated += len(chunk)
+        for offset, result in enumerate(results):
+            if accept(result):
+                return start + offset, result, evaluated
+    return None, None, evaluated

@@ -9,8 +9,8 @@ baseline.
 """
 
 from .cache import GLOBAL as VALIDITY_CACHE
-from .cache import ValidityCache
-from .cnf import AtomTable, cnf_of, is_atom, to_nnf, tseitin
+from .cache import ValidityCache, persistent_key, term_fingerprint
+from .cnf import AtomTable, TseitinConverter, cnf_of, is_atom, to_nnf, tseitin
 from .compile import compile_term
 from .dpll import (
     TheoryResult,
@@ -29,6 +29,7 @@ from .euf import (
     congruence_closure_consistent,
     is_equality_atom,
 )
+from .session import SolverSession, in_euf_fragment
 from .simplify import is_literally_true, simplify
 from .solver import Result, Verdict, check_validity, find_model
 from .sorts import (
@@ -66,7 +67,9 @@ __all__ = [
     "AtomTable",
     "CongruenceClosure",
     "EqualityPropagator",
+    "SolverSession",
     "TheoryResult",
+    "TseitinConverter",
     "VALIDITY_CACHE",
     "ValidityCache",
     "WatchedSolver",
@@ -103,9 +106,12 @@ __all__ = [
     "free_symvars",
     "from_expr",
     "implies",
+    "in_euf_fragment",
     "int_constants",
     "is_atom",
     "is_equality_atom",
+    "persistent_key",
+    "term_fingerprint",
     "is_literally_true",
     "negate",
     "propositionally_valid",

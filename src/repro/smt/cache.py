@@ -1,4 +1,4 @@
-"""Cross-call validity cache.
+"""Cross-call validity cache, with an optional persistent on-disk layer.
 
 :mod:`repro.verifier.vcgen` and :mod:`repro.spec.inference` re-discharge
 many *syntactically identical* verification conditions — the same atomic
@@ -19,6 +19,23 @@ UNKNOWN means the evaluator lacked an operation, and operations may be
 registered later (:data:`repro.smt.terms.OPERATIONS` grows as resource
 actions are declared), which would make a cached UNKNOWN stale.
 
+**Persistence.**  The in-memory key above is identity-based (it holds
+interned term objects), so it cannot outlive the process.  The
+persistent layer instead keys entries by a *stable fingerprint*
+(:func:`term_fingerprint`): a blake2 digest computed structurally over
+the hash-consed DAG, independent of intern-table insertion order, of
+Python hash randomization, and of the process that produced it.  The
+layer is opt-in (:meth:`ValidityCache.enable_persistence`, or implied by
+:meth:`~ValidityCache.load`); once active, decisive results whose models
+survive a JSON round-trip are mirrored into it, ``load``/``save`` move
+it to disk (merge-on-save, so concurrent runs union their entries), and
+``export_delta``/``merge`` ship a worker process's new entries back to
+the parent store after parallel VC discharge.  Persistent-layer hits are
+counted separately from in-memory hits (``persistent_hits``), and
+:meth:`~ValidityCache.clear` — which :func:`repro.smt.intern.
+clear_all_caches` invokes — drops only the in-memory layer, never the
+persistent mirror or the on-disk store.
+
 Hit/miss counters are surfaced on every :class:`repro.smt.solver.Result`
 via its ``cache_hits``/``cache_misses`` fields; the cache itself is
 exported as :data:`GLOBAL`.
@@ -26,11 +43,15 @@ exported as :data:`GLOBAL`.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
+import os
 from typing import Any, Dict, Hashable, Mapping, Optional, Tuple
 
 from .intern import register_cache
 from .sorts import Scope, Sort
-from .terms import Term
+from .terms import App, Const, SymVar, Term
 
 #: Private miss sentinel — ``None`` is a storable value, not a miss marker.
 _MISSING = object()
@@ -59,15 +80,219 @@ def make_key(
     return fingerprint
 
 
-class ValidityCache:
-    """A keyed store of validity results with hit/miss counters."""
+# ---------------------------------------------------------------------------
+# Stable fingerprints
+# ---------------------------------------------------------------------------
 
-    __slots__ = ("hits", "misses", "_store")
+
+def _digest(*parts: str) -> str:
+    blake = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        blake.update(part.encode("utf-8", "backslashreplace"))
+        blake.update(b"\x1f")
+    return blake.hexdigest()
+
+
+def _canon(value: Any) -> str:
+    """A deterministic textual encoding of auxiliary payloads (constant
+    values, sorts, scopes).  Container order is canonicalized; dataclass
+    instances encode by class name + field values, so two processes (or
+    two intern tables) produce identical encodings for structurally
+    equal data."""
+    if value is None:
+        return "n"
+    if isinstance(value, (bool, int, float)):
+        # Python's ``==`` conflates True/1/1.0 — and so do term equality
+        # and the in-memory cache key (a documented seed behaviour).
+        # The fingerprint must be a function of the ``==``-class, or the
+        # equality-keyed memo would serve one class member's digest for
+        # another: encode every number by its canonical numeric value.
+        if isinstance(value, float) and (value != value or value.is_integer() is False):
+            return f"g{value!r}"  # non-integral or NaN: repr is canonical
+        return f"i{int(value)}"
+    if isinstance(value, str):
+        return f"s{value!r}"
+    if isinstance(value, Term):
+        return f"T{term_fingerprint(value)}"
+    if isinstance(value, (tuple, list)):
+        return "t(" + ",".join(_canon(item) for item in value) + ")"
+    if isinstance(value, (set, frozenset)):
+        return "S{" + ",".join(sorted(_canon(item) for item in value)) + "}"
+    if isinstance(value, Mapping) or (
+        hasattr(value, "items") and callable(getattr(value, "items"))
+    ):
+        entries = sorted(
+            f"{_canon(k)}:{_canon(v)}" for k, v in value.items()
+        )
+        return "M{" + ",".join(entries) + "}"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = ",".join(
+            f"{f.name}={_canon(getattr(value, f.name))}"
+            for f in dataclasses.fields(value)
+        )
+        return f"D{type(value).__qualname__}({fields})"
+    return f"r{type(value).__qualname__}:{value!r}"
+
+
+#: Equality-keyed fingerprint memo.  Registered for global clearing; a
+#: clear is harmless because fingerprints are purely structural.
+_FINGERPRINT_MEMO: Dict[Term, str] = register_cache({})
+
+
+def term_fingerprint(term: Term) -> str:
+    """A stable hex fingerprint of the term's structure.
+
+    Computed bottom-up over the hash-consed DAG (iteratively, so deeply
+    nested ``ite`` towers do not hit the recursion limit) and memoized
+    per node.  The digest depends only on structure — node kinds,
+    operator names, variable names/sorts and canonicalized constant
+    payloads — never on intern-table insertion order or object identity,
+    so structurally equal terms built in different orders, in different
+    processes, or across a table clear fingerprint identically.
+    """
+    memo = _FINGERPRINT_MEMO
+    try:
+        cached = memo.get(term, _MISSING)
+    except TypeError:
+        cached = _MISSING
+    if cached is not _MISSING:
+        return cached
+
+    local: Dict[int, str] = {}
+    stack = [(term, False)]
+    while stack:
+        node, ready = stack.pop()
+        key = id(node)
+        if not ready:
+            if key in local:
+                continue
+            try:
+                cached = memo.get(node, _MISSING)
+            except TypeError:
+                cached = _MISSING
+            if cached is not _MISSING:
+                local[key] = cached
+                continue
+            if isinstance(node, App):
+                stack.append((node, True))
+                for arg in node.args:
+                    stack.append((arg, False))
+                continue
+        if isinstance(node, App):
+            digest = _digest("A", node.op, *(local[id(arg)] for arg in node.args))
+        elif isinstance(node, SymVar):
+            digest = _digest("V", node.name, _canon(node.sort))
+        elif isinstance(node, Const):
+            digest = _digest("C", _canon(node.value))
+        else:
+            digest = _digest("X", repr(node))
+        local[key] = digest
+        try:
+            memo[node] = digest
+        except TypeError:
+            pass  # unhashable payload: computed but not memoized
+    return local[id(term)]
+
+
+def persistent_key(
+    formula: Term,
+    scope: Scope,
+    sorts: Optional[Mapping[str, Sort]],
+    exhaustive: bool,
+    use_sat: bool,
+) -> Optional[str]:
+    """The process-independent key of a validity query for the on-disk
+    store, or None when the query's payloads defeat canonicalization."""
+    try:
+        sorted_sorts = sorted((sorts or {}).items(), key=lambda kv: kv[0])
+        return _digest(
+            "K",
+            term_fingerprint(formula),
+            _canon(scope),
+            _canon(tuple(sorted_sorts)),
+            f"e{bool(exhaustive)}",
+            f"u{bool(use_sat)}",
+        )
+    except Exception:  # noqa: BLE001 — exotic payloads simply skip the disk layer
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Result (de)serialization for the persistent layer
+# ---------------------------------------------------------------------------
+
+_JSON_MODEL_TYPES = (bool, int, str, type(None))
+
+
+def encode_result(result: Any) -> Optional[dict]:
+    """A JSON-safe encoding of a decisive Result, or None if the result
+    is not persistable (UNKNOWN, or a model that would not survive a
+    JSON round-trip byte-identically)."""
+    from .solver import Result, Verdict
+
+    if not isinstance(result, Result) or result.verdict is Verdict.UNKNOWN:
+        return None
+    model = result.model
+    if model is not None:
+        model = dict(model)
+        for name, value in model.items():
+            if not isinstance(name, str) or not isinstance(value, _JSON_MODEL_TYPES):
+                return None
+    return {
+        "verdict": result.verdict.value,
+        "model": model,
+        "checked": result.checked_assignments,
+    }
+
+
+def decode_result(entry: Mapping[str, Any]) -> Optional[Any]:
+    """Rebuild a Result from :func:`encode_result` output (None if the
+    entry is malformed — e.g. hand-edited or from a future version)."""
+    from .solver import Result, Verdict
+
+    try:
+        verdict = Verdict(entry["verdict"])
+    except (KeyError, ValueError, TypeError):
+        return None
+    model = entry.get("model")
+    if model is not None and not isinstance(model, dict):
+        return None
+    try:
+        checked = int(entry.get("checked", 0))
+    except (TypeError, ValueError):
+        return None
+    return Result(verdict, model=model, checked_assignments=checked)
+
+
+# ---------------------------------------------------------------------------
+# The cache
+# ---------------------------------------------------------------------------
+
+
+class ValidityCache:
+    """A keyed store of validity results with hit/miss counters and an
+    optional fingerprint-keyed persistent layer."""
+
+    __slots__ = (
+        "hits",
+        "misses",
+        "persistent_hits",
+        "_store",
+        "_persistent",
+        "_dirty",
+        "_active",
+    )
 
     def __init__(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.persistent_hits = 0
         self._store: Dict[Hashable, Any] = {}
+        self._persistent: Dict[str, dict] = {}
+        self._dirty: set = set()
+        self._active = False
+
+    # -- in-memory layer --------------------------------------------------
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Stored result for ``key``, or ``default``.  A private sentinel
@@ -81,19 +306,156 @@ class ValidityCache:
         self.hits += 1
         return found
 
-    def put(self, key: Hashable, value: Any) -> None:
+    def put(
+        self, key: Hashable, value: Any, persistent_key: Optional[str] = None
+    ) -> None:
+        """Store a result; when the persistent layer is active and a
+        fingerprint key is supplied, mirror a JSON-safe encoding into it
+        (and into the dirty delta shipped by :meth:`export_delta`)."""
         self._store[key] = value
+        if persistent_key is not None and self._active:
+            encoded = encode_result(value)
+            if encoded is not None:
+                self._persistent[persistent_key] = encoded
+                self._dirty.add(persistent_key)
+
+    # -- persistent layer -------------------------------------------------
+
+    @property
+    def persistence_enabled(self) -> bool:
+        return self._active
+
+    def enable_persistence(self) -> None:
+        """Start mirroring decisive results under fingerprint keys (off
+        by default: fingerprinting costs a DAG walk per new query)."""
+        self._active = True
+
+    def forget_persistent(self) -> None:
+        """Drop the in-memory persistent mirror and deactivate the layer.
+        The on-disk store is untouched (only :meth:`save` writes it)."""
+        self._persistent.clear()
+        self._dirty.clear()
+        self._active = False
+
+    def get_persistent(self, persistent_key: str) -> Optional[Any]:
+        """Decode the persistent-layer entry for a fingerprint key, or
+        None.  Hits are counted in ``persistent_hits``, separate from
+        the in-memory ``hits``."""
+        entry = self._persistent.get(persistent_key)
+        if entry is None:
+            return None
+        result = decode_result(entry)
+        if result is None:
+            return None
+        self.persistent_hits += 1
+        return result
+
+    def merge(self, entries: Mapping[str, dict]) -> int:
+        """Merge encoded entries (a worker's :meth:`export_delta`, or a
+        loaded file) into the persistent layer; returns how many were
+        new.  Merging does *not* activate the layer: the entries are
+        kept (and saved by a later :meth:`save`), but lookups only
+        consult them once the caller opts in via :meth:`load` /
+        :meth:`enable_persistence` — a pool run without ``--cache-dir``
+        must not silently start fingerprinting every query."""
+        added = 0
+        for key, entry in entries.items():
+            if not isinstance(key, str) or not isinstance(entry, dict):
+                continue
+            if key not in self._persistent:
+                added += 1
+            self._persistent[key] = dict(entry)
+            self._dirty.add(key)
+        return added
+
+    def export_delta(self) -> Dict[str, dict]:
+        """The encoded entries added/changed since the last
+        :meth:`reset_delta`/:meth:`save` — what a pool worker ships back
+        to the parent process."""
+        persistent = self._persistent
+        return {
+            key: dict(persistent[key]) for key in self._dirty if key in persistent
+        }
+
+    def reset_delta(self) -> None:
+        self._dirty.clear()
+
+    def load(self, path: Any) -> int:
+        """Load an on-disk store into the persistent layer (activating
+        it).  Entries already in memory win; a missing file just
+        activates an empty layer.  Returns the number of entries loaded.
+        """
+        self._active = True
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            return 0
+        entries = data.get("entries") if isinstance(data, dict) else None
+        if not isinstance(entries, dict):
+            return 0
+        loaded = 0
+        persistent = self._persistent
+        for key, entry in entries.items():
+            if isinstance(key, str) and isinstance(entry, dict) and key not in persistent:
+                persistent[key] = entry
+                loaded += 1
+        return loaded
+
+    def save(self, path: Any) -> int:
+        """Write the persistent layer to disk, merged with whatever is
+        already there (union; in-memory entries win), atomically via a
+        sibling temp file.  Returns the number of entries written."""
+        existing: Dict[str, dict] = {}
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            if isinstance(data, dict) and isinstance(data.get("entries"), dict):
+                existing = {
+                    key: entry
+                    for key, entry in data["entries"].items()
+                    if isinstance(key, str) and isinstance(entry, dict)
+                }
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            pass
+        combined = {**existing, **self._persistent}
+        payload = {"version": 1, "entries": combined}
+        path = os.fspath(path)
+        temp_path = f"{path}.tmp.{os.getpid()}"
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=0, sort_keys=True)
+            handle.write("\n")
+        os.replace(temp_path, path)
+        self._dirty.clear()
+        return len(combined)
+
+    # -- bookkeeping ------------------------------------------------------
 
     def __len__(self) -> int:
         return len(self._store)
 
     def stats(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "size": len(self._store)}
+        """Counters; persistent-layer hits are reported separately from
+        in-memory hits (every persistent hit was first an in-memory
+        miss)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "persistent_hits": self.persistent_hits,
+            "size": len(self._store),
+            "persistent_size": len(self._persistent),
+        }
 
     def clear(self) -> None:
+        """Drop the in-memory layer and reset counters.  The persistent
+        mirror and the on-disk store survive: ``clear`` is invoked by
+        :func:`repro.smt.intern.clear_all_caches`, whose contract is to
+        drop *recomputable* state, and persistent entries are keyed by
+        structural fingerprints that remain valid across clears."""
         self._store.clear()
         self.hits = 0
         self.misses = 0
+        self.persistent_hits = 0
 
 
 #: The process-wide validity cache used by ``check_validity``.

@@ -131,94 +131,138 @@ def _to_nnf(term: Term, negated: bool) -> Term:
     raise TypeError(f"unexpected boolean connective {term.op!r}")
 
 
+class TseitinConverter:
+    """Polarity-aware (Plaisted–Greenbaum) Tseitin state that persists
+    across conversions.
+
+    A converter owns one :class:`AtomTable` plus the definition-literal
+    and emitted-direction memos, so converting a *sequence* of formulas
+    (the VCs of a proof outline, via :class:`repro.smt.session.
+    SolverSession`) shares everything structural: an atom keeps one
+    variable across all formulas that mention it, and the definition
+    clauses of a subformula are emitted exactly once per polarity over
+    the converter's whole lifetime.  Definition clauses are implications
+    about *fresh* variables, so they are globally sound and can live
+    unguarded in a shared clause database — only the per-formula root
+    assertion needs an activation guard.
+
+    :meth:`convert` returns the clauses newly emitted by this call (not
+    the accumulated database) together with the root literal; the
+    ``definition_hits`` counter records how many definition directions
+    were served from the memo instead of re-emitted.
+    """
+
+    __slots__ = ("table", "_literal_cache", "_emitted", "definition_hits")
+
+    def __init__(self, table: AtomTable | None = None) -> None:
+        self.table = table if table is not None else AtomTable()
+        self._literal_cache: Dict[Term, int] = {}  # term -> defining literal
+        self._emitted: set = set()  # (term, polarity) definition directions done
+        self.definition_hits = 0
+
+    def convert(self, term: Term) -> tuple[CNF, int]:
+        """Convert one boolean term; returns ``(new_clauses, root)``.
+
+        ``accumulated_clauses + [(root,)]`` is equisatisfiable with the
+        conjunction of every converted term's assertion, and every model
+        restricted to the theory atoms satisfies the asserted terms.
+        Definition clauses are emitted only in the direction each
+        subformula is actually observed from its (positive) root —
+        roughly half the clauses of the classical both-direction Tseitin
+        encoding — and negation/implication polarities are tracked
+        directly, so no separate NNF pass is needed.
+        """
+        table = self.table
+        clauses: CNF = []
+        literal_cache = self._literal_cache
+        emitted = self._emitted
+
+        def convert(current: Term, polarity: int) -> int:
+            if isinstance(current, App):
+                op = current.op
+                if op not in BOOL_CONNECTIVES:
+                    return table.atom(current)  # an opaque theory atom
+                if op == "not":
+                    return -convert(current.args[0], -polarity)
+                if op == "ite":
+                    condition, then_term, else_term = current.args
+                    rewritten = App(
+                        "and",
+                        (
+                            App("or", (App("not", (condition,)), then_term)),
+                            App("or", (condition, else_term)),
+                        ),
+                    )
+                    return convert(rewritten, polarity)
+                fresh = literal_cache.get(current)
+                if fresh is None:
+                    fresh = table.fresh()
+                    literal_cache[current] = fresh
+                # A shared subformula seen under both polarities gets both
+                # definition directions, each emitted once.
+                if polarity > 0:
+                    if (current, 1) in emitted:
+                        self.definition_hits += 1
+                        return fresh
+                    emitted.add((current, 1))
+                    if op == "and":
+                        # fresh ⇒ (a ∧ b): (¬fresh ∨ a), (¬fresh ∨ b)
+                        for arg in current.args:
+                            clauses.append((-fresh, convert(arg, 1)))
+                    elif op == "or":
+                        # fresh ⇒ (a ∨ b): (¬fresh ∨ a ∨ b)
+                        clauses.append(
+                            tuple([-fresh] + [convert(arg, 1) for arg in current.args])
+                        )
+                    else:  # implies, as ¬a ∨ b: (¬fresh ∨ ¬a ∨ b)
+                        left, right = current.args
+                        clauses.append((-fresh, -convert(left, -1), convert(right, 1)))
+                else:
+                    if (current, -1) in emitted:
+                        self.definition_hits += 1
+                        return fresh
+                    emitted.add((current, -1))
+                    if op == "and":
+                        # ¬fresh ⇒ ¬(a ∧ b): (fresh ∨ ¬a ∨ ¬b)
+                        clauses.append(
+                            tuple([fresh] + [-convert(arg, -1) for arg in current.args])
+                        )
+                    elif op == "or":
+                        # ¬fresh ⇒ ¬(a ∨ b): (fresh ∨ ¬a), (fresh ∨ ¬b)
+                        for arg in current.args:
+                            clauses.append((fresh, -convert(arg, -1)))
+                    else:  # ¬fresh ⇒ a ∧ ¬b
+                        left, right = current.args
+                        clauses.append((fresh, convert(left, 1)))
+                        clauses.append((fresh, -convert(right, -1)))
+                return fresh
+            if isinstance(current, Const):
+                # Encode constants as a fresh always-true/false literal.
+                literal = literal_cache.get(current)
+                if literal is None:
+                    literal = table.fresh()
+                    clauses.append((literal,) if current.value else (-literal,))
+                    literal_cache[current] = literal
+                return literal
+            if isinstance(current, SymVar):
+                return table.atom(current)
+            raise TypeError(f"not a term: {current!r}")
+
+        root = convert(term, 1)
+        return clauses, root
+
+
 def tseitin(term: Term) -> tuple[CNF, AtomTable, int]:
     """Polarity-aware (Plaisted–Greenbaum) CNF of a boolean term.
 
-    Returns ``(clauses, atoms, root)`` where ``root`` is a literal such
-    that ``clauses + [(root,)]`` is equisatisfiable with the input, and
-    every model of it restricted to the theory atoms satisfies the
-    input.  Definition clauses are emitted only in the direction each
-    subformula is actually observed from the (positive) root — roughly
-    half the clauses of the classical both-direction Tseitin encoding —
-    and negation/implication polarities are tracked directly, so no
-    separate NNF pass is needed.
+    One-shot form of :class:`TseitinConverter`: returns ``(clauses,
+    atoms, root)`` where ``root`` is a literal such that ``clauses +
+    [(root,)]`` is equisatisfiable with the input, and every model of it
+    restricted to the theory atoms satisfies the input.
     """
-    table = AtomTable()
-    clauses: CNF = []
-    literal_cache: Dict[Term, int] = {}  # term -> defining literal
-    emitted: set = set()  # (term, polarity) definition directions done
-
-    def convert(current: Term, polarity: int) -> int:
-        if isinstance(current, App):
-            op = current.op
-            if op not in BOOL_CONNECTIVES:
-                return table.atom(current)  # an opaque theory atom
-            if op == "not":
-                return -convert(current.args[0], -polarity)
-            if op == "ite":
-                condition, then_term, else_term = current.args
-                rewritten = App(
-                    "and",
-                    (
-                        App("or", (App("not", (condition,)), then_term)),
-                        App("or", (condition, else_term)),
-                    ),
-                )
-                return convert(rewritten, polarity)
-            fresh = literal_cache.get(current)
-            if fresh is None:
-                fresh = table.fresh()
-                literal_cache[current] = fresh
-            # A shared subformula seen under both polarities gets both
-            # definition directions, each emitted once.
-            if polarity > 0:
-                if (current, 1) in emitted:
-                    return fresh
-                emitted.add((current, 1))
-                if op == "and":
-                    # fresh ⇒ (a ∧ b): (¬fresh ∨ a), (¬fresh ∨ b)
-                    for arg in current.args:
-                        clauses.append((-fresh, convert(arg, 1)))
-                elif op == "or":
-                    # fresh ⇒ (a ∨ b): (¬fresh ∨ a ∨ b)
-                    clauses.append(
-                        tuple([-fresh] + [convert(arg, 1) for arg in current.args])
-                    )
-                else:  # implies, as ¬a ∨ b: (¬fresh ∨ ¬a ∨ b)
-                    left, right = current.args
-                    clauses.append((-fresh, -convert(left, -1), convert(right, 1)))
-            else:
-                if (current, -1) in emitted:
-                    return fresh
-                emitted.add((current, -1))
-                if op == "and":
-                    # ¬fresh ⇒ ¬(a ∧ b): (fresh ∨ ¬a ∨ ¬b)
-                    clauses.append(
-                        tuple([fresh] + [-convert(arg, -1) for arg in current.args])
-                    )
-                elif op == "or":
-                    # ¬fresh ⇒ ¬(a ∨ b): (fresh ∨ ¬a), (fresh ∨ ¬b)
-                    for arg in current.args:
-                        clauses.append((fresh, -convert(arg, -1)))
-                else:  # ¬fresh ⇒ a ∧ ¬b
-                    left, right = current.args
-                    clauses.append((fresh, convert(left, 1)))
-                    clauses.append((fresh, -convert(right, -1)))
-            return fresh
-        if isinstance(current, Const):
-            # Encode constants as a fresh always-true/false literal.
-            literal = literal_cache.get(current)
-            if literal is None:
-                literal = table.fresh()
-                clauses.append((literal,) if current.value else (-literal,))
-                literal_cache[current] = literal
-            return literal
-        if isinstance(current, SymVar):
-            return table.atom(current)
-        raise TypeError(f"not a term: {current!r}")
-
-    root = convert(term, 1)
-    return clauses, table, root
+    converter = TseitinConverter()
+    clauses, root = converter.convert(term)
+    return clauses, converter.table, root
 
 
 def cnf_of(term: Term) -> tuple[CNF, AtomTable]:

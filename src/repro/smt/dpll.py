@@ -98,11 +98,11 @@ class WatchedSolver:
         "_assign", "_level", "_reason", "_trail", "_trail_lim",
         "_head", "_theory_head", "_heap", "_pinned", "_theory_reasons",
         # counters (exposed for tests and benchmarks)
-        "conflicts", "restarts", "learned_clauses",
+        "conflicts", "restarts", "learned_clauses", "retired_clauses",
     )
 
     def __init__(self, clauses: Iterable[Clause] = ()) -> None:
-        self._clauses: List[List[int]] = []
+        self._clauses: List[Optional[List[int]]] = []
         self._learned: List[bool] = []
         self._watches: Dict[int, List[int]] = {}
         self._units: List[int] = []
@@ -126,6 +126,7 @@ class WatchedSolver:
         self.conflicts = 0
         self.restarts = 0
         self.learned_clauses = 0
+        self.retired_clauses = 0
         for clause in clauses:
             self.add_clause(clause)
 
@@ -189,6 +190,62 @@ class WatchedSolver:
         watches = self._watches
         watches.setdefault(literals[0], []).append(index)
         watches.setdefault(literals[1], []).append(index)
+
+    # -- incremental sessions --------------------------------------------
+
+    def clause_mark(self) -> int:
+        """A position in the clause database; pass to :meth:`retire` to
+        restrict its scan to clauses added at or after the mark."""
+        return len(self._clauses)
+
+    def live_clauses(self) -> List[List[int]]:
+        """The non-retired clauses (input and learned), for inspection."""
+        return [clause for clause in self._clauses if clause is not None]
+
+    def retire(self, variable: int, since: int = 0) -> int:
+        """Permanently drop every clause mentioning ``variable``.
+
+        This is the MiniSat-style retirement of an *activation* variable:
+        a VC's clauses are guarded by ``¬a`` (with ``a`` asserted as an
+        assumption while the VC is live), and since no clause ever
+        contains the positive literal ``a``, resolution can never cancel
+        ``¬a`` — so every clause mentioning the variable (the guarded
+        originals plus any clause learned from them) is exactly the set
+        of clauses whose truth depends on the retired query, and dropping
+        them is sound.  ``since`` should be the :meth:`clause_mark` taken
+        just before the guarded clauses were added, which keeps the scan
+        proportional to the clauses of the retired query.
+
+        Root-level unit facts on the variable (e.g. a learned ``¬a``
+        recording that the query was unsatisfiable) are dropped too, so
+        the database keeps no trace of the retired session.  Returns the
+        number of clauses removed.
+        """
+        clauses = self._clauses
+        watches = self._watches
+        removed = 0
+        for index in range(since, len(clauses)):
+            clause = clauses[index]
+            if clause is None:
+                continue
+            if variable not in clause and -variable not in clause:
+                continue
+            # The two watched literals are maintained in positions 0/1.
+            for watched in clause[:2]:
+                watchers = watches.get(watched)
+                if watchers is not None:
+                    try:
+                        watchers.remove(index)
+                    except ValueError:
+                        pass
+            clauses[index] = None
+            removed += 1
+        for literal in (variable, -variable):
+            if literal in self._unit_set:
+                self._unit_set.discard(literal)
+                self._units.remove(literal)
+        self.retired_clauses += removed
+        return removed
 
     # -- search ----------------------------------------------------------
 
@@ -558,8 +615,8 @@ class WatchedSolver:
         )
         learned_flags = self._learned
         for clause_index, clause in enumerate(self._clauses):
-            if learned_flags[clause_index]:
-                continue
+            if clause is None or learned_flags[clause_index]:
+                continue  # retired clauses impose nothing
             best: Optional[int] = None
             best_rank = -1
             satisfied_by_needed = False

@@ -223,10 +223,8 @@ class EqualityPropagator:
     def __init__(self, table) -> None:
         #: var -> (left, right, positive-literal-means-equality)
         self._atoms: Dict[int, Tuple[Term, Term, bool]] = {}
-        for index, term in table.atoms().items():
-            if is_equality_atom(term):
-                left, right = term.args
-                self._atoms[index] = (left, right, term.op == "==")
+        self._table = table
+        self.rescan()
         self._stack: List[int] = []  # mirrored trail (0 for ignored literals)
         self._eq_lits: List[int] = []
         self._diseqs: List[Tuple[int, Term, Term]] = []
@@ -238,6 +236,21 @@ class EqualityPropagator:
     def atom_vars(self) -> Iterable[int]:
         """The boolean variables this propagator may assert or consume."""
         return self._atoms.keys()
+
+    def rescan(self) -> None:
+        """Pick up atoms added to the table since construction.
+
+        A :class:`~repro.smt.session.SolverSession` keeps one propagator
+        over a *growing* shared atom table: each new VC may introduce new
+        equality atoms, registered here before the next ``solve``.  Known
+        atoms keep their entries (the dict is only extended), so the
+        mirrored trail stays consistent across rescans.
+        """
+        atoms = self._atoms
+        for index, term in self._table.atoms().items():
+            if index not in atoms and is_equality_atom(term):
+                left, right = term.args
+                atoms[index] = (left, right, term.op == "==")
 
     def reset(self) -> None:
         """Forget the mirrored trail (start of a ``solve`` call)."""

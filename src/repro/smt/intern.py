@@ -84,6 +84,10 @@ class InternTable:
     def __len__(self) -> int:
         return len(self._table)
 
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/size counters for this table."""
+        return {"hits": self.hits, "misses": self.misses, "size": len(self)}
+
     def clear(self) -> None:
         self._table.clear()
 
@@ -121,7 +125,4 @@ def memoize_term_fn(fn: Callable[[Any], Any]) -> Callable[[Any], Any]:
 
 def stats() -> Dict[str, Dict[str, int]]:
     """Hit/miss/size counters for the three intern tables."""
-    return {
-        table.name: {"hits": table.hits, "misses": table.misses, "size": len(table)}
-        for table in (CONSTS, SYMVARS, APPS)
-    }
+    return {table.name: table.stats() for table in (CONSTS, SYMVARS, APPS)}

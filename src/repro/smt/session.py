@@ -1,0 +1,203 @@
+"""Incremental solver sessions: one shared CDCL solver per verification run.
+
+A proof outline discharges many small, structurally related validity
+obligations.  Before this module each obligation built a fresh
+:class:`~repro.smt.dpll.WatchedSolver` (and a fresh Tseitin conversion),
+throwing away learned clauses, VSIDS activities, saved phases and theory
+lemmas between VCs.  A :class:`SolverSession` keeps all of that alive
+across the obligations of a run, MiniSat-style:
+
+* the session owns one :class:`~repro.smt.cnf.TseitinConverter` (shared
+  atom table + definition memo) and one shared solver per fragment, so a
+  subformula occurring in several VCs is converted once and its
+  definition clauses are emitted once;
+* each VC is *activated* by a fresh assumption literal ``a``: the VC's
+  root assertion is added as the guarded clause ``(root ∨ ¬a)`` and the
+  query is solved under the assumption ``a``.  Clauses learned while
+  ``a`` is assumed mention ``¬a`` (no clause ever contains the positive
+  literal, so resolution cannot cancel it), which keeps them valid for
+  every later query;
+* after the query the activation literal is *retired*
+  (:meth:`~repro.smt.dpll.WatchedSolver.retire`): the guarded clause and
+  every learned clause mentioning ``¬a`` are dropped, so the clause
+  database stays lean while activation-independent derived facts —
+  theory lemmas, blocking clauses, premise-free units, variable
+  activities and phases — carry over to the next obligation.
+
+Two sub-sessions are kept, because their soundness regimes differ: a
+*skeleton* session (no theory attached) answering propositional-validity
+queries over arbitrary atoms, and an *EUF* session whose shared atom
+table only ever contains ``==``/``!=`` atoms, with one incrementally
+rescanned :class:`~repro.smt.euf.EqualityPropagator` attached.  VCs
+outside the equality fragment fall back to the one-shot
+:func:`~repro.smt.dpll.euf_valid` path, byte-for-byte preserving the
+fresh-solver verdicts (the differential harness in
+``tests/property/test_session_differential.py`` pins this).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .cnf import TseitinConverter, is_atom
+from .dpll import WatchedSolver, _theory_literals, euf_valid
+from .euf import EqualityPropagator, congruence_closure_consistent, is_equality_atom
+from .terms import App, Const, Term
+
+
+def in_euf_fragment(term: Term) -> bool:
+    """True iff every atom of the term is a binary ``==``/``!=`` atom and
+    at least one atom occurs — the fragment the shared EUF sub-session
+    may accept without poisoning its propagator's atom table."""
+    found = False
+    stack = [term]
+    visited: set = set()
+    while stack:
+        current = stack.pop()
+        if isinstance(current, Const):
+            continue
+        if is_atom(current):
+            if not is_equality_atom(current):
+                return False
+            found = True
+            continue
+        marker = id(current)
+        if marker in visited:
+            continue
+        visited.add(marker)
+        stack.extend(current.args)  # a boolean connective App
+    return found
+
+
+class _SubSession:
+    """One shared converter + solver (optionally with an EUF theory)."""
+
+    __slots__ = ("converter", "solver", "propagator", "queries")
+
+    def __init__(self, theory: bool) -> None:
+        self.converter = TseitinConverter()
+        self.solver = WatchedSolver()
+        self.propagator = (
+            EqualityPropagator(self.converter.table) if theory else None
+        )
+        self.queries = 0
+
+    def activate(self, formula: Term) -> Tuple[int, int]:
+        """Convert ``formula`` into the shared database behind a fresh
+        activation literal; returns ``(activation, retirement_mark)``."""
+        clauses, root = self.converter.convert(formula)
+        solver = self.solver
+        for clause in clauses:
+            solver.add_clause(clause)
+        activation = self.converter.table.fresh()
+        mark = solver.clause_mark()
+        solver.add_clause((root, -activation))
+        if self.propagator is not None:
+            # New VCs may introduce new equality atoms: rescan the shared
+            # table and (re-)attach so the solver notes the new variables.
+            self.propagator.rescan()
+            solver.attach_theory(self.propagator)
+        self.queries += 1
+        return activation, mark
+
+
+class SolverSession:
+    """Shared incremental solving for the VCs of one verification run.
+
+    The two entry points mirror the module-level fast paths of
+    :func:`repro.smt.solver.check_validity` and return the same verdicts
+    (``propositionally_valid`` → bool; ``euf_valid`` → True/False/None),
+    but amortize conversion and search state across calls.  A session is
+    single-threaded and cheap to construct; create one per verification
+    run (or per worker process) and pass it to ``check_validity``.
+    """
+
+    __slots__ = ("_skeleton", "_euf", "max_models", "models_blocked", "fallbacks")
+
+    def __init__(self, max_models: int = 10_000) -> None:
+        self._skeleton = _SubSession(theory=False)
+        self._euf = _SubSession(theory=True)
+        self.max_models = max_models
+        self.models_blocked = 0
+        #: Queries outside the EUF fragment, served by a one-shot solver.
+        self.fallbacks = 0
+
+    # -- fast paths -------------------------------------------------------
+
+    def propositionally_valid(self, term: Term) -> bool:
+        """Shared-solver counterpart of :func:`repro.smt.dpll.
+        propositionally_valid` (atoms opaque)."""
+        negated = App("not", (term,))
+        sub = self._skeleton
+        activation, mark = sub.activate(negated)
+        try:
+            model = sub.solver.solve([activation])
+        finally:
+            sub.solver.retire(activation, since=mark)
+        return model is None
+
+    def euf_valid(self, term: Term) -> Optional[bool]:
+        """Shared-solver counterpart of :func:`repro.smt.dpll.euf_valid`:
+        True/False for formulas in the ground-equality fragment, None if
+        undecided; out-of-fragment formulas keep the one-shot lazy path.
+        """
+        if not in_euf_fragment(term):
+            self.fallbacks += 1
+            return euf_valid(term, max_models=self.max_models)
+        negated = App("not", (term,))
+        sub = self._euf
+        activation, mark = sub.activate(negated)
+        solver = sub.solver
+        table = sub.converter.table
+        try:
+            for _ in range(self.max_models):
+                model = solver.solve([activation])
+                if model is None:
+                    return True  # negation unsatisfiable: valid
+                split = _theory_literals(model, table)
+                if split is None:  # unreachable: the shared table is pure
+                    return None
+                equalities, disequalities = split
+                if congruence_closure_consistent(equalities, disequalities):
+                    return False  # a genuine theory countermodel
+                # Block the theory-inconsistent boolean model.  The
+                # blocking clause states that this atom conjunction is
+                # theory-inconsistent — a theory lemma, globally sound,
+                # so it is added unguarded and survives retirement.
+                blocking = tuple(
+                    -index if value else index
+                    for index, value in sorted(model.items())
+                    if table.term_of(index) is not None
+                )
+                if not blocking:
+                    return True
+                solver.add_clause(blocking)
+                self.models_blocked += 1
+            return None  # model budget exhausted: undecided
+        finally:
+            solver.retire(activation, since=mark)
+
+    # -- introspection ----------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for benchmarks and tests."""
+        skeleton, euf = self._skeleton, self._euf
+        return {
+            "queries": skeleton.queries + euf.queries,
+            "skeleton_queries": skeleton.queries,
+            "euf_queries": euf.queries,
+            "fallbacks": self.fallbacks,
+            "models_blocked": self.models_blocked,
+            "definition_hits": (
+                skeleton.converter.definition_hits + euf.converter.definition_hits
+            ),
+            "learned_clauses": (
+                skeleton.solver.learned_clauses + euf.solver.learned_clauses
+            ),
+            "retired_clauses": (
+                skeleton.solver.retired_clauses + euf.solver.retired_clauses
+            ),
+            "live_clauses": (
+                len(skeleton.solver.live_clauses()) + len(euf.solver.live_clauses())
+            ),
+        }

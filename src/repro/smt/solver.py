@@ -34,7 +34,10 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, replace
 from enum import Enum
-from typing import Any, Mapping, Optional
+from typing import TYPE_CHECKING, Any, Mapping, Optional
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    from .session import SolverSession
 
 from . import cache as validity_cache
 from .compile import compile_term
@@ -79,6 +82,7 @@ def check_validity(
     exhaustive: bool = False,
     use_sat: bool = True,
     use_cache: bool = True,
+    session: "SolverSession | None" = None,
 ) -> Result:
     """Check that ``formula`` holds for all assignments to its free
     symbolic variables.
@@ -92,46 +96,75 @@ def check_validity(
     propositional tautology is valid under every theory) and, for
     formulas whose atoms are ground (dis)equalities, a lazy DPLL(T) loop
     with congruence closure — both yield genuine PROVED verdicts, not
-    bounded ones.
+    bounded ones.  Passing a :class:`~repro.smt.session.SolverSession`
+    routes both fast paths through its shared incremental solvers
+    (assumption-activated VCs over one clause database) instead of
+    building a fresh solver per query; verdicts are unchanged.
 
     With ``use_cache`` (default), decisive results are memoized across
     calls keyed on the interned formula + scope + sorts; repeated
-    discharges of syntactically identical VCs are O(1).  Cache hits are
-    flagged on the result (``from_cache``) and the process-wide hit/miss
-    counters ride along on every result.
+    discharges of syntactically identical VCs are O(1).  When the
+    process-wide cache has its persistent layer active (loaded from a
+    ``--cache-dir`` store, or explicitly enabled), in-memory misses
+    additionally consult the fingerprint-keyed persistent entries, so
+    repeated CLI/CI invocations start warm.  Cache hits are flagged on
+    the result (``from_cache``) and the process-wide hit/miss counters
+    ride along on every result.
     """
     scope = scope or Scope()
     scope = scope.widen(tuple(int_constants(formula)))
 
+    cache = validity_cache.GLOBAL
     key = None
+    pkey = None
     if use_cache:
         key = validity_cache.make_key(formula, scope, sorts, exhaustive, use_sat)
         if key is not None:
-            hit = validity_cache.GLOBAL.get(key)
+            hit = cache.get(key)
             if hit is not None:
                 return replace(
                     hit,
                     model=dict(hit.model) if hit.model is not None else None,
                     from_cache=True,
-                    cache_hits=validity_cache.GLOBAL.hits,
-                    cache_misses=validity_cache.GLOBAL.misses,
+                    cache_hits=cache.hits,
+                    cache_misses=cache.misses,
                 )
+            if cache.persistence_enabled:
+                pkey = validity_cache.persistent_key(
+                    formula, scope, sorts, exhaustive, use_sat
+                )
+                if pkey is not None:
+                    persisted = cache.get_persistent(pkey)
+                    if persisted is not None:
+                        # Promote into the in-memory layer so later
+                        # lookups are O(1) identity-keyed hits.
+                        cache.put(key, persisted)
+                        return replace(
+                            persisted,
+                            model=dict(persisted.model)
+                            if persisted.model is not None
+                            else None,
+                            from_cache=True,
+                            cache_hits=cache.hits,
+                            cache_misses=cache.misses,
+                        )
 
-    result = _check_validity(formula, scope, sorts, exhaustive, use_sat)
+    result = _check_validity(formula, scope, sorts, exhaustive, use_sat, session)
     if key is not None and result.verdict is not Verdict.UNKNOWN:
         # Store a private model snapshot so callers mutating their copy
         # cannot corrupt later hits.
-        validity_cache.GLOBAL.put(
+        cache.put(
             key,
             replace(
                 result,
                 model=dict(result.model) if result.model is not None else None,
             ),
+            persistent_key=pkey,
         )
     return replace(
         result,
-        cache_hits=validity_cache.GLOBAL.hits,
-        cache_misses=validity_cache.GLOBAL.misses,
+        cache_hits=cache.hits,
+        cache_misses=cache.misses,
     )
 
 
@@ -141,6 +174,7 @@ def _check_validity(
     sorts: Mapping[str, Sort] | None,
     exhaustive: bool,
     use_sat: bool,
+    session: "SolverSession | None" = None,
 ) -> Result:
     simplified = simplify(formula)
     if simplified == Const(True):
@@ -149,11 +183,16 @@ def _check_validity(
         return Result(Verdict.REFUTED, model={})
 
     if use_sat:
-        from .dpll import euf_valid, propositionally_valid
+        if session is not None:
+            if session.propositionally_valid(simplified):
+                return Result(Verdict.PROVED)
+            euf = session.euf_valid(simplified)
+        else:
+            from .dpll import euf_valid, propositionally_valid
 
-        if propositionally_valid(simplified):
-            return Result(Verdict.PROVED)
-        euf = euf_valid(simplified)
+            if propositionally_valid(simplified):
+                return Result(Verdict.PROVED)
+            euf = euf_valid(simplified)
         if euf is True:
             return Result(Verdict.PROVED)
         # euf False means a *theory* countermodel exists but no concrete
@@ -206,11 +245,12 @@ def find_model(
     formula: Term,
     scope: Scope | None = None,
     sorts: Mapping[str, Sort] | None = None,
+    session: "SolverSession | None" = None,
 ) -> Optional[Mapping[str, Any]]:
     """Find an assignment satisfying ``formula`` (SAT), or None in scope."""
     from .terms import negate
 
-    result = check_validity(negate(formula), scope, sorts)
+    result = check_validity(negate(formula), scope, sorts, session=session)
     if result.verdict == Verdict.REFUTED:
         return result.model
     return None

@@ -213,6 +213,31 @@ def check_validity(
     return ValidityReport(spec.name, not all_ce, all_ce, checks_a + checks_b)
 
 
+def _spec_report_task(spec: ResourceSpecification) -> ValidityReport:
+    """Module-level task wrapper so process-pool workers can import it."""
+    return check_validity(spec)
+
+
+def check_validity_batch(
+    specs: Iterable[ResourceSpecification],
+    jobs: int = 1,
+) -> list[ValidityReport]:
+    """Def. 3.1 reports for several *independent* specifications.
+
+    With ``jobs > 1`` the checks fan out over a process pool
+    (:func:`repro.parallel.parallel_map`); specifications whose callables
+    cannot be pickled (lambda abstractions and action bodies) silently
+    fall back to in-process sequential checking, so the reports are
+    identical either way.  Order follows the input order.
+    """
+    specs = list(specs)
+    if jobs <= 1 or len(specs) <= 1:
+        return [check_validity(spec) for spec in specs]
+    from ..parallel import parallel_map
+
+    return parallel_map(_spec_report_task, specs, jobs=jobs)
+
+
 def fuzz_validity(
     spec: ResourceSpecification,
     value_gen: Callable[[random.Random], Any],

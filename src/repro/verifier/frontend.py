@@ -24,12 +24,40 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from ..security.noninterference import NIReport, check_noninterference
-from ..spec.validity import ValidityReport, check_validity
+from ..smt.session import SolverSession
+from ..spec.validity import ValidityReport, check_validity_batch
 from .analysis import Obligation, TaintAnalyzer
 from .conformance import ConformanceReport, check_conformance
 from .declarations import ProgramSpec
 
 InstanceGenerator = Callable[[], Sequence[Sequence[dict]]]
+
+#: One shared solver session per *worker process* for parallel
+#: conformance discharge: obligations shipped to the same worker reuse
+#: each other's learned clauses and Tseitin definitions, and the worker's
+#: validity-cache delta flows back to the parent via repro.parallel.
+_WORKER_SESSION: Optional[SolverSession] = None
+
+
+def _discharge_one(decl, atomic, session) -> tuple:
+    """Discharge one conformance VC; VCErrors become data (they must
+    survive a process-pool hop)."""
+    from .vcgen import VCError, discharge_conformance
+
+    try:
+        return ("ok", discharge_conformance(decl, atomic, session=session))
+    except VCError as error:
+        return ("vcerror", str(error))
+
+
+def _conformance_task(payload: tuple) -> tuple:
+    """Pool task: discharge one (decl, atomic) pair on the worker's
+    shared session."""
+    global _WORKER_SESSION
+    if _WORKER_SESSION is None:
+        _WORKER_SESSION = SolverSession()
+    decl, atomic = payload
+    return _discharge_one(decl, atomic, _WORKER_SESSION)
 
 
 @dataclass
@@ -100,6 +128,8 @@ def verify(
     exhaustive_discharge: bool = False,
     conformance_samples: int = 6,
     conformance_mode: str = "auto",
+    jobs: int = 1,
+    use_session: bool = True,
 ) -> VerificationResult:
     """Run the full verification pipeline on one program.
 
@@ -112,15 +142,27 @@ def verify(
       cells) fall back to semantic sampling;
     * ``"symbolic"`` — symbolic only; out-of-fragment blocks error;
     * ``"sampling"`` — semantic sampling only (the pre-VC behaviour).
+
+    ``jobs > 1`` fans the independent obligations — per-resource Def. 3.1
+    validity in stage 1, per-block conformance VCs in stage 3 — out over
+    a process pool, merging each worker's validity-cache delta back into
+    the parent store (sequential fallback when the spec's callables do
+    not pickle; verdicts are identical either way).  ``use_session``
+    (default) discharges the run's conformance VCs on one shared
+    incremental :class:`~repro.smt.session.SolverSession` instead of a
+    fresh solver per VC.
     """
     if conformance_mode not in ("auto", "symbolic", "sampling"):
         raise ValueError(f"unknown conformance_mode {conformance_mode!r}")
     errors: list[str] = []
 
-    # Stage 1: specification validity (Def. 3.1).
+    # Stage 1: specification validity (Def. 3.1) — one independent
+    # obligation per resource, fanned out when jobs > 1.
     validity_reports: dict[str, ValidityReport] = {}
-    for decl in program_spec.resources:
-        report = check_validity(decl.spec)
+    reports = check_validity_batch(
+        (decl.spec for decl in program_spec.resources), jobs=jobs
+    )
+    for decl, report in zip(program_spec.resources, reports):
         validity_reports[decl.name] = report
         if not report.valid:
             for counterexample in report.counterexamples:
@@ -132,21 +174,61 @@ def verify(
     errors.extend(analysis.errors)
 
     # Stage 3: action conformance of every annotated atomic block —
-    # symbolically where possible, by semantic sampling otherwise.
+    # symbolically where possible, by semantic sampling otherwise.  The
+    # symbolic discharges are independent VCs: they run up front, either
+    # over the process pool (jobs > 1) or on one shared solver session.
     from ..smt.solver import Verdict
-    from .vcgen import VCError, discharge_conformance
+
+    eligible = [
+        atomic
+        for atomic in analysis.atomic_blocks
+        if conformance_mode in ("auto", "symbolic") and atomic.when is None
+    ]
+    symbolic_outcomes: dict[int, tuple] = {}
+    if eligible:
+        payloads = [
+            (program_spec.resource_by_action(atomic.action), atomic)
+            for atomic in eligible
+        ]
+        run_session = SolverSession() if use_session else None
+
+        def _discharge_in_process(payload):
+            decl, atomic = payload
+            return _discharge_one(decl, atomic, run_session)
+
+        if jobs > 1 and len(payloads) > 1:
+            from ..parallel import parallel_map
+
+            # The pool task keeps one session per *worker process*; when
+            # the pool cannot engage (unpicklable spec callables, broken
+            # pool), the fallback stays on this run's own session so
+            # nothing leaks across verify() calls and ``use_session``
+            # keeps its meaning.
+            outcomes = parallel_map(
+                _conformance_task,
+                payloads,
+                jobs=jobs,
+                fallback_fn=_discharge_in_process,
+            )
+        else:
+            outcomes = [_discharge_in_process(payload) for payload in payloads]
+        symbolic_outcomes = {
+            id(atomic): outcome for atomic, outcome in zip(eligible, outcomes)
+        }
 
     conformance_reports: list[ConformanceReport] = []
     symbolic_conformance: list[tuple[str, str]] = []
     for atomic in analysis.atomic_blocks:
         decl = program_spec.resource_by_action(atomic.action)
         symbolic_result = None
-        if conformance_mode in ("auto", "symbolic") and atomic.when is None:
-            try:
-                symbolic_result = discharge_conformance(decl, atomic)
-            except VCError as error:
+        outcome = symbolic_outcomes.get(id(atomic))
+        if outcome is not None:
+            kind, value = outcome
+            if kind == "ok":
+                symbolic_result = value
+            else:  # the block is outside the symbolic fragment
                 if conformance_mode == "symbolic":
-                    errors.append(f"atomic [{atomic.action}]: symbolic conformance failed: {error}")
+                    errors.append(f"atomic [{atomic.action}]: symbolic conformance failed: {value}")
                     continue
                 symbolic_result = None
         elif conformance_mode == "symbolic":

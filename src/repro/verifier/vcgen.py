@@ -218,6 +218,7 @@ def discharge_conformance(
     decl: ResourceDecl,
     atomic: Atomic,
     scope: Optional[Scope] = None,
+    session: Optional[Any] = None,
 ) -> Result:
     """Generate and discharge the conformance VC of an atomic block.
 
@@ -230,13 +231,16 @@ def discharge_conformance(
     per spec, re-discharging a syntactically identical VC (the common
     case across proof outlines and repeated verifier runs) is answered
     by the cross-call validity cache; the result's ``from_cache`` flag
-    records when that happened.
+    records when that happened.  ``session`` (a
+    :class:`repro.smt.session.SolverSession`) routes the solver fast
+    paths through one shared incremental solver, so the obligations of a
+    verification run reuse each other's conversion and search state.
     """
     vc = conformance_vc(decl, atomic)
     extra_ints, cell_sort = _spec_discharge_params(decl.spec)
     scope = (scope or Scope()).widen(extra_ints)
     sorts: Dict[str, Sort] = {CELL: cell_sort}
-    return check_validity(vc.formula, scope=scope, sorts=sorts)
+    return check_validity(vc.formula, scope=scope, sorts=sorts, session=session)
 
 
 def symbolic_conformance_ok(decl: ResourceDecl, atomic: Atomic) -> Optional[bool]:

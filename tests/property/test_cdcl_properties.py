@@ -279,3 +279,95 @@ class TestTheoryPropagation:
         result = dpllt_equality(term)
         assert result is not None  # pure EUF: always decided
         assert result.models_blocked == 0
+
+
+# ---------------------------------------------------------------------------
+# Assumption-based activation + retirement (the SolverSession contract)
+# ---------------------------------------------------------------------------
+
+
+def _activation_var(clauses, used):
+    top = max((abs(lit) for clause in clauses for lit in clause), default=0)
+    return max(top, used) + 1
+
+
+class TestActivationRetirement:
+    @given(st.lists(cnf_instances(), min_size=1, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_activated_queries_agree_with_reference(self, batches):
+        """A sequence of CNFs discharged MiniSat-style on one shared
+        solver — each batch guarded by a fresh activation literal,
+        solved under the assumption, then retired — must decide exactly
+        what a fresh reference solve of each batch decides."""
+        shared = WatchedSolver()
+        used = 0
+        for clauses in batches:
+            activation = _activation_var(clauses, used)
+            used = activation
+            mark = shared.clause_mark()
+            for clause in clauses:
+                shared.add_clause(tuple(clause) + (-activation,))
+            shared_verdict = shared.solve([activation]) is not None
+            shared.retire(activation, since=mark)
+            fresh_verdict = reference.dpll_reference(list(clauses)) is not None
+            assert shared_verdict == fresh_verdict
+
+    @given(st.lists(cnf_instances(), min_size=1, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_learned_clauses_never_mention_retired_activations(self, batches):
+        shared = WatchedSolver()
+        used = 0
+        retired = []
+        for clauses in batches:
+            activation = _activation_var(clauses, used)
+            used = activation
+            mark = shared.clause_mark()
+            for clause in clauses:
+                shared.add_clause(tuple(clause) + (-activation,))
+            shared.solve([activation])
+            shared.retire(activation, since=mark)
+            retired.append(activation)
+            for clause in shared.live_clauses():
+                for literal in clause:
+                    assert abs(literal) not in retired
+            for literal in shared._unit_set:
+                assert abs(literal) not in retired
+
+    @given(cnf_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_retirement_restores_satisfiability(self, clauses):
+        """After retiring an (arbitrarily hard) activated query, the
+        shared database must be satisfiable again — queries leave no
+        constraint behind, not even when they were UNSAT."""
+        shared = WatchedSolver()
+        activation = _activation_var(clauses, 0)
+        mark = shared.clause_mark()
+        for clause in clauses:
+            shared.add_clause(tuple(clause) + (-activation,))
+        shared.solve([activation])
+        shared.retire(activation, since=mark)
+        assert shared.solve() is not None
+
+    @given(st.lists(cnf_instances(), min_size=2, max_size=3))
+    @settings(max_examples=40, deadline=None)
+    def test_interleaved_sessions_do_not_cross_talk(self, batches):
+        """Solving the batches through one shared solver in any order
+        gives the same per-batch verdicts as solving them fresh."""
+        verdicts_fresh = [
+            reference.dpll_reference(list(clauses)) is not None
+            for clauses in batches
+        ]
+        for order in (list(range(len(batches))), list(reversed(range(len(batches))))):
+            shared = WatchedSolver()
+            used = 0
+            got = {}
+            for index in order:
+                clauses = batches[index]
+                activation = _activation_var(clauses, used)
+                used = activation
+                mark = shared.clause_mark()
+                for clause in clauses:
+                    shared.add_clause(tuple(clause) + (-activation,))
+                got[index] = shared.solve([activation]) is not None
+                shared.retire(activation, since=mark)
+            assert [got[i] for i in range(len(batches))] == verdicts_fresh

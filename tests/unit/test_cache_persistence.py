@@ -1,0 +1,166 @@
+"""Unit contract of the persistent validity-cache layer.
+
+Pins the PR 4 satellite fixes — ``stats()`` counts persistent-layer hits
+separately from in-memory hits, and ``clear()`` never deletes the
+on-disk store — plus the encode/merge/delta plumbing the process-pool
+discharge relies on."""
+
+import json
+
+import pytest
+
+from repro.smt.cache import (
+    ValidityCache,
+    decode_result,
+    encode_result,
+    persistent_key,
+)
+from repro.smt.solver import Result, Verdict
+from repro.smt.sorts import INT, Scope
+from repro.smt.terms import App, SymVar
+
+
+def _pkey(tag):
+    return persistent_key(
+        App("==", (SymVar(f"k{tag}", INT), SymVar("v", INT))),
+        Scope(),
+        None,
+        False,
+        True,
+    )
+
+
+class TestStatsSeparation:
+    def test_persistent_hits_counted_separately(self):
+        cache = ValidityCache()
+        cache.enable_persistence()
+        pkey = _pkey("a")
+        cache.put("mem-key", Result(Verdict.PROVED), persistent_key=pkey)
+
+        assert cache.get("mem-key") is not None  # in-memory hit
+        assert cache.get("other-key") is None  # in-memory miss
+        assert cache.get_persistent(pkey) is not None  # persistent hit
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["persistent_hits"] == 1
+        assert stats["size"] == 1
+        assert stats["persistent_size"] == 1
+
+    def test_persistent_miss_is_not_a_memory_miss(self):
+        cache = ValidityCache()
+        cache.enable_persistence()
+        assert cache.get_persistent(_pkey("nothing")) is None
+        assert cache.stats()["misses"] == 0
+        assert cache.stats()["persistent_hits"] == 0
+
+
+class TestClearSemantics:
+    def test_clear_keeps_persistent_layer_and_disk(self, tmp_path):
+        path = tmp_path / "store.json"
+        cache = ValidityCache()
+        cache.enable_persistence()
+        cache.put("k", Result(Verdict.PROVED), persistent_key=_pkey("c"))
+        cache.save(path)
+
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["hits"] == 0
+        # The persistent mirror survives a clear (fingerprint keys stay
+        # valid across intern-table clears) …
+        assert cache.stats()["persistent_size"] == 1
+        assert cache.get_persistent(_pkey("c")) is not None
+        # … and the on-disk store is untouched.
+        assert path.exists()
+        on_disk = json.loads(path.read_text())
+        assert len(on_disk["entries"]) == 1
+
+    def test_forget_persistent_never_touches_disk(self, tmp_path):
+        path = tmp_path / "store.json"
+        cache = ValidityCache()
+        cache.enable_persistence()
+        cache.put("k", Result(Verdict.PROVED), persistent_key=_pkey("d"))
+        cache.save(path)
+        before = path.read_text()
+        cache.forget_persistent()
+        assert cache.stats()["persistent_size"] == 0
+        assert path.read_text() == before
+
+
+class TestEncoding:
+    def test_unknown_is_never_persisted(self):
+        assert encode_result(Result(Verdict.UNKNOWN)) is None
+        cache = ValidityCache()
+        cache.enable_persistence()
+        cache.put("k", Result(Verdict.UNKNOWN), persistent_key=_pkey("u"))
+        assert cache.stats()["persistent_size"] == 0
+
+    def test_json_unsafe_models_are_skipped(self):
+        refuted = Result(Verdict.REFUTED, model={"x": (1, 2)})
+        assert encode_result(refuted) is None
+        cache = ValidityCache()
+        cache.enable_persistence()
+        cache.put("k", refuted, persistent_key=_pkey("t"))
+        assert cache.stats()["persistent_size"] == 0
+        # The in-memory layer still holds it.
+        assert cache.get("k") is refuted
+
+    def test_round_trip_preserves_verdict_model_and_count(self):
+        original = Result(Verdict.REFUTED, model={"x": 3, "b": True}, checked_assignments=7)
+        decoded = decode_result(encode_result(original))
+        assert decoded.verdict == original.verdict
+        assert decoded.model == original.model
+        assert decoded.checked_assignments == original.checked_assignments
+
+    def test_malformed_entries_are_ignored(self):
+        assert decode_result({"verdict": "no-such-verdict"}) is None
+        assert decode_result({}) is None
+        assert decode_result({"verdict": "proved", "model": "junk"}) is None
+
+
+class TestMergeAndDelta:
+    def test_worker_delta_merges_into_parent(self):
+        worker = ValidityCache()
+        worker.enable_persistence()
+        worker.put("wk", Result(Verdict.PROVED), persistent_key=_pkey("w"))
+        delta = worker.export_delta()
+        assert len(delta) == 1
+
+        parent = ValidityCache()
+        assert parent.merge(delta) == 1
+        # Merging stores (and will save) the entries but does NOT flip
+        # the parent into persistence mode — that stays an explicit
+        # opt-in, so a pool run without --cache-dir adds no per-query
+        # fingerprinting overhead.
+        assert not parent.persistence_enabled
+        assert parent.get_persistent(_pkey("w")) is not None
+
+    def test_reset_delta_empties_the_shipment(self):
+        cache = ValidityCache()
+        cache.enable_persistence()
+        cache.put("k", Result(Verdict.PROVED), persistent_key=_pkey("r"))
+        cache.reset_delta()
+        assert cache.export_delta() == {}
+        # The entry itself is still served.
+        assert cache.get_persistent(_pkey("r")) is not None
+
+    def test_save_merges_with_concurrent_writer(self, tmp_path):
+        path = tmp_path / "store.json"
+        first = ValidityCache()
+        first.enable_persistence()
+        first.put("a", Result(Verdict.PROVED), persistent_key=_pkey("one"))
+        first.save(path)
+
+        second = ValidityCache()
+        second.enable_persistence()
+        second.put("b", Result(Verdict.BOUNDED, checked_assignments=9), persistent_key=_pkey("two"))
+        second.save(path)  # must union, not clobber
+
+        reloaded = ValidityCache()
+        assert reloaded.load(path) == 2
+
+    def test_load_missing_file_activates_empty_layer(self, tmp_path):
+        cache = ValidityCache()
+        assert cache.load(tmp_path / "absent.json") == 0
+        assert cache.persistence_enabled
+        assert cache.stats()["persistent_size"] == 0

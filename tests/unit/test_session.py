@@ -1,0 +1,83 @@
+"""Unit behaviour of SolverSession: activation bookkeeping, clause-DB
+leanness under retirement, and structural sharing across related VCs."""
+
+from repro.smt import INT, App, SymVar, Verdict, check_validity, conj, eq, implies
+from repro.smt.session import SolverSession, in_euf_fragment
+from repro.smt.terms import Const, negate
+
+
+def _family(index, width=12):
+    atoms = [
+        App("<", (SymVar(f"u{j}", INT), SymVar(f"w{j}", INT))) for j in range(width)
+    ]
+    return implies(conj(*atoms), atoms[index])
+
+
+class TestSession:
+    def test_propositional_verdicts(self):
+        session = SolverSession()
+        assert session.propositionally_valid(_family(0))
+        x = SymVar("x0", INT)
+        assert not session.propositionally_valid(App("<", (x, x)))
+
+    def test_euf_verdicts_and_fallback(self):
+        session = SolverSession()
+        x, y, z = (SymVar(name, INT) for name in ("ex", "ey", "ez"))
+        assert session.euf_valid(implies(conj(eq(x, y), eq(y, z)), eq(x, z))) is True
+        assert session.euf_valid(implies(eq(x, y), eq(x, z))) is False
+        assert session.fallbacks == 0
+        # A comparison atom is outside the fragment: one-shot fallback.
+        mixed = implies(App("<", (x, y)), App("<", (x, y)))
+        assert not in_euf_fragment(mixed)
+        assert session.euf_valid(mixed) is True
+        assert session.fallbacks == 1
+
+    def test_shared_structure_is_converted_once(self):
+        session = SolverSession()
+        for index in range(8):
+            assert session.propositionally_valid(_family(index))
+        stats = session.stats()
+        # The big shared conjunction re-resolves from the definition memo
+        # after the first VC instead of re-emitting clauses.
+        assert stats["definition_hits"] > 0
+        assert stats["skeleton_queries"] == 8
+
+    def test_database_stays_lean_under_retirement(self):
+        session = SolverSession()
+        live_counts = []
+        for _ in range(5):
+            for index in range(4):
+                session.propositionally_valid(_family(index))
+            live_counts.append(session.stats()["live_clauses"])
+        # Repeating the same VC family must not grow the database: all
+        # activation-guarded clauses were retired, definitions are memoized.
+        assert live_counts[-1] == live_counts[0]
+        assert session.stats()["retired_clauses"] > 0
+
+    def test_session_verdicts_match_module_fast_paths(self):
+        session = SolverSession()
+        x, y = SymVar("mx", INT), SymVar("my", INT)
+        cases = [
+            _family(3),
+            implies(eq(x, y), eq(y, x)),
+            negate(eq(x, x)),
+            conj(Const(True), eq(x, x)),
+        ]
+        for formula in cases:
+            fresh = check_validity(formula, use_cache=False)
+            shared = check_validity(formula, use_cache=False, session=session)
+            assert fresh.verdict == shared.verdict
+            assert fresh.model == shared.model
+
+    def test_unknown_formulas_are_unaffected(self):
+        # An uninterpreted unary application mixed with arithmetic falls
+        # through every fast path to the enumerator, which cannot
+        # evaluate it: UNKNOWN, with or without a session.
+        g = App("g", (SymVar("gx", INT),))
+        formula = App("<", (g, SymVar("gy", INT)))
+        session = SolverSession()
+        assert check_validity(formula, use_cache=False).verdict == Verdict.UNKNOWN
+        assert (
+            check_validity(formula, use_cache=False, session=session).verdict
+            == Verdict.UNKNOWN
+        )
