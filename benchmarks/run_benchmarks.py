@@ -18,6 +18,12 @@ workloads and writes ``BENCH_smt.json``:
   exponentially many models, all theory-inconsistent: the CDCL core's
   theory propagation refutes them mid-search (``models_blocked`` stays
   0) where the reference blocks model after model;
+* ``difference_logic`` — order-atom VCs (transitivity chains, mixed
+  equality/order chains, negated negative cycles) that the seed could
+  only accept by bounded enumeration: the difference-logic propagator
+  (PR 5) decides them in the CDCL core with zero blocked models, so
+  acceptance is PROVED instead of BOUNDED (agreement on this axis is
+  *acceptance* agreement — the strengthening is the point);
 * ``spec_inference`` — the ROADMAP's spec-inference axis
   (``bench_inference.py`` workload): precondition + abstraction
   inference over catalogue specifications, cold caches vs warm caches
@@ -272,6 +278,90 @@ def bench_dpllt_incremental(quick: bool):
     return cases
 
 
+def order_chain_formula(links: int, salt: str = ""):
+    """⋀ xi <= xi+1 ⇒ x0 <= xn — valid only through order reasoning
+    (not propositionally), so the seed must enumerate 6^(links+1)
+    assignments while the difference-logic propagator proves it."""
+    xs = [SymVar(f"oc{salt}{i}", INT) for i in range(links + 1)]
+    body = conj(*(App("<=", (xs[i], xs[i + 1])) for i in range(links)))
+    return implies(body, App("<=", (xs[0], xs[links])))
+
+
+def mixed_chain_formula(links: int, salt: str = ""):
+    """Alternating ==/<= links: the equality and difference propagators
+    must cooperate through the shared trail to prove the conclusion."""
+    xs = [SymVar(f"mc{salt}{i}", INT) for i in range(links + 1)]
+    parts = [
+        eq(xs[i], xs[i + 1]) if i % 2 == 0 else App("<=", (xs[i], xs[i + 1]))
+        for i in range(links)
+    ]
+    return implies(conj(*parts), App("<=", (xs[0], xs[links])))
+
+
+def negated_cycle_formula(size: int, salt: str = ""):
+    """¬(x0 < x1 < … < x0): valid because the cycle is a negative cycle
+    in the difference graph — one theory conflict for the CDCL core."""
+    xs = [SymVar(f"nc{salt}{i}", INT) for i in range(size)]
+    cycle = conj(*(App("<", (xs[i], xs[(i + 1) % size])) for i in range(size)))
+    return negate(cycle)
+
+
+def bench_difference_logic(quick: bool):
+    """The mixed-fragment axis (PR 5 tentpole): order-atom VCs decided
+    by difference-logic theory propagation vs the seed's enumeration.
+
+    The optimized core *soundly strengthens* these verdicts (PROVED
+    where the seed bounds out), so ``verdicts_agree`` on this axis
+    records acceptance agreement plus the absence of blocked models."""
+    families = (
+        (("order_chain", order_chain_formula, 4),)
+        if quick
+        else (
+            ("order_chain", order_chain_formula, 5),
+            ("order_chain", order_chain_formula, 7),
+            ("mixed_chain", mixed_chain_formula, 6),
+            ("negated_cycle", negated_cycle_formula, 6),
+        )
+    )
+    cases = []
+    for name, build, size in families:
+        salt = f"{name}{size}_"
+        formula = build(size, salt)
+        ref_elapsed, ref_result = timed(
+            reference.check_validity_reference, formula
+        )
+        clear_all_caches()
+        formula = build(size, salt)
+        new_elapsed, new_result = timed(check_validity, formula, use_cache=False)
+        # The pure-DL refutation of the negated formula must never fall
+        # back to model blocking (a None verdict — budget exhaustion —
+        # counts as disagreement rather than crashing the run).
+        theory = dpllt_equality(negate(build(size, f"blk{salt}")))
+        blocked = theory.models_blocked if theory is not None else None
+        refuted = theory is not None and not theory.satisfiable
+        agree = (
+            new_result.is_valid() == ref_result.is_valid()
+            and blocked == 0
+            and refuted
+        )
+        cases.append(
+            {
+                "family": name,
+                "size": size,
+                "reference_s": round(ref_elapsed, 6),
+                "optimized_s": round(new_elapsed, 6),
+                "speedup": round(ref_elapsed / new_elapsed, 2)
+                if new_elapsed
+                else None,
+                "reference_verdict": ref_result.verdict.value,
+                "optimized_verdict": new_result.verdict.value,
+                "optimized_blocked": blocked,
+                "verdicts_agree": agree,
+            }
+        )
+    return cases
+
+
 def bench_spec_inference(quick: bool):
     """The ROADMAP's spec-inference axis: infer preconditions and the
     finest valid abstraction for catalogue specs, cold vs warm caches."""
@@ -497,12 +587,12 @@ def print_deltas(committed, report):
         if old_speedup and new_speedup:
             line += f"  ({new_speedup / old_speedup - 1.0:+.0%})"
         print(line)
-        if name == "dpllt_incremental":
+        if name in ("dpllt_incremental", "difference_logic"):
             old_blocked = sum(
-                case.get("optimized_blocked", 0) for case in old.get("cases", ())
+                case.get("optimized_blocked") or 0 for case in old.get("cases", ())
             )
             new_blocked = sum(
-                case.get("optimized_blocked", 0) for case in workload["cases"]
+                case.get("optimized_blocked") or 0 for case in workload["cases"]
             )
             print(
                 f"  {'':>20s}  models_blocked {old_blocked} -> {new_blocked}"
@@ -573,6 +663,19 @@ def main(argv=None) -> int:
             f"x{case['speedup']:<6}  agree={case['verdicts_agree']}"
         )
 
+    print("== difference_logic (theory propagation vs enumeration) ==")
+    cases = bench_difference_logic(args.quick)
+    workloads["difference_logic"] = {"cases": cases, **summarize(cases)}
+    for case in cases:
+        print(
+            f"  {case['family']:>16s} size={case['size']:<2d} "
+            f"ref {case['reference_s'] * 1000:8.2f} ms ({case['reference_verdict']})  "
+            f"opt {case['optimized_s'] * 1000:8.2f} ms ({case['optimized_verdict']}, "
+            f"{case['optimized_blocked']} blocked)  "
+            f"x{case['speedup']:<8}  agree={case['verdicts_agree']}"
+        )
+    print(f"  overall: x{workloads['difference_logic']['speedup']}")
+
     print("== spec_inference (cold vs warm caches) ==")
     cases = bench_spec_inference(args.quick)
     workloads["spec_inference"] = {"cases": cases, **summarize(cases)}
@@ -623,6 +726,11 @@ def main(argv=None) -> int:
             "boolean_skeleton_speedup": workloads["boolean_skeleton"]["speedup"],
             "repeated_vc_speedup": workloads["repeated_vc"]["speedup"],
             "dpllt_incremental_speedup": workloads["dpllt_incremental"]["speedup"],
+            "difference_logic_speedup": workloads["difference_logic"]["speedup"],
+            "difference_logic_models_blocked": sum(
+                case["optimized_blocked"] or 0
+                for case in workloads["difference_logic"]["cases"]
+            ),
             "spec_inference_speedup": workloads["spec_inference"]["speedup"],
             "incremental_vc_speedup": workloads["incremental_vc"]["speedup"],
             "persistent_cache_speedup": workloads["persistent_cache"]["speedup"],

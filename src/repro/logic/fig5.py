@@ -80,7 +80,7 @@ PURE_FUNCTIONS.setdefault(f"f_{SPEC.name}_Put", PUT.apply)
 PURE_FUNCTIONS.setdefault(f"alpha_{SPEC.name}", SPEC.abstraction)
 
 #: Map values used for probe states (the small-scope stand-in for Z3's
-#: symbolic reasoning; see DESIGN.md).
+#: symbolic reasoning; see docs/ARCHITECTURE.md).
 _PROBE_MAPS: tuple[PMap, ...] = (PMap(), PMap({1: 10}), PMap({1: 10, 2: 20}))
 _PROBE_ARGS: tuple[tuple[int, int], ...] = ((1, 10), (2, 20))
 

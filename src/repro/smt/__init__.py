@@ -1,13 +1,24 @@
 """Term language + bounded solver (the repository's Z3 substitute).
 
 See ``src/repro/smt/README.md`` for the solver architecture: hash-consed
-terms (interning), memoized simplification, a watched-literal DPLL(T)
-core, compiled bounded enumeration, and a cross-call validity cache.
+terms (interning), memoized simplification, a CDCL DPLL(T) core with a
+theory propagator stack (congruence closure for equality atoms,
+an incremental difference-logic constraint graph for integer order
+atoms), compiled bounded enumeration, incremental solver sessions, and
+a cross-call validity cache with a persistent fingerprint-keyed layer.
 The seed's unoptimized algorithms are retained in
 :mod:`repro.smt.reference` as a correctness oracle and benchmark
 baseline.
 """
 
+from .arith import (
+    DifferenceLogicPropagator,
+    PropagatorStack,
+    is_difference_atom,
+    is_order_atom,
+    mixed_consistent,
+    normalize_order_atom,
+)
 from .cache import GLOBAL as VALIDITY_CACHE
 from .cache import ValidityCache, persistent_key, term_fingerprint
 from .cnf import AtomTable, TseitinConverter, cnf_of, is_atom, to_nnf, tseitin
@@ -29,7 +40,7 @@ from .euf import (
     congruence_closure_consistent,
     is_equality_atom,
 )
-from .session import SolverSession, in_euf_fragment
+from .session import SolverSession, in_euf_fragment, in_mixed_fragment
 from .simplify import is_literally_true, simplify
 from .solver import Result, Verdict, check_validity, find_model
 from .sorts import (
@@ -66,7 +77,9 @@ __all__ = [
     "App",
     "AtomTable",
     "CongruenceClosure",
+    "DifferenceLogicPropagator",
     "EqualityPropagator",
+    "PropagatorStack",
     "SolverSession",
     "TheoryResult",
     "TseitinConverter",
@@ -107,9 +120,14 @@ __all__ = [
     "from_expr",
     "implies",
     "in_euf_fragment",
+    "in_mixed_fragment",
     "int_constants",
     "is_atom",
+    "is_difference_atom",
     "is_equality_atom",
+    "is_order_atom",
+    "mixed_consistent",
+    "normalize_order_atom",
     "persistent_key",
     "term_fingerprint",
     "is_literally_true",

@@ -13,7 +13,12 @@ subformula is observed from the root.
 A CNF is a list of clauses; a clause is a tuple of non-zero integers
 (DIMACS convention: ``n`` is atom ``n``, ``-n`` its negation).  The
 :class:`AtomTable` maps atom indices back to the original terms so the
-DPLL(T) loop (:mod:`repro.smt.dpll`) can consult the theory solver.
+DPLL(T) loop (:mod:`repro.smt.dpll`) can classify each atom into a
+theory fragment — ``==``/``!=`` atoms for congruence closure
+(:func:`repro.smt.euf.is_equality_atom`), integer order atoms for the
+difference-logic propagator
+(:func:`repro.smt.arith.is_difference_atom`) — and hand the asserted
+literals to the matching theory solver.
 """
 
 from __future__ import annotations

@@ -21,19 +21,24 @@ upgrades both halves to the modern architecture:
 * **Luby restarts** — the search restarts to the root after a
   Luby-sequence-scheduled number of conflicts, keeping the learned
   clauses;
-* **Theory propagation** — an attached theory propagator
-  (:class:`repro.smt.euf.EqualityPropagator`) is consulted at every
-  propagation fixpoint: entailed theory atoms are enqueued with theory
-  reason clauses (participating in conflict analysis like any other
-  implication) and theory conflicts are raised mid-search instead of
-  waiting for a full boolean model.
+* **Theory propagation** — an attached theory propagator is consulted
+  at every propagation fixpoint: entailed theory atoms are enqueued with
+  theory reason clauses (participating in conflict analysis like any
+  other implication) and theory conflicts are raised mid-search instead
+  of waiting for a full boolean model.  The attachment point accepts a
+  single propagator (:class:`repro.smt.euf.EqualityPropagator`,
+  :class:`repro.smt.arith.DifferenceLogicPropagator`) or a composed
+  :class:`repro.smt.arith.PropagatorStack` sharing one trail — the
+  protocol is ``reset`` / ``assert_literal`` / ``backjump`` / ``check``
+  (plus ``atom_vars`` for eager variable registration and ``rescan``
+  for growing session tables).
 
-The clause database is still incremental (:meth:`WatchedSolver.add_clause`
-between :meth:`WatchedSolver.solve` calls), found models are still
-*shrunk* to a satisfying partial assignment over the input clauses (so
-DPLL(T) blocking clauses never mention don't-care atoms), and the public
-API (``dpll``, ``sat``, ``propositionally_valid``, ``dpllt_equality``,
-``euf_valid``, :class:`TheoryResult`) is unchanged.
+The clause database is incremental (:meth:`WatchedSolver.add_clause`
+between :meth:`WatchedSolver.solve` calls), found models are *shrunk*
+to a satisfying partial assignment over the input clauses (so DPLL(T)
+blocking clauses never mention don't-care atoms), and ``solve`` accepts
+MiniSat-style assumption literals so sessions can activate and retire
+queries against one shared clause database.
 """
 
 from __future__ import annotations
@@ -42,6 +47,13 @@ from dataclasses import dataclass
 from heapq import heapify, heappop, heappush
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from .arith import (
+    DifferenceLogicPropagator,
+    PropagatorStack,
+    is_difference_atom,
+    is_offset_equality_atom,
+    mixed_consistent,
+)
 from .cnf import CNF, AtomTable, Clause, cnf_of
 from .euf import EqualityPropagator, congruence_closure_consistent, is_equality_atom
 from .terms import App, Term
@@ -133,9 +145,14 @@ class WatchedSolver:
     def attach_theory(self, propagator) -> None:
         """Attach a theory propagator consulted at every fixpoint.
 
-        The propagator's atom variables are registered eagerly: an atom
-        can drop out of every clause (e.g. it only occurred in a dropped
-        tautology) yet still be propagated by the theory.
+        ``propagator`` may be a single theory
+        (:class:`repro.smt.euf.EqualityPropagator`,
+        :class:`repro.smt.arith.DifferenceLogicPropagator`) or a
+        :class:`repro.smt.arith.PropagatorStack` composing several over
+        the shared trail.  The propagator's atom variables are
+        registered eagerly: an atom can drop out of every clause (e.g.
+        it only occurred in a dropped tautology) yet still be
+        propagated by the theory.
         """
         self._theory = propagator
         atom_vars = list(propagator.atom_vars())
@@ -665,7 +682,7 @@ def propositionally_valid(term: Term) -> bool:
 
 
 # ---------------------------------------------------------------------------
-# DPLL(T) for equality logic
+# DPLL(T) for equality and difference logic
 # ---------------------------------------------------------------------------
 
 
@@ -680,54 +697,114 @@ class TheoryResult:
     models_blocked: int = 0
     #: Atoms enqueued by theory propagation (0 when the lazy loop ran).
     theory_propagations: int = 0
+    #: Order atoms with their asserted value (mixed-fragment models only).
+    orders: Tuple[Tuple[Term, bool], ...] = ()
 
 
 def _theory_literals(
-    model: Assignment, table: AtomTable
-) -> Optional[tuple[list, list]]:
-    """Split a boolean model into asserted equalities / disequalities.
+    model: Assignment, table: AtomTable, orders: bool = False
+) -> Optional[tuple]:
+    """Split a boolean model into asserted theory literals.
 
-    Returns None if the model asserts a non-equality atom (outside the
-    EUF fragment)."""
+    Without ``orders`` (the seed-compatible contract kept for
+    :mod:`repro.smt.reference`): ``(equalities, disequalities)``, or
+    None if the model asserts a non-equality atom.  With ``orders``,
+    difference-logic order atoms are classified too — the result is
+    ``(equalities, disequalities, order_assignments)`` with the latter
+    pairing each order atom with its asserted value, and None now means
+    an atom outside *both* fragments."""
     equalities: list = []
     disequalities: list = []
+    order_atoms: list = []
     for index, value in model.items():
         term = table.term_of(index)
         if term is None:
             continue  # Tseitin definition variable
-        if not is_equality_atom(term):
-            return None
-        assert isinstance(term, App)
-        left, right = term.args
-        positive = value if term.op == "==" else not value
-        if positive:
-            equalities.append((left, right))
-        else:
-            disequalities.append((left, right))
+        if is_equality_atom(term):
+            assert isinstance(term, App)
+            left, right = term.args
+            positive = value if term.op == "==" else not value
+            if positive:
+                equalities.append((left, right))
+            else:
+                disequalities.append((left, right))
+            continue
+        if orders and is_difference_atom(term):
+            order_atoms.append((term, value))
+            continue
+        return None
+    if orders:
+        return equalities, disequalities, order_atoms
     return equalities, disequalities
 
 
-def dpllt_equality(term: Term, max_models: int = 10_000) -> Optional[TheoryResult]:
-    """DPLL(T) for formulas whose atoms are ``==``/``!=`` between ground
-    terms (boolean structure arbitrary).
+def _fragment_propagator(table: AtomTable, allow_orders: bool):
+    """The theory propagator (or stack) for a formula's atom table, plus
+    whether the mixed equality/order DPLL(T) loop applies.
 
-    For formulas entirely inside the equality fragment an
-    :class:`~repro.smt.euf.EqualityPropagator` is attached to the CDCL
-    search: congruence closure runs incrementally along the boolean
-    trail, entailed atoms are propagated into it, and theory conflicts
-    become learned clauses mid-search — the model-blocking loop below
-    then serves only as a safety net (``models_blocked`` stays 0).
-    Formulas with atoms outside the fragment keep the PR 2 behaviour:
-    lazy model blocking, bailing out (``None``) on the first model that
-    asserts a non-equality atom so the caller falls back to the bounded
-    enumerator.
+    Returns ``(propagator, mixed)``: ``(None, False)`` when some atom
+    falls outside both fragments (the caller keeps the lazy
+    model-blocking loop and bails to enumeration), a bare
+    :class:`~repro.smt.euf.EqualityPropagator` for the pure equality
+    fragment, and a :class:`~repro.smt.arith.PropagatorStack` when order
+    atoms participate."""
+    atoms = table.atoms()
+    if not atoms:
+        return None, False
+    needs_difference = False
+    for atom in atoms.values():
+        if is_equality_atom(atom):
+            # An equality with an integer offset (x == y + 1) carries
+            # difference content congruence closure cannot see.
+            if allow_orders and is_offset_equality_atom(atom):
+                needs_difference = True
+            continue
+        if allow_orders and is_difference_atom(atom):
+            needs_difference = True
+            continue
+        return None, False
+    if not needs_difference:
+        return EqualityPropagator(table), False
+    stack = PropagatorStack(
+        EqualityPropagator(table), DifferenceLogicPropagator(table)
+    )
+    return stack, True
+
+
+def dpllt_equality(
+    term: Term, max_models: int = 10_000, allow_orders: bool = True
+) -> Optional[TheoryResult]:
+    """DPLL(T) for formulas whose atoms are ``==``/``!=`` between ground
+    terms and/or integer difference-logic comparisons (boolean structure
+    arbitrary).
+
+    For formulas entirely inside those fragments the matching theory
+    propagators are attached to the CDCL search — an
+    :class:`~repro.smt.euf.EqualityPropagator` alone for pure equality,
+    composed with a :class:`~repro.smt.arith.DifferenceLogicPropagator`
+    in a :class:`~repro.smt.arith.PropagatorStack` when order atoms
+    occur.  Theory reasoning runs incrementally along the boolean trail:
+    entailed atoms are enqueued at every fixpoint and theory conflicts
+    become learned clauses mid-search, with explanations that respect
+    the solver's MiniSat-style assumption levels (clauses learned while
+    a session's activation literal is assumed mention its negation, so
+    they survive for later queries).  The model-blocking loop below then
+    serves only as a safety net: ``models_blocked`` stays 0 on the pure
+    equality and pure difference fragments, and blocks only the rare
+    mixed models whose inconsistency needs the cross-theory equality
+    exchange of :func:`~repro.smt.arith.mixed_consistent`.
+
+    Formulas with an atom outside both fragments keep the PR 2
+    behaviour: lazy model blocking, bailing out (``None``) on the first
+    model that asserts such an atom so the caller falls back to the
+    bounded enumerator.  ``allow_orders=False`` restricts the search to
+    the equality fragment (used when a caller's sort overrides make
+    integer order reasoning unsound for the formula at hand).
     """
     clauses, table = cnf_of(term)
     solver = WatchedSolver(clauses)
-    atoms = table.atoms()
-    propagator = None
-    if atoms and all(is_equality_atom(atom) for atom in atoms.values()):
-        propagator = EqualityPropagator(table)
+    propagator, mixed = _fragment_propagator(table, allow_orders)
+    if propagator is not None:
         solver.attach_theory(propagator)
     blocked = 0
     propagated = 0
@@ -738,11 +815,17 @@ def dpllt_equality(term: Term, max_models: int = 10_000) -> Optional[TheoryResul
             return TheoryResult(
                 False, models_blocked=blocked, theory_propagations=propagated
             )
-        split = _theory_literals(model, table)
+        split = _theory_literals(model, table, orders=mixed)
         if split is None:
             return None  # outside the fragment
-        equalities, disequalities = split
-        if congruence_closure_consistent(equalities, disequalities):
+        if mixed:
+            equalities, disequalities, order_atoms = split
+            consistent = mixed_consistent(equalities, disequalities, order_atoms)
+        else:
+            equalities, disequalities = split
+            order_atoms = []
+            consistent = congruence_closure_consistent(equalities, disequalities)
+        if consistent:
             return TheoryResult(
                 True,
                 boolean_model=model,
@@ -750,6 +833,7 @@ def dpllt_equality(term: Term, max_models: int = 10_000) -> Optional[TheoryResul
                 disequalities=tuple(disequalities),
                 models_blocked=blocked,
                 theory_propagations=propagated,
+                orders=tuple(order_atoms),
             )
         # Block this boolean model (only its theory-atom part).
         conflict = tuple(
@@ -766,10 +850,14 @@ def dpllt_equality(term: Term, max_models: int = 10_000) -> Optional[TheoryResul
     return None  # model budget exhausted: undecided
 
 
-def euf_valid(term: Term, max_models: int = 10_000) -> Optional[bool]:
-    """Validity in the EUF fragment: True/False, or None if undecided /
-    outside the fragment."""
-    result = dpllt_equality(App("not", (term,)), max_models=max_models)
+def euf_valid(
+    term: Term, max_models: int = 10_000, allow_orders: bool = True
+) -> Optional[bool]:
+    """Validity in the equality + difference-logic fragments: True/False,
+    or None if undecided / outside both fragments."""
+    result = dpllt_equality(
+        App("not", (term,)), max_models=max_models, allow_orders=allow_orders
+    )
     if result is None:
         return None
     return not result.satisfiable

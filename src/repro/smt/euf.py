@@ -218,12 +218,23 @@ class EqualityPropagator:
     Assertions are incremental in the forward direction (each new
     equality is one ``merge``); a backjump marks the closure dirty and
     the next use rebuilds it from the surviving prefix of the trail.
+
+    The ``reset`` / ``assert_literal`` / ``backjump`` / ``check`` /
+    ``atom_vars`` / ``rescan`` protocol is shared with
+    :class:`repro.smt.arith.DifferenceLogicPropagator`; the two compose
+    in a :class:`repro.smt.arith.PropagatorStack` over one trail for
+    the mixed equality/order fragment (see ``smt/README.md``,
+    "The theory propagator stack").
     """
 
     def __init__(self, table) -> None:
         #: var -> (left, right, positive-literal-means-equality)
         self._atoms: Dict[int, Tuple[Term, Term, bool]] = {}
         self._table = table
+        #: the atoms currently mirrored and propagated — an alias of
+        #: ``_atoms`` until :meth:`focus` narrows it, so the unfocused
+        #: (fresh-solver) hot path pays nothing.
+        self._live: Dict[int, Tuple[Term, Term, bool]] = self._atoms
         self.rescan()
         self._stack: List[int] = []  # mirrored trail (0 for ignored literals)
         self._eq_lits: List[int] = []
@@ -252,14 +263,28 @@ class EqualityPropagator:
                 left, right = term.args
                 atoms[index] = (left, right, term.op == "==")
 
+    def focus(self, variables: "Iterable[int] | None") -> None:
+        """Restrict mirroring and propagation to these atom vars (None =
+        every known atom).  A shared session focuses each activated
+        query on its own atoms: stale atoms from retired queries are
+        treated exactly like a fresh solver that never saw them."""
+        if variables is None:
+            self._live = self._atoms
+        else:
+            atoms = self._atoms
+            self._live = {
+                var: atoms[var] for var in variables if var in atoms
+            }
+
     def reset(self) -> None:
         """Forget the mirrored trail (start of a ``solve`` call)."""
         self._stack.clear()
         self._dirty = True
 
     def assert_literal(self, literal: int) -> None:
-        """Mirror one trail literal (ignored unless it is an equality atom)."""
-        info = self._atoms.get(abs(literal))
+        """Mirror one trail literal (ignored unless it is a focused
+        equality atom)."""
+        info = self._live.get(abs(literal))
         if info is None:
             self._stack.append(0)
             return
@@ -325,10 +350,11 @@ class EqualityPropagator:
                 self.conflicts += 1
                 return "conflict", [-e for e in premises]
             labels.setdefault(root, constant)
-        # 3. Entailed atoms among the unassigned ones.
+        # 3. Entailed atoms among the unassigned ones (restricted to the
+        #    focused query's atoms when a session set a focus).
         implied: List[Tuple[int, List[int]]] = []
         n = len(assign)
-        for var, (left, right, positive_is_eq) in self._atoms.items():
+        for var, (left, right, positive_is_eq) in self._live.items():
             if var < n and assign[var] != 0:
                 continue
             root_left, root_right = cc.find(left), cc.find(right)

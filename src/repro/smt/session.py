@@ -24,14 +24,18 @@ across the obligations of a run, MiniSat-style:
   theory lemmas, blocking clauses, premise-free units, variable
   activities and phases — carry over to the next obligation.
 
-Two sub-sessions are kept, because their soundness regimes differ: a
+Three sub-sessions are kept, because their soundness regimes differ: a
 *skeleton* session (no theory attached) answering propositional-validity
-queries over arbitrary atoms, and an *EUF* session whose shared atom
-table only ever contains ``==``/``!=`` atoms, with one incrementally
-rescanned :class:`~repro.smt.euf.EqualityPropagator` attached.  VCs
-outside the equality fragment fall back to the one-shot
-:func:`~repro.smt.dpll.euf_valid` path, byte-for-byte preserving the
-fresh-solver verdicts (the differential harness in
+queries over arbitrary atoms; an *EUF* session whose shared atom table
+only ever contains ``==``/``!=`` atoms, with one incrementally rescanned
+:class:`~repro.smt.euf.EqualityPropagator` attached; and a *mixed*
+session for formulas combining equality atoms with integer
+difference-logic order atoms, driven by a
+:class:`~repro.smt.arith.PropagatorStack` (equality + difference logic
+sharing the trail) with :func:`~repro.smt.arith.mixed_consistent` as the
+model-level blocking oracle.  VCs outside all fragments fall back to the
+one-shot :func:`~repro.smt.dpll.euf_valid` path, byte-for-byte
+preserving the fresh-solver verdicts (the differential harness in
 ``tests/property/test_session_differential.py`` pins this).
 """
 
@@ -39,17 +43,21 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from .arith import (
+    DifferenceLogicPropagator,
+    PropagatorStack,
+    is_difference_atom,
+    is_offset_equality_atom,
+    mixed_consistent,
+)
 from .cnf import TseitinConverter, is_atom
 from .dpll import WatchedSolver, _theory_literals, euf_valid
 from .euf import EqualityPropagator, congruence_closure_consistent, is_equality_atom
 from .terms import App, Const, Term
 
 
-def in_euf_fragment(term: Term) -> bool:
-    """True iff every atom of the term is a binary ``==``/``!=`` atom and
-    at least one atom occurs — the fragment the shared EUF sub-session
-    may accept without poisoning its propagator's atom table."""
-    found = False
+def _iter_atoms(term: Term):
+    """The theory atoms of a formula (each shared node visited once)."""
     stack = [term]
     visited: set = set()
     while stack:
@@ -57,30 +65,68 @@ def in_euf_fragment(term: Term) -> bool:
         if isinstance(current, Const):
             continue
         if is_atom(current):
-            if not is_equality_atom(current):
-                return False
-            found = True
+            yield current
             continue
         marker = id(current)
         if marker in visited:
             continue
         visited.add(marker)
         stack.extend(current.args)  # a boolean connective App
+
+
+def _fragment_scan(term: Term, accept) -> bool:
+    """True iff every atom satisfies ``accept`` and at least one occurs."""
+    found = False
+    for atom in _iter_atoms(term):
+        if not accept(atom):
+            return False
+        found = True
     return found
 
 
+def in_euf_fragment(term: Term) -> bool:
+    """True iff every atom of the term is a binary ``==``/``!=`` atom and
+    at least one atom occurs — the fragment the shared EUF sub-session
+    may accept without poisoning its propagator's atom table."""
+    return _fragment_scan(term, is_equality_atom)
+
+
+def in_mixed_fragment(term: Term) -> bool:
+    """True iff every atom is an equality atom or a difference-logic
+    order atom (and at least one atom occurs) — the fragment the shared
+    mixed sub-session decides with the equality + difference-logic
+    propagator stack."""
+    return _fragment_scan(
+        term, lambda atom: is_equality_atom(atom) or is_difference_atom(atom)
+    )
+
+
+def _has_offset_equality(term: Term) -> bool:
+    """True iff some atom is an integer equality with an offset —
+    difference content invisible to congruence closure alone."""
+    return any(is_offset_equality_atom(atom) for atom in _iter_atoms(term))
+
+
 class _SubSession:
-    """One shared converter + solver (optionally with an EUF theory)."""
+    """One shared converter + solver (optionally with attached theories)."""
 
-    __slots__ = ("converter", "solver", "propagator", "queries")
+    __slots__ = ("converter", "solver", "propagator", "queries", "focus_vars")
 
-    def __init__(self, theory: bool) -> None:
+    def __init__(self, theory: bool, orders: bool = False) -> None:
         self.converter = TseitinConverter()
         self.solver = WatchedSolver()
-        self.propagator = (
-            EqualityPropagator(self.converter.table) if theory else None
-        )
+        if not theory:
+            self.propagator = None
+        elif orders:
+            self.propagator = PropagatorStack(
+                EqualityPropagator(self.converter.table),
+                DifferenceLogicPropagator(self.converter.table),
+            )
+        else:
+            self.propagator = EqualityPropagator(self.converter.table)
         self.queries = 0
+        #: Atom vars of the currently activated query (set by activate).
+        self.focus_vars: set = set()
 
     def activate(self, formula: Term) -> Tuple[int, int]:
         """Convert ``formula`` into the shared database behind a fresh
@@ -93,9 +139,18 @@ class _SubSession:
         mark = solver.clause_mark()
         solver.add_clause((root, -activation))
         if self.propagator is not None:
-            # New VCs may introduce new equality atoms: rescan the shared
-            # table and (re-)attach so the solver notes the new variables.
+            # New VCs may introduce new theory atoms: rescan the shared
+            # table and (re-)attach so the solver notes the new
+            # variables, then *focus* the propagators on this query's
+            # own atoms — stale atoms from retired queries would
+            # otherwise tax every propagation fixpoint of every later
+            # query (the shared table only grows).
             self.propagator.rescan()
+            table = self.converter.table
+            self.focus_vars = {
+                table.atom(atom) for atom in _iter_atoms(formula)
+            }
+            self.propagator.focus(self.focus_vars)
             solver.attach_theory(self.propagator)
         self.queries += 1
         return activation, mark
@@ -106,20 +161,24 @@ class SolverSession:
 
     The two entry points mirror the module-level fast paths of
     :func:`repro.smt.solver.check_validity` and return the same verdicts
-    (``propositionally_valid`` → bool; ``euf_valid`` → True/False/None),
-    but amortize conversion and search state across calls.  A session is
-    single-threaded and cheap to construct; create one per verification
-    run (or per worker process) and pass it to ``check_validity``.
+    (``propositionally_valid`` → bool; ``theory_valid`` → True/False/
+    None), but amortize conversion and search state across calls.  A
+    session is single-threaded and cheap to construct; create one per
+    verification run (or per worker process) and pass it to
+    ``check_validity``.
     """
 
-    __slots__ = ("_skeleton", "_euf", "max_models", "models_blocked", "fallbacks")
+    __slots__ = (
+        "_skeleton", "_euf", "_mixed", "max_models", "models_blocked", "fallbacks"
+    )
 
     def __init__(self, max_models: int = 10_000) -> None:
         self._skeleton = _SubSession(theory=False)
         self._euf = _SubSession(theory=True)
+        self._mixed = _SubSession(theory=True, orders=True)
         self.max_models = max_models
         self.models_blocked = 0
-        #: Queries outside the EUF fragment, served by a one-shot solver.
+        #: Queries outside every fragment, served by a one-shot solver.
         self.fallbacks = 0
 
     # -- fast paths -------------------------------------------------------
@@ -136,37 +195,86 @@ class SolverSession:
             sub.solver.retire(activation, since=mark)
         return model is None
 
-    def euf_valid(self, term: Term) -> Optional[bool]:
+    def theory_valid(self, term: Term, allow_orders: bool = True) -> Optional[bool]:
         """Shared-solver counterpart of :func:`repro.smt.dpll.euf_valid`:
-        True/False for formulas in the ground-equality fragment, None if
-        undecided; out-of-fragment formulas keep the one-shot lazy path.
+        True/False for formulas in the ground-equality or mixed
+        equality/difference-logic fragments, None if undecided;
+        out-of-fragment formulas keep the one-shot lazy path.
+
+        ``allow_orders=False`` disables the mixed sub-session for this
+        query (callers whose sort overrides reinterpret integer-labelled
+        variables must not let difference-logic reasoning touch them).
         """
-        if not in_euf_fragment(term):
-            self.fallbacks += 1
-            return euf_valid(term, max_models=self.max_models)
+        if in_euf_fragment(term):
+            if allow_orders and _has_offset_equality(term):
+                # Offset equalities (x == y + 1) need the difference
+                # propagator even with no order atom in sight.
+                return self._theory_query(self._mixed, term, mixed=True)
+            return self._theory_query(self._euf, term, mixed=False)
+        if allow_orders and in_mixed_fragment(term):
+            return self._theory_query(self._mixed, term, mixed=True)
+        self.fallbacks += 1
+        return euf_valid(
+            term, max_models=self.max_models, allow_orders=allow_orders
+        )
+
+    #: Backwards-compatible name from the pure-EUF session era.
+    euf_valid = theory_valid
+
+    def _theory_query(
+        self, sub: _SubSession, term: Term, mixed: bool
+    ) -> Optional[bool]:
         negated = App("not", (term,))
-        sub = self._euf
         activation, mark = sub.activate(negated)
         solver = sub.solver
         table = sub.converter.table
+        focus = sub.focus_vars
         try:
             for _ in range(self.max_models):
                 model = solver.solve([activation])
                 if model is None:
                     return True  # negation unsatisfiable: valid
-                split = _theory_literals(model, table)
+                # The query's truth depends only on its *own* atoms
+                # (definitions are shared, so shared subformulas' atoms
+                # are in the focus set too).  Stale atoms pulled into
+                # the shrunk model by clauses of retired queries are
+                # dropped before the theory check: a consistent focused
+                # assignment is a genuine countermodel, an inconsistent
+                # one yields a blocking lemma over focused atoms only —
+                # which blocks every stale-atom variation at once
+                # instead of re-blocking an exponential stale space.
+                focused = {
+                    index: value
+                    for index, value in model.items()
+                    if index in focus
+                }
+                split = _theory_literals(focused, table, orders=mixed)
                 if split is None:  # unreachable: the shared table is pure
                     return None
-                equalities, disequalities = split
-                if congruence_closure_consistent(equalities, disequalities):
-                    return False  # a genuine theory countermodel
+                if mixed:
+                    equalities, disequalities, order_atoms = split
+                    consistent = mixed_consistent(
+                        equalities, disequalities, order_atoms
+                    )
+                else:
+                    equalities, disequalities = split
+                    consistent = congruence_closure_consistent(
+                        equalities, disequalities
+                    )
+                if consistent:
+                    # A countermodel the theory check cannot refute —
+                    # genuine on the pure fragments (their checks are
+                    # complete); on the mixed fragment possibly an
+                    # over-approximation, in which case the caller's
+                    # enumeration fallback keeps the verdict sound.
+                    return False
                 # Block the theory-inconsistent boolean model.  The
                 # blocking clause states that this atom conjunction is
                 # theory-inconsistent — a theory lemma, globally sound,
                 # so it is added unguarded and survives retirement.
                 blocking = tuple(
                     -index if value else index
-                    for index, value in sorted(model.items())
+                    for index, value in sorted(focused.items())
                     if table.term_of(index) is not None
                 )
                 if not blocking:
@@ -181,23 +289,23 @@ class SolverSession:
 
     def stats(self) -> Dict[str, int]:
         """Counters for benchmarks and tests."""
-        skeleton, euf = self._skeleton, self._euf
+        subs = (self._skeleton, self._euf, self._mixed)
+        mixed_propagator = self._mixed.propagator
         return {
-            "queries": skeleton.queries + euf.queries,
-            "skeleton_queries": skeleton.queries,
-            "euf_queries": euf.queries,
+            "queries": sum(sub.queries for sub in subs),
+            "skeleton_queries": self._skeleton.queries,
+            "euf_queries": self._euf.queries,
+            "mixed_queries": self._mixed.queries,
             "fallbacks": self.fallbacks,
             "models_blocked": self.models_blocked,
-            "definition_hits": (
-                skeleton.converter.definition_hits + euf.converter.definition_hits
+            "theory_propagations": mixed_propagator.propagations
+            + self._euf.propagator.propagations,
+            "theory_conflicts": mixed_propagator.conflicts
+            + self._euf.propagator.conflicts,
+            "definition_hits": sum(
+                sub.converter.definition_hits for sub in subs
             ),
-            "learned_clauses": (
-                skeleton.solver.learned_clauses + euf.solver.learned_clauses
-            ),
-            "retired_clauses": (
-                skeleton.solver.retired_clauses + euf.solver.retired_clauses
-            ),
-            "live_clauses": (
-                len(skeleton.solver.live_clauses()) + len(euf.solver.live_clauses())
-            ),
+            "learned_clauses": sum(sub.solver.learned_clauses for sub in subs),
+            "retired_clauses": sum(sub.solver.retired_clauses for sub in subs),
+            "live_clauses": sum(len(sub.solver.live_clauses()) for sub in subs),
         }

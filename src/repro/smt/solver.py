@@ -1,7 +1,7 @@
 """Validity checking by rewriting + small-scope model search.
 
 This module is the repository's substitute for the Z3 backend that
-HyperViper uses (see DESIGN.md "Substitutions").  Given a boolean term,
+HyperViper uses (see ``docs/ARCHITECTURE.md``).  Given a boolean term,
 :func:`check_validity` returns one of three verdicts:
 
 * ``PROVED`` — rewriting folded the formula to ``true`` (sound,
@@ -19,14 +19,20 @@ evaluator cannot interpret.
 
 Performance architecture (see ``src/repro/smt/README.md``): terms are
 hash-consed, so ``simplify``/``free_symvars``/``int_constants`` are
-memoized per unique node; the boolean/EUF fast paths run on the CDCL
-core of :mod:`repro.smt.dpll` (first-UIP clause learning, VSIDS, phase
-saving, Luby restarts) fed by a polarity-aware Tseitin conversion, with
-congruence closure propagating entailed equality atoms into the search
-(:class:`repro.smt.euf.EqualityPropagator`); the bounded enumeration
-evaluates a *compiled* closure (:mod:`repro.smt.compile`) over a single
-mutated assignment dict; and whole queries are cached across calls
-(:mod:`repro.smt.cache`) keyed on the interned formula.
+memoized per unique node; the boolean and theory fast paths run on the
+CDCL core of :mod:`repro.smt.dpll` (first-UIP clause learning, VSIDS,
+phase saving, Luby restarts) fed by a polarity-aware Tseitin
+conversion, with a *propagator stack* pushing theory facts into the
+search at every fixpoint — congruence closure for ``==``/``!=`` atoms
+(:class:`repro.smt.euf.EqualityPropagator`) composed with an
+incremental difference-logic constraint graph for integer
+``<``/``<=``/``>``/``>=`` atoms
+(:class:`repro.smt.arith.DifferenceLogicPropagator`).  Only formulas
+outside those fragments (non-linear arithmetic, collection operations,
+uninterpreted-function comparisons) reach the bounded enumeration,
+which evaluates a *compiled* closure (:mod:`repro.smt.compile`) over a
+single mutated assignment dict; and whole queries are cached across
+calls (:mod:`repro.smt.cache`) keyed on the interned formula.
 """
 
 from __future__ import annotations
@@ -40,10 +46,13 @@ if TYPE_CHECKING:  # pragma: no cover — import cycle guard
     from .session import SolverSession
 
 from . import cache as validity_cache
+from .arith import is_difference_atom, normalize_equality_atom
+from .cnf import BOOL_CONNECTIVES
 from .compile import compile_term
+from .euf import is_equality_atom
 from .simplify import simplify
-from .sorts import INT, Scope, Sort
-from .terms import Const, SymVar, Term, evaluate_term, free_symvars, int_constants
+from .sorts import INT, IntSort, Scope, Sort
+from .terms import App, Const, SymVar, Term, evaluate_term, free_symvars, int_constants
 
 
 class Verdict(Enum):
@@ -75,6 +84,59 @@ class Result:
 _MAX_ASSIGNMENTS = 200_000
 
 
+def _integer_domain(sort: Sort) -> bool:
+    """A sort override that keeps difference-logic reasoning sound: the
+    full integers, or a finite enumerated sort whose values are all
+    integers (validity over ℤ subsumes validity over any subset)."""
+    if isinstance(sort, IntSort):
+        return True
+    values = getattr(sort, "values", None)  # finite enumerated sorts (vcgen)
+    if values is not None:
+        return all(
+            isinstance(value, int) and not isinstance(value, bool)
+            for value in values
+        )
+    return False
+
+
+def _orders_safe(term: Term, sorts: Mapping[str, Sort] | None) -> bool:
+    """Whether difference-logic reasoning may run on this query.
+
+    A ``sorts`` override reinterpreting an INT-labelled variable over a
+    non-integer domain (a collection-valued resource CELL) would make
+    order/offset arithmetic on that variable unsound, so the order
+    fragment is disabled exactly when such a variable occurs inside a
+    difference-relevant atom — an order atom, or an equality the
+    difference propagator would turn into edges."""
+    if not sorts:
+        return True
+    unsafe = {
+        name for name, sort in sorts.items() if not _integer_domain(sort)
+    }
+    if not unsafe:
+        return True
+    stack = [term]
+    visited: set = set()
+    while stack:
+        current = stack.pop()
+        if not isinstance(current, App):
+            continue
+        if current.op in BOOL_CONNECTIVES:
+            marker = id(current)
+            if marker in visited:
+                continue
+            visited.add(marker)
+            stack.extend(current.args)
+            continue
+        if is_difference_atom(current) or (
+            is_equality_atom(current)
+            and normalize_equality_atom(current) is not None
+        ):
+            if any(v.name in unsafe for v in free_symvars(current)):
+                return False
+    return True
+
+
 def check_validity(
     formula: Term,
     scope: Scope | None = None,
@@ -92,14 +154,20 @@ def check_validity(
     semantic domain (finite problems), upgrading BOUNDED to PROVED.
 
     With ``use_sat`` (default), two sound fast paths run before the
-    bounded enumeration: a DPLL check of the boolean skeleton (a
+    bounded enumeration: a CDCL check of the boolean skeleton (a
     propositional tautology is valid under every theory) and, for
-    formulas whose atoms are ground (dis)equalities, a lazy DPLL(T) loop
-    with congruence closure — both yield genuine PROVED verdicts, not
-    bounded ones.  Passing a :class:`~repro.smt.session.SolverSession`
+    formulas whose atoms are ground (dis)equalities and/or integer
+    difference-logic comparisons, a DPLL(T) search with eager theory
+    propagation (congruence closure + difference constraint graph) —
+    both yield genuine PROVED verdicts, not bounded ones.  Passing a
+    :class:`~repro.smt.session.SolverSession`
     routes both fast paths through its shared incremental solvers
     (assumption-activated VCs over one clause database) instead of
-    building a fresh solver per query; verdicts are unchanged.
+    building a fresh solver per query.  Verdicts are unchanged on the
+    propositional and pure-theory fragments; on the *mixed*
+    equality/order fragment a warmed session may additionally decide a
+    query the fresh search left to the enumerator — a sound
+    strengthening of BOUNDED into PROVED, never a change of acceptance.
 
     With ``use_cache`` (default), decisive results are memoized across
     calls keyed on the interned formula + scope + sorts; repeated
@@ -183,21 +251,24 @@ def _check_validity(
         return Result(Verdict.REFUTED, model={})
 
     if use_sat:
+        # The equality fragment is domain-generic and always on; the
+        # order fragment is gated per query by _orders_safe.
+        allow_orders = _orders_safe(simplified, sorts)
         if session is not None:
             if session.propositionally_valid(simplified):
                 return Result(Verdict.PROVED)
-            euf = session.euf_valid(simplified)
+            theory = session.theory_valid(simplified, allow_orders=allow_orders)
         else:
             from .dpll import euf_valid, propositionally_valid
 
             if propositionally_valid(simplified):
                 return Result(Verdict.PROVED)
-            euf = euf_valid(simplified)
-        if euf is True:
+            theory = euf_valid(simplified, allow_orders=allow_orders)
+        if theory is True:
             return Result(Verdict.PROVED)
-        # euf False means a *theory* countermodel exists but no concrete
-        # assignment is constructed; fall through so the enumerator can
-        # exhibit one (or bound out).
+        # theory False means a *theory* countermodel exists but no
+        # concrete assignment is constructed; fall through so the
+        # enumerator can exhibit one (or bound out).
 
     variables = sorted(free_symvars(simplified), key=lambda v: v.name)
     if not variables:

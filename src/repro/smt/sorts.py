@@ -1,6 +1,7 @@
 """Sorts for the term language, with finite small-scope domains.
 
-The in-house solver (our substitute for Z3, see DESIGN.md) decides
+The in-house solver (our substitute for Z3, see
+``docs/ARCHITECTURE.md``) decides
 verification conditions by *small-scope enumeration*: every sort can
 enumerate a finite domain of representative values.  Integer domains are
 windows around zero extended with the constants occurring in the formula;

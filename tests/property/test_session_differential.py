@@ -25,7 +25,7 @@ from hypothesis import strategies as st
 
 from repro.smt import clear_all_caches
 from repro.smt.cache import GLOBAL
-from repro.smt.session import SolverSession, in_euf_fragment
+from repro.smt.session import SolverSession, in_euf_fragment, in_mixed_fragment
 from repro.smt.solver import Verdict, check_validity
 from repro.smt.sorts import BOOL, INT
 from repro.smt.terms import App, Const, SymVar
@@ -148,7 +148,7 @@ class TestSessionDifferential:
         session = SolverSession()
         for formula in batch:
             check_validity(formula, use_cache=False, session=session)
-        for sub in (session._skeleton, session._euf):
+        for sub in (session._skeleton, session._euf, session._mixed):
             atom_count = sub.converter.table.count
             # Every live clause must be expressible without any retired
             # activation guard: guards are allocated via table.fresh()
@@ -167,10 +167,20 @@ class TestSessionDifferential:
     @given(vc_formulas())
     @settings(max_examples=60, deadline=None)
     def test_fragment_classifier_matches_solver_behaviour(self, formula):
-        """in_euf_fragment must accept exactly the formulas whose atoms
-        the shared EUF table may absorb."""
+        """The fragment classifiers must accept exactly the formulas
+        whose atoms a shared sub-session table may absorb: pure-equality
+        formulas go to the EUF sub-session, order-bearing formulas in
+        the difference fragment to the mixed one, everything else to the
+        one-shot fallback."""
         session = SolverSession()
         before = session.fallbacks
-        session.euf_valid(formula)
+        session.theory_valid(formula)
         went_shared = session.fallbacks == before
-        assert went_shared == in_euf_fragment(formula)
+        assert went_shared == (
+            in_euf_fragment(formula) or in_mixed_fragment(formula)
+        )
+        stats = session.stats()
+        if in_euf_fragment(formula):
+            assert stats["euf_queries"] == 1 and stats["mixed_queries"] == 0
+        elif in_mixed_fragment(formula):
+            assert stats["mixed_queries"] == 1 and stats["euf_queries"] == 0

@@ -1,0 +1,251 @@
+"""Unit tests for the difference-logic theory layer (smt/arith.py):
+atom normalization, the incremental propagator, stack composition, and
+the model-level joint consistency check."""
+
+from repro.smt.arith import (
+    ZERO,
+    DifferenceLogicPropagator,
+    PropagatorStack,
+    is_difference_atom,
+    is_order_atom,
+    mixed_consistent,
+    negated_constraint,
+    normalize_equality_atom,
+    normalize_order_atom,
+)
+from repro.smt.cnf import AtomTable
+from repro.smt.sorts import BOOL, INT
+from repro.smt.terms import App, Const, SymVar, eq
+
+x = SymVar("x", INT)
+y = SymVar("y", INT)
+z = SymVar("z", INT)
+b = SymVar("b", BOOL)
+
+
+def le(left, right):
+    return App("<=", (left, right))
+
+
+def lt(left, right):
+    return App("<", (left, right))
+
+
+def plus(term, constant):
+    return App("+", (term, Const(constant)))
+
+
+class TestNormalization:
+    def test_nonstrict_between_variables(self):
+        assert normalize_order_atom(le(x, y)) == (x, y, 0)
+
+    def test_strict_shifts_by_one(self):
+        assert normalize_order_atom(lt(x, y)) == (x, y, -1)
+
+    def test_greater_swaps_sides(self):
+        assert normalize_order_atom(App(">", (x, y))) == (y, x, -1)
+        assert normalize_order_atom(App(">=", (x, y))) == (y, x, 0)
+
+    def test_offsets_move_into_the_bound(self):
+        assert normalize_order_atom(le(plus(x, 2), y)) == (x, y, -2)
+        assert normalize_order_atom(le(x, plus(y, 2))) == (x, y, 2)
+        assert normalize_order_atom(App(">=", (x, plus(y, 2)))) == (y, x, -2)
+
+    def test_subtraction_and_negation(self):
+        assert normalize_order_atom(le(App("-", (x, y)), Const(3))) == (x, y, 3)
+        # -y <= x has coefficients {y: -1, x: -1}: outside the fragment.
+        assert normalize_order_atom(le(App("neg", (y,)), x)) is None
+        # -y <= -x is x - y <= 0: back inside.
+        assert normalize_order_atom(
+            le(App("neg", (y,)), App("neg", (x,)))
+        ) == (x, y, 0)
+
+    def test_one_sided_bounds_use_the_zero_node(self):
+        assert normalize_order_atom(le(x, Const(3))) == (x, ZERO, 3)
+        assert normalize_order_atom(le(Const(3), x)) == (ZERO, x, -3)
+
+    def test_constant_only_atoms_normalize(self):
+        assert normalize_order_atom(lt(Const(1), Const(2))) == (ZERO, ZERO, 0)
+
+    def test_out_of_fragment(self):
+        assert normalize_order_atom(le(App("*", (Const(2), x)), y)) is None
+        assert normalize_order_atom(le(App("+", (x, y)), z)) is None
+        assert normalize_order_atom(le(b, y)) is None
+        assert normalize_order_atom(le(App("g", (x,)), y)) is None
+        assert not is_difference_atom(le(App("g", (x,)), y))
+        assert is_difference_atom(le(x, y))
+        assert is_order_atom(le(App("g", (x,)), y))  # order, but not DL
+
+    def test_negated_constraint_is_integer_complement(self):
+        constraint = normalize_order_atom(le(x, y))
+        assert negated_constraint(constraint) == (y, x, -1)
+        assert negated_constraint(negated_constraint(constraint)) == constraint
+
+    def test_equality_pair(self):
+        assert normalize_equality_atom(eq(x, y)) == ((x, y, 0), (y, x, 0))
+        assert normalize_equality_atom(eq(x, plus(y, 1))) == ((x, y, 1), (y, x, -1))
+        assert normalize_equality_atom(eq(App("g", (x,)), y)) is None
+
+
+def _propagator(*atoms):
+    table = AtomTable()
+    variables = [table.atom(atom) for atom in atoms]
+    return DifferenceLogicPropagator(table), variables
+
+
+def _run(propagator, literals, nvars):
+    propagator.reset()
+    assign = [0] * (nvars + 1)
+    for literal in literals:
+        propagator.assert_literal(literal)
+        assign[abs(literal)] = 1 if literal > 0 else -1
+    return propagator.check(assign)
+
+
+class TestDifferenceLogicPropagator:
+    def test_negative_cycle_is_a_conflict_with_cycle_explanation(self):
+        propagator, (a, b_, c) = _propagator(lt(x, y), lt(y, z), lt(z, x))
+        status, clause = _run(propagator, [a, b_, c], 3)
+        assert status == "conflict"
+        assert sorted(clause) == sorted([-a, -b_, -c])
+
+    def test_irrelevant_literals_stay_out_of_the_explanation(self):
+        w = SymVar("w", INT)
+        propagator, (a, b_, c, d) = _propagator(
+            lt(x, y), lt(y, x), le(z, w), le(w, z)
+        )
+        status, clause = _run(propagator, [c, d, a, b_], 4)
+        assert status == "conflict"
+        assert sorted(clause) == sorted([-a, -b_])
+
+    def test_entailed_atom_is_propagated_with_path_premises(self):
+        propagator, (a, b_, c) = _propagator(le(x, y), le(y, z), le(x, z))
+        status, implied = _run(propagator, [a, b_], 3)
+        assert status == "ok"
+        literals = dict(implied)
+        assert c in literals
+        assert sorted(literals[c]) == sorted([a, b_])
+
+    def test_refuted_atom_is_propagated_false(self):
+        propagator, (a, b_, c) = _propagator(lt(x, y), lt(y, z), le(z, x))
+        status, implied = _run(propagator, [a, b_], 3)
+        assert status == "ok"
+        literals = dict(implied)
+        assert -c in literals  # z <= x would close a negative cycle
+
+    def test_premise_free_tautology_propagates(self):
+        propagator, (a,) = _propagator(le(x, plus(x, 3)))
+        status, implied = _run(propagator, [], 1)
+        assert status == "ok"
+        assert (a, []) in implied
+
+    def test_equality_atom_feeds_edges_and_propagates_back(self):
+        propagator, (a, b_, c) = _propagator(eq(x, y), le(x, y), le(y, x))
+        # Asserting both inequalities pins x = y: the equality atom is
+        # propagated true with both paths as premises.
+        status, implied = _run(propagator, [b_, c], 3)
+        assert status == "ok"
+        literals = dict(implied)
+        assert a in literals
+        assert sorted(_dedupe(literals[a])) == sorted([b_, c])
+        # Conversely an asserted equality entails both inequalities.
+        status, implied = _run(propagator, [a], 3)
+        literals = dict(implied)
+        assert b_ in literals and c in literals
+
+    def test_backjump_restores_consistency(self):
+        propagator, (a, b_) = _propagator(lt(x, y), lt(y, x))
+        propagator.reset()
+        assign = [0, 1, 1]
+        propagator.assert_literal(a)
+        propagator.assert_literal(b_)
+        status, _ = propagator.check(assign)
+        assert status == "conflict"
+        propagator.backjump(1)  # drop the second literal
+        status, _ = propagator.check([0, 1, 0])
+        assert status == "ok"
+
+
+def _dedupe(literals):
+    seen = []
+    for literal in literals:
+        if literal not in seen:
+            seen.append(literal)
+    return seen
+
+
+class TestPropagatorStack:
+    def test_stack_forwards_and_concatenates(self):
+        from repro.smt.euf import EqualityPropagator
+
+        table = AtomTable()
+        a = table.atom(eq(x, y))
+        b_ = table.atom(le(x, y))
+        c = table.atom(le(y, x))
+        stack = PropagatorStack(
+            EqualityPropagator(table), DifferenceLogicPropagator(table)
+        )
+        assert set(stack.atom_vars()) == {a, b_, c}
+        stack.reset()
+        assign = [0] * 4
+        stack.assert_literal(a)
+        assign[a] = 1
+        status, implied = stack.check(assign)
+        assert status == "ok"
+        # The difference-logic element derives both inequalities from
+        # the asserted equality.
+        literals = {lit for lit, _prem in implied}
+        assert {b_, c} <= literals
+        assert stack.propagations >= 2
+
+    def test_stack_reports_first_conflict(self):
+        from repro.smt.euf import EqualityPropagator
+
+        table = AtomTable()
+        a = table.atom(eq(x, y))
+        b_ = table.atom(lt(x, y))
+        stack = PropagatorStack(
+            EqualityPropagator(table), DifferenceLogicPropagator(table)
+        )
+        stack.reset()
+        assign = [0] * 3
+        for literal in (a, b_):
+            stack.assert_literal(literal)
+            assign[literal] = 1
+        status, clause = stack.check(assign)
+        assert status == "conflict"
+        assert set(map(abs, clause)) <= {a, b_}
+
+
+class TestMixedConsistent:
+    def test_pure_orders(self):
+        assert mixed_consistent([], [], [(lt(x, y), True), (lt(y, z), True)])
+        assert not mixed_consistent(
+            [], [], [(lt(x, y), True), (lt(y, z), True), (lt(z, x), True)]
+        )
+
+    def test_negated_orders(self):
+        # ¬(x < y) ∧ ¬(y < x) pins x = y; consistent on its own…
+        orders = [(lt(x, y), False), (lt(y, x), False)]
+        assert mixed_consistent([], [], orders)
+        # …but not alongside x ≠ y.
+        assert not mixed_consistent([], [(x, y)], orders)
+
+    def test_equality_feeds_the_graph(self):
+        assert not mixed_consistent(
+            [(x, y)], [], [(lt(y, z), True), (lt(z, x), True)]
+        )
+
+    def test_congruence_uses_forced_equalities(self):
+        fx, fy = App("f", (x,)), App("f", (y,))
+        orders = [(le(x, y), True), (le(y, x), True)]
+        assert not mixed_consistent([], [(fx, fy)], orders)
+
+    def test_constant_pinning_merges_with_const(self):
+        orders = [(le(x, Const(3)), True), (le(Const(3), x), True)]
+        assert not mixed_consistent([], [(x, Const(3))], orders)
+        assert mixed_consistent([], [(x, Const(4))], orders)
+
+    def test_offset_disequality(self):
+        orders = [(lt(x, y), True), (lt(y, plus(x, 2)), True)]
+        assert not mixed_consistent([], [(y, plus(x, 1))], orders)

@@ -157,8 +157,62 @@ class TestDPLLT:
         assert not result.satisfiable
 
     def test_outside_fragment_returns_none(self):
-        formula = App("<", (x, y))
+        # A comparison over an uninterpreted application is outside both
+        # the equality and difference fragments: the caller falls back.
+        formula = App("<", (f(x), y))
         assert dpllt_equality(formula) is None
+
+    def test_difference_logic_atoms_are_decided(self):
+        # Since PR 5 an integer comparison is *inside* the fragment: the
+        # difference-logic propagator decides it instead of bailing out.
+        formula = App("<", (x, y))
+        result = dpllt_equality(formula)
+        assert result is not None
+        assert result.satisfiable
+        # Mixed-fragment models expose their order-atom assignment the
+        # same way equalities/disequalities are exposed.
+        assert (App("<", (x, y)), True) in result.orders
+        cycle = conj(App("<", (x, y)), App("<", (y, z)), App("<", (z, x)))
+        result = dpllt_equality(cycle)
+        assert result is not None
+        assert not result.satisfiable
+        assert result.models_blocked == 0
+
+    def test_difference_logic_validity(self):
+        chain = implies(
+            conj(App("<=", (x, y)), App("<=", (y, z))), App("<=", (x, z))
+        )
+        assert euf_valid(chain) is True
+        # Gating the order fragment off restores the old fallback.
+        assert euf_valid(chain, allow_orders=False) is None
+
+    def test_mixed_equality_order_validity(self):
+        formula = implies(conj(eq(x, y), App("<=", (y, z))), App("<=", (x, z)))
+        assert euf_valid(formula) is True
+        assert euf_valid(implies(eq(x, y), App("<=", (x, z)))) is False
+
+    def test_offset_equalities_reach_the_difference_propagator(self):
+        # x == y+1 ∧ y == x+1 is EUF-consistent but ℤ-inconsistent: the
+        # offset equalities alone must route into the mixed loop.
+        swap = conj(
+            eq(x, App("+", (y, Const(1)))), eq(y, App("+", (x, Const(1))))
+        )
+        result = dpllt_equality(swap)
+        assert result is not None
+        assert not result.satisfiable
+
+    def test_bounded_range_disequalities_split(self):
+        # 0 <= v <= 1 ∧ v ≠ 0 ∧ v ≠ 1: neither theory alone refutes it;
+        # the model-level disequality split must.
+        formula = conj(
+            App("<=", (Const(0), x)),
+            App("<=", (x, Const(1))),
+            negate(eq(x, Const(0))),
+            negate(eq(x, Const(1))),
+        )
+        result = dpllt_equality(formula)
+        assert result is not None
+        assert not result.satisfiable
 
     def test_euf_validity(self):
         # x=y ⟹ f(x)=f(y) is EUF-valid.
@@ -189,3 +243,40 @@ class TestSolverIntegration:
         result = check_validity(formula)
         assert result.verdict == Verdict.REFUTED
         assert result.model is not None
+
+    def test_finite_integer_sort_override_keeps_order_reasoning(self):
+        # Conformance VCs override CELL with a finite *integer* domain
+        # (vcgen._FiniteSort); ℤ-validity subsumes validity over the
+        # subset, so the difference-logic fast path must stay live.
+        from repro.verifier.vcgen import _FiniteSort
+
+        chain = implies(
+            conj(App("<=", (x, y)), App("<=", (y, z))), App("<=", (x, z))
+        )
+        result = check_validity(
+            chain, sorts={"x": _FiniteSort((0, 1, 2))}, use_cache=False
+        )
+        assert result.verdict == Verdict.PROVED
+
+    def test_non_integer_override_gates_only_affected_queries(self):
+        from repro.smt.sorts import INT as INT_SORT
+        from repro.smt.sorts import SeqSort
+
+        chain = implies(
+            conj(App("<=", (x, y)), App("<=", (y, z))), App("<=", (x, z))
+        )
+        # The overridden variables occur in the order atoms: the order
+        # fragment is disabled and the enumerator (tuple comparisons)
+        # answers — acceptance, but only boundedly.
+        sequences = SeqSort(INT_SORT)
+        gated = check_validity(
+            chain,
+            sorts={"x": sequences, "y": sequences, "z": sequences},
+            use_cache=False,
+        )
+        assert gated.verdict == Verdict.BOUNDED
+        # An override on an unrelated variable leaves the fast path on.
+        live = check_validity(
+            chain, sorts={"unrelated": SeqSort(INT_SORT)}, use_cache=False
+        )
+        assert live.verdict == Verdict.PROVED

@@ -2,7 +2,7 @@
 leanness under retirement, and structural sharing across related VCs."""
 
 from repro.smt import INT, App, SymVar, Verdict, check_validity, conj, eq, implies
-from repro.smt.session import SolverSession, in_euf_fragment
+from repro.smt.session import SolverSession, in_euf_fragment, in_mixed_fragment
 from repro.smt.terms import Const, negate
 
 
@@ -23,13 +23,35 @@ class TestSession:
     def test_euf_verdicts_and_fallback(self):
         session = SolverSession()
         x, y, z = (SymVar(name, INT) for name in ("ex", "ey", "ez"))
-        assert session.euf_valid(implies(conj(eq(x, y), eq(y, z)), eq(x, z))) is True
-        assert session.euf_valid(implies(eq(x, y), eq(x, z))) is False
+        assert session.theory_valid(implies(conj(eq(x, y), eq(y, z)), eq(x, z))) is True
+        assert session.theory_valid(implies(eq(x, y), eq(x, z))) is False
         assert session.fallbacks == 0
-        # A comparison atom is outside the fragment: one-shot fallback.
-        mixed = implies(App("<", (x, y)), App("<", (x, y)))
-        assert not in_euf_fragment(mixed)
-        assert session.euf_valid(mixed) is True
+        # An integer comparison atom routes to the shared mixed
+        # (equality + difference logic) sub-session, not the fallback.
+        ordered = implies(conj(App("<", (x, y)), App("<", (y, z))), App("<", (x, z)))
+        assert not in_euf_fragment(ordered)
+        assert in_mixed_fragment(ordered)
+        assert session.theory_valid(ordered) is True
+        assert session.fallbacks == 0
+        assert session.stats()["mixed_queries"] == 1
+        # A comparison over an uninterpreted application is outside
+        # every fragment: one-shot fallback.
+        outside = implies(
+            App("<", (App("g", (x,)), y)), App("<", (App("g", (x,)), y))
+        )
+        assert not in_mixed_fragment(outside)
+        assert session.theory_valid(outside) is True
+        assert session.fallbacks == 1
+
+    def test_mixed_queries_bypass_order_atoms_when_gated(self):
+        # allow_orders=False (a caller whose sort overrides reinterpret
+        # INT-labelled variables) must keep order atoms away from the
+        # shared difference-logic propagator.
+        session = SolverSession()
+        x, y = SymVar("gx", INT), SymVar("gy", INT)
+        ordered = implies(App("<", (x, y)), App("<", (x, y)))
+        assert session.theory_valid(ordered, allow_orders=False) is True
+        assert session.stats()["mixed_queries"] == 0
         assert session.fallbacks == 1
 
     def test_shared_structure_is_converted_once(self):

@@ -380,13 +380,25 @@ class TestTheoryPropagation:
         assert status == "ok"
         assert implied == []  # nothing asserted any more
 
-    def test_mixed_fragment_keeps_lazy_behaviour(self):
+    def test_mixed_fragment_is_decided_since_pr5(self):
         from repro.smt.dpll import dpllt_equality
 
         x, y = SymVar("mx_x", INT), SymVar("mx_y", INT)
         mixed = conj(App("<", (x, y)), eq(x, y))
-        # A found model asserts the non-equality atom: outside the fragment.
-        assert dpllt_equality(mixed) is None
+        # x < y contradicts x = y: the equality + difference-logic
+        # propagator stack refutes it without bailing to enumeration.
+        result = dpllt_equality(mixed)
+        assert result is not None
+        assert not result.satisfiable
+
+    def test_out_of_fragment_still_lazy(self):
+        from repro.smt.dpll import dpllt_equality
+
+        x, y = SymVar("mxo_x", INT), SymVar("mxo_y", INT)
+        # A comparison over an uninterpreted application is outside both
+        # fragments: a found model asserting it bails out (None).
+        outside = conj(App("<", (App("g", (x,)), y)), eq(x, y))
+        assert dpllt_equality(outside) is None
 
 
 class TestValidityCache:
@@ -448,9 +460,19 @@ class TestValidityCache:
             App("<", (x, y)),
             implies(eq(x, y), eq(App("f", (x,)), App("f", (y,)))),
             disj(App("<", (x, y)), negate(App("<", (x, y)))),
-            implies(conj(App("<", (x, y)), App("<", (y, x))), Const(False)),
         ]
         for formula in formulas:
             new = check_validity(formula)
             ref = reference.check_validity_reference(formula)
             assert new.verdict == ref.verdict, str(formula)
+        # The difference-logic fast path (PR 5) soundly *strengthens*
+        # the seed: an order tautology the seed could only bound out is
+        # now PROVED outright.  Acceptance still agrees.
+        strengthened = implies(
+            conj(App("<", (x, y)), App("<", (y, x))), Const(False)
+        )
+        new = check_validity(strengthened)
+        ref = reference.check_validity_reference(strengthened)
+        assert new.verdict == Verdict.PROVED
+        assert ref.verdict == Verdict.BOUNDED
+        assert new.is_valid() == ref.is_valid()
