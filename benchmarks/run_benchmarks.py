@@ -72,7 +72,9 @@ from repro.smt import (  # noqa: E402
     negate,
 )
 from repro.smt import reference  # noqa: E402
-from repro.smt.cache import GLOBAL as VALIDITY_CACHE  # noqa: E402
+from repro.smt.cache import get_default  # noqa: E402
+
+VALIDITY_CACHE = get_default()
 from repro.smt.session import SolverSession  # noqa: E402
 from repro.spec import Action, ResourceSpecification  # noqa: E402
 from repro.spec.library import integer_add_spec  # noqa: E402

@@ -1,19 +1,26 @@
-"""Command-line entry point: verify every case study and print the table.
+"""Command-line entry point: verify case studies, or run the service.
 
 Usage::
 
-    python -m repro                       # all case studies
-    python -m repro "Figure 3"            # one case study, with full detail
-    python -m repro --jobs 4              # fan independent VCs over 4 workers
-    python -m repro --cache-dir .vcache   # persistent validity cache: the
-                                          # second run starts warm (decisive
-                                          # verdicts keyed by stable term
-                                          # fingerprints survive the process)
+    python -m repro                        # verify all case studies
+    python -m repro "Figure 3"             # one case study, full detail
+    python -m repro --jobs 4               # fan VCs over 4 workers
+    python -m repro --cache-dir .vcache    # persistent validity cache
 
-``--cache-dir`` loads ``<dir>/validity_cache.json`` before verifying and
-saves it (merged with any concurrent writers) afterwards; the final
-summary line reports in-memory vs persistent hit counts.  ``--jobs 0``
-uses every core.
+    python -m repro serve  --socket /tmp/repro.sock --cache-dir .vcache
+    python -m repro client --socket /tmp/repro.sock "Figure 3" "Figure 1"
+    python -m repro client --socket /tmp/repro.sock --all --tenant team-a
+    python -m repro client --socket /tmp/repro.sock --stats
+    python -m repro bench  --repeat 2      # cold vs warm batch timings
+
+The bare form (no subcommand) is the ``verify`` subcommand and behaves
+exactly as it always has; ``serve`` boots the long-lived verification
+daemon (:mod:`repro.server`), ``client`` talks to it over its unix
+socket (or ``--host``/``--port``), and ``bench`` measures cold-vs-warm
+batch times through the :mod:`repro.api` facade.  ``--jobs``/
+``--cache-dir`` are shared plumbing: ``--jobs 0`` uses every core, and
+``--cache-dir`` loads ``<dir>/validity_cache.json`` before verifying
+and saves it (merged with concurrent writers) afterwards.
 """
 
 from __future__ import annotations
@@ -22,67 +29,22 @@ import argparse
 import sys
 import time
 from pathlib import Path
+from typing import List, Optional
 
-from .casestudies import ALL_CASES, case_by_name
+from . import api
 from .parallel import default_jobs
-from .smt.cache import GLOBAL as VALIDITY_CACHE
 
-CACHE_FILENAME = "validity_cache.json"
+CACHE_FILENAME = api.CACHE_FILENAME
 
-
-def _print_all(jobs: int) -> int:
-    width = 96
-    print("=" * width)
-    print("CommCSL / HyperViper reproduction — verification of all case studies")
-    print("=" * width)
-    failures = 0
-    for case in ALL_CASES:
-        start = time.perf_counter()
-        result = case.verify(jobs=jobs)
-        elapsed = time.perf_counter() - start
-        expected = "secure" if case.expected_verified else "insecure"
-        verdict = "VERIFIED" if result.verified else "REJECTED"
-        ok = result.verified == case.expected_verified
-        failures += not ok
-        marker = "" if ok else "  <-- UNEXPECTED"
-        print(f"{case.name:32s} expected {expected:8s} -> {verdict:8s} ({elapsed:5.2f}s){marker}")
-        if not result.verified and result.errors:
-            print(f"    reason: {result.errors[0][:90]}")
-    print("=" * width)
-    if failures:
-        print(f"{failures} case(s) did not match their expected verdict")
-        return 1
-    print(f"all {len(ALL_CASES)} case studies match their expected verdicts")
-    return 0
+SUBCOMMANDS = ("verify", "serve", "client", "bench")
 
 
-def _print_one(name: str, jobs: int) -> int:
-    case = case_by_name(name)
-    print(f"== {case.name} ==")
-    print(case.description)
-    print("\n--- program ---")
-    print(case.source.strip())
-    print("\n--- verification ---")
-    result = case.verify(jobs=jobs)
-    print(result.summary())
-    for decl_name, report in result.validity_reports.items():
-        print(f"spec {decl_name}: valid={report.valid} ({report.checks_performed} checks)")
-    for conformance in result.conformance_reports:
-        print(f"conformance: {conformance}")
-    return 0 if result.verified == case.expected_verified else 1
+# ---------------------------------------------------------------------------
+# Shared plumbing
+# ---------------------------------------------------------------------------
 
 
-def main(argv: list[str]) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Verify the paper's case studies.",
-    )
-    parser.add_argument(
-        "case",
-        nargs="?",
-        default=None,
-        help="verify one case study by name (default: all, as a table)",
-    )
+def _add_shared(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
         type=int,
@@ -95,35 +57,377 @@ def main(argv: list[str]) -> int:
         metavar="DIR",
         help=f"persist the validity cache to DIR/{CACHE_FILENAME} across runs",
     )
-    args = parser.parse_args(argv[1:])
-    jobs = default_jobs() if args.jobs == 0 else max(1, args.jobs)
 
-    cache_path = None
-    if args.cache_dir is not None:
-        cache_dir = Path(args.cache_dir)
-        cache_dir.mkdir(parents=True, exist_ok=True)
-        cache_path = cache_dir / CACHE_FILENAME
-        loaded = VALIDITY_CACHE.load(cache_path)
-        print(f"validity cache: loaded {loaded} persistent entr{'y' if loaded == 1 else 'ies'} from {cache_path}")
 
-    try:
-        if args.case is not None:
-            status = _print_one(args.case, jobs)
-        else:
-            status = _print_all(jobs)
-    except KeyError as error:
-        print(error)
-        return 2
+def _resolve_jobs(jobs: int) -> int:
+    return default_jobs() if jobs == 0 else max(1, jobs)
 
-    if cache_path is not None:
-        saved = VALIDITY_CACHE.save(cache_path)
-        stats = VALIDITY_CACHE.stats()
+
+class _CacheScope:
+    """CLI-side explicit cache handle: load before, save + report after.
+
+    The cache is constructed here and installed as the scoped default —
+    no reaching into the deprecated process singleton.  ``report()`` is
+    explicit (not part of ``__exit__``) so error paths can skip the
+    save, exactly as the historical flat CLI did.
+    """
+
+    def __init__(self, cache_dir: Optional[str]) -> None:
+        from .smt.cache import ValidityCache, using_cache
+
+        self.cache = ValidityCache()
+        self.path: Optional[Path] = None
+        self._using = using_cache
+        self._scope = None
+        if cache_dir is not None:
+            directory = Path(cache_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            self.path = directory / CACHE_FILENAME
+            loaded = self.cache.load(self.path)
+            print(
+                f"validity cache: loaded {loaded} persistent "
+                f"entr{'y' if loaded == 1 else 'ies'} from {self.path}"
+            )
+
+    def __enter__(self) -> "_CacheScope":
+        self._scope = self._using(self.cache)
+        self._scope.__enter__()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._scope.__exit__(*exc)
+
+    def report(self) -> None:
+        if self.path is None:
+            return
+        saved = self.cache.save(self.path)
+        stats = self.cache.stats()
         print(
             f"validity cache: {stats['hits']} memory hits, "
             f"{stats['persistent_hits']} persistent hits, "
-            f"{stats['misses']} misses; saved {saved} entries to {cache_path}"
+            f"{stats['misses']} misses; saved {saved} entries to {self.path}"
         )
+
+
+# ---------------------------------------------------------------------------
+# verify (the default, back-compatible subcommand)
+# ---------------------------------------------------------------------------
+
+
+def _print_all(jobs: int) -> int:
+    from .casestudies import ALL_CASES
+
+    width = 96
+    print("=" * width)
+    print("CommCSL / HyperViper reproduction — verification of all case studies")
+    print("=" * width)
+    failures = 0
+    for case in ALL_CASES:
+        verdict = api.execute(api.VerificationRequest(case=case.name), jobs=jobs)
+        expected = "secure" if case.expected_verified else "insecure"
+        outcome = "VERIFIED" if verdict.verified else "REJECTED"
+        ok = verdict.ok
+        failures += not ok
+        marker = "" if ok else "  <-- UNEXPECTED"
+        print(
+            f"{case.name:32s} expected {expected:8s} -> {outcome:8s} "
+            f"({verdict.elapsed:5.2f}s){marker}"
+        )
+        if not verdict.verified and verdict.errors:
+            print(f"    reason: {verdict.errors[0][:90]}")
+    print("=" * width)
+    if failures:
+        print(f"{failures} case(s) did not match their expected verdict")
+        return 1
+    print(f"all {len(ALL_CASES)} case studies match their expected verdicts")
+    return 0
+
+
+def _print_one(name: str, jobs: int) -> int:
+    from .casestudies import case_by_name
+
+    case = case_by_name(name)
+    print(f"== {case.name} ==")
+    print(case.description)
+    print("\n--- program ---")
+    print(case.source.strip())
+    print("\n--- verification ---")
+    verdict = api.execute(api.VerificationRequest(case=case.name), jobs=jobs)
+    print(f"{verdict.name}: {'VERIFIED' if verdict.verified else 'REJECTED'}")
+    for error in verdict.errors:
+        print(f"  error: {error}")
+    for obligation in verdict.obligations:
+        print(f"  obligation: {obligation}")
+    for decl_name, valid, checks in verdict.validity:
+        print(f"spec {decl_name}: valid={valid} ({checks} checks)")
+    for conformance in verdict.conformance:
+        print(f"conformance: {conformance}")
+    return 0 if verdict.ok else 1
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    jobs = _resolve_jobs(args.jobs)
+    scope = _CacheScope(args.cache_dir)
+    with scope:
+        try:
+            if args.case is not None:
+                status = _print_one(args.case, jobs)
+            else:
+                status = _print_all(jobs)
+        except (KeyError, api.RequestError) as error:
+            print(error)
+            return 2
+    scope.report()
     return status
+
+
+# ---------------------------------------------------------------------------
+# serve
+# ---------------------------------------------------------------------------
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .server import VerificationServer
+
+    if args.socket is None and args.host is None:
+        print("serve: pass --socket PATH (or --host/--port)", file=sys.stderr)
+        return 2
+    server = VerificationServer(
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        max_sessions=args.max_sessions,
+        vc_budget=args.vc_budget,
+        batch_limit=args.batch_limit,
+        timeout=args.timeout,
+    )
+    server.run(announce=True)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# client
+# ---------------------------------------------------------------------------
+
+
+def _client_endpoint(args: argparse.Namespace):
+    from .client import ServiceClient
+
+    if args.socket is None and args.host is None:
+        print("client: pass --socket PATH (or --host/--port)", file=sys.stderr)
+        raise SystemExit(2)
+    return ServiceClient(socket_path=args.socket, host=args.host, port=args.port)
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import json
+
+    from .client import ServiceError, requests_for_cases
+
+    try:
+        with _client_endpoint(args) as client:
+            if args.shutdown:
+                client.shutdown()
+                print("daemon asked to shut down")
+                return 0
+            if args.stats:
+                print(json.dumps(client.stats(), indent=2, sort_keys=True))
+                return 0
+            names = list(args.cases)
+            if args.all or not names:
+                from .casestudies import ALL_CASES
+
+                names = [case.name for case in ALL_CASES]
+            requests = requests_for_cases(names)
+            failures = 0
+            outcome = None
+            for event in client.stream_batch(requests, tenant=args.tenant):
+                kind = event.get("event")
+                if kind == "accepted":
+                    print(f"daemon accepted batch of {event['count']} (tenant {args.tenant})")
+                elif kind == "verdict":
+                    verdict = api.Verdict.from_wire(event["verdict"])
+                    marker = "" if verdict.ok else "  <-- UNEXPECTED"
+                    failures += not verdict.ok
+                    outcome_str = "VERIFIED" if verdict.verified else "REJECTED"
+                    print(
+                        f"{verdict.name:32s} -> {outcome_str:8s} "
+                        f"({verdict.elapsed:5.2f}s){marker}"
+                    )
+                elif kind in ("rejected", "timeout", "error"):
+                    failures += 1
+                    index = event.get("index", "-")
+                    print(f"request {index}: {kind}: {event.get('reason')}")
+                elif kind == "done":
+                    stats = event.get("stats", {})
+                    pool = stats.get("pool", {})
+                    cache = stats.get("cache", {})
+                    print(
+                        f"batch done in {event.get('elapsed', 0.0):.2f}s — "
+                        f"sessions reused {pool.get('reused', 0)}, "
+                        f"cache hits {cache.get('hits', 0)} "
+                        f"(+{cache.get('persistent_hits', 0)} persistent)"
+                    )
+            return 1 if failures else 0
+    except ServiceError as error:
+        print(f"client: {error}", file=sys.stderr)
+        return 2
+
+
+# ---------------------------------------------------------------------------
+# bench
+# ---------------------------------------------------------------------------
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Cold-vs-warm batch timing through the facade (or a daemon)."""
+    from .casestudies import ALL_CASES
+
+    names = list(args.cases) or [case.name for case in ALL_CASES]
+    requests = [api.VerificationRequest(case=name) for name in names]
+    jobs = _resolve_jobs(args.jobs)
+
+    if args.socket is not None or args.host is not None:
+        with _client_endpoint(args) as client:
+            timings = []
+            for round_index in range(args.repeat):
+                outcome = client.run_batch(requests, tenant=args.tenant)
+                timings.append(outcome.elapsed)
+                print(f"round {round_index + 1}: {outcome.elapsed:.3f}s (ok={outcome.ok})")
+        if len(timings) > 1 and timings[-1] > 0:
+            print(f"warm speedup: x{timings[0] / timings[-1]:.1f}")
+        return 0
+
+    scope = _CacheScope(args.cache_dir)
+    with scope:
+        from .smt.session import SolverSession
+
+        session = SolverSession()
+        timings = []
+        for round_index in range(args.repeat):
+            start = time.perf_counter()
+            report = api.verify_batch(requests, session=session, jobs=jobs)
+            elapsed = time.perf_counter() - start
+            timings.append(elapsed)
+            print(
+                f"round {round_index + 1}: {elapsed:.3f}s "
+                f"(ok={report.ok}, session queries={report.stats['session']['queries']})"
+            )
+        if len(timings) > 1 and timings[-1] > 0:
+            print(f"warm speedup: x{timings[0] / timings[-1]:.1f}")
+    scope.report()
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Argument parsing
+# ---------------------------------------------------------------------------
+
+
+def _build_verify_parser(prog: str) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="Verify the paper's case studies.",
+        epilog=(
+            "subcommands: serve (verification daemon), client (talk to a "
+            "daemon), bench (cold/warm batch timing) — "
+            "see `python -m repro <subcommand> --help`"
+        ),
+    )
+    parser.add_argument(
+        "case",
+        nargs="?",
+        default=None,
+        help="verify one case study by name (default: all, as a table)",
+    )
+    _add_shared(parser)
+    return parser
+
+
+def _build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Run the long-lived verification daemon.",
+    )
+    parser.add_argument("--socket", default=None, metavar="PATH", help="unix socket to listen on")
+    parser.add_argument("--host", default=None, help="TCP host to listen on (e.g. 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=0, help="TCP port (0 = ephemeral)")
+    parser.add_argument("--max-sessions", type=int, default=8, help="solver-session pool size")
+    parser.add_argument(
+        "--vc-budget",
+        type=int,
+        default=None,
+        help="per-request VC admission budget",
+    )
+    parser.add_argument(
+        "--batch-limit", type=int, default=None, help="max requests per batch"
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, help="per-request wall-clock budget (s)"
+    )
+    _add_shared(parser)
+    return parser
+
+
+def _build_client_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro client",
+        description="Send a verification batch to a running daemon.",
+    )
+    parser.add_argument("cases", nargs="*", help="case-study names (default: the full corpus)")
+    parser.add_argument("--socket", default=None, metavar="PATH", help="daemon unix socket")
+    parser.add_argument("--host", default=None, help="daemon TCP host")
+    parser.add_argument("--port", type=int, default=None, help="daemon TCP port")
+    parser.add_argument("--tenant", default="default", help="tenant name (cache namespace)")
+    parser.add_argument("--all", action="store_true", help="send the full corpus")
+    parser.add_argument("--stats", action="store_true", help="print daemon stats and exit")
+    parser.add_argument("--shutdown", action="store_true", help="ask the daemon to exit")
+    _add_shared(parser)
+    return parser
+
+
+def _build_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="Measure cold-vs-warm batch verification time.",
+    )
+    parser.add_argument("cases", nargs="*", help="case-study names (default: the full corpus)")
+    parser.add_argument("--repeat", type=int, default=2, help="batch rounds (default 2)")
+    parser.add_argument("--socket", default=None, metavar="PATH", help="bench a daemon instead")
+    parser.add_argument("--host", default=None, help="daemon TCP host")
+    parser.add_argument("--port", type=int, default=None, help="daemon TCP port")
+    parser.add_argument("--tenant", default="default", help="tenant for daemon benches")
+    _add_shared(parser)
+    return parser
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) > 1 and argv[1] in SUBCOMMANDS:
+        command, rest = argv[1], argv[2:]
+        if command == "verify":
+            args = _build_verify_parser("python -m repro verify").parse_args(rest)
+            return _cmd_verify(args)
+        if command == "serve":
+            parser = _build_serve_parser()
+            args = parser.parse_args(rest)
+            from . import server as server_module
+
+            if args.vc_budget is None:
+                args.vc_budget = server_module.DEFAULT_VC_BUDGET
+            if args.batch_limit is None:
+                args.batch_limit = server_module.DEFAULT_BATCH_LIMIT
+            if args.timeout is None:
+                args.timeout = server_module.DEFAULT_TIMEOUT
+            return _cmd_serve(args)
+        if command == "client":
+            args = _build_client_parser().parse_args(rest)
+            return _cmd_client(args)
+        args = _build_bench_parser().parse_args(rest)
+        return _cmd_bench(args)
+    # Bare invocation: the historical interface, byte-compatible.
+    args = _build_verify_parser("python -m repro").parse_args(argv[1:])
+    return _cmd_verify(args)
 
 
 if __name__ == "__main__":

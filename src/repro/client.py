@@ -1,0 +1,235 @@
+"""Synchronous client for the verification daemon (:mod:`repro.server`).
+
+A thin blocking wrapper over the JSON-line protocol: connect over the
+daemon's unix socket (or localhost TCP), send one op per line, read
+event objects until the terminal event for that op.  Batch verdicts are
+*streamed* — :meth:`ServiceClient.stream_batch` yields each event as it
+lands, and :meth:`ServiceClient.run_batch` collects them into a typed
+:class:`~repro.api.BatchReport`-like outcome.
+
+The client is deliberately dependency-free (stdlib ``socket`` only) so
+it can be vendored into other tooling; every payload it builds or parses
+goes through the typed wire surface of :mod:`repro.api`.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .api import BatchReport, RequestError, Verdict, VerificationRequest
+
+
+class ServiceError(RuntimeError):
+    """Protocol-level failure talking to the daemon."""
+
+
+@dataclass
+class BatchOutcome:
+    """Everything one batch produced, in arrival order.
+
+    ``verdicts`` maps request index → :class:`~repro.api.Verdict`;
+    ``rejections``/``timeouts``/``errors`` map request index → reason.
+    ``stats`` is the daemon's served stats snapshot from the ``done``
+    event and ``elapsed`` the server-side batch wall-clock.
+    """
+
+    verdicts: Dict[int, Verdict] = field(default_factory=dict)
+    rejections: Dict[int, str] = field(default_factory=dict)
+    timeouts: Dict[int, str] = field(default_factory=dict)
+    errors: Dict[int, str] = field(default_factory=dict)
+    stats: Dict[str, Any] = field(default_factory=dict)
+    elapsed: float = 0.0
+
+    @property
+    def complete(self) -> bool:
+        """True when every request came back as a verdict."""
+        return not (self.rejections or self.timeouts or self.errors)
+
+    @property
+    def ok(self) -> bool:
+        return self.complete and all(v.ok for v in self.verdicts.values())
+
+    def ordered_verdicts(self) -> Tuple[Verdict, ...]:
+        return tuple(self.verdicts[i] for i in sorted(self.verdicts))
+
+    def to_report(self) -> BatchReport:
+        return BatchReport(
+            verdicts=self.ordered_verdicts(), elapsed=self.elapsed, stats=self.stats
+        )
+
+
+class ServiceClient:
+    """A blocking connection to one daemon.
+
+    Use as a context manager::
+
+        with ServiceClient(socket_path="/tmp/repro.sock") as client:
+            outcome = client.run_batch([VerificationRequest(case="Figure 3")])
+    """
+
+    def __init__(
+        self,
+        socket_path: Optional[Any] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        timeout: Optional[float] = 600.0,
+    ) -> None:
+        if socket_path is None and host is None:
+            raise ValueError("a unix socket path or a host/port is required")
+        if socket_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(str(socket_path))
+        else:
+            self._sock = socket.create_connection((host, int(port)), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    # -- plumbing ---------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def _send(self, obj: Dict[str, Any]) -> None:
+        self._file.write(json.dumps(obj, sort_keys=True).encode("utf-8") + b"\n")
+        self._file.flush()
+
+    def _recv(self) -> Dict[str, Any]:
+        line = self._file.readline()
+        if not line:
+            raise ServiceError("connection closed by the daemon")
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ServiceError(f"undecodable server line {line!r}: {error}")
+        if not isinstance(obj, dict):
+            raise ServiceError(f"non-object server event: {obj!r}")
+        return obj
+
+    def _roundtrip(self, obj: Dict[str, Any], expect: str) -> Dict[str, Any]:
+        self._send(obj)
+        event = self._recv()
+        if event.get("event") == "error":
+            raise ServiceError(event.get("reason", "unspecified daemon error"))
+        if event.get("event") != expect:
+            raise ServiceError(f"expected {expect!r}, got {event!r}")
+        return event
+
+    # -- simple ops -------------------------------------------------------
+
+    def ping(self) -> bool:
+        self._roundtrip({"op": "ping"}, "pong")
+        return True
+
+    def stats(self) -> Dict[str, Any]:
+        return self._roundtrip({"op": "stats"}, "stats")["stats"]
+
+    def shutdown(self) -> None:
+        """Ask the daemon to exit (it answers ``bye`` first)."""
+        self._roundtrip({"op": "shutdown"}, "bye")
+
+    def configure_tenant(
+        self,
+        tenant: str,
+        namespace: Optional[str] = None,
+        vc_budget: Optional[int] = None,
+        max_models: Optional[int] = None,
+        sorts: Optional[Dict[str, str]] = None,
+    ) -> Dict[str, Any]:
+        message: Dict[str, Any] = {"op": "tenant", "tenant": tenant}
+        if namespace is not None:
+            message["namespace"] = namespace
+        if vc_budget is not None:
+            message["vc_budget"] = vc_budget
+        if max_models is not None:
+            message["max_models"] = max_models
+        if sorts is not None:
+            message["sorts"] = sorts
+        return self._roundtrip(message, "tenant")
+
+    # -- batches ----------------------------------------------------------
+
+    def stream_batch(
+        self,
+        requests: Sequence[VerificationRequest],
+        tenant: str = "default",
+        batch_id: Optional[str] = None,
+    ) -> Iterator[Dict[str, Any]]:
+        """Send one batch and yield server events as they arrive, ending
+        with (and including) the ``done`` event.  A top-level
+        ``rejected`` (whole-batch) or ``error`` event also terminates
+        the stream."""
+        for request in requests:
+            request.validate()
+        message: Dict[str, Any] = {
+            "op": "batch",
+            "tenant": tenant,
+            "requests": [request.to_wire() for request in requests],
+        }
+        if batch_id is not None:
+            message["id"] = batch_id
+        self._send(message)
+        while True:
+            event = self._recv()
+            yield event
+            kind = event.get("event")
+            if kind == "done":
+                return
+            if kind in ("rejected", "error") and "index" not in event:
+                return  # whole-batch refusal: no done event follows
+
+    def run_batch(
+        self,
+        requests: Sequence[VerificationRequest],
+        tenant: str = "default",
+        batch_id: Optional[str] = None,
+    ) -> BatchOutcome:
+        """Send one batch and collect the streamed events."""
+        outcome = BatchOutcome()
+        for event in self.stream_batch(requests, tenant=tenant, batch_id=batch_id):
+            kind = event.get("event")
+            index = event.get("index")
+            if kind == "verdict":
+                outcome.verdicts[int(index)] = Verdict.from_wire(event["verdict"])
+            elif kind == "rejected":
+                if index is None:
+                    raise ServiceError(event.get("reason", "batch rejected"))
+                outcome.rejections[int(index)] = event.get("reason", "")
+            elif kind == "timeout":
+                outcome.timeouts[int(index)] = event.get("reason", "")
+            elif kind == "error":
+                if index is None:
+                    raise ServiceError(event.get("reason", "batch failed"))
+                outcome.errors[int(index)] = event.get("reason", "")
+            elif kind == "done":
+                outcome.elapsed = float(event.get("elapsed", 0.0))
+                outcome.stats = dict(event.get("stats", {}))
+        return outcome
+
+
+def requests_for_cases(names: Sequence[str]) -> List[VerificationRequest]:
+    """Convenience: one case request per name (validated eagerly)."""
+    requests = [VerificationRequest(case=name) for name in names]
+    for request in requests:
+        request.validate()
+    return requests
+
+
+__all__ = [
+    "BatchOutcome",
+    "RequestError",
+    "ServiceClient",
+    "ServiceError",
+    "requests_for_cases",
+]

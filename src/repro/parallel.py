@@ -41,13 +41,14 @@ def _run_task(payload: Tuple[Callable[..., Any], tuple]) -> Tuple[Any, dict]:
     already has; persistence is enabled so fingerprint keys get computed
     and the delta actually accumulates.
     """
-    from .smt.cache import GLOBAL
+    from .smt.cache import get_default
 
     fn, args = payload
-    GLOBAL.reset_delta()
-    GLOBAL.enable_persistence()
+    cache = get_default()
+    cache.reset_delta()
+    cache.enable_persistence()
     result = fn(*args)
-    return result, GLOBAL.export_delta()
+    return result, cache.export_delta()
 
 
 def parallel_map(
@@ -86,11 +87,12 @@ def parallel_map(
     except Exception:  # noqa: BLE001 — broken pool/sandbox: fall back
         return [sequential(item) for item in items]
 
-    from .smt.cache import GLOBAL
+    from .smt.cache import get_default
 
+    cache = get_default()
     for _result, delta in outcomes:
         if delta:
-            GLOBAL.merge(delta)
+            cache.merge(delta)
     return [result for result, _delta in outcomes]
 
 

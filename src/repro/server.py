@@ -1,0 +1,537 @@
+"""Verification-as-a-service: the long-lived asyncio daemon.
+
+Everything expensive in this repository is reusable across queries —
+interned term tables (:mod:`repro.smt.intern`), incremental
+:class:`~repro.smt.session.SolverSession` s with assumption-activated
+VCs, the in-memory + persistent validity cache
+(:mod:`repro.smt.cache`) — but a ``python -m repro`` invocation pays
+cold-start for all of it.  :class:`VerificationServer` keeps that warm
+state alive behind a batched request API:
+
+* **Transport** — a unix socket first (``python -m repro serve --socket
+  PATH``), optionally localhost TCP (``--host/--port``).  Framing is
+  JSON lines: one JSON object per ``\\n``-terminated line, each request
+  answered by a stream of event objects ending in ``done`` — the wire
+  schema is exactly the ``to_wire``/``from_wire`` surface of
+  :mod:`repro.api`.
+* **Warm state** — one :class:`~repro.smt.session.SessionPool` keyed by
+  tenant (LRU + clause-bloat eviction) and one server-owned
+  :class:`~repro.smt.cache.ValidityCache` (loaded from ``--cache-dir``
+  at boot, saved after every batch and at shutdown).  A batch's
+  requests run back-to-back on the tenant's pooled session, so
+  compatible obligations land in the same incremental sub-session and
+  later requests reuse earlier learned clauses; the second batch of the
+  same VCs is served almost entirely from warm state.
+* **Multi-tenancy** — cache entries are namespaced per tenant on top of
+  the fingerprint keys of :func:`repro.smt.cache.term_fingerprint`;
+  tenants can carry sort overrides (applied to their raw formula
+  queries) and per-tenant solver budgets (``max_models``), configured
+  over the wire with the ``tenant`` op.
+* **Admission control** — a per-request VC budget
+  (:func:`repro.api.estimate_vc_count`, purely syntactic, so rejection
+  happens before any solving) plus a per-request wall-clock timeout.
+  Verification is CPU-bound Python, so all solving is serialized on one
+  dedicated worker thread; on timeout the worker is *abandoned* (a
+  fresh one takes over) and the tenant's session is retired from the
+  pool (:meth:`~repro.smt.session.SessionPool.retire` — the next
+  request starts on a clean session, and the doomed session's
+  assumption literals are never reused), so one pathological VC cannot
+  starve the pool.
+
+Protocol ops (client → server)::
+
+    {"op": "ping", "id": ...}
+    {"op": "stats", "id": ...}
+    {"op": "tenant", "tenant": "t", "namespace": ..., "vc_budget": ...,
+     "max_models": ..., "sorts": {"x": "int"}}
+    {"op": "batch", "id": ..., "tenant": "t", "requests": [<request>...]}
+    {"op": "shutdown"}
+
+Server → client events: ``pong``, ``stats``, ``tenant``, ``accepted``,
+``verdict`` (one per request, streamed as each lands), ``rejected``,
+``timeout``, ``error``, ``done`` (with served stats), ``bye``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from . import api
+from .smt.cache import ValidityCache, using_cache
+from .smt.session import SessionPool, SolverSession
+from .smt.sorts import Sort
+
+#: Default per-request verification-condition budget (admission control).
+DEFAULT_VC_BUDGET = 256
+#: Default per-request wall-clock budget, seconds.
+DEFAULT_TIMEOUT = 120.0
+#: Default cap on requests per batch.
+DEFAULT_BATCH_LIMIT = 64
+
+
+@dataclass
+class TenantConfig:
+    """Per-tenant policy: cache namespace, solver budget, sort overrides."""
+
+    name: str
+    namespace: str = ""
+    vc_budget: Optional[int] = None
+    max_models: Optional[int] = None
+    sort_overrides: Dict[str, Sort] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.namespace:
+            self.namespace = self.name
+
+    def session_factory(self):
+        if self.max_models is None:
+            return None
+        max_models = self.max_models
+        return lambda: SolverSession(max_models=max_models)
+
+
+@dataclass
+class _TenantState:
+    config: TenantConfig
+    batches: int = 0
+    requests: int = 0
+    rejected: int = 0
+    timeouts: int = 0
+
+
+class VerificationServer:
+    """The daemon.  Construct, then either ``run()`` (blocking, owns the
+    event loop) or ``await start()`` inside an existing loop."""
+
+    def __init__(
+        self,
+        socket_path: Optional[Any] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        cache_dir: Optional[Any] = None,
+        max_sessions: int = 8,
+        max_live_clauses: Optional[int] = 200_000,
+        vc_budget: int = DEFAULT_VC_BUDGET,
+        batch_limit: int = DEFAULT_BATCH_LIMIT,
+        timeout: float = DEFAULT_TIMEOUT,
+    ) -> None:
+        if socket_path is None and host is None:
+            raise ValueError("a unix socket path or a host/port is required")
+        self.socket_path = Path(socket_path) if socket_path is not None else None
+        self.host = host
+        self.port = port
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.vc_budget = vc_budget
+        self.batch_limit = batch_limit
+        self.timeout = timeout
+
+        self.pool = SessionPool(
+            max_sessions=max_sessions, max_live_clauses=max_live_clauses
+        )
+        #: The server-owned cache — an explicit handle, not the process
+        #: GLOBAL: it is installed scoped around each request execution.
+        self.cache = ValidityCache()
+        self._cache_path: Optional[Path] = None
+        self._tenants: Dict[str, _TenantState] = {}
+        self._evictions: list = []
+        self.pool.on_evict(
+            lambda tenant, _session, reason: self._evictions.append((tenant, reason))
+        )
+
+        self._servers: list = []
+        self._executor: Optional[concurrent.futures.ThreadPoolExecutor] = None
+        self._shutdown = asyncio.Event()
+        self._started = 0.0
+        self.batches_served = 0
+        self.requests_served = 0
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> None:
+        self._started = time.monotonic()
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-verify"
+        )
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            self._cache_path = self.cache_dir / api.CACHE_FILENAME
+            self.cache.load(self._cache_path)
+        else:
+            # Still fingerprint decisive results: served stats expose
+            # persistent_size/persistent_hits even without a disk store.
+            self.cache.enable_persistence()
+        if self.socket_path is not None:
+            if self.socket_path.exists():
+                self.socket_path.unlink()
+            server = await asyncio.start_unix_server(
+                self._handle_client, path=str(self.socket_path)
+            )
+            self._servers.append(server)
+        if self.host is not None:
+            server = await asyncio.start_server(
+                self._handle_client, host=self.host, port=self.port or 0
+            )
+            self._servers.append(server)
+
+    async def stop(self) -> None:
+        for server in self._servers:
+            server.close()
+            await server.wait_closed()
+        self._servers.clear()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+        if self._cache_path is not None:
+            self.cache.save(self._cache_path)
+        if self.socket_path is not None and self.socket_path.exists():
+            self.socket_path.unlink()
+
+    async def serve_forever(self) -> None:
+        """Wait (inside a running loop, after :meth:`start`) until a
+        ``shutdown`` op arrives."""
+        await self._shutdown.wait()
+
+    def run(self, announce: bool = False) -> None:
+        """Blocking entry point: serve until a ``shutdown`` op (or
+        KeyboardInterrupt), then flush the cache and clean up.
+        ``announce`` prints the bound endpoints once listening."""
+
+        async def _main() -> None:
+            await self.start()
+            if announce:
+                print(
+                    f"repro daemon listening on {', '.join(self.endpoints)}",
+                    flush=True,
+                )
+            try:
+                await self.serve_forever()
+            finally:
+                await self.stop()
+
+        try:
+            asyncio.run(_main())
+        except KeyboardInterrupt:
+            pass
+
+    @property
+    def endpoints(self) -> Tuple[str, ...]:
+        names = []
+        if self.socket_path is not None:
+            names.append(f"unix:{self.socket_path}")
+        for server in self._servers:
+            for sock in server.sockets or ():
+                try:
+                    addr = sock.getsockname()
+                except OSError:
+                    continue
+                if isinstance(addr, tuple):
+                    names.append(f"tcp:{addr[0]}:{addr[1]}")
+        return tuple(names)
+
+    # -- tenancy ----------------------------------------------------------
+
+    def tenant(self, name: str) -> _TenantState:
+        state = self._tenants.get(name)
+        if state is None:
+            state = _TenantState(config=TenantConfig(name=name))
+            self._tenants[name] = state
+        return state
+
+    def configure_tenant(
+        self,
+        name: str,
+        namespace: Optional[str] = None,
+        vc_budget: Optional[int] = None,
+        max_models: Optional[int] = None,
+        sorts: Optional[Mapping[str, str]] = None,
+    ) -> TenantConfig:
+        """Install per-tenant policy (also reachable over the wire via
+        the ``tenant`` op).  Reconfiguring retires any pooled session so
+        new policy (e.g. ``max_models``) takes effect immediately."""
+        state = self.tenant(name)
+        config = state.config
+        if namespace is not None:
+            config.namespace = namespace
+        if vc_budget is not None:
+            config.vc_budget = vc_budget
+        if max_models is not None:
+            config.max_models = max_models
+        if sorts is not None:
+            config.sort_overrides = {
+                var: api.sort_from_wire(sort_name) for var, sort_name in sorts.items()
+            }
+        self.pool.retire(name)
+        return config
+
+    # -- stats ------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "uptime": time.monotonic() - self._started,
+            "batches": self.batches_served,
+            "requests": self.requests_served,
+            "pool": self.pool.stats(),
+            "cache": self.cache.stats(),
+            "evictions": list(self._evictions),
+            "tenants": {
+                name: {
+                    "batches": state.batches,
+                    "requests": state.requests,
+                    "rejected": state.rejected,
+                    "timeouts": state.timeouts,
+                    "namespace": state.config.namespace,
+                }
+                for name, state in self._tenants.items()
+            },
+        }
+
+    # -- protocol ---------------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while not reader.at_eof():
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    message = json.loads(line)
+                except json.JSONDecodeError as error:
+                    await self._emit(writer, {"event": "error", "reason": f"bad JSON: {error}"})
+                    continue
+                if not isinstance(message, dict):
+                    await self._emit(
+                        writer, {"event": "error", "reason": "message must be a JSON object"}
+                    )
+                    continue
+                stop = await self._dispatch(message, writer)
+                if stop:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _emit(self, writer: asyncio.StreamWriter, obj: Dict[str, Any]) -> None:
+        writer.write(json.dumps(obj, sort_keys=True).encode("utf-8") + b"\n")
+        await writer.drain()
+
+    async def _dispatch(self, message: dict, writer: asyncio.StreamWriter) -> bool:
+        """Handle one op; returns True when the connection should close."""
+        op = message.get("op")
+        ident = message.get("id")
+
+        def tag(obj: Dict[str, Any]) -> Dict[str, Any]:
+            if ident is not None:
+                obj["id"] = ident
+            return obj
+
+        if op == "ping":
+            await self._emit(writer, tag({"event": "pong"}))
+            return False
+        if op == "stats":
+            await self._emit(writer, tag({"event": "stats", "stats": self.stats()}))
+            return False
+        if op == "shutdown":
+            await self._emit(writer, tag({"event": "bye"}))
+            self._shutdown.set()
+            return True
+        if op == "tenant":
+            name = message.get("tenant")
+            if not isinstance(name, str) or not name:
+                await self._emit(
+                    writer, tag({"event": "error", "reason": "tenant op needs a tenant name"})
+                )
+                return False
+            try:
+                config = self.configure_tenant(
+                    name,
+                    namespace=message.get("namespace"),
+                    vc_budget=message.get("vc_budget"),
+                    max_models=message.get("max_models"),
+                    sorts=message.get("sorts"),
+                )
+            except api.RequestError as error:
+                await self._emit(writer, tag({"event": "error", "reason": str(error)}))
+                return False
+            await self._emit(
+                writer,
+                tag(
+                    {
+                        "event": "tenant",
+                        "tenant": name,
+                        "namespace": config.namespace,
+                        "vc_budget": config.vc_budget,
+                        "max_models": config.max_models,
+                    }
+                ),
+            )
+            return False
+        if op == "batch":
+            await self._handle_batch(message, writer, tag)
+            return False
+        await self._emit(writer, tag({"event": "error", "reason": f"unknown op {op!r}"}))
+        return False
+
+    async def _handle_batch(self, message: dict, writer, tag) -> None:
+        tenant_name = message.get("tenant") or "default"
+        state = self.tenant(tenant_name)
+        raw_requests = message.get("requests")
+        if not isinstance(raw_requests, list):
+            await self._emit(
+                writer, tag({"event": "error", "reason": "batch needs a requests list"})
+            )
+            return
+        if len(raw_requests) > self.batch_limit:
+            state.rejected += len(raw_requests)
+            await self._emit(
+                writer,
+                tag(
+                    {
+                        "event": "rejected",
+                        "reason": f"batch of {len(raw_requests)} exceeds the "
+                        f"limit of {self.batch_limit}",
+                    }
+                ),
+            )
+            return
+
+        start = time.perf_counter()
+        state.batches += 1
+        self.batches_served += 1
+        await self._emit(writer, tag({"event": "accepted", "count": len(raw_requests)}))
+
+        budget = (
+            state.config.vc_budget
+            if state.config.vc_budget is not None
+            else self.vc_budget
+        )
+        loop = asyncio.get_running_loop()
+        for index, raw in enumerate(raw_requests):
+            # Parse + admission control, both cheap and purely syntactic.
+            try:
+                request = api.VerificationRequest.from_wire(raw)
+                estimate = self._admit(request, budget)
+            except api.RequestError as error:
+                await self._emit(
+                    writer, tag({"event": "error", "index": index, "reason": str(error)})
+                )
+                continue
+            if estimate is not None:
+                state.rejected += 1
+                await self._emit(
+                    writer,
+                    tag({"event": "rejected", "index": index, "reason": estimate}),
+                )
+                continue
+
+            task = loop.run_in_executor(
+                self._executor, self._run_request, state, request
+            )
+            try:
+                outcome = await asyncio.wait_for(task, timeout=self.timeout)
+            except asyncio.TimeoutError:
+                state.timeouts += 1
+                self._abandon_worker(tenant_name)
+                await self._emit(
+                    writer,
+                    tag(
+                        {
+                            "event": "timeout",
+                            "index": index,
+                            "reason": f"request exceeded the {self.timeout:.0f}s "
+                            f"wall-clock budget; session retired",
+                        }
+                    ),
+                )
+                continue
+            state.requests += 1
+            self.requests_served += 1
+            if isinstance(outcome, api.Verdict):
+                await self._emit(
+                    writer,
+                    tag({"event": "verdict", "index": index, "verdict": outcome.to_wire()}),
+                )
+            else:
+                await self._emit(
+                    writer, tag({"event": "error", "index": index, "reason": str(outcome)})
+                )
+
+        # elapsed measures request processing; the cache flush that
+        # follows is bookkeeping whose cost grows with the whole store.
+        elapsed = time.perf_counter() - start
+        if self._cache_path is not None:
+            self.cache.save(self._cache_path)
+        await self._emit(
+            writer,
+            tag({"event": "done", "elapsed": elapsed, "stats": self.stats()}),
+        )
+
+    # -- execution --------------------------------------------------------
+
+    def _admit(self, request: api.VerificationRequest, budget: int) -> Optional[str]:
+        """None when admitted, else the human-readable rejection reason."""
+        estimate = api.estimate_vc_count(request)
+        if estimate > budget:
+            return (
+                f"request {request.label()!r} estimates {estimate} VCs, "
+                f"over the admission budget of {budget}"
+            )
+        return None
+
+    def _run_request(self, state: _TenantState, request: api.VerificationRequest):
+        """Executor-thread body: run one request on the tenant's pooled
+        session under the tenant's cache namespace.  Returns a Verdict,
+        or the error to report."""
+        config = state.config
+        tenant = config.name
+        try:
+            with using_cache(self.cache), self.cache.namespaced(config.namespace):
+                session = self.pool.acquire(tenant, factory=config.session_factory())
+                try:
+                    return api.execute(
+                        request,
+                        session=session,
+                        sorts=config.sort_overrides or None,
+                    )
+                finally:
+                    self.pool.release(tenant)
+        except api.RequestError as error:
+            return error
+        except Exception as error:  # noqa: BLE001 — a crashed VC must not kill the daemon
+            self.pool.retire(tenant)
+            return f"internal error: {type(error).__name__}: {error}"
+
+    def _abandon_worker(self, tenant: str) -> None:
+        """A request blew its wall-clock budget: abandon the (stuck)
+        worker thread, start a fresh executor, and retire the tenant's
+        session so the next request starts clean."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-verify"
+        )
+        self.pool.retire(tenant)
+
+
+__all__ = [
+    "DEFAULT_BATCH_LIMIT",
+    "DEFAULT_TIMEOUT",
+    "DEFAULT_VC_BUDGET",
+    "TenantConfig",
+    "VerificationServer",
+]

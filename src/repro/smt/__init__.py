@@ -19,8 +19,15 @@ from .arith import (
     mixed_consistent,
     normalize_order_atom,
 )
-from .cache import GLOBAL as VALIDITY_CACHE
-from .cache import ValidityCache, persistent_key, term_fingerprint
+from .cache import _SEED_CACHE as VALIDITY_CACHE  # historical re-export
+from .cache import (
+    ValidityCache,
+    get_default,
+    persistent_key,
+    set_default,
+    term_fingerprint,
+    using_cache,
+)
 from .cnf import AtomTable, TseitinConverter, cnf_of, is_atom, to_nnf, tseitin
 from .compile import compile_term
 from .dpll import (
@@ -40,7 +47,7 @@ from .euf import (
     congruence_closure_consistent,
     is_equality_atom,
 )
-from .session import SolverSession, in_euf_fragment, in_mixed_fragment
+from .session import SessionPool, SolverSession, in_euf_fragment, in_mixed_fragment
 from .simplify import is_literally_true, simplify
 from .solver import Result, Verdict, check_validity, find_model
 from .sorts import (
@@ -80,6 +87,7 @@ __all__ = [
     "DifferenceLogicPropagator",
     "EqualityPropagator",
     "PropagatorStack",
+    "SessionPool",
     "SolverSession",
     "TheoryResult",
     "TseitinConverter",
@@ -128,8 +136,11 @@ __all__ = [
     "is_order_atom",
     "mixed_consistent",
     "normalize_order_atom",
+    "get_default",
     "persistent_key",
+    "set_default",
     "term_fingerprint",
+    "using_cache",
     "is_literally_true",
     "negate",
     "propositionally_valid",

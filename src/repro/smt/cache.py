@@ -36,18 +36,33 @@ counted separately from in-memory hits (``persistent_hits``), and
 clear_all_caches` invokes — drops only the in-memory layer, never the
 persistent mirror or the on-disk store.
 
+**Multi-tenancy.**  A cache can be *namespaced*
+(:meth:`ValidityCache.set_namespace`, or scoped with
+:meth:`~ValidityCache.namespaced`): while a namespace is active, both
+the in-memory key and the fingerprint key are qualified by it, so two
+tenants sharing one cache (the verification daemon's situation) never
+serve each other's entries — and an empty namespace (the default)
+leaves every key byte-identical to the pre-namespace format, so
+existing on-disk stores stay valid.
+
 Hit/miss counters are surfaced on every :class:`repro.smt.solver.Result`
-via its ``cache_hits``/``cache_misses`` fields; the cache itself is
-exported as :data:`GLOBAL`.
+via its ``cache_hits``/``cache_misses`` fields.  The process-default
+cache is reachable via :func:`get_default` and replaceable via
+:func:`set_default` / the :func:`using_cache` context manager — the
+handle-passing surface of :mod:`repro.api`.  The historical module
+attribute ``GLOBAL`` still resolves to the seed instance, but its use
+is deprecated (access emits a :class:`DeprecationWarning`).
 """
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
 import os
-from typing import Any, Dict, Hashable, Mapping, Optional, Tuple
+import warnings
+from typing import Any, Dict, Hashable, Iterator, Mapping, Optional, Tuple
 
 from .intern import register_cache
 from .sorts import Scope, Sort
@@ -281,9 +296,10 @@ class ValidityCache:
         "_persistent",
         "_dirty",
         "_active",
+        "_namespace",
     )
 
-    def __init__(self) -> None:
+    def __init__(self, namespace: str = "") -> None:
         self.hits = 0
         self.misses = 0
         self.persistent_hits = 0
@@ -291,6 +307,47 @@ class ValidityCache:
         self._persistent: Dict[str, dict] = {}
         self._dirty: set = set()
         self._active = False
+        self._namespace = namespace
+
+    # -- namespacing ------------------------------------------------------
+
+    @property
+    def namespace(self) -> str:
+        return self._namespace
+
+    def set_namespace(self, namespace: str) -> None:
+        """Qualify every subsequent lookup/store with ``namespace``.
+
+        The empty namespace (the default) leaves keys in their
+        historical un-prefixed form, so pre-tenancy on-disk stores and
+        in-memory entries keep resolving.  Entries written under one
+        namespace are invisible under any other — the tenancy isolation
+        contract of the verification daemon.
+        """
+        self._namespace = namespace
+
+    @contextlib.contextmanager
+    def namespaced(self, namespace: str) -> Iterator["ValidityCache"]:
+        """Scope a namespace: restore the previous one on exit."""
+        previous = self._namespace
+        self._namespace = namespace
+        try:
+            yield self
+        finally:
+            self._namespace = previous
+
+    def _qualify(self, key: Hashable) -> Hashable:
+        """The in-memory key as stored (namespace-qualified if set)."""
+        if not self._namespace:
+            return key
+        return ("\x00ns", self._namespace, key)
+
+    def _qualify_persistent(self, persistent_key: str) -> str:
+        """The fingerprint key as stored; the prefix uses ``|``, which
+        never occurs in a hex digest."""
+        if not self._namespace:
+            return persistent_key
+        return f"{self._namespace}|{persistent_key}"
 
     # -- in-memory layer --------------------------------------------------
 
@@ -299,7 +356,7 @@ class ValidityCache:
         decides membership, so a stored falsy result (e.g. a REFUTED
         :class:`~repro.smt.solver.Result`, whose ``__bool__`` is False)
         still counts as a hit and stays cacheable."""
-        found = self._store.get(key, _MISSING)
+        found = self._store.get(self._qualify(key), _MISSING)
         if found is _MISSING:
             self.misses += 1
             return default
@@ -312,12 +369,13 @@ class ValidityCache:
         """Store a result; when the persistent layer is active and a
         fingerprint key is supplied, mirror a JSON-safe encoding into it
         (and into the dirty delta shipped by :meth:`export_delta`)."""
-        self._store[key] = value
+        self._store[self._qualify(key)] = value
         if persistent_key is not None and self._active:
             encoded = encode_result(value)
             if encoded is not None:
-                self._persistent[persistent_key] = encoded
-                self._dirty.add(persistent_key)
+                qualified = self._qualify_persistent(persistent_key)
+                self._persistent[qualified] = encoded
+                self._dirty.add(qualified)
 
     # -- persistent layer -------------------------------------------------
 
@@ -341,7 +399,7 @@ class ValidityCache:
         """Decode the persistent-layer entry for a fingerprint key, or
         None.  Hits are counted in ``persistent_hits``, separate from
         the in-memory ``hits``."""
-        entry = self._persistent.get(persistent_key)
+        entry = self._persistent.get(self._qualify_persistent(persistent_key))
         if entry is None:
             return None
         result = decode_result(entry)
@@ -458,5 +516,60 @@ class ValidityCache:
         self.persistent_hits = 0
 
 
-#: The process-wide validity cache used by ``check_validity``.
-GLOBAL: ValidityCache = register_cache(ValidityCache())
+# ---------------------------------------------------------------------------
+# The process default
+# ---------------------------------------------------------------------------
+
+#: The seed process-wide cache.  Internal: public code obtains a handle
+#: via :func:`get_default` (or constructs its own ``ValidityCache`` and
+#: installs it with :func:`using_cache` through ``repro.api``).
+_SEED_CACHE: ValidityCache = register_cache(ValidityCache())
+
+#: The currently installed default (what ``check_validity`` consults).
+_default_cache: ValidityCache = _SEED_CACHE
+
+
+def get_default() -> ValidityCache:
+    """The validity cache ``check_validity`` uses when no explicit handle
+    is passed.  Initially the process-wide seed instance; replaceable
+    with :func:`set_default` / :func:`using_cache`."""
+    return _default_cache
+
+
+def set_default(cache: ValidityCache) -> ValidityCache:
+    """Install ``cache`` as the process default; returns the previous
+    default so callers can restore it."""
+    global _default_cache
+    previous = _default_cache
+    _default_cache = cache
+    return previous
+
+
+@contextlib.contextmanager
+def using_cache(cache: ValidityCache) -> Iterator[ValidityCache]:
+    """Scope an explicit cache handle: every ``check_validity`` call in
+    the ``with`` block (that does not pass its own handle) uses
+    ``cache``; the previous default is restored on exit.  This is the
+    context-manager face of the explicit-handle API surfaced by
+    :func:`repro.api.open_cache`."""
+    previous = set_default(cache)
+    try:
+        yield cache
+    finally:
+        set_default(previous)
+
+
+def __getattr__(name: str) -> Any:
+    """``GLOBAL`` is deprecated: it survives as an alias of the seed
+    instance so historical imports keep working, but new code should
+    take a handle from :func:`get_default` or pass one explicitly."""
+    if name == "GLOBAL":
+        warnings.warn(
+            "repro.smt.cache.GLOBAL is deprecated; use "
+            "repro.smt.cache.get_default() or pass an explicit "
+            "ValidityCache handle via repro.api.open_cache()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _SEED_CACHE
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -145,6 +145,7 @@ def check_validity(
     use_sat: bool = True,
     use_cache: bool = True,
     session: "SolverSession | None" = None,
+    cache: "validity_cache.ValidityCache | None" = None,
 ) -> Result:
     """Check that ``formula`` holds for all assignments to its free
     symbolic variables.
@@ -178,11 +179,17 @@ def check_validity(
     repeated CLI/CI invocations start warm.  Cache hits are flagged on
     the result (``from_cache``) and the process-wide hit/miss counters
     ride along on every result.
+
+    ``cache`` passes an explicit :class:`~repro.smt.cache.ValidityCache`
+    handle for this query; by default the current process default
+    (:func:`repro.smt.cache.get_default`) is consulted — which
+    :func:`repro.api.open_cache` scopes without any global singleton in
+    the public path.
     """
     scope = scope or Scope()
     scope = scope.widen(tuple(int_constants(formula)))
 
-    cache = validity_cache.GLOBAL
+    cache = cache if cache is not None else validity_cache.get_default()
     key = None
     pkey = None
     if use_cache:

@@ -25,11 +25,21 @@ from __future__ import annotations
 
 import itertools
 import random
+import weakref
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Optional, Tuple
 
+from ..smt.intern import register_cache
 from .actions import Action
 from .resource import ResourceSpecification
+
+#: Identity-keyed memo of Def. 3.1 reports.  The enumeration is pure in
+#: the (frozen) specification, so a spec that stays alive — every
+#: catalogue entry, every pooled daemon tenant — pays for its validity
+#: check once per process instead of once per request.  Entries hold a
+#: weakref so a collected spec frees its report (and a recycled ``id``
+#: can never alias: the stored ref is checked against the live object).
+_REPORT_MEMO: dict = register_cache({})
 
 
 @dataclass(frozen=True)
@@ -205,12 +215,29 @@ def check_validity(
     stop_at_first: bool = True,
 ) -> ValidityReport:
     """Check Def. 3.1 (A) and (B) on the specification's domains."""
+    if stop_at_first:
+        entry = _REPORT_MEMO.get(id(spec))
+        if entry is not None and entry[0]() is spec:
+            return entry[1]
     ce_a, checks_a = check_condition_a(spec, stop_at_first)
     if ce_a and stop_at_first:
-        return ValidityReport(spec.name, False, tuple(ce_a), checks_a)
-    ce_b, checks_b = check_condition_b(spec, stop_at_first)
-    all_ce = tuple(ce_a + ce_b)
-    return ValidityReport(spec.name, not all_ce, all_ce, checks_a + checks_b)
+        report = ValidityReport(spec.name, False, tuple(ce_a), checks_a)
+    else:
+        ce_b, checks_b = check_condition_b(spec, stop_at_first)
+        all_ce = tuple(ce_a + ce_b)
+        report = ValidityReport(spec.name, not all_ce, all_ce, checks_a + checks_b)
+    if stop_at_first:
+        try:
+            # Bind the memo as a default: at interpreter shutdown the
+            # module global may already be None when late GC fires this.
+            ref = weakref.ref(
+                spec, lambda _ref, key=id(spec), memo=_REPORT_MEMO: memo.pop(key, None)
+            )
+        except TypeError:
+            pass
+        else:
+            _REPORT_MEMO[id(spec)] = (ref, report)
+    return report
 
 
 def _spec_report_task(spec: ResourceSpecification) -> ValidityReport:

@@ -130,6 +130,7 @@ def verify(
     conformance_mode: str = "auto",
     jobs: int = 1,
     use_session: bool = True,
+    session: Optional[SolverSession] = None,
 ) -> VerificationResult:
     """Run the full verification pipeline on one program.
 
@@ -150,7 +151,11 @@ def verify(
     not pickle; verdicts are identical either way).  ``use_session``
     (default) discharges the run's conformance VCs on one shared
     incremental :class:`~repro.smt.session.SolverSession` instead of a
-    fresh solver per VC.
+    fresh solver per VC.  Passing ``session`` explicitly reuses a
+    *caller-owned* warm session across verify() calls — how the
+    verification daemon (:mod:`repro.server`) carries learned clauses
+    and Tseitin definitions from one batch to the next; it implies
+    ``use_session`` and suppresses the per-run session.
     """
     if conformance_mode not in ("auto", "symbolic", "sampling"):
         raise ValueError(f"unknown conformance_mode {conformance_mode!r}")
@@ -190,7 +195,10 @@ def verify(
             (program_spec.resource_by_action(atomic.action), atomic)
             for atomic in eligible
         ]
-        run_session = SolverSession() if use_session else None
+        if session is not None:
+            run_session = session
+        else:
+            run_session = SolverSession() if use_session else None
 
         def _discharge_in_process(payload):
             decl, atomic = payload

@@ -5,9 +5,10 @@ harness."""
 
 import pytest
 
+from repro import api
 from repro.casestudies import ALL_CASES
 from repro.smt import clear_all_caches
-from repro.smt.cache import GLOBAL
+from repro.smt.cache import get_default
 
 
 def _observe(result):
@@ -35,24 +36,43 @@ def test_corpus_survives_cache_round_trip(tmp_path):
     cold, re-run: verdicts unchanged and the persistent layer serves a
     non-zero number of hits (the warm-CI contract)."""
     path = tmp_path / "validity_cache.json"
+    cache = get_default()
     try:
-        GLOBAL.forget_persistent()
+        cache.forget_persistent()
         clear_all_caches()
-        GLOBAL.enable_persistence()
+        cache.enable_persistence()
         first = [_observe(case.verify()) for case in ALL_CASES]
-        saved = GLOBAL.save(path)
+        saved = cache.save(path)
         assert saved > 0
 
-        GLOBAL.forget_persistent()
+        cache.forget_persistent()
         clear_all_caches()
-        loaded = GLOBAL.load(path)
+        loaded = cache.load(path)
         assert loaded == saved
         second = [_observe(case.verify()) for case in ALL_CASES]
         assert first == second
-        assert GLOBAL.stats()["persistent_hits"] > 0
+        assert cache.stats()["persistent_hits"] > 0
     finally:
-        GLOBAL.forget_persistent()
+        cache.forget_persistent()
         clear_all_caches()
+
+
+@pytest.mark.parametrize("case", ALL_CASES, ids=lambda case: case.name)
+def test_api_facade_verdicts_match_fresh_verify(case):
+    """The ``repro.api`` leg of the differential harness: executing a
+    case request through the facade (what the daemon, CLI and client all
+    do) must produce the same observable verdict as a fresh in-process
+    :meth:`CaseStudy.verify` run."""
+    clear_all_caches()
+    fresh = api.verdict_from_result(
+        case.verify(use_session=False), expected=case.expected_verified
+    )
+    clear_all_caches()
+    routed = api.execute(api.VerificationRequest(case=case.name))
+    assert routed.observable() == fresh.observable()
+    assert routed.ok == fresh.ok
+    # and the wire encoding is lossless on the observable surface
+    assert api.Verdict.from_wire(routed.to_wire()).observable() == routed.observable()
 
 
 def test_parallel_discharge_matches_sequential():

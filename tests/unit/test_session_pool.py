@@ -1,0 +1,103 @@
+"""Unit tests for :class:`repro.smt.session.SessionPool` — the daemon's
+per-tenant warm-session store with LRU and bloat eviction."""
+
+from repro.smt.session import SessionPool, SolverSession
+
+
+def test_acquire_creates_then_reuses():
+    pool = SessionPool(max_sessions=4)
+    first = pool.acquire("a")
+    second = pool.acquire("a")
+    assert first is second
+    assert pool.created == 1
+    assert pool.reused == 1
+    assert len(pool) == 1
+    assert "a" in pool
+
+
+def test_acquire_uses_per_tenant_factory():
+    pool = SessionPool(max_sessions=4)
+    session = pool.acquire("a", factory=lambda: SolverSession(max_models=3))
+    assert session.max_models == 3
+    # factory only applies on creation; reuse keeps the existing session
+    assert pool.acquire("a", factory=lambda: SolverSession(max_models=9)) is session
+
+
+def test_lru_eviction_beyond_max_sessions():
+    pool = SessionPool(max_sessions=2)
+    evictions = []
+    pool.on_evict(lambda tenant, session, reason: evictions.append((tenant, reason)))
+    pool.acquire("a")
+    pool.acquire("b")
+    pool.acquire("a")  # refresh a: b is now the LRU
+    pool.acquire("c")  # evicts b
+    assert evictions == [("b", "lru")]
+    assert "b" not in pool and "a" in pool and "c" in pool
+    assert pool.evicted == 1
+
+
+def test_release_retires_bloated_sessions():
+    pool = SessionPool(max_sessions=4, max_live_clauses=0)
+    evictions = []
+    pool.on_evict(lambda tenant, session, reason: evictions.append((tenant, reason)))
+    session = pool.acquire("a")
+    # leave Tseitin definition clauses behind so live_clauses > 0
+    from repro.smt.sorts import INT
+    from repro.smt.terms import App, SymVar
+
+    x = SymVar("x_pool_bloat", INT)
+    y = SymVar("y_pool_bloat", INT)
+    eq = App("==", (x, y))
+    session.theory_valid(App("or", (eq, App("not", (eq,)))))
+    assert session.stats()["live_clauses"] > 0
+    assert pool.release("a") is False
+    assert evictions == [("a", "bloat")]
+    assert "a" not in pool
+
+
+def test_release_keeps_sessions_under_the_bound():
+    pool = SessionPool(max_sessions=4, max_live_clauses=10**9)
+    pool.acquire("a")
+    assert pool.release("a") is True
+    assert "a" in pool
+
+
+def test_release_unknown_tenant_is_a_noop():
+    pool = SessionPool()
+    assert pool.release("ghost") is False
+
+
+def test_retire_discards_unconditionally():
+    pool = SessionPool()
+    evictions = []
+    pool.on_evict(lambda tenant, session, reason: evictions.append((tenant, reason)))
+    first = pool.acquire("a")
+    assert pool.retire("a") is True
+    assert pool.retire("a") is False  # already gone
+    second = pool.acquire("a")
+    assert second is not first
+    assert evictions == [("a", "retired")]
+    assert pool.retired == 1
+
+
+def test_explicit_evict_and_clear():
+    pool = SessionPool()
+    pool.acquire("a")
+    pool.acquire("b")
+    assert pool.evict("a") is True
+    assert pool.evict("a") is False
+    pool.clear()
+    assert len(pool) == 0
+
+
+def test_stats_shape():
+    pool = SessionPool(max_sessions=3)
+    pool.acquire("a")
+    pool.acquire("a")
+    stats = pool.stats()
+    assert stats["sessions"] == 1
+    assert stats["max_sessions"] == 3
+    assert stats["created"] == 1
+    assert stats["reused"] == 1
+    assert "a" in stats["tenants"]
+    assert "queries" in stats["tenants"]["a"]
