@@ -201,6 +201,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         vc_budget=args.vc_budget,
         batch_limit=args.batch_limit,
         timeout=args.timeout,
+        workers=args.workers,
+        queue_deadline=args.queue_deadline,
+        fault_injection=args.enable_fault_injection,
     )
     server.run(announce=True)
     return 0
@@ -255,7 +258,7 @@ def _cmd_client(args: argparse.Namespace) -> int:
                         f"{verdict.name:32s} -> {outcome_str:8s} "
                         f"({verdict.elapsed:5.2f}s){marker}"
                     )
-                elif kind in ("rejected", "timeout", "error"):
+                elif kind in ("rejected", "timeout", "error", "worker_crash", "retry_after"):
                     failures += 1
                     index = event.get("index", "-")
                     print(f"request {index}: {kind}: {event.get('reason')}")
@@ -366,6 +369,24 @@ def _build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--timeout", type=float, default=None, help="per-request wall-clock budget (s)"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (warm solver slots; default 2)",
+    )
+    parser.add_argument(
+        "--queue-deadline",
+        type=float,
+        default=None,
+        help="seconds a request may wait for a busy worker before being "
+        "shed with retry_after (default 30)",
+    )
+    parser.add_argument(
+        "--enable-fault-injection",
+        action="store_true",
+        help="honour _fault hooks in batch requests (tests/chaos drills only)",
+    )
     _add_shared(parser)
     return parser
 
@@ -419,6 +440,10 @@ def main(argv: List[str]) -> int:
                 args.batch_limit = server_module.DEFAULT_BATCH_LIMIT
             if args.timeout is None:
                 args.timeout = server_module.DEFAULT_TIMEOUT
+            if args.workers is None:
+                args.workers = server_module.DEFAULT_WORKERS
+            if args.queue_deadline is None:
+                args.queue_deadline = server_module.DEFAULT_QUEUE_DEADLINE
             return _cmd_serve(args)
         if command == "client":
             args = _build_client_parser().parse_args(rest)

@@ -49,6 +49,54 @@ from .smt.terms import App, Const, SymVar, Term
 #: File name used inside a ``--cache-dir`` (shared with the CLI).
 CACHE_FILENAME = "validity_cache.json"
 
+# -- Wire events of the service protocol (repro.server ↔ repro.client) ------
+#: Per-request terminal events inside a batch stream.  ``verdict`` and
+#: ``worker_crash`` carry an ``attempts`` counter (how many worker
+#: executions the request consumed — 2 after one transparent crash
+#: retry); ``retry_after`` carries the suggested delay in seconds and
+#: marks a *shed* request the client may safely resubmit (batch
+#: requests are idempotent: verdicts are deterministic and cache-keyed).
+EVENT_VERDICT = "verdict"
+EVENT_REJECTED = "rejected"
+EVENT_TIMEOUT = "timeout"
+EVENT_RETRY_AFTER = "retry_after"
+EVENT_WORKER_CRASH = "worker_crash"
+EVENT_ERROR = "error"
+#: Stream/connection-level events.
+EVENT_ACCEPTED = "accepted"
+EVENT_DONE = "done"
+EVENT_PONG = "pong"
+EVENT_STATS = "stats"
+EVENT_TENANT = "tenant"
+EVENT_BYE = "bye"
+
+#: Every event kind the daemon can emit — the client treats anything
+#: outside this set as a protocol error.
+WIRE_EVENTS = frozenset(
+    {
+        EVENT_VERDICT,
+        EVENT_REJECTED,
+        EVENT_TIMEOUT,
+        EVENT_RETRY_AFTER,
+        EVENT_WORKER_CRASH,
+        EVENT_ERROR,
+        EVENT_ACCEPTED,
+        EVENT_DONE,
+        EVENT_PONG,
+        EVENT_STATS,
+        EVENT_TENANT,
+        EVENT_BYE,
+    }
+)
+
+#: The per-request events that *decide* a request: once one of these
+#: arrives for an index, the daemon will not send another event for it
+#: in this stream.  (``retry_after`` is deliberately excluded — a shed
+#: request is undecided and is what the client's retry loop replays.)
+DECIDED_EVENTS = frozenset(
+    {EVENT_VERDICT, EVENT_REJECTED, EVENT_TIMEOUT, EVENT_WORKER_CRASH, EVENT_ERROR}
+)
+
 
 class RequestError(ValueError):
     """A malformed or unsatisfiable verification request."""
@@ -718,6 +766,20 @@ __all__ = [
     "BatchReport",
     "CacheHandle",
     "CACHE_FILENAME",
+    "DECIDED_EVENTS",
+    "EVENT_ACCEPTED",
+    "EVENT_BYE",
+    "EVENT_DONE",
+    "EVENT_ERROR",
+    "EVENT_PONG",
+    "EVENT_REJECTED",
+    "EVENT_RETRY_AFTER",
+    "EVENT_STATS",
+    "EVENT_TENANT",
+    "EVENT_TIMEOUT",
+    "EVENT_VERDICT",
+    "EVENT_WORKER_CRASH",
+    "WIRE_EVENTS",
     "InstanceGroups",
     "RequestError",
     "ResourceRequest",

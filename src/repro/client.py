@@ -7,6 +7,23 @@ event objects until the terminal event for that op.  Batch verdicts are
 lands, and :meth:`ServiceClient.run_batch` collects them into a typed
 :class:`~repro.api.BatchReport`-like outcome.
 
+**Retries.**  Batch requests are idempotent — verdicts are deterministic
+and cache-keyed — so :meth:`~ServiceClient.run_batch` transparently
+retries the two recoverable failures with bounded, jittered exponential
+backoff (:class:`RetryPolicy`):
+
+* a ``retry_after`` event (the daemon shed the request under load): the
+  request is replayed after at least the daemon's hinted delay;
+* a dropped connection mid-stream: the client reconnects and replays
+  **only the still-undecided requests** — verdicts that already arrived
+  are kept, never re-solved.
+
+Retries are capped (``max_retries``), so a dead daemon produces a
+:class:`ServiceUnavailable` after a few attempts, never an infinite
+loop.  Decided failures — ``rejected``, ``timeout``, ``worker_crash``,
+``error`` — are answers, not transport problems, and are never retried
+by the client (the daemon already applied its own crash-retry policy).
+
 The client is deliberately dependency-free (stdlib ``socket`` only) so
 it can be vendored into other tooling; every payload it builds or parses
 goes through the typed wire surface of :mod:`repro.api`.
@@ -15,10 +32,13 @@ goes through the typed wire surface of :mod:`repro.api`.
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from . import api
 from .api import BatchReport, RequestError, Verdict, VerificationRequest
 
 
@@ -26,27 +46,69 @@ class ServiceError(RuntimeError):
     """Protocol-level failure talking to the daemon."""
 
 
+class ServiceUnavailable(ServiceError):
+    """Transport-level failure: the daemon is unreachable or dropped the
+    connection.  Distinguished from :class:`ServiceError` because it is
+    the *retryable* class — batch requests are idempotent."""
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded, jittered exponential backoff for idempotent retries.
+
+    ``delay(attempt)`` grows as ``base_delay * 2**attempt`` capped at
+    ``max_delay``; a daemon-provided ``retry_after`` hint overrides the
+    exponential base (the daemon knows its own queue).  Every delay is
+    jittered into ``[0.5x, 1.0x]`` so a fleet of shed clients does not
+    reconverge on the daemon in lockstep.  ``sleep`` and ``rng`` are
+    injectable for deterministic tests."""
+
+    max_retries: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    sleep: Callable[[float], None] = time.sleep
+    rng: Callable[[], float] = random.random
+
+    def delay(self, attempt: int, hint: Optional[float] = None) -> float:
+        if hint is not None:
+            base = max(0.0, float(hint))
+        else:
+            base = min(self.max_delay, self.base_delay * (2 ** attempt))
+        return base * (0.5 + 0.5 * self.rng())
+
+
 @dataclass
 class BatchOutcome:
     """Everything one batch produced, in arrival order.
 
     ``verdicts`` maps request index → :class:`~repro.api.Verdict`;
-    ``rejections``/``timeouts``/``errors`` map request index → reason.
-    ``stats`` is the daemon's served stats snapshot from the ``done``
-    event and ``elapsed`` the server-side batch wall-clock.
+    ``rejections``/``timeouts``/``crashes``/``errors`` map request
+    index → reason; ``shed`` holds requests still undecided when client
+    retries ran out (each was answered only with ``retry_after``).
+    ``attempts`` maps index → how many worker executions the daemon
+    spent on it (2 after a transparent crash retry); ``client_retries``
+    counts this client's replay rounds.  ``stats`` is the daemon's
+    served stats snapshot from the last ``done`` event and ``elapsed``
+    the accumulated server-side batch wall-clock.
     """
 
     verdicts: Dict[int, Verdict] = field(default_factory=dict)
     rejections: Dict[int, str] = field(default_factory=dict)
     timeouts: Dict[int, str] = field(default_factory=dict)
+    crashes: Dict[int, str] = field(default_factory=dict)
     errors: Dict[int, str] = field(default_factory=dict)
+    shed: Dict[int, str] = field(default_factory=dict)
+    attempts: Dict[int, int] = field(default_factory=dict)
+    client_retries: int = 0
     stats: Dict[str, Any] = field(default_factory=dict)
     elapsed: float = 0.0
 
     @property
     def complete(self) -> bool:
         """True when every request came back as a verdict."""
-        return not (self.rejections or self.timeouts or self.errors)
+        return not (
+            self.rejections or self.timeouts or self.crashes or self.errors or self.shed
+        )
 
     @property
     def ok(self) -> bool:
@@ -76,24 +138,53 @@ class ServiceClient:
         host: Optional[str] = None,
         port: Optional[int] = None,
         timeout: Optional[float] = 600.0,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if socket_path is None and host is None:
             raise ValueError("a unix socket path or a host/port is required")
-        if socket_path is not None:
-            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            self._sock.settimeout(timeout)
-            self._sock.connect(str(socket_path))
-        else:
-            self._sock = socket.create_connection((host, int(port)), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
+        self._socket_path = socket_path
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._connect()
 
     # -- plumbing ---------------------------------------------------------
 
-    def close(self) -> None:
+    def _connect(self) -> None:
         try:
-            self._file.close()
-        finally:
-            self._sock.close()
+            if self._socket_path is not None:
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(self._timeout)
+                sock.connect(str(self._socket_path))
+            else:
+                sock = socket.create_connection(
+                    (self._host, int(self._port)), timeout=self._timeout
+                )
+        except OSError as error:
+            raise ServiceUnavailable(f"cannot reach the daemon: {error}") from error
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+
+    def _teardown(self) -> None:
+        file, sock = self._file, self._sock
+        self._file = None
+        self._sock = None
+        try:
+            if file is not None:
+                file.close()
+        except OSError:
+            pass
+        try:
+            if sock is not None:
+                sock.close()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        self._teardown()
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -102,13 +193,27 @@ class ServiceClient:
         self.close()
 
     def _send(self, obj: Dict[str, Any]) -> None:
-        self._file.write(json.dumps(obj, sort_keys=True).encode("utf-8") + b"\n")
-        self._file.flush()
+        if self._file is None:
+            self._connect()
+        try:
+            self._file.write(json.dumps(obj, sort_keys=True).encode("utf-8") + b"\n")
+            self._file.flush()
+        except (OSError, ValueError) as error:
+            raise ServiceUnavailable(
+                f"connection lost sending to the daemon: {error}"
+            ) from error
 
     def _recv(self) -> Dict[str, Any]:
-        line = self._file.readline()
+        if self._file is None:
+            raise ServiceUnavailable("not connected")
+        try:
+            line = self._file.readline()
+        except (OSError, ValueError) as error:
+            raise ServiceUnavailable(
+                f"connection lost reading from the daemon: {error}"
+            ) from error
         if not line:
-            raise ServiceError("connection closed by the daemon")
+            raise ServiceUnavailable("connection closed by the daemon")
         try:
             obj = json.loads(line)
         except json.JSONDecodeError as error:
@@ -120,7 +225,7 @@ class ServiceClient:
     def _roundtrip(self, obj: Dict[str, Any], expect: str) -> Dict[str, Any]:
         self._send(obj)
         event = self._recv()
-        if event.get("event") == "error":
+        if event.get("event") == api.EVENT_ERROR:
             raise ServiceError(event.get("reason", "unspecified daemon error"))
         if event.get("event") != expect:
             raise ServiceError(f"expected {expect!r}, got {event!r}")
@@ -129,15 +234,15 @@ class ServiceClient:
     # -- simple ops -------------------------------------------------------
 
     def ping(self) -> bool:
-        self._roundtrip({"op": "ping"}, "pong")
+        self._roundtrip({"op": "ping"}, api.EVENT_PONG)
         return True
 
     def stats(self) -> Dict[str, Any]:
-        return self._roundtrip({"op": "stats"}, "stats")["stats"]
+        return self._roundtrip({"op": "stats"}, api.EVENT_STATS)["stats"]
 
     def shutdown(self) -> None:
         """Ask the daemon to exit (it answers ``bye`` first)."""
-        self._roundtrip({"op": "shutdown"}, "bye")
+        self._roundtrip({"op": "shutdown"}, api.EVENT_BYE)
 
     def configure_tenant(
         self,
@@ -156,7 +261,7 @@ class ServiceClient:
             message["max_models"] = max_models
         if sorts is not None:
             message["sorts"] = sorts
-        return self._roundtrip(message, "tenant")
+        return self._roundtrip(message, api.EVENT_TENANT)
 
     # -- batches ----------------------------------------------------------
 
@@ -169,7 +274,8 @@ class ServiceClient:
         """Send one batch and yield server events as they arrive, ending
         with (and including) the ``done`` event.  A top-level
         ``rejected`` (whole-batch) or ``error`` event also terminates
-        the stream."""
+        the stream.  No retries at this level — callers that want the
+        replay policy use :meth:`run_batch`."""
         for request in requests:
             request.validate()
         message: Dict[str, Any] = {
@@ -184,10 +290,74 @@ class ServiceClient:
             event = self._recv()
             yield event
             kind = event.get("event")
-            if kind == "done":
+            if kind == api.EVENT_DONE:
                 return
-            if kind in ("rejected", "error") and "index" not in event:
+            if kind in (api.EVENT_REJECTED, api.EVENT_ERROR) and "index" not in event:
                 return  # whole-batch refusal: no done event follows
+
+    def _run_attempt(
+        self,
+        pending: Dict[int, VerificationRequest],
+        tenant: str,
+        batch_id: Optional[str],
+        outcome: BatchOutcome,
+        shed_reasons: Dict[int, str],
+    ) -> Tuple[Dict[int, VerificationRequest], Optional[float], bool]:
+        """One wire round over ``pending``.  Returns the still-undecided
+        requests, the daemon's strongest ``retry_after`` hint, and
+        whether the round ended in a transport failure."""
+        indices = sorted(pending)
+        undecided = set(indices)
+        hint: Optional[float] = None
+        try:
+            if self._file is None:
+                self._connect()
+            self._send(
+                {
+                    "op": "batch",
+                    "tenant": tenant,
+                    "requests": [pending[i].to_wire() for i in indices],
+                    **({"id": batch_id} if batch_id is not None else {}),
+                }
+            )
+            while True:
+                event = self._recv()
+                kind = event.get("event")
+                raw_index = event.get("index")
+                index = indices[int(raw_index)] if raw_index is not None else None
+                if kind == api.EVENT_VERDICT:
+                    outcome.verdicts[index] = Verdict.from_wire(event["verdict"])
+                    outcome.attempts[index] = int(event.get("attempts", 1))
+                    undecided.discard(index)
+                elif kind == api.EVENT_REJECTED:
+                    if index is None:
+                        raise ServiceError(event.get("reason", "batch rejected"))
+                    outcome.rejections[index] = event.get("reason", "")
+                    undecided.discard(index)
+                elif kind == api.EVENT_TIMEOUT:
+                    outcome.timeouts[index] = event.get("reason", "")
+                    undecided.discard(index)
+                elif kind == api.EVENT_WORKER_CRASH:
+                    outcome.crashes[index] = event.get("reason", "")
+                    outcome.attempts[index] = int(event.get("attempts", 1))
+                    undecided.discard(index)
+                elif kind == api.EVENT_RETRY_AFTER:
+                    shed_reasons[index] = event.get("reason", "shed under load")
+                    advised = float(event.get("retry_after", 0.0) or 0.0)
+                    hint = advised if hint is None else max(hint, advised)
+                elif kind == api.EVENT_ERROR:
+                    if index is None:
+                        raise ServiceError(event.get("reason", "batch failed"))
+                    outcome.errors[index] = event.get("reason", "")
+                    undecided.discard(index)
+                elif kind == api.EVENT_DONE:
+                    outcome.elapsed += float(event.get("elapsed", 0.0))
+                    outcome.stats = dict(event.get("stats", {}))
+                    break
+        except ServiceUnavailable:
+            self._teardown()
+            return {i: pending[i] for i in sorted(undecided)}, hint, True
+        return {i: pending[i] for i in sorted(undecided)}, hint, False
 
     def run_batch(
         self,
@@ -195,26 +365,35 @@ class ServiceClient:
         tenant: str = "default",
         batch_id: Optional[str] = None,
     ) -> BatchOutcome:
-        """Send one batch and collect the streamed events."""
+        """Send one batch, collect the streamed events, and transparently
+        retry recoverable failures (load shed, dropped connection) with
+        bounded backoff — replaying only the still-undecided requests."""
+        for request in requests:
+            request.validate()
         outcome = BatchOutcome()
-        for event in self.stream_batch(requests, tenant=tenant, batch_id=batch_id):
-            kind = event.get("event")
-            index = event.get("index")
-            if kind == "verdict":
-                outcome.verdicts[int(index)] = Verdict.from_wire(event["verdict"])
-            elif kind == "rejected":
-                if index is None:
-                    raise ServiceError(event.get("reason", "batch rejected"))
-                outcome.rejections[int(index)] = event.get("reason", "")
-            elif kind == "timeout":
-                outcome.timeouts[int(index)] = event.get("reason", "")
-            elif kind == "error":
-                if index is None:
-                    raise ServiceError(event.get("reason", "batch failed"))
-                outcome.errors[int(index)] = event.get("reason", "")
-            elif kind == "done":
-                outcome.elapsed = float(event.get("elapsed", 0.0))
-                outcome.stats = dict(event.get("stats", {}))
+        shed_reasons: Dict[int, str] = {}
+        pending: Dict[int, VerificationRequest] = dict(enumerate(requests))
+        attempt = 0
+        while pending:
+            pending, hint, transport_failed = self._run_attempt(
+                pending, tenant, batch_id, outcome, shed_reasons
+            )
+            if not pending:
+                break
+            if attempt >= self.retry.max_retries:
+                if transport_failed:
+                    raise ServiceUnavailable(
+                        f"{len(pending)} request(s) undecided after "
+                        f"{attempt} retries; daemon unreachable"
+                    )
+                for index in pending:
+                    outcome.shed[index] = shed_reasons.get(
+                        index, "shed by admission control"
+                    )
+                break
+            self.retry.sleep(self.retry.delay(attempt, hint))
+            attempt += 1
+            outcome.client_retries = attempt
         return outcome
 
 
@@ -229,7 +408,9 @@ def requests_for_cases(names: Sequence[str]) -> List[VerificationRequest]:
 __all__ = [
     "BatchOutcome",
     "RequestError",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceError",
+    "ServiceUnavailable",
     "requests_for_cases",
 ]

@@ -13,30 +13,46 @@ state alive behind a batched request API:
   JSON lines: one JSON object per ``\\n``-terminated line, each request
   answered by a stream of event objects ending in ``done`` — the wire
   schema is exactly the ``to_wire``/``from_wire`` surface of
-  :mod:`repro.api`.
-* **Warm state** — one :class:`~repro.smt.session.SessionPool` keyed by
-  tenant (LRU + clause-bloat eviction) and one server-owned
-  :class:`~repro.smt.cache.ValidityCache` (loaded from ``--cache-dir``
-  at boot, saved after every batch and at shutdown).  A batch's
-  requests run back-to-back on the tenant's pooled session, so
-  compatible obligations land in the same incremental sub-session and
-  later requests reuse earlier learned clauses; the second batch of the
-  same VCs is served almost entirely from warm state.
-* **Multi-tenancy** — cache entries are namespaced per tenant on top of
-  the fingerprint keys of :func:`repro.smt.cache.term_fingerprint`;
-  tenants can carry sort overrides (applied to their raw formula
-  queries) and per-tenant solver budgets (``max_models``), configured
-  over the wire with the ``tenant`` op.
-* **Admission control** — a per-request VC budget
+  :mod:`repro.api` (event kinds are catalogued in
+  :data:`repro.api.WIRE_EVENTS`).
+* **A supervised process pool** — solving is CPU-bound Python, so the
+  daemon runs one warm *worker process* per slot
+  (:func:`repro.worker.worker_main`), each holding its own
+  :class:`~repro.smt.session.SessionPool` of per-tenant sessions and a
+  worker-local validity cache seeded from the supervisor's store at
+  spawn.  Routing is **tenant-affine**: a tenant's batches keep hitting
+  the same worker (first touch picks the least-loaded slot), so its
+  learned clauses, Tseitin definitions and cache entries stay warm,
+  while batches from *different* tenants solve genuinely concurrently
+  in separate processes.  Every worker reply ships its cache delta,
+  which the supervisor merges into the server-owned store
+  (:meth:`~repro.smt.cache.ValidityCache.merge` — the
+  :mod:`repro.parallel` delta machinery) and re-seeds into every
+  later spawn.
+* **Real timeout interruption** — a request over its wall-clock budget
+  gets its worker process SIGKILLed (the PID is gone, the CPU returns
+  to idle), a fresh worker is spawned in the slot, and the client gets
+  a ``timeout`` event.  Only the sessions living in that worker are
+  lost; other workers' in-flight requests never notice.
+* **Crash isolation** — a worker dying mid-request (segfault, OOM
+  kill, broken pipe) is detected by the supervisor, counted in
+  ``stats["worker_crashes"]``, and the request is transparently
+  retried **once** on the freshly spawned worker (verdicts are
+  deterministic and cache-keyed, so the retry is idempotent); a second
+  failure answers the client with a structured ``worker_crash`` event.
+  Either way the client connection stays live and the daemon stays
+  serviceable.
+* **Admission control & load shedding** — a per-request VC budget
   (:func:`repro.api.estimate_vc_count`, purely syntactic, so rejection
-  happens before any solving) plus a per-request wall-clock timeout.
-  Verification is CPU-bound Python, so all solving is serialized on one
-  dedicated worker thread; on timeout the worker is *abandoned* (a
-  fresh one takes over) and the tenant's session is retired from the
-  pool (:meth:`~repro.smt.session.SessionPool.retire` — the next
-  request starts on a clean session, and the doomed session's
-  assumption literals are never reused), so one pathological VC cannot
-  starve the pool.
+  happens before any solving) plus a *queue deadline*: when the
+  tenant's affine worker stays busy past it, the request is shed with
+  a ``retry_after`` event (counted in ``stats["load_shed"]``) instead
+  of queueing unboundedly — :class:`repro.client.ServiceClient`
+  retries those with bounded backoff.
+* **Multi-tenancy** — cache entries are namespaced per tenant on top
+  of the fingerprint keys of :func:`repro.smt.cache.term_fingerprint`;
+  tenants can carry sort overrides and per-tenant solver budgets
+  (``max_models``), configured over the wire with the ``tenant`` op.
 
 Protocol ops (client → server)::
 
@@ -49,23 +65,24 @@ Protocol ops (client → server)::
 
 Server → client events: ``pong``, ``stats``, ``tenant``, ``accepted``,
 ``verdict`` (one per request, streamed as each lands), ``rejected``,
-``timeout``, ``error``, ``done`` (with served stats), ``bye``.
+``retry_after``, ``timeout``, ``worker_crash``, ``error``, ``done``
+(with served stats), ``bye``.
 """
 
 from __future__ import annotations
 
 import asyncio
-import concurrent.futures
 import json
+import multiprocessing
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from . import api
-from .smt.cache import ValidityCache, using_cache
-from .smt.session import SessionPool, SolverSession
-from .smt.sorts import Sort
+from .smt.session import merge_pool_stats
+from .smt.cache import ValidityCache
+from .worker import worker_main
 
 #: Default per-request verification-condition budget (admission control).
 DEFAULT_VC_BUDGET = 256
@@ -73,27 +90,52 @@ DEFAULT_VC_BUDGET = 256
 DEFAULT_TIMEOUT = 120.0
 #: Default cap on requests per batch.
 DEFAULT_BATCH_LIMIT = 64
+#: Default worker-process count.
+DEFAULT_WORKERS = 2
+#: Default admission deadline: how long a request may wait for its
+#: tenant's busy worker before being shed with ``retry_after``.
+DEFAULT_QUEUE_DEADLINE = 30.0
+
+#: Sentinels for worker-call outcomes.
+_CRASHED = object()
+_TIMED_OUT = object()
+
+
+def _mp_context():
+    """Fork when available (workers inherit the warm interned tables for
+    free); spawn elsewhere.  The repo already forks under pytest via
+    :mod:`repro.parallel`, so this is established behaviour."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover — non-fork platform
+        return multiprocessing.get_context()
+
+
+def _recv_blocking(conn):
+    """Executor-thread body: one blocking pipe read.  A dead peer (the
+    worker was killed, crashed, or OOM-killed) surfaces as EOF/OSError —
+    normalized to the crash sentinel so the event loop can tell 'reply'
+    from 'worker gone'."""
+    try:
+        return conn.recv()
+    except (EOFError, OSError):
+        return _CRASHED
 
 
 @dataclass
 class TenantConfig:
-    """Per-tenant policy: cache namespace, solver budget, sort overrides."""
+    """Per-tenant policy: cache namespace, solver budget, sort overrides
+    (kept in wire form — Sort objects are rebuilt worker-side)."""
 
     name: str
     namespace: str = ""
     vc_budget: Optional[int] = None
     max_models: Optional[int] = None
-    sort_overrides: Dict[str, Sort] = field(default_factory=dict)
+    sorts: Dict[str, str] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.namespace:
             self.namespace = self.name
-
-    def session_factory(self):
-        if self.max_models is None:
-            return None
-        max_models = self.max_models
-        return lambda: SolverSession(max_models=max_models)
 
 
 @dataclass
@@ -103,6 +145,33 @@ class _TenantState:
     requests: int = 0
     rejected: int = 0
     timeouts: int = 0
+    worker_crashes: int = 0
+    retries: int = 0
+    load_shed: int = 0
+
+
+class _WorkerHandle:
+    """One supervisor slot: the live process + pipe + busy lock, plus
+    the last stats snapshot its replies piggybacked."""
+
+    __slots__ = ("index", "proc", "conn", "lock", "spawns", "seq", "last_stats")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.proc = None
+        self.conn = None
+        self.lock = asyncio.Lock()
+        self.spawns = 0
+        self.seq = 0
+        self.last_stats: Dict[str, Any] = {}
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.proc.pid if self.proc is not None else None
+
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.is_alive()
 
 
 class VerificationServer:
@@ -120,6 +189,9 @@ class VerificationServer:
         vc_budget: int = DEFAULT_VC_BUDGET,
         batch_limit: int = DEFAULT_BATCH_LIMIT,
         timeout: float = DEFAULT_TIMEOUT,
+        workers: int = DEFAULT_WORKERS,
+        queue_deadline: float = DEFAULT_QUEUE_DEADLINE,
+        fault_injection: bool = False,
     ) -> None:
         if socket_path is None and host is None:
             raise ValueError("a unix socket path or a host/port is required")
@@ -127,45 +199,136 @@ class VerificationServer:
         self.host = host
         self.port = port
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.max_sessions = max_sessions
+        self.max_live_clauses = max_live_clauses
         self.vc_budget = vc_budget
         self.batch_limit = batch_limit
         self.timeout = timeout
+        self.queue_deadline = queue_deadline
+        self.fault_injection = fault_injection
 
-        self.pool = SessionPool(
-            max_sessions=max_sessions, max_live_clauses=max_live_clauses
-        )
-        #: The server-owned cache — an explicit handle, not the process
-        #: GLOBAL: it is installed scoped around each request execution.
+        #: The server-owned cache — the authoritative merged store.
+        #: Workers solve against their own copies seeded from this one
+        #: at spawn; their per-reply deltas are merged back here.
         self.cache = ValidityCache()
         self._cache_path: Optional[Path] = None
         self._tenants: Dict[str, _TenantState] = {}
-        self._evictions: list = []
-        self.pool.on_evict(
-            lambda tenant, _session, reason: self._evictions.append((tenant, reason))
-        )
+
+        self._workers: List[_WorkerHandle] = [
+            _WorkerHandle(index) for index in range(max(1, workers))
+        ]
+        self._affinity: Dict[str, int] = {}
+        #: Counter accumulators for workers that died (their last
+        #: snapshot would otherwise vanish from aggregated stats).
+        self._dead_pool: Dict[str, int] = {}
+        self._dead_cache: Dict[str, int] = {}
+
+        self.timeouts = 0
+        self.worker_crashes = 0
+        self.retries = 0
+        self.load_shed = 0
 
         self._servers: list = []
-        self._executor: Optional[concurrent.futures.ThreadPoolExecutor] = None
         self._shutdown = asyncio.Event()
         self._started = 0.0
         self.batches_served = 0
         self.requests_served = 0
 
+    # -- worker lifecycle --------------------------------------------------
+
+    def _worker_init(self) -> Dict[str, Any]:
+        """The spawn payload: warm-start cache snapshot + pool bounds.
+        Built fresh per spawn, so a respawned worker starts with every
+        delta its predecessors (on any slot) merged back."""
+        return {
+            "cache_entries": self.cache.snapshot_persistent(),
+            "cache_active": True,
+            "cache_path": str(self._cache_path) if self._cache_path else None,
+            "max_sessions": self.max_sessions,
+            "max_live_clauses": self.max_live_clauses,
+            "fault_injection": self.fault_injection,
+        }
+
+    def _spawn_worker(self, handle: _WorkerHandle) -> None:
+        ctx = _mp_context()
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(
+            target=worker_main,
+            args=(child_conn, self._worker_init()),
+            name=f"repro-worker-{handle.index}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        handle.proc = proc
+        handle.conn = parent_conn
+        handle.spawns += 1
+        handle.last_stats = {}
+
+    def _reap_worker(self, handle: _WorkerHandle, kill: bool = True) -> None:
+        """Take a worker down (SIGKILL unless already dead), reap the
+        process so the PID disappears, fold its last stats snapshot into
+        the dead-worker accumulators, and close the pipe."""
+        proc = handle.proc
+        if proc is not None:
+            try:
+                if kill and proc.is_alive():
+                    proc.kill()
+                proc.join(5)
+            except (OSError, ValueError):
+                pass
+        self._accumulate_dead_stats(handle)
+        if handle.conn is not None:
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+        handle.proc = None
+        handle.conn = None
+
+    def _respawn_worker(self, handle: _WorkerHandle) -> None:
+        self._reap_worker(handle)
+        self._spawn_worker(handle)
+
+    def _accumulate_dead_stats(self, handle: _WorkerHandle) -> None:
+        snapshot = handle.last_stats
+        for key, value in (snapshot.get("pool") or {}).items():
+            if isinstance(value, int):
+                self._dead_pool[key] = self._dead_pool.get(key, 0) + value
+        for key in ("hits", "misses", "persistent_hits"):
+            value = (snapshot.get("cache") or {}).get(key, 0)
+            self._dead_cache[key] = self._dead_cache.get(key, 0) + value
+        handle.last_stats = {}
+
+    def _affine_worker(self, tenant: str) -> _WorkerHandle:
+        """The tenant's sticky worker slot: first touch picks the slot
+        with the fewest assigned tenants (ties → lowest index), so with
+        tenants ≤ workers each tenant gets a slot of its own and a kill
+        costs exactly one tenant its warm state."""
+        index = self._affinity.get(tenant)
+        if index is None:
+            loads = [0] * len(self._workers)
+            for assigned in self._affinity.values():
+                loads[assigned] += 1
+            index = min(range(len(self._workers)), key=lambda i: (loads[i], i))
+            self._affinity[tenant] = index
+        return self._workers[index]
+
     # -- lifecycle --------------------------------------------------------
 
     async def start(self) -> None:
         self._started = time.monotonic()
-        self._executor = concurrent.futures.ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-verify"
-        )
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
             self._cache_path = self.cache_dir / api.CACHE_FILENAME
             self.cache.load(self._cache_path)
         else:
             # Still fingerprint decisive results: served stats expose
-            # persistent_size/persistent_hits even without a disk store.
+            # persistent_size/persistent_hits even without a disk store,
+            # and worker deltas need fingerprint keys to merge at all.
             self.cache.enable_persistence()
+        for handle in self._workers:
+            self._spawn_worker(handle)
         if self.socket_path is not None:
             if self.socket_path.exists():
                 self.socket_path.unlink()
@@ -184,9 +347,13 @@ class VerificationServer:
             server.close()
             await server.wait_closed()
         self._servers.clear()
-        if self._executor is not None:
-            self._executor.shutdown(wait=False)
-            self._executor = None
+        for handle in self._workers:
+            if handle.conn is not None:
+                try:
+                    handle.conn.send({"op": "exit"})
+                except (BrokenPipeError, OSError, ValueError):
+                    pass
+            self._reap_worker(handle, kill=True)
         if self._cache_path is not None:
             self.cache.save(self._cache_path)
         if self.socket_path is not None and self.socket_path.exists():
@@ -206,7 +373,8 @@ class VerificationServer:
             await self.start()
             if announce:
                 print(
-                    f"repro daemon listening on {', '.join(self.endpoints)}",
+                    f"repro daemon listening on {', '.join(self.endpoints)} "
+                    f"({len(self._workers)} workers)",
                     flush=True,
                 )
             try:
@@ -252,8 +420,9 @@ class VerificationServer:
         sorts: Optional[Mapping[str, str]] = None,
     ) -> TenantConfig:
         """Install per-tenant policy (also reachable over the wire via
-        the ``tenant`` op).  Reconfiguring retires any pooled session so
-        new policy (e.g. ``max_models``) takes effect immediately."""
+        the ``tenant`` op).  Reconfiguring retires the tenant's session
+        on its affine worker so new policy (e.g. ``max_models``) takes
+        effect immediately."""
         state = self.tenant(name)
         config = state.config
         if namespace is not None:
@@ -263,28 +432,88 @@ class VerificationServer:
         if max_models is not None:
             config.max_models = max_models
         if sorts is not None:
-            config.sort_overrides = {
-                var: api.sort_from_wire(sort_name) for var, sort_name in sorts.items()
-            }
-        self.pool.retire(name)
+            for sort_name in sorts.values():
+                api.sort_from_wire(sort_name)  # validate eagerly
+            config.sorts = {str(var): str(sort_name) for var, sort_name in sorts.items()}
+        # Pin the tenant's worker slot now (instead of lazily on its
+        # first batch) so explicit configuration yields deterministic
+        # routing — what the affinity regression tests rely on.
+        self._affine_worker(name)
+        self._retire_tenant_session(name)
         return config
 
+    def _retire_tenant_session(self, tenant: str) -> None:
+        """Ask the tenant's affine worker to drop its pooled session
+        (fire-and-forget; the worker processes it after any in-flight
+        request)."""
+        index = self._affinity.get(tenant)
+        if index is None:
+            return
+        handle = self._workers[index]
+        if handle.conn is None:
+            return
+        try:
+            handle.conn.send({"op": "retire", "tenant": tenant})
+        except (BrokenPipeError, OSError, ValueError):
+            pass
+
     # -- stats ------------------------------------------------------------
+
+    def _aggregate_pool_stats(self) -> Dict[str, Any]:
+        snapshots = [
+            handle.last_stats["pool"]
+            for handle in self._workers
+            if handle.last_stats.get("pool")
+        ]
+        merged = merge_pool_stats(snapshots, baseline=self._dead_pool)
+        merged["max_sessions"] = self.max_sessions
+        return merged
+
+    def _aggregate_cache_stats(self) -> Dict[str, int]:
+        stats = self.cache.stats()
+        for key in ("hits", "misses", "persistent_hits"):
+            total = self._dead_cache.get(key, 0)
+            for handle in self._workers:
+                total += (handle.last_stats.get("cache") or {}).get(key, 0)
+            stats[key] += total
+        return stats
 
     def stats(self) -> Dict[str, Any]:
         return {
             "uptime": time.monotonic() - self._started,
             "batches": self.batches_served,
             "requests": self.requests_served,
-            "pool": self.pool.stats(),
-            "cache": self.cache.stats(),
-            "evictions": list(self._evictions),
+            "timeouts": self.timeouts,
+            "worker_crashes": self.worker_crashes,
+            "retries": self.retries,
+            "load_shed": self.load_shed,
+            "queue_deadline": self.queue_deadline,
+            "pool": self._aggregate_pool_stats(),
+            "cache": self._aggregate_cache_stats(),
+            "workers": [
+                {
+                    "index": handle.index,
+                    "pid": handle.pid,
+                    "alive": handle.alive,
+                    "busy": handle.lock.locked(),
+                    "spawns": handle.spawns,
+                    "tenants": sorted(
+                        tenant
+                        for tenant, index in self._affinity.items()
+                        if index == handle.index
+                    ),
+                }
+                for handle in self._workers
+            ],
             "tenants": {
                 name: {
                     "batches": state.batches,
                     "requests": state.requests,
                     "rejected": state.rejected,
                     "timeouts": state.timeouts,
+                    "worker_crashes": state.worker_crashes,
+                    "retries": state.retries,
+                    "load_shed": state.load_shed,
                     "namespace": state.config.namespace,
                 }
                 for name, state in self._tenants.items()
@@ -318,6 +547,11 @@ class VerificationServer:
                 if stop:
                     break
         except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Loop teardown (shutdown op) cancels handlers still blocked
+            # in readline; ending cleanly instead of cancelled keeps the
+            # stream protocol's done-callback from logging a traceback.
             pass
         finally:
             try:
@@ -420,8 +654,16 @@ class VerificationServer:
             if state.config.vc_budget is not None
             else self.vc_budget
         )
-        loop = asyncio.get_running_loop()
         for index, raw in enumerate(raw_requests):
+            # The fault-injection hook rides next to the request payload
+            # and never reaches the request parser; it is honoured only
+            # when the daemon opted in at construction time.
+            fault = None
+            if isinstance(raw, dict) and "_fault" in raw:
+                raw = dict(raw)
+                popped = raw.pop("_fault")
+                if self.fault_injection and isinstance(popped, dict):
+                    fault = popped
             # Parse + admission control, both cheap and purely syntactic.
             try:
                 request = api.VerificationRequest.from_wire(raw)
@@ -439,37 +681,39 @@ class VerificationServer:
                 )
                 continue
 
-            task = loop.run_in_executor(
-                self._executor, self._run_request, state, request
-            )
+            worker = self._affine_worker(tenant_name)
             try:
-                outcome = await asyncio.wait_for(task, timeout=self.timeout)
+                await asyncio.wait_for(
+                    worker.lock.acquire(), timeout=self.queue_deadline
+                )
             except asyncio.TimeoutError:
-                state.timeouts += 1
-                self._abandon_worker(tenant_name)
+                # Admission deadline blown: shed load instead of queueing
+                # unboundedly.  Batch requests are idempotent, so the
+                # client can safely retry after the hinted delay.
+                state.load_shed += 1
+                self.load_shed += 1
                 await self._emit(
                     writer,
                     tag(
                         {
-                            "event": "timeout",
+                            "event": "retry_after",
                             "index": index,
-                            "reason": f"request exceeded the {self.timeout:.0f}s "
-                            f"wall-clock budget; session retired",
+                            "retry_after": round(self.queue_deadline, 3),
+                            "reason": (
+                                f"worker {worker.index} busy past the "
+                                f"{self.queue_deadline:.1f}s admission deadline"
+                            ),
                         }
                     ),
                 )
                 continue
-            state.requests += 1
-            self.requests_served += 1
-            if isinstance(outcome, api.Verdict):
-                await self._emit(
-                    writer,
-                    tag({"event": "verdict", "index": index, "verdict": outcome.to_wire()}),
+            try:
+                event = await self._execute_supervised(
+                    state, worker, raw, fault, index
                 )
-            else:
-                await self._emit(
-                    writer, tag({"event": "error", "index": index, "reason": str(outcome)})
-                )
+            finally:
+                worker.lock.release()
+            await self._emit(writer, tag(event))
 
         # elapsed measures request processing; the cache flush that
         # follows is bookkeeping whose cost grows with the whole store.
@@ -493,45 +737,127 @@ class VerificationServer:
             )
         return None
 
-    def _run_request(self, state: _TenantState, request: api.VerificationRequest):
-        """Executor-thread body: run one request on the tenant's pooled
-        session under the tenant's cache namespace.  Returns a Verdict,
-        or the error to report."""
-        config = state.config
-        tenant = config.name
-        try:
-            with using_cache(self.cache), self.cache.namespaced(config.namespace):
-                session = self.pool.acquire(tenant, factory=config.session_factory())
-                try:
-                    return api.execute(
-                        request,
-                        session=session,
-                        sorts=config.sort_overrides or None,
-                    )
-                finally:
-                    self.pool.release(tenant)
-        except api.RequestError as error:
-            return error
-        except Exception as error:  # noqa: BLE001 — a crashed VC must not kill the daemon
-            self.pool.retire(tenant)
-            return f"internal error: {type(error).__name__}: {error}"
+    async def _call_worker(self, handle: _WorkerHandle, payload: Dict[str, Any]):
+        """One request → one reply on ``handle``'s worker, supervised.
 
-    def _abandon_worker(self, tenant: str) -> None:
-        """A request blew its wall-clock budget: abandon the (stuck)
-        worker thread, start a fresh executor, and retire the tenant's
-        session so the next request starts clean."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=False)
-        self._executor = concurrent.futures.ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-verify"
-        )
-        self.pool.retire(tenant)
+        Returns the reply dict, ``_TIMED_OUT`` (the worker was SIGKILLed
+        and the slot respawned) or ``_CRASHED`` (the worker died on its
+        own; the slot is respawned by the caller's retry policy)."""
+        if handle.conn is None or not handle.alive:
+            return _CRASHED
+        handle.seq += 1
+        payload["seq"] = handle.seq
+        try:
+            handle.conn.send(payload)
+        except (BrokenPipeError, OSError, ValueError):
+            return _CRASHED
+        loop = asyncio.get_running_loop()
+        task = loop.run_in_executor(None, _recv_blocking, handle.conn)
+        # asyncio.wait (not wait_for): wait_for would cancel-and-await the
+        # executor future, which cannot be interrupted while the thread
+        # is blocked in recv — the kill below is what unblocks it.
+        done, pending = await asyncio.wait({task}, timeout=self.timeout)
+        if pending:
+            self._respawn_worker(handle)  # SIGKILL; recv sees EOF and returns
+            try:
+                await asyncio.wait_for(task, timeout=5.0)
+            except (asyncio.TimeoutError, Exception):  # noqa: BLE001
+                pass
+            return _TIMED_OUT
+        reply = task.result()
+        if reply is _CRASHED or not isinstance(reply, dict):
+            return _CRASHED
+        delta = reply.get("cache_delta")
+        if delta:
+            self.cache.merge(delta)
+        stats = reply.get("stats")
+        if isinstance(stats, dict):
+            handle.last_stats = stats
+        return reply
+
+    async def _execute_supervised(
+        self,
+        state: _TenantState,
+        worker: _WorkerHandle,
+        raw_request: dict,
+        fault: Optional[dict],
+        index: int,
+    ) -> Dict[str, Any]:
+        """Run one admitted request on the tenant's affine worker with
+        the full degradation ladder: timeout → kill + respawn; crash →
+        respawn + one transparent retry → structured ``worker_crash``."""
+        config = state.config
+        payload = {
+            "op": "run",
+            "tenant": config.name,
+            "namespace": config.namespace,
+            "request": raw_request,
+            "sorts": dict(config.sorts) if config.sorts else None,
+            "max_models": config.max_models,
+            "fault": fault,
+        }
+        attempts = 0
+        while True:
+            attempts += 1
+            outcome = await self._call_worker(worker, dict(payload))
+            if outcome is _TIMED_OUT:
+                state.timeouts += 1
+                self.timeouts += 1
+                return {
+                    "event": "timeout",
+                    "index": index,
+                    "reason": (
+                        f"request exceeded the {self.timeout:.0f}s wall-clock "
+                        f"budget; worker {worker.index} killed and respawned, "
+                        f"tenant session state reset"
+                    ),
+                }
+            if outcome is _CRASHED:
+                state.worker_crashes += 1
+                self.worker_crashes += 1
+                self._respawn_worker(worker)
+                if attempts == 1:
+                    # Verdicts are deterministic and cache-keyed, so one
+                    # transparent replay on the fresh worker is safe; the
+                    # fault hook is dropped so an injected crash cannot
+                    # loop — unless the test marked it sticky, which is
+                    # how the give-up path below gets exercised.
+                    state.retries += 1
+                    self.retries += 1
+                    if not (fault and fault.get("sticky")):
+                        payload["fault"] = None
+                    continue
+                return {
+                    "event": "worker_crash",
+                    "index": index,
+                    "attempts": attempts,
+                    "reason": (
+                        f"worker {worker.index} died twice running this "
+                        f"request; giving up after one retry"
+                    ),
+                }
+            state.requests += 1
+            self.requests_served += 1
+            if outcome.get("kind") == "verdict":
+                return {
+                    "event": "verdict",
+                    "index": index,
+                    "attempts": attempts,
+                    "verdict": outcome.get("verdict"),
+                }
+            return {
+                "event": "error",
+                "index": index,
+                "reason": str(outcome.get("reason", "unspecified worker error")),
+            }
 
 
 __all__ = [
     "DEFAULT_BATCH_LIMIT",
+    "DEFAULT_QUEUE_DEADLINE",
     "DEFAULT_TIMEOUT",
     "DEFAULT_VC_BUDGET",
+    "DEFAULT_WORKERS",
     "TenantConfig",
     "VerificationServer",
 ]

@@ -60,6 +60,7 @@ import contextlib
 import dataclasses
 import hashlib
 import json
+import logging
 import os
 import warnings
 from typing import Any, Dict, Hashable, Iterator, Mapping, Optional, Tuple
@@ -70,6 +71,44 @@ from .terms import App, Const, SymVar, Term
 
 #: Private miss sentinel — ``None`` is a storable value, not a miss marker.
 _MISSING = object()
+
+_LOG = logging.getLogger(__name__)
+
+
+def _read_store(path: Any) -> Optional[Dict[str, dict]]:
+    """Read an on-disk store's well-formed entries; ``None`` when the
+    file is absent or unusable.  A truncated or corrupt shard — e.g.
+    left by a worker killed mid-save on a pre-atomic store — is logged
+    and treated as cold, never raised: a cache must only ever cost a
+    re-solve, not a crash.  The catch is deliberately broad:
+    ``json.JSONDecodeError`` covers torn JSON, ``UnicodeDecodeError``
+    (both are ``ValueError`` s) covers binary garbage, ``OSError``
+    covers permissions/IO."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except FileNotFoundError:
+        return None
+    except (ValueError, OSError) as error:
+        _LOG.warning(
+            "validity cache shard %s is unreadable (%s: %s); starting cold",
+            path,
+            type(error).__name__,
+            error,
+        )
+        return None
+    entries = data.get("entries") if isinstance(data, dict) else None
+    if not isinstance(entries, dict):
+        _LOG.warning(
+            "validity cache shard %s has no well-formed entries; starting cold",
+            path,
+        )
+        return None
+    return {
+        key: entry
+        for key, entry in entries.items()
+        if isinstance(key, str) and isinstance(entry, dict)
+    }
 
 
 def make_key(
@@ -438,24 +477,25 @@ class ValidityCache:
     def reset_delta(self) -> None:
         self._dirty.clear()
 
+    def snapshot_persistent(self) -> Dict[str, dict]:
+        """A copy of the whole persistent layer (encoded entries, with
+        their namespace qualifiers baked in) — what the daemon hands a
+        freshly spawned worker so it starts warm."""
+        return {key: dict(entry) for key, entry in self._persistent.items()}
+
     def load(self, path: Any) -> int:
         """Load an on-disk store into the persistent layer (activating
-        it).  Entries already in memory win; a missing file just
-        activates an empty layer.  Returns the number of entries loaded.
-        """
+        it).  Entries already in memory win; a missing, truncated or
+        corrupt file just activates an empty layer — logged and cold,
+        never an exception.  Returns the number of entries loaded."""
         self._active = True
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                data = json.load(handle)
-        except (FileNotFoundError, json.JSONDecodeError, OSError):
-            return 0
-        entries = data.get("entries") if isinstance(data, dict) else None
-        if not isinstance(entries, dict):
+        entries = _read_store(path)
+        if entries is None:
             return 0
         loaded = 0
         persistent = self._persistent
         for key, entry in entries.items():
-            if isinstance(key, str) and isinstance(entry, dict) and key not in persistent:
+            if key not in persistent:
                 persistent[key] = entry
                 loaded += 1
         return loaded
@@ -464,26 +504,24 @@ class ValidityCache:
         """Write the persistent layer to disk, merged with whatever is
         already there (union; in-memory entries win), atomically via a
         sibling temp file.  Returns the number of entries written."""
-        existing: Dict[str, dict] = {}
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                data = json.load(handle)
-            if isinstance(data, dict) and isinstance(data.get("entries"), dict):
-                existing = {
-                    key: entry
-                    for key, entry in data["entries"].items()
-                    if isinstance(key, str) and isinstance(entry, dict)
-                }
-        except (FileNotFoundError, json.JSONDecodeError, OSError):
-            pass
+        existing = _read_store(path) or {}
         combined = {**existing, **self._persistent}
         payload = {"version": 1, "entries": combined}
         path = os.fspath(path)
         temp_path = f"{path}.tmp.{os.getpid()}"
-        with open(temp_path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=0, sort_keys=True)
-            handle.write("\n")
-        os.replace(temp_path, path)
+        try:
+            with open(temp_path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=0, sort_keys=True)
+                handle.write("\n")
+            os.replace(temp_path, path)
+        except BaseException:
+            # Never leave a stale temp sibling behind (e.g. disk full,
+            # or a signal between write and replace).
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
         self._dirty.clear()
         return len(combined)
 

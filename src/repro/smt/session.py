@@ -42,7 +42,7 @@ preserving the fresh-solver verdicts (the differential harness in
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from .arith import (
     DifferenceLogicPropagator,
@@ -461,3 +461,36 @@ class SessionPool:
                 for tenant, session in self._sessions.items()
             },
         }
+
+
+def merge_pool_stats(
+    snapshots: Iterable[Mapping[str, object]],
+    baseline: Optional[Mapping[str, int]] = None,
+) -> Dict[str, object]:
+    """Fold several :meth:`SessionPool.stats` snapshots (one per daemon
+    worker process) into one pool-shaped view: counters sum, ``tenants``
+    union (tenant-affine routing keeps tenants disjoint across workers),
+    ``max_sessions`` is left for the caller (a per-worker bound, not a
+    sum).  ``baseline`` pre-seeds the counters — the accumulated totals
+    of workers that already died."""
+    merged: Dict[str, object] = {
+        "sessions": 0,
+        "max_sessions": 0,
+        "created": 0,
+        "reused": 0,
+        "evicted": 0,
+        "retired": 0,
+        "tenants": {},
+    }
+    for key, value in (baseline or {}).items():
+        if key in merged and isinstance(value, int) and key != "max_sessions":
+            merged[key] = merged[key] + value  # type: ignore[operator]
+    for snapshot in snapshots:
+        for key in ("sessions", "created", "reused", "evicted", "retired"):
+            value = snapshot.get(key, 0)
+            if isinstance(value, int):
+                merged[key] = merged[key] + value  # type: ignore[operator]
+        tenants = snapshot.get("tenants")
+        if isinstance(tenants, Mapping):
+            merged["tenants"].update(tenants)  # type: ignore[union-attr]
+    return merged

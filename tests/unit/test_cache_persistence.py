@@ -164,3 +164,78 @@ class TestMergeAndDelta:
         assert cache.load(tmp_path / "absent.json") == 0
         assert cache.persistence_enabled
         assert cache.stats()["persistent_size"] == 0
+
+
+class TestCorruptionHardening:
+    """PR 7 satellite: a truncated or corrupt shard (e.g. from a worker
+    killed mid-save on a pre-atomic store) must log-and-skip — never
+    raise — and saves must be atomic with no stale temp siblings."""
+
+    def _seeded(self, tag="seed"):
+        cache = ValidityCache()
+        cache.enable_persistence()
+        cache.put("k", Result(Verdict.PROVED), persistent_key=_pkey(tag))
+        return cache
+
+    def test_truncated_json_shard_loads_cold_with_a_warning(self, tmp_path, caplog):
+        path = tmp_path / "store.json"
+        path.write_text('{"version": 1, "entries": {"dead', encoding="utf-8")
+        cache = ValidityCache()
+        with caplog.at_level("WARNING", logger="repro.smt.cache"):
+            assert cache.load(path) == 0
+        assert cache.persistence_enabled  # cold, but the layer is live
+        assert any("starting cold" in record.message for record in caplog.records)
+
+    def test_binary_garbage_shard_loads_cold(self, tmp_path):
+        path = tmp_path / "store.json"
+        path.write_bytes(b"\xff\xfe\x00garbage\x00" * 7)  # invalid UTF-8
+        cache = ValidityCache()
+        assert cache.load(path) == 0
+        assert cache.stats()["persistent_size"] == 0
+
+    def test_wrong_shape_shard_loads_cold(self, tmp_path):
+        path = tmp_path / "store.json"
+        path.write_text(json.dumps([1, 2, 3]), encoding="utf-8")
+        assert ValidityCache().load(path) == 0
+        path.write_text(json.dumps({"version": 1, "entries": "nope"}))
+        assert ValidityCache().load(path) == 0
+
+    def test_save_over_corrupt_shard_rewrites_it_atomically(self, tmp_path):
+        path = tmp_path / "store.json"
+        path.write_text('{"version": 1, "entries": {"dead', encoding="utf-8")
+        cache = self._seeded()
+        assert cache.save(path) == 1  # garbage contributed nothing
+        reloaded = ValidityCache()
+        assert reloaded.load(path) == 1  # well-formed again
+
+    def test_save_leaves_no_temp_sibling(self, tmp_path):
+        path = tmp_path / "store.json"
+        self._seeded().save(path)
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name != "store.json"]
+        assert leftovers == []
+
+    def test_failed_save_cleans_up_its_temp_file(self, tmp_path, monkeypatch):
+        import repro.smt.cache as cache_module
+
+        def explode(_src, _dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(cache_module.os, "replace", explode)
+        cache = self._seeded()
+        with pytest.raises(OSError, match="disk full"):
+            cache.save(tmp_path / "store.json")
+        assert list(tmp_path.iterdir()) == []  # temp removed on failure
+
+    def test_snapshot_persistent_is_a_deep_enough_copy(self):
+        cache = self._seeded()
+        snapshot = cache.snapshot_persistent()
+        key = _pkey("seed")
+        assert key in snapshot
+        snapshot[key]["verdict"] = "tampered"
+        # the cache's own entry is unaffected (worker mutation safety)
+        assert cache.get_persistent(key).verdict is Verdict.PROVED
+        # and a fresh cache can be seeded from an untampered snapshot
+        worker = ValidityCache()
+        worker.merge(cache.snapshot_persistent())
+        worker.enable_persistence()
+        assert worker.get_persistent(key).verdict is Verdict.PROVED

@@ -1,0 +1,329 @@
+"""Unit tests for :class:`repro.client.ServiceClient` retry semantics,
+against a scripted fake daemon: the backoff schedule is bounded and
+jittered, ``retry_after`` hints are honored, a connection reset
+mid-batch replays only the still-undecided requests, and retries are
+capped — no infinite loop against a dead daemon."""
+
+import json
+import os
+import shutil
+import socket
+import tempfile
+import threading
+
+import pytest
+
+from repro.client import (
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailable,
+    requests_for_cases,
+)
+
+#: Script sentinel: close the connection abruptly at this point.
+DROP = "DROP"
+
+
+class ScriptedDaemon:
+    """A fake daemon on a unix socket.  Each received ``batch`` op
+    consumes one script — a list of event dicts to stream (indices are
+    positions in *that* batch), optionally ending with :data:`DROP` to
+    sever the connection mid-stream.  An exhausted script list answers
+    every further batch with an immediate drop (a dead daemon)."""
+
+    def __init__(self, scripts):
+        self.scripts = list(scripts)
+        self.batches = []  # every batch message received, in order
+        self.connections = 0
+        self._tmp = tempfile.mkdtemp(prefix="repro-fake-")
+        self.socket_path = os.path.join(self._tmp, "fake.sock")
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.bind(self.socket_path)
+        self._sock.listen(8)
+        self._sock.settimeout(0.2)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            self.connections += 1
+            self._serve_connection(conn)
+
+    def _serve_connection(self, conn):
+        file = conn.makefile("rwb")
+        try:
+            while not self._stop.is_set():
+                line = file.readline()
+                if not line:
+                    return
+                message = json.loads(line)
+                if message.get("op") != "batch":
+                    return
+                self.batches.append(message)
+                script = self.scripts.pop(0) if self.scripts else [DROP]
+                for event in script:
+                    if event == DROP:
+                        return
+                    file.write(json.dumps(event).encode("utf-8") + b"\n")
+                    file.flush()
+        except (BrokenPipeError, ConnectionResetError, OSError, ValueError):
+            pass
+        finally:
+            try:
+                file.close()
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def close(self):
+        self._stop.set()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._thread.join(timeout=5)
+        shutil.rmtree(self._tmp, ignore_errors=True)
+
+
+def verdict_event(index, name, attempts=1):
+    return {
+        "event": "verdict",
+        "index": index,
+        "attempts": attempts,
+        "verdict": {"name": name, "verified": True, "expected": True},
+    }
+
+
+def done_event():
+    return {"event": "done", "elapsed": 0.01, "stats": {}}
+
+
+@pytest.fixture()
+def recording_policy():
+    """A deterministic policy: rng pinned to 1.0 (no jitter shrink) and
+    a sleep that records instead of sleeping."""
+    sleeps = []
+    policy = RetryPolicy(
+        max_retries=3,
+        base_delay=0.1,
+        max_delay=1.0,
+        sleep=sleeps.append,
+        rng=lambda: 1.0,
+    )
+    return policy, sleeps
+
+
+# ---------------------------------------------------------------------------
+# The backoff schedule itself (pure, no daemon)
+# ---------------------------------------------------------------------------
+
+
+def test_backoff_is_exponential_and_bounded():
+    policy = RetryPolicy(base_delay=0.1, max_delay=1.0, rng=lambda: 1.0)
+    assert [policy.delay(a) for a in range(6)] == [
+        pytest.approx(d) for d in (0.1, 0.2, 0.4, 0.8, 1.0, 1.0)  # capped
+    ]
+
+
+def test_backoff_is_jittered_within_half_to_full():
+    lo = RetryPolicy(base_delay=0.1, rng=lambda: 0.0)
+    hi = RetryPolicy(base_delay=0.1, rng=lambda: 1.0)
+    assert lo.delay(2) == pytest.approx(0.2)  # 0.4 * 0.5
+    assert hi.delay(2) == pytest.approx(0.4)  # 0.4 * 1.0
+    draws = iter([0.3, 0.7])
+    mid = RetryPolicy(base_delay=0.1, rng=lambda: next(draws))
+    first, second = mid.delay(2), mid.delay(2)
+    assert 0.2 <= first <= 0.4 and 0.2 <= second <= 0.4
+    assert first != second  # rng actually participates
+
+
+def test_retry_after_hint_overrides_the_exponential_base():
+    policy = RetryPolicy(base_delay=0.1, max_delay=1.0, rng=lambda: 1.0)
+    assert policy.delay(0, hint=7.5) == pytest.approx(7.5)
+    assert policy.delay(5, hint=0.25) == pytest.approx(0.25)
+
+
+# ---------------------------------------------------------------------------
+# retry_after honored end to end
+# ---------------------------------------------------------------------------
+
+
+def test_retry_after_is_honored_and_request_replayed(recording_policy):
+    policy, sleeps = recording_policy
+    daemon = ScriptedDaemon(
+        [
+            [
+                {"event": "accepted", "count": 1},
+                {
+                    "event": "retry_after",
+                    "index": 0,
+                    "retry_after": 0.25,
+                    "reason": "busy",
+                },
+                done_event(),
+            ],
+            [
+                {"event": "accepted", "count": 1},
+                verdict_event(0, "Figure 3"),
+                done_event(),
+            ],
+        ]
+    )
+    try:
+        with ServiceClient(socket_path=daemon.socket_path, retry=policy) as client:
+            outcome = client.run_batch(requests_for_cases(["Figure 3"]))
+        assert outcome.complete and outcome.ok
+        assert outcome.client_retries == 1
+        # the sleep came from the daemon's hint, not the exponential base
+        assert sleeps == [pytest.approx(0.25)]
+        assert len(daemon.batches) == 2
+    finally:
+        daemon.close()
+
+
+def test_exhausted_retries_surface_shed_requests(recording_policy):
+    policy, sleeps = recording_policy  # max_retries=3
+    shed_script = [
+        {"event": "accepted", "count": 1},
+        {"event": "retry_after", "index": 0, "retry_after": 0.1, "reason": "busy"},
+        done_event(),
+    ]
+    daemon = ScriptedDaemon([shed_script] * 10)
+    try:
+        with ServiceClient(socket_path=daemon.socket_path, retry=policy) as client:
+            outcome = client.run_batch(requests_for_cases(["Figure 3"]))
+        # every round shed: the request lands in outcome.shed, bounded
+        assert not outcome.complete
+        assert outcome.shed == {0: "busy"}
+        assert len(daemon.batches) == 1 + policy.max_retries  # capped
+        assert len(sleeps) == policy.max_retries
+    finally:
+        daemon.close()
+
+
+# ---------------------------------------------------------------------------
+# Connection reset mid-batch: replay only the undecided suffix
+# ---------------------------------------------------------------------------
+
+
+def test_connection_reset_replays_only_undecided_requests(recording_policy):
+    policy, sleeps = recording_policy
+    daemon = ScriptedDaemon(
+        [
+            [
+                {"event": "accepted", "count": 2},
+                verdict_event(0, "Figure 3"),
+                DROP,  # connection dies before request 1 is answered
+            ],
+            [
+                {"event": "accepted", "count": 1},
+                verdict_event(0, "Figure 1"),  # index 0 *of the replay*
+                done_event(),
+            ],
+        ]
+    )
+    try:
+        with ServiceClient(socket_path=daemon.socket_path, retry=policy) as client:
+            outcome = client.run_batch(requests_for_cases(["Figure 3", "Figure 1"]))
+        assert outcome.complete and outcome.ok
+        # both verdicts present, replay index mapped back to original 1
+        assert outcome.verdicts[0].name == "Figure 3"
+        assert outcome.verdicts[1].name == "Figure 1"
+        # the replay carried only the undecided request
+        assert [len(b["requests"]) for b in daemon.batches] == [2, 1]
+        assert daemon.batches[1]["requests"][0]["case"] == "Figure 1"
+        # one reconnect happened
+        assert daemon.connections == 2
+        assert len(sleeps) == 1
+    finally:
+        daemon.close()
+
+
+def test_decided_failures_are_never_retried(recording_policy):
+    """rejected/timeout/worker_crash/error are answers, not transport
+    problems: one wire round, no replay."""
+    policy, sleeps = recording_policy
+    daemon = ScriptedDaemon(
+        [
+            [
+                {"event": "accepted", "count": 4},
+                {"event": "rejected", "index": 0, "reason": "over budget"},
+                {"event": "timeout", "index": 1, "reason": "too slow"},
+                {"event": "worker_crash", "index": 2, "attempts": 2, "reason": "died"},
+                {"event": "error", "index": 3, "reason": "bad request"},
+                done_event(),
+            ]
+        ]
+    )
+    try:
+        with ServiceClient(socket_path=daemon.socket_path, retry=policy) as client:
+            outcome = client.run_batch(
+                requests_for_cases(["Figure 3", "Figure 1", "Pipeline", "Debt-Sum"])
+            )
+        assert outcome.rejections == {0: "over budget"}
+        assert outcome.timeouts == {1: "too slow"}
+        assert outcome.crashes == {2: "died"}
+        assert outcome.errors == {3: "bad request"}
+        assert outcome.attempts[2] == 2
+        assert len(daemon.batches) == 1 and not sleeps
+    finally:
+        daemon.close()
+
+
+# ---------------------------------------------------------------------------
+# Retries are capped: a dead daemon cannot trap the client
+# ---------------------------------------------------------------------------
+
+
+def test_dead_daemon_raises_after_capped_retries(recording_policy):
+    policy, sleeps = recording_policy  # max_retries=3
+    daemon = ScriptedDaemon([])  # every batch is answered with a drop
+    try:
+        with ServiceClient(socket_path=daemon.socket_path, retry=policy) as client:
+            with pytest.raises(ServiceUnavailable, match="retries"):
+                client.run_batch(requests_for_cases(["Figure 3"]))
+        assert len(daemon.batches) == 1 + policy.max_retries
+        assert len(sleeps) == policy.max_retries
+    finally:
+        daemon.close()
+
+
+def test_daemon_gone_entirely_raises_service_unavailable(recording_policy):
+    policy, _sleeps = recording_policy
+    daemon = ScriptedDaemon(
+        [[{"event": "accepted", "count": 1}, verdict_event(0, "Figure 3"), done_event()]]
+    )
+    socket_path = daemon.socket_path
+    with ServiceClient(socket_path=socket_path, retry=policy) as client:
+        assert client.run_batch(requests_for_cases(["Figure 3"])).complete
+        daemon.close()
+        os_error_free = False
+        with pytest.raises(ServiceUnavailable):
+            client.run_batch(requests_for_cases(["Figure 3"]))
+            os_error_free = True
+        assert not os_error_free
+
+
+def test_whole_batch_rejection_raises_not_retries(recording_policy):
+    policy, sleeps = recording_policy
+    daemon = ScriptedDaemon(
+        [[{"event": "rejected", "reason": "batch of 1 exceeds the limit of 0"}]]
+    )
+    try:
+        with ServiceClient(socket_path=daemon.socket_path, retry=policy) as client:
+            with pytest.raises(ServiceError, match="exceeds the limit"):
+                client.run_batch(requests_for_cases(["Figure 3"]))
+        assert len(daemon.batches) == 1 and not sleeps
+    finally:
+        daemon.close()
