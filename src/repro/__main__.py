@@ -13,14 +13,21 @@ Usage::
     python -m repro client --socket /tmp/repro.sock --stats
     python -m repro bench  --repeat 2      # cold vs warm batch timings
 
+    python -m repro lint examples/ src/repro/casestudies/
+    python -m repro lint --cases --format json
+    python -m repro lint examples/ --write-baseline lint_baseline.json
+
 The bare form (no subcommand) is the ``verify`` subcommand and behaves
 exactly as it always has; ``serve`` boots the long-lived verification
 daemon (:mod:`repro.server`), ``client`` talks to it over its unix
-socket (or ``--host``/``--port``), and ``bench`` measures cold-vs-warm
-batch times through the :mod:`repro.api` facade.  ``--jobs``/
-``--cache-dir`` are shared plumbing: ``--jobs 0`` uses every core, and
-``--cache-dir`` loads ``<dir>/validity_cache.json`` before verifying
-and saves it (merged with concurrent writers) afterwards.
+socket (or ``--host``/``--port``), ``bench`` measures cold-vs-warm
+batch times through the :mod:`repro.api` facade, and ``lint`` runs the
+static analyses of :mod:`repro.analysis` (lockset races, flow leaks,
+lint rules) over program files, embedded Python literals, or the case
+catalogue — no solver involved.  ``--jobs``/``--cache-dir`` are shared
+plumbing: ``--jobs 0`` uses every core, and ``--cache-dir`` loads
+``<dir>/validity_cache.json`` before verifying and saves it (merged
+with concurrent writers) afterwards.
 """
 
 from __future__ import annotations
@@ -36,7 +43,7 @@ from .parallel import default_jobs
 
 CACHE_FILENAME = api.CACHE_FILENAME
 
-SUBCOMMANDS = ("verify", "serve", "client", "bench")
+SUBCOMMANDS = ("verify", "serve", "client", "bench", "lint")
 
 
 # ---------------------------------------------------------------------------
@@ -114,7 +121,7 @@ class _CacheScope:
 # ---------------------------------------------------------------------------
 
 
-def _print_all(jobs: int) -> int:
+def _print_all(jobs: int, static_prepass: bool = True) -> int:
     from .casestudies import ALL_CASES
 
     width = 96
@@ -123,7 +130,10 @@ def _print_all(jobs: int) -> int:
     print("=" * width)
     failures = 0
     for case in ALL_CASES:
-        verdict = api.execute(api.VerificationRequest(case=case.name), jobs=jobs)
+        verdict = api.execute(
+            api.VerificationRequest(case=case.name, static_prepass=static_prepass),
+            jobs=jobs,
+        )
         expected = "secure" if case.expected_verified else "insecure"
         outcome = "VERIFIED" if verdict.verified else "REJECTED"
         ok = verdict.ok
@@ -143,7 +153,7 @@ def _print_all(jobs: int) -> int:
     return 0
 
 
-def _print_one(name: str, jobs: int) -> int:
+def _print_one(name: str, jobs: int, static_prepass: bool = True) -> int:
     from .casestudies import case_by_name
 
     case = case_by_name(name)
@@ -152,8 +162,13 @@ def _print_one(name: str, jobs: int) -> int:
     print("\n--- program ---")
     print(case.source.strip())
     print("\n--- verification ---")
-    verdict = api.execute(api.VerificationRequest(case=case.name), jobs=jobs)
+    verdict = api.execute(
+        api.VerificationRequest(case=case.name, static_prepass=static_prepass),
+        jobs=jobs,
+    )
     print(f"{verdict.name}: {'VERIFIED' if verdict.verified else 'REJECTED'}")
+    if verdict.prepass == "secure":
+        print("  (discharged by the static information-flow prepass — no SMT)")
     for error in verdict.errors:
         print(f"  error: {error}")
     for obligation in verdict.obligations:
@@ -168,12 +183,13 @@ def _print_one(name: str, jobs: int) -> int:
 def _cmd_verify(args: argparse.Namespace) -> int:
     jobs = _resolve_jobs(args.jobs)
     scope = _CacheScope(args.cache_dir)
+    static_prepass = not getattr(args, "no_static_prepass", False)
     with scope:
         try:
             if args.case is not None:
-                status = _print_one(args.case, jobs)
+                status = _print_one(args.case, jobs, static_prepass)
             else:
-                status = _print_all(jobs)
+                status = _print_all(jobs, static_prepass)
         except (KeyError, api.RequestError) as error:
             print(error)
             return 2
@@ -324,6 +340,133 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# lint
+# ---------------------------------------------------------------------------
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Static analysis only: exit 1 on error-severity findings (after
+    baseline suppression), 0 otherwise, 2 on usage errors."""
+    from .analysis import (
+        Baseline,
+        has_errors,
+        lint_case,
+        lint_paths,
+        render_json,
+        render_text,
+        sort_diagnostics,
+    )
+
+    paths = [Path(p) for p in args.paths]
+    for path in paths:
+        if not path.exists():
+            print(f"lint: no such path: {path}", file=sys.stderr)
+            return 2
+    if not paths and not args.cases:
+        print("lint: pass program paths and/or --cases", file=sys.stderr)
+        return 2
+
+    diagnostics = lint_paths(paths, low_inputs=args.low, high_inputs=args.high)
+    if args.cases:
+        from .casestudies import ALL_CASES, case_by_name
+
+        names = args.case_names or [case.name for case in ALL_CASES]
+        try:
+            for name in names:
+                diagnostics.extend(lint_case(case_by_name(name)))
+        except KeyError as error:
+            print(f"lint: {error}", file=sys.stderr)
+            return 2
+    diagnostics = sort_diagnostics(diagnostics)
+
+    if args.write_baseline is not None:
+        baseline = Baseline.from_diagnostics(diagnostics)
+        baseline.save(Path(args.write_baseline))
+        print(
+            f"wrote baseline with {len(diagnostics)} suppression(s) "
+            f"to {args.write_baseline}"
+        )
+        return 0
+
+    suppressed = 0
+    if args.baseline is not None:
+        try:
+            baseline = Baseline.load(Path(args.baseline))
+        except (OSError, ValueError, KeyError) as error:
+            print(f"lint: cannot read baseline {args.baseline}: {error}", file=sys.stderr)
+            return 2
+        diagnostics, suppressed = baseline.apply(diagnostics)
+
+    if args.format == "json":
+        print(render_json(diagnostics))
+    else:
+        print(render_text(diagnostics))
+        if suppressed:
+            print(f"({suppressed} baselined finding(s) suppressed)")
+    return 1 if has_errors(diagnostics) else 0
+
+
+def _build_lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="Run the static analyses (lockset races, information "
+        "flow, lint rules) without the verifier or the solver.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=".prog files, .py files with embedded program literals, or "
+        "directories to scan recursively",
+    )
+    parser.add_argument(
+        "--cases",
+        action="store_true",
+        help="also lint the case-study catalogue (with full spec context)",
+    )
+    parser.add_argument(
+        "--case",
+        dest="case_names",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="lint one catalogue case by name (implies --cases; repeatable)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default text)",
+    )
+    parser.add_argument(
+        "--low",
+        action="append",
+        default=[],
+        metavar="VAR",
+        help="treat VAR as a low (public) input for flow analysis (repeatable)",
+    )
+    parser.add_argument(
+        "--high",
+        action="append",
+        default=[],
+        metavar="VAR",
+        help="treat VAR as a high (secret) input for flow analysis (repeatable)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="suppress findings recorded in FILE (see --write-baseline)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="record the current findings to FILE and exit 0",
+    )
+    return parser
+
+
+# ---------------------------------------------------------------------------
 # Argument parsing
 # ---------------------------------------------------------------------------
 
@@ -343,6 +486,13 @@ def _build_verify_parser(prog: str) -> argparse.ArgumentParser:
         nargs="?",
         default=None,
         help="verify one case study by name (default: all, as a table)",
+    )
+    parser.add_argument(
+        "--no-static-prepass",
+        action="store_true",
+        help="disable the static pre-verification fast path (always run "
+        "VC generation + SMT discharge; verdicts are unchanged, only "
+        "wall-clock time)",
     )
     _add_shared(parser)
     return parser
@@ -448,6 +598,11 @@ def main(argv: List[str]) -> int:
         if command == "client":
             args = _build_client_parser().parse_args(rest)
             return _cmd_client(args)
+        if command == "lint":
+            args = _build_lint_parser().parse_args(rest)
+            if args.case_names:
+                args.cases = True
+            return _cmd_lint(args)
         args = _build_bench_parser().parse_args(rest)
         return _cmd_bench(args)
     # Bare invocation: the historical interface, byte-compatible.

@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterator, Mapping, Optional, Sequence, Tuple
 
+from .analysis.diagnostics import Diagnostic
 from .smt.cache import ValidityCache, using_cache
 from .smt.session import SolverSession
 from .smt.sorts import BOOL, INT, Sort
@@ -69,6 +70,8 @@ EVENT_PONG = "pong"
 EVENT_STATS = "stats"
 EVENT_TENANT = "tenant"
 EVENT_BYE = "bye"
+#: Response to a ``lint`` op: structured diagnostics, no verification.
+EVENT_LINT = "lint"
 
 #: Every event kind the daemon can emit — the client treats anything
 #: outside this set as a protocol error.
@@ -86,6 +89,7 @@ WIRE_EVENTS = frozenset(
         EVENT_STATS,
         EVENT_TENANT,
         EVENT_BYE,
+        EVENT_LINT,
     }
 )
 
@@ -262,6 +266,10 @@ class VerificationRequest:
     sorts: Optional[Tuple[Tuple[str, str], ...]] = None
     conformance_mode: str = "auto"
     exhaustive: bool = False
+    #: Run the static pre-verification fast path (repro.analysis); on by
+    #: default.  The prepass only ever accepts, so this flag trades
+    #: wall-clock time, never verdicts.
+    static_prepass: bool = True
 
     @property
     def kind(self) -> str:
@@ -368,6 +376,8 @@ class VerificationRequest:
             obj["conformance_mode"] = self.conformance_mode
         if self.exhaustive:
             obj["exhaustive"] = True
+        if not self.static_prepass:
+            obj["static_prepass"] = False
         return obj
 
     @classmethod
@@ -402,6 +412,7 @@ class VerificationRequest:
             sorts=sorts,
             conformance_mode=obj.get("conformance_mode", "auto"),
             exhaustive=bool(obj.get("exhaustive", False)),
+            static_prepass=bool(obj.get("static_prepass", True)),
         )
         request.validate()
         return request
@@ -472,6 +483,11 @@ class Verdict:
     solver_verdict: Optional[str] = None
     model: Optional[dict] = None
     from_cache: bool = False
+    #: ``"secure"`` when the static prepass decided the request (stages
+    #: 3–4 skipped), ``"unknown"`` when it ran undecided, ``None`` when
+    #: off or inapplicable.  Deliberately *not* part of ``observable()``:
+    #: the fast path changes how a verdict is reached, never the verdict.
+    prepass: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -518,6 +534,8 @@ class Verdict:
             obj["model"] = dict(self.model)
         if self.from_cache:
             obj["from_cache"] = True
+        if self.prepass is not None:
+            obj["prepass"] = self.prepass
         return obj
 
     @classmethod
@@ -543,6 +561,7 @@ class Verdict:
                 solver_verdict=obj.get("solver_verdict"),
                 model=dict(obj["model"]) if obj.get("model") is not None else None,
                 from_cache=bool(obj.get("from_cache", False)),
+                prepass=obj.get("prepass"),
             )
         except (KeyError, TypeError, ValueError) as error:
             raise RequestError(f"malformed verdict {obj!r}: {error}")
@@ -597,6 +616,78 @@ def verdict_from_result(
         ),
         conformance=tuple(str(report) for report in result.conformance_reports),
         obligations=tuple(str(obligation) for obligation in result.obligations),
+        prepass=None if result.prepass is None else result.prepass.verdict,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Static pre-verification (typed wire form)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StaticVerdict:
+    """The wire form of a static pre-verification outcome.
+
+    ``secure`` is a sound acceptance (the daemon may admit the request
+    past VC-budget control: it will never touch the solver); ``unknown``
+    carries the bail-out reasons and any diagnostics the analyses found.
+    """
+
+    name: str
+    verdict: str  # 'secure' | 'unknown'
+    reasons: Tuple[str, ...] = ()
+    diagnostics: Tuple["Diagnostic", ...] = ()
+
+    @property
+    def secure(self) -> bool:
+        return self.verdict == "secure"
+
+    def to_wire(self) -> dict:
+        obj: Dict[str, Any] = {"name": self.name, "verdict": self.verdict}
+        if self.reasons:
+            obj["reasons"] = list(self.reasons)
+        if self.diagnostics:
+            obj["diagnostics"] = [diagnostic.to_wire() for diagnostic in self.diagnostics]
+        return obj
+
+    @classmethod
+    def from_wire(cls, obj: Mapping[str, Any]) -> "StaticVerdict":
+        try:
+            return cls(
+                name=str(obj["name"]),
+                verdict=str(obj["verdict"]),
+                reasons=tuple(str(r) for r in obj.get("reasons", ())),
+                diagnostics=tuple(
+                    Diagnostic.from_wire(d) for d in obj.get("diagnostics", ())
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise RequestError(f"malformed static verdict {obj!r}: {error}")
+
+
+def static_verdict(request: VerificationRequest) -> StaticVerdict:
+    """Run the static prepass for one request without verifying it.
+
+    Formula requests are always ``unknown`` (they carry no program);
+    malformed requests raise :class:`RequestError` like :func:`execute`.
+    """
+    request.validate()
+    if request.formula is not None:
+        return StaticVerdict(
+            name=request.label(),
+            verdict="unknown",
+            reasons=("raw validity queries have no program to analyze",),
+        )
+    from .analysis.prepass import run_prepass
+
+    spec, _instances = request.build_program_spec()
+    report = run_prepass(spec)
+    return StaticVerdict(
+        name=request.label(),
+        verdict=report.verdict,
+        reasons=report.reasons,
+        diagnostics=report.diagnostics,
     )
 
 
@@ -662,6 +753,7 @@ def execute(
             conformance_mode=request.conformance_mode,
             jobs=jobs,
             session=session,
+            static_prepass=request.static_prepass,
         )
         return verdict_from_result(
             result, expected=expected, elapsed=time.perf_counter() - start
@@ -767,10 +859,12 @@ __all__ = [
     "CacheHandle",
     "CACHE_FILENAME",
     "DECIDED_EVENTS",
+    "Diagnostic",
     "EVENT_ACCEPTED",
     "EVENT_BYE",
     "EVENT_DONE",
     "EVENT_ERROR",
+    "EVENT_LINT",
     "EVENT_PONG",
     "EVENT_REJECTED",
     "EVENT_RETRY_AFTER",
@@ -783,12 +877,14 @@ __all__ = [
     "InstanceGroups",
     "RequestError",
     "ResourceRequest",
+    "StaticVerdict",
     "Verdict",
     "VerificationRequest",
     "estimate_vc_count",
     "execute",
     "open_cache",
     "sort_from_wire",
+    "static_verdict",
     "term_from_wire",
     "term_to_wire",
     "verdict_from_result",

@@ -7,6 +7,7 @@ from .counters import (
     figure1,
     figure1_commuting,
     figure2,
+    sequential_tally,
 )
 from .insecure import (
     count_channel,
@@ -63,7 +64,11 @@ TABLE1_CASES: tuple[CaseStudy, ...] = (
 )
 
 #: Secure programs beyond Table 1 (used by benchmarks and tests).
-EXTRA_SECURE_CASES: tuple[CaseStudy, ...] = (figure1_commuting, value_dependent)
+EXTRA_SECURE_CASES: tuple[CaseStudy, ...] = (
+    figure1_commuting,
+    value_dependent,
+    sequential_tally,
+)
 
 #: Negative controls that must be rejected.
 INSECURE_CASES: tuple[CaseStudy, ...] = (

@@ -222,3 +222,37 @@ figure1_commuting = CaseStudy(
     paper=None,  # not a Table 1 row; used by the Fig. 1 leak benchmark
     instances=make_instances({}, [{"h": 0}, {"h": 150}]),
 )
+
+_SEQUENTIAL_TALLY_SRC = """
+// Sequential-Tally: one thread sums low entries through the shared API.
+// No interference, no secret-dependent observables: the static prepass
+// of repro.analysis proves this secure without a single solver call.
+c := alloc(0)
+priv := at(hdata, 0) + at(hdata, 1)       // secret stays private
+share IntegerAdd
+i := 0
+while (i < n) {
+    t := at(xs, i)
+    atomic [Add(t)] { v := [c]; [c] := v + t }
+    i := i + 1
+}
+unshare IntegerAdd
+result := [c]
+print(result)
+"""
+
+sequential_tally = CaseStudy(
+    name="Sequential-Tally",
+    description="single-threaded tally over the shared counter API; "
+    "discharged by the static prepass with zero SMT queries",
+    source=_SEQUENTIAL_TALLY_SRC,
+    resources=(ResourceDecl("IntegerAdd", integer_add_spec(), "c"),),
+    low_inputs=frozenset({"n", "xs"}),
+    high_inputs=frozenset({"hdata"}),
+    expected_verified=True,
+    paper=None,  # not a Table 1 row; exercises the static fast path
+    instances=make_instances(
+        {"n": 3, "xs": (2, 0, 5)},
+        [{"hdata": (0, 0)}, {"hdata": (9, 4)}],
+    ),
+)

@@ -263,6 +263,30 @@ class ServiceClient:
             message["sorts"] = sorts
         return self._roundtrip(message, api.EVENT_TENANT)
 
+    def lint(
+        self,
+        sources: Sequence[Tuple[str, str]] = (),
+        cases: Sequence[str] = (),
+        low: Sequence[str] = (),
+        high: Sequence[str] = (),
+    ) -> List["Diagnostic"]:
+        """Lint ``(name, text)`` program sources and/or catalogue cases
+        on the daemon, returning typed diagnostics.  Purely static — the
+        daemon answers supervisor-side without touching a worker."""
+        from .analysis.diagnostics import Diagnostic
+
+        message: Dict[str, Any] = {
+            "op": "lint",
+            "sources": [{"name": name, "text": text} for name, text in sources],
+            "cases": list(cases),
+        }
+        if low:
+            message["low"] = list(low)
+        if high:
+            message["high"] = list(high)
+        event = self._roundtrip(message, api.EVENT_LINT)
+        return [Diagnostic.from_wire(obj) for obj in event.get("diagnostics", ())]
+
     # -- batches ----------------------------------------------------------
 
     def stream_batch(

@@ -14,18 +14,61 @@ runtime no-ops or simple effects:
 
 All nodes are immutable dataclasses; ``fv`` and ``mod`` implement the
 free-variable and modified-variable functions used by the proof rules.
+
+Every node carries an optional :class:`SourcePos` in its ``pos`` field.
+The parser stamps positions; programmatically-built ASTs leave them
+``None``.  ``pos`` is excluded from equality, hashing, and ``repr`` so a
+parsed node still compares equal to the same node built by hand.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Any, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class SourcePos:
+    """A (line, column) source location, 1-based, attached by the parser."""
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"line {self.line}, col {self.column}"
 
 
 class Node:
     """Base class for all AST nodes."""
 
     __slots__ = ()
+
+
+def node_pos(node: Node) -> Optional[SourcePos]:
+    """Best-effort source position of ``node``.
+
+    Returns the node's own position if the parser stamped one, otherwise
+    the first position found on a descendant (pre-order), otherwise
+    ``None`` (programmatically-built ASTs carry no positions).
+    """
+    own = getattr(node, "pos", None)
+    if own is not None:
+        return own
+    for f in fields(node):  # type: ignore[arg-type]
+        if f.name == "pos":
+            continue
+        value = getattr(node, f.name)
+        children = value if isinstance(value, tuple) else (value,)
+        for child in children:
+            if isinstance(child, Node):
+                found = node_pos(child)
+                if found is not None:
+                    return found
+    return None
+
+
+def _pos_field() -> Any:
+    return field(default=None, compare=False, repr=False)
 
 
 # =============================================================================
@@ -42,6 +85,7 @@ class Lit(Expr):
     """A literal value (integer, boolean, or any pure value)."""
 
     value: Any
+    pos: Optional[SourcePos] = _pos_field()
 
     def __str__(self) -> str:
         if isinstance(self.value, bool):
@@ -54,6 +98,7 @@ class Var(Expr):
     """A program variable."""
 
     name: str
+    pos: Optional[SourcePos] = _pos_field()
 
     def __str__(self) -> str:
         return self.name
@@ -67,6 +112,7 @@ class BinOp(Expr):
     op: str
     left: Expr
     right: Expr
+    pos: Optional[SourcePos] = _pos_field()
 
     def __str__(self) -> str:
         return f"({self.left} {self.op} {self.right})"
@@ -78,6 +124,7 @@ class UnOp(Expr):
 
     op: str
     operand: Expr
+    pos: Optional[SourcePos] = _pos_field()
 
     def __str__(self) -> str:
         return f"{self.op}{self.operand}"
@@ -89,6 +136,7 @@ class Call(Expr):
 
     function: str
     args: Tuple[Expr, ...]
+    pos: Optional[SourcePos] = _pos_field()
 
     def __str__(self) -> str:
         return f"{self.function}({', '.join(map(str, self.args))})"
@@ -138,6 +186,8 @@ class Command(Node):
 
 @dataclass(frozen=True)
 class Skip(Command):
+    pos: Optional[SourcePos] = _pos_field()
+
     def __str__(self) -> str:
         return "skip"
 
@@ -148,6 +198,7 @@ class Assign(Command):
 
     target: str
     expr: Expr
+    pos: Optional[SourcePos] = _pos_field()
 
     def __str__(self) -> str:
         return f"{self.target} := {self.expr}"
@@ -159,6 +210,7 @@ class Load(Command):
 
     target: str
     address: Expr
+    pos: Optional[SourcePos] = _pos_field()
 
     def __str__(self) -> str:
         return f"{self.target} := [{self.address}]"
@@ -170,6 +222,7 @@ class Store(Command):
 
     address: Expr
     expr: Expr
+    pos: Optional[SourcePos] = _pos_field()
 
     def __str__(self) -> str:
         return f"[{self.address}] := {self.expr}"
@@ -181,6 +234,7 @@ class Alloc(Command):
 
     target: str
     expr: Expr
+    pos: Optional[SourcePos] = _pos_field()
 
     def __str__(self) -> str:
         return f"{self.target} := alloc({self.expr})"
@@ -192,6 +246,7 @@ class Seq(Command):
 
     first: Command
     second: Command
+    pos: Optional[SourcePos] = _pos_field()
 
     def __str__(self) -> str:
         return f"{self.first}; {self.second}"
@@ -204,6 +259,7 @@ class If(Command):
     condition: Expr
     then_branch: Command
     else_branch: Command
+    pos: Optional[SourcePos] = _pos_field()
 
     def __str__(self) -> str:
         return f"if ({self.condition}) {{ {self.then_branch} }} else {{ {self.else_branch} }}"
@@ -215,6 +271,7 @@ class While(Command):
 
     condition: Expr
     body: Command
+    pos: Optional[SourcePos] = _pos_field()
 
     def __str__(self) -> str:
         return f"while ({self.condition}) {{ {self.body} }}"
@@ -226,6 +283,7 @@ class Par(Command):
 
     left: Command
     right: Command
+    pos: Optional[SourcePos] = _pos_field()
 
     def __str__(self) -> str:
         return f"({self.left} || {self.right})"
@@ -252,6 +310,7 @@ class Atomic(Command):
     action: Optional[str] = None
     argument: Optional[Expr] = None
     when: Optional[Expr] = None
+    pos: Optional[SourcePos] = _pos_field()
 
     def __str__(self) -> str:
         label = f" [{self.action}({self.argument})]" if self.action else ""
@@ -268,6 +327,7 @@ class Share(Command):
     """
 
     resource: str
+    pos: Optional[SourcePos] = _pos_field()
 
     def __str__(self) -> str:
         return f"share {self.resource}"
@@ -278,6 +338,7 @@ class Unshare(Command):
     """Ghost command: dissolve the shared resource (runtime no-op)."""
 
     resource: str
+    pos: Optional[SourcePos] = _pos_field()
 
     def __str__(self) -> str:
         return f"unshare {self.resource}"
@@ -303,6 +364,7 @@ class Print(Command):
 
     expr: Expr
     channel: str = DEFAULT_CHANNEL
+    pos: Optional[SourcePos] = _pos_field()
 
     def __str__(self) -> str:
         if self.channel == DEFAULT_CHANNEL:
@@ -326,6 +388,7 @@ class Fork(Command):
     target: str
     procedure: str
     args: Tuple[Expr, ...]
+    pos: Optional[SourcePos] = _pos_field()
 
     def __str__(self) -> str:
         return f"{self.target} := fork {self.procedure}({', '.join(map(str, self.args))})"
@@ -342,6 +405,7 @@ class Join(Command):
 
     procedure: str
     token: Expr
+    pos: Optional[SourcePos] = _pos_field()
 
     def __str__(self) -> str:
         return f"join {self.procedure}({self.token})"

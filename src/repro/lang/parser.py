@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, TypeVar
 
 from .ast import (
     Alloc,
@@ -48,6 +48,7 @@ from .ast import (
     Seq,
     Share,
     Skip,
+    SourcePos,
     Store,
     UnOp,
     Unshare,
@@ -60,6 +61,9 @@ from .procedures import Procedure, ThreadedProgram
 
 class ParseError(Exception):
     """Raised on syntax errors, with line/column information."""
+
+
+_NodeT = TypeVar("_NodeT")
 
 
 @dataclass(frozen=True)
@@ -159,6 +163,17 @@ class _Parser:
         token = self._peek()
         return ParseError(f"line {token.line}, col {token.column}: {message} (found {token.text!r})")
 
+    def _at(self, node: _NodeT, token: Token) -> _NodeT:
+        """Stamp ``node`` with ``token``'s source position.
+
+        ``pos`` is declared ``compare=False`` on every AST node, so the
+        stamp never affects equality or hashing; nodes that already carry
+        a position (stamped by an inner parse) are left untouched.
+        """
+        if getattr(node, "pos", None) is None:
+            object.__setattr__(node, "pos", SourcePos(token.line, token.column))
+        return node
+
     # -- statements ----------------------------------------------------------
 
     def parse_program(self) -> Command:
@@ -189,6 +204,10 @@ class _Parser:
         return body
 
     def _parse_statement(self) -> Command:
+        token = self._peek()
+        return self._at(self._parse_statement_inner(), token)
+
+    def _parse_statement_inner(self) -> Command:
         token = self._peek()
         if token.text == "{":
             return self._parse_parallel_or_block()
@@ -325,7 +344,8 @@ class _Parser:
     # -- expressions -----------------------------------------------------------
 
     def _parse_expr(self) -> Expr:
-        return self._parse_and()
+        token = self._peek()
+        return self._at(self._parse_and(), token)
 
     def _parse_and(self) -> Expr:
         left = self._parse_comparison()
@@ -370,6 +390,10 @@ class _Parser:
         return self._parse_primary()
 
     def _parse_primary(self) -> Expr:
+        token = self._peek()
+        return self._at(self._parse_primary_inner(), token)
+
+    def _parse_primary_inner(self) -> Expr:
         token = self._peek()
         if token.kind == "int":
             self._advance()

@@ -54,6 +54,14 @@ state alive behind a batched request API:
   tenants can carry sort overrides and per-tenant solver budgets
   (``max_models``), configured over the wire with the ``tenant`` op.
 
+* **Static pre-verification on the admission path** — a request whose
+  VC estimate is over budget gets one more chance: when the static
+  prepass of :mod:`repro.analysis` proves it secure, the worker will
+  discharge it without ever touching the solver, so the VC estimate is
+  moot and the request is admitted anyway (counted in
+  ``stats["prepass_admissions"]``).  The daemon also answers ``lint``
+  ops supervisor-side — static analysis only, no worker round-trip.
+
 Protocol ops (client → server)::
 
     {"op": "ping", "id": ...}
@@ -61,12 +69,14 @@ Protocol ops (client → server)::
     {"op": "tenant", "tenant": "t", "namespace": ..., "vc_budget": ...,
      "max_models": ..., "sorts": {"x": "int"}}
     {"op": "batch", "id": ..., "tenant": "t", "requests": [<request>...]}
+    {"op": "lint", "id": ..., "sources": [{"name": ..., "text": ...}],
+     "cases": [<case name>...], "low": [...], "high": [...]}
     {"op": "shutdown"}
 
 Server → client events: ``pong``, ``stats``, ``tenant``, ``accepted``,
 ``verdict`` (one per request, streamed as each lands), ``rejected``,
-``retry_after``, ``timeout``, ``worker_crash``, ``error``, ``done``
-(with served stats), ``bye``.
+``retry_after``, ``timeout``, ``worker_crash``, ``lint``, ``error``,
+``done`` (with served stats), ``bye``.
 """
 
 from __future__ import annotations
@@ -80,6 +90,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from . import api
+from .analysis import lint_case, run_lint, sort_diagnostics, target_from_source
 from .smt.session import merge_pool_stats
 from .smt.cache import ValidityCache
 from .worker import worker_main
@@ -227,6 +238,8 @@ class VerificationServer:
         self.worker_crashes = 0
         self.retries = 0
         self.load_shed = 0
+        self.prepass_admissions = 0
+        self.lints_served = 0
 
         self._servers: list = []
         self._shutdown = asyncio.Event()
@@ -487,6 +500,8 @@ class VerificationServer:
             "worker_crashes": self.worker_crashes,
             "retries": self.retries,
             "load_shed": self.load_shed,
+            "prepass_admissions": self.prepass_admissions,
+            "lints": self.lints_served,
             "queue_deadline": self.queue_deadline,
             "pool": self._aggregate_pool_stats(),
             "cache": self._aggregate_cache_stats(),
@@ -618,8 +633,64 @@ class VerificationServer:
         if op == "batch":
             await self._handle_batch(message, writer, tag)
             return False
+        if op == "lint":
+            await self._handle_lint(message, writer, tag)
+            return False
         await self._emit(writer, tag({"event": "error", "reason": f"unknown op {op!r}"}))
         return False
+
+    async def _handle_lint(self, message: dict, writer, tag) -> None:
+        """Static analysis only — answered supervisor-side without a
+        worker round-trip (no solving is involved, so there is nothing
+        to keep warm or to supervise)."""
+        sources = message.get("sources") or []
+        cases = message.get("cases") or []
+        if not isinstance(sources, list) or not isinstance(cases, list):
+            await self._emit(
+                writer,
+                tag({"event": "error", "reason": "lint needs sources/cases lists"}),
+            )
+            return
+        low = [str(name) for name in message.get("low") or []]
+        high = [str(name) for name in message.get("high") or []]
+        diagnostics = []
+        try:
+            for entry in sources:
+                if not isinstance(entry, dict) or "text" not in entry:
+                    raise api.RequestError(
+                        f"lint source must be an object with a 'text' field, got {entry!r}"
+                    )
+                target = target_from_source(
+                    str(entry["text"]),
+                    source=str(entry.get("name", "<wire>")),
+                    low_inputs=low,
+                    high_inputs=high,
+                )
+                diagnostics.extend(run_lint(target))
+            if cases:
+                from .casestudies import case_by_name
+
+                for name in cases:
+                    try:
+                        diagnostics.extend(lint_case(case_by_name(str(name))))
+                    except KeyError as error:
+                        raise api.RequestError(str(error))
+        except api.RequestError as error:
+            await self._emit(writer, tag({"event": "error", "reason": str(error)}))
+            return
+        diagnostics = sort_diagnostics(diagnostics)
+        self.lints_served += 1
+        await self._emit(
+            writer,
+            tag(
+                {
+                    "event": api.EVENT_LINT,
+                    "count": len(diagnostics),
+                    "errors": sum(1 for d in diagnostics if d.severity == "error"),
+                    "diagnostics": [d.to_wire() for d in diagnostics],
+                }
+            ),
+        )
 
     async def _handle_batch(self, message: dict, writer, tag) -> None:
         tenant_name = message.get("tenant") or "default"
@@ -728,14 +799,30 @@ class VerificationServer:
     # -- execution --------------------------------------------------------
 
     def _admit(self, request: api.VerificationRequest, budget: int) -> Optional[str]:
-        """None when admitted, else the human-readable rejection reason."""
+        """None when admitted, else the human-readable rejection reason.
+
+        Admission composes the syntactic VC estimate with the static
+        prepass: an over-budget request that the prepass proves secure
+        is admitted anyway — the worker's fast path will discharge it
+        without a single solver call, so the VC count never material-
+        izes.  The prepass only runs for over-budget requests (the
+        common case stays a pure arithmetic check) and never causes a
+        rejection of its own.
+        """
         estimate = api.estimate_vc_count(request)
-        if estimate > budget:
-            return (
-                f"request {request.label()!r} estimates {estimate} VCs, "
-                f"over the admission budget of {budget}"
-            )
-        return None
+        if estimate <= budget:
+            return None
+        if request.static_prepass:
+            try:
+                if api.static_verdict(request).secure:
+                    self.prepass_admissions += 1
+                    return None
+            except api.RequestError:
+                pass
+        return (
+            f"request {request.label()!r} estimates {estimate} VCs, "
+            f"over the admission budget of {budget}"
+        )
 
     async def _call_worker(self, handle: _WorkerHandle, payload: Dict[str, Any]):
         """One request → one reply on ``handle``'s worker, supervised.

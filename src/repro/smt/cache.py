@@ -183,6 +183,7 @@ def _canon(value: Any) -> str:
         fields = ",".join(
             f"{f.name}={_canon(getattr(value, f.name))}"
             for f in dataclasses.fields(value)
+            if f.compare
         )
         return f"D{type(value).__qualname__}({fields})"
     return f"r{type(value).__qualname__}:{value!r}"

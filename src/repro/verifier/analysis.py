@@ -48,6 +48,7 @@ from ..lang.ast import (
     Unshare,
     Var,
     While,
+    node_pos,
 )
 from ..spec.actions import Action
 from .declarations import ProgramSpec, ResourceDecl
@@ -114,6 +115,12 @@ class AnalysisState:
 
 class AnalysisError(Exception):
     """An unconditional verification error found by the static analysis."""
+
+
+def _cite(node) -> str:
+    """`` (at line L, col C)`` when the parser stamped a position, else ``""``."""
+    pos = node_pos(node)
+    return f" (at {pos})" if pos is not None else ""
 
 
 @dataclass
@@ -261,12 +268,12 @@ class TaintAnalyzer:
                 return  # unobservable channel: no lowness obligation
             if high_ctx:
                 self.report.errors.append(
-                    f"print({cmd.expr}): output statement under a high branch condition"
+                    f"print({cmd.expr}): output statement under a high branch condition{_cite(cmd)}"
                 )
             taint = self.expr_taint(cmd.expr, state)
             if not taint.is_low():
                 self.report.errors.append(
-                    f"print({cmd.expr}): printed value has taint {taint} — low output may leak"
+                    f"print({cmd.expr}): printed value has taint {taint} — low output may leak{_cite(cmd)}"
                 )
             return
         if isinstance(cmd, (Fork, Join)):
@@ -314,7 +321,8 @@ class TaintAnalyzer:
             if phase == "shared":
                 if in_atomic is not decl:
                     raise AnalysisError(
-                        f"read of shared cell [{cmd.address}] outside an atomic block for {decl.name}"
+                        f"read of shared cell [{cmd.address}] outside an atomic block "
+                        f"for {decl.name}{_cite(cmd)}"
                     )
                 # Inside the atomic block only the invariant is known —
                 # shared data is implicitly high (Sec. 2.6).
@@ -344,7 +352,8 @@ class TaintAnalyzer:
             if phase == "shared":
                 if in_atomic is not decl:
                     raise AnalysisError(
-                        f"write to shared cell [{cmd.address}] outside an atomic block for {decl.name}"
+                        f"write to shared cell [{cmd.address}] outside an atomic block "
+                        f"for {decl.name}{_cite(cmd)}"
                     )
                 return  # the action-conformance check validates the effect
             key = decl.location_var
@@ -379,7 +388,8 @@ class TaintAnalyzer:
         decl = self._spec.resource_by_action(cmd.action)
         if state.phase.get(decl.name) != "shared":
             raise AnalysisError(
-                f"atomic [{cmd.action}]: resource {decl.name} is not shared here (no guard exists)"
+                f"atomic [{cmd.action}]: resource {decl.name} is not shared here "
+                f"(no guard exists){_cite(cmd)}"
             )
         if id(cmd) not in self._seen_atomics:
             self._seen_atomics.add(id(cmd))

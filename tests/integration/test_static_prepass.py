@@ -1,0 +1,286 @@
+"""The static-prepass differential suite.
+
+The fast path must be *observation-equivalent* to the full pipeline: for
+every corpus case (secure and insecure), verification with the prepass
+enabled and disabled must agree on the verdict surface ``(name,
+verified, errors)``.  (Obligation discharge methods and symbolic
+conformance reports legitimately differ — a fast-path run records its
+obligations as discharged by the prepass and generates no VCs.)
+
+The one-sidedness property is the hard safety requirement: a program the
+full verifier rejects must NEVER be accepted by the fast path.  The
+prepass only ever *accepts*; everything it cannot prove falls through to
+the full pipeline unchanged.
+
+``Sequential-Tally`` is the corpus witness that the fast path actually
+pays: it verifies with zero solver queries, while the full pipeline
+needs SMT for its action-conformance VCs.
+"""
+
+import json
+import os
+import tempfile
+import threading
+
+import pytest
+
+from repro import api
+from repro.analysis import run_prepass
+from repro.casestudies import ALL_CASES, case_by_name
+from repro.smt import clear_all_caches
+from repro.smt.session import SolverSession
+
+
+def _surface(verdict: api.Verdict):
+    return (verdict.name, verdict.verified, verdict.errors)
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("case", ALL_CASES, ids=lambda case: case.name)
+    def test_fast_path_on_and_off_agree(self, case):
+        clear_all_caches()
+        with_prepass = api.execute(api.VerificationRequest(case=case.name))
+        clear_all_caches()
+        without = api.execute(
+            api.VerificationRequest(case=case.name, static_prepass=False)
+        )
+        assert _surface(with_prepass) == _surface(without)
+        assert with_prepass.verified == case.expected_verified
+
+    @pytest.mark.parametrize("case", ALL_CASES, ids=lambda case: case.name)
+    def test_prepass_never_accepts_what_the_verifier_rejects(self, case):
+        # One-sided soundness: prepass 'secure' implies full-pipeline
+        # 'verified'.  A violation here is a hard safety failure.
+        report = run_prepass(case.program_spec())
+        if report.secure:
+            full = api.execute(
+                api.VerificationRequest(case=case.name, static_prepass=False)
+            )
+            assert full.verified, (
+                f"{case.name}: static prepass claimed secure but the full "
+                f"verifier rejected with {full.errors}"
+            )
+
+    def test_insecure_cases_are_still_rejected_with_prepass(self):
+        for case in ALL_CASES:
+            if case.expected_verified:
+                continue
+            verdict = api.execute(api.VerificationRequest(case=case.name))
+            assert not verdict.verified, case.name
+            assert verdict.prepass != "secure", case.name
+
+
+class TestZeroSmtDischarge:
+    def test_sequential_tally_discharges_without_smt(self):
+        clear_all_caches()
+        session = SolverSession()
+        verdict = api.execute(
+            api.VerificationRequest(case="Sequential-Tally"), session=session
+        )
+        assert verdict.verified
+        assert verdict.prepass == "secure"
+        assert session.stats()["queries"] == 0
+
+    def test_full_pipeline_needs_the_solver(self):
+        clear_all_caches()
+        session = SolverSession()
+        verdict = api.execute(
+            api.VerificationRequest(case="Sequential-Tally", static_prepass=False),
+            session=session,
+        )
+        assert verdict.verified
+        assert verdict.prepass is None
+        assert session.stats()["queries"] > 0
+
+    def test_fast_path_skips_every_downstream_stage(self):
+        result = case_by_name("Sequential-Tally").verify()
+        assert result.verified
+        assert result.prepass is not None and result.prepass.secure
+        # The fast path only fires when the taint stage deferred no
+        # obligations (deferred obligations encode abstraction
+        # observability the flow model does not cover), so a fast-path
+        # result carries none — and no conformance work at all.
+        assert result.obligations == ()
+        assert result.symbolic_conformance == ()
+        assert result.conformance_reports == ()
+
+    def test_deferred_obligations_disable_the_fast_path(self):
+        # An action under a high branch defers a retroactive-count
+        # obligation; without instances the full verifier rejects, so
+        # the prepass must not claim the verdict.
+        from repro.lang import parse_program
+        from repro.spec.library import counter_increment_spec
+        from repro.verifier.declarations import ProgramSpec, ResourceDecl
+        from repro.verifier.frontend import verify
+
+        decl = ResourceDecl("CounterInc", counter_increment_spec(), "c")
+        source = (
+            "c := alloc(0)\nshare CounterInc\n"
+            "if (h > 0) { atomic [Inc()] { t := [c]; [c] := t + 1 } }\n"
+            "unshare CounterInc"
+        )
+        spec = ProgramSpec(
+            "high-count",
+            parse_program(source),
+            (decl,),
+            frozenset(),
+            frozenset({"h"}),
+        )
+        fast = verify(spec, bounded_instances=None)
+        slow = verify(spec, bounded_instances=None, static_prepass=False)
+        assert not fast.verified
+        assert fast.verified == slow.verified
+        assert any(not ob.discharged for ob in fast.obligations)
+
+    def test_prepass_field_is_not_part_of_the_observable_surface(self):
+        fast = api.execute(api.VerificationRequest(case="Sequential-Tally"))
+        slow = api.execute(
+            api.VerificationRequest(case="Sequential-Tally", static_prepass=False)
+        )
+        assert fast.prepass == "secure" and slow.prepass is None
+        assert fast.observable()[:3] == slow.observable()[:3]
+
+    def test_request_wire_round_trip_preserves_the_flag(self):
+        request = api.VerificationRequest(case="Sequential-Tally", static_prepass=False)
+        restored = api.VerificationRequest.from_wire(request.to_wire())
+        assert restored.static_prepass is False
+        default = api.VerificationRequest(case="Sequential-Tally")
+        assert "static_prepass" not in default.to_wire()
+        assert api.VerificationRequest.from_wire(default.to_wire()).static_prepass
+
+
+class TestStaticVerdictApi:
+    def test_secure_case(self):
+        verdict = api.static_verdict(api.VerificationRequest(case="Sequential-Tally"))
+        assert verdict.secure
+        assert verdict.verdict == "secure"
+        assert api.StaticVerdict.from_wire(verdict.to_wire()) == verdict
+
+    def test_unknown_case_carries_reasons(self):
+        verdict = api.static_verdict(api.VerificationRequest(case="Figure 2"))
+        assert not verdict.secure
+        assert verdict.reasons
+        assert api.StaticVerdict.from_wire(verdict.to_wire()) == verdict
+
+    def test_insecure_case_carries_diagnostics(self):
+        verdict = api.static_verdict(
+            api.VerificationRequest(case="Sales-By-Region (guard split)")
+        )
+        assert not verdict.secure
+        assert any(d.code == "R003" for d in verdict.diagnostics)
+
+    def test_formula_requests_are_unknown(self):
+        from repro.smt.sorts import BOOL
+        from repro.smt.terms import SymVar
+
+        request = api.VerificationRequest(
+            formula=SymVar("p", BOOL), name="raw-validity"
+        )
+        verdict = api.static_verdict(request)
+        assert not verdict.secure
+
+
+class TestDaemonIntegration:
+    @pytest.fixture(scope="class")
+    def daemon(self):
+        import time
+
+        from repro.client import ServiceClient, ServiceError
+        from repro.server import VerificationServer
+
+        tmp = tempfile.mkdtemp(prefix="repro-prepass-")
+        socket_path = os.path.join(tmp, "daemon.sock")
+        server = VerificationServer(
+            socket_path=socket_path,
+            timeout=60.0,
+            workers=1,
+            vc_budget=0,  # everything is over budget: only the prepass admits
+        )
+        thread = threading.Thread(target=server.run, daemon=True)
+        thread.start()
+        for _ in range(200):
+            if os.path.exists(socket_path):
+                break
+            time.sleep(0.05)
+        else:
+            raise RuntimeError("daemon did not come up")
+        try:
+            yield socket_path, server
+        finally:
+            try:
+                with ServiceClient(socket_path=socket_path) as client:
+                    client.shutdown()
+            except (ServiceError, OSError):
+                pass
+            thread.join(timeout=10)
+
+    def test_prepass_admits_over_budget_secure_requests(self, daemon):
+        from repro.client import ServiceClient
+
+        socket_path, server = daemon
+        with ServiceClient(socket_path=socket_path) as client:
+            outcome = client.run_batch(
+                [
+                    api.VerificationRequest(case="Sequential-Tally"),
+                    api.VerificationRequest(case="Figure 2"),
+                ]
+            )
+        # Sequential-Tally: over the (zero) VC budget, but the prepass
+        # proves it secure, so it is admitted and verified without SMT.
+        assert outcome.verdicts[0].verified
+        # Figure 2 stays rejected: the prepass cannot help it.
+        assert 1 in outcome.rejections
+        assert server.prepass_admissions >= 1
+        assert outcome.stats.get("prepass_admissions", 0) >= 1
+
+    def test_disabling_the_prepass_restores_strict_admission(self, daemon):
+        from repro.client import ServiceClient
+
+        socket_path, _server = daemon
+        with ServiceClient(socket_path=socket_path) as client:
+            outcome = client.run_batch(
+                [
+                    api.VerificationRequest(
+                        case="Sequential-Tally", static_prepass=False
+                    )
+                ]
+            )
+        assert 0 in outcome.rejections
+
+    def test_lint_op_over_the_wire(self, daemon):
+        from repro.client import ServiceClient
+
+        socket_path, _server = daemon
+        with ServiceClient(socket_path=socket_path) as client:
+            diagnostics = client.lint(
+                sources=[
+                    ("racy", "c := alloc(0)\n{ [c] := 1 } || { [c] := 2 }"),
+                    ("leaky", "print(h)"),
+                ],
+                high=["h"],
+            )
+        codes = sorted(d.code for d in diagnostics)
+        assert "R001" in codes
+        assert "F001" in codes
+        # Wire forms are plain JSON: a round trip through the codec is exact.
+        for diagnostic in diagnostics:
+            assert (
+                api.Diagnostic.from_wire(json.loads(json.dumps(diagnostic.to_wire())))
+                == diagnostic
+            )
+
+    def test_lint_op_with_case_context(self, daemon):
+        from repro.client import ServiceClient
+
+        socket_path, _server = daemon
+        with ServiceClient(socket_path=socket_path) as client:
+            diagnostics = client.lint(cases=["Sales-By-Region (guard split)"])
+        assert any(d.code == "R003" for d in diagnostics)
+
+    def test_lint_op_rejects_unknown_cases(self, daemon):
+        from repro.client import ServiceClient, ServiceError
+
+        socket_path, _server = daemon
+        with ServiceClient(socket_path=socket_path) as client:
+            with pytest.raises(ServiceError):
+                client.lint(cases=["No-Such-Case"])

@@ -1,0 +1,218 @@
+"""Unit tests for the lint framework, diagnostics, and the lint CLI."""
+
+import json
+
+from repro.__main__ import main
+from repro.analysis import (
+    Baseline,
+    Diagnostic,
+    LINT_RULES,
+    has_errors,
+    lint_case,
+    lint_paths,
+    render_json,
+    render_text,
+    run_lint,
+    severity_counts,
+    sort_diagnostics,
+    target_from_source,
+)
+from repro.casestudies import case_by_name
+
+
+def _codes(diagnostics):
+    return sorted(d.code for d in diagnostics)
+
+
+def _lint(source, low=(), high=()):
+    return run_lint(
+        target_from_source(source, source="<test>", low_inputs=low, high_inputs=high)
+    )
+
+
+class TestRules:
+    def test_registry_has_the_documented_rules(self):
+        assert {"L001", "L002", "L003", "L004", "L005", "L006"} <= set(LINT_RULES)
+
+    def test_clean_program_lints_clean(self):
+        assert _lint("x := a + 1\nprint(x)") == []
+
+    def test_unused_variable_is_l001(self):
+        assert "L001" in _codes(_lint("x := 1\ny := 2\nprint(y)"))
+
+    def test_dead_code_after_divergent_loop_is_l002(self):
+        source = "x := 0\nwhile (true) { x := x + 1 }\nprint(0)"
+        assert "L002" in _codes(_lint(source))
+
+    def test_parameter_shadowing_is_l003(self):
+        source = (
+            "procedure worker(m) { x := m }\n"
+            "m := 5\n"
+            "t := fork worker(m)\n"
+            "join worker(t)\n"
+            "print(m)"
+        )
+        assert "L003" in _codes(_lint(source))
+
+    def test_atomic_without_cell_access_is_l004(self):
+        case = case_by_name("Sequential-Tally")
+        spec = case.program_spec()
+        target = target_from_source(
+            case.source.replace(
+                "atomic [Add(t)] { v := [c]; [c] := v + t }",
+                "atomic [Add(t)] { v := t }",
+            ),
+            source="<test>",
+        )
+        target.spec = spec
+        assert "L004" in _codes(run_lint(target))
+
+    def test_fork_without_join_is_l005(self):
+        source = (
+            "procedure worker(m) { x := m }\n"
+            "t := fork worker(1)\n"
+            "print(0)"
+        )
+        diagnostics = _lint(source)
+        assert "L005" in _codes(diagnostics)
+        (l005,) = [d for d in diagnostics if d.code == "L005"]
+        assert l005.severity == "error"
+
+    def test_unapplied_low_view_is_l006(self):
+        case = case_by_name("Email-Metadata")
+        assert "L006" in _codes(lint_case(case))
+
+    def test_parse_failure_is_p001(self):
+        diagnostics = _lint("x := := 1")
+        assert _codes(diagnostics) == ["P001"]
+        assert has_errors(diagnostics)
+
+    def test_flow_findings_surface_with_labels(self):
+        assert "F001" in _codes(_lint("print(h)", high=("h",)))
+
+    def test_races_surface_without_a_spec(self):
+        source = "c := alloc(0)\n{ [c] := 1 } || { [c] := 2 }"
+        assert "R001" in _codes(_lint(source))
+
+
+class TestRendering:
+    DIAGS = [
+        Diagnostic("L001", "warning", "variable 'x' is written but never read", "b.prog", 3, 1),
+        Diagnostic("R001", "error", "data race on heap cell [c]", "a.prog", 2, 5),
+    ]
+
+    def test_text_rendering_is_sorted_and_summarized(self):
+        text = render_text(self.DIAGS)
+        lines = text.splitlines()
+        assert lines[0] == "a.prog:2:5: error[R001]: data race on heap cell [c]"
+        assert lines[1] == "b.prog:3:1: warning[L001]: variable 'x' is written but never read"
+        assert lines[2] == "2 diagnostic(s): 1 error(s), 1 warning(s), 0 info"
+
+    def test_json_rendering_round_trips(self):
+        payload = json.loads(render_json(self.DIAGS))
+        assert payload["version"] == 1
+        assert payload["summary"]["error"] == 1
+        restored = [Diagnostic.from_wire(obj) for obj in payload["diagnostics"]]
+        assert restored == sort_diagnostics(self.DIAGS)
+
+    def test_rendering_is_deterministic(self):
+        assert render_json(self.DIAGS) == render_json(list(reversed(self.DIAGS)))
+        assert render_text(self.DIAGS) == render_text(list(reversed(self.DIAGS)))
+
+    def test_severity_counts(self):
+        counts = severity_counts(self.DIAGS)
+        assert counts == {"error": 1, "warning": 1, "info": 0}
+
+
+class TestBaseline:
+    def test_round_trip_and_suppression(self, tmp_path):
+        diagnostics = TestRendering.DIAGS
+        baseline = Baseline.from_diagnostics(diagnostics)
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        kept, suppressed = loaded.apply(diagnostics)
+        assert kept == []
+        assert suppressed == 2
+
+    def test_new_findings_survive_the_baseline(self):
+        baseline = Baseline.from_diagnostics(TestRendering.DIAGS)
+        extra = Diagnostic("R001", "error", "another race", "a.prog", 9, 1)
+        kept, suppressed = baseline.apply(list(TestRendering.DIAGS) + [extra])
+        assert suppressed == 2
+        assert len(kept) == 1
+        assert kept[0].code == "R001"
+
+
+class TestPathCollection:
+    def test_prog_file_and_directory_scan(self, tmp_path):
+        (tmp_path / "ok.prog").write_text("x := 1\nprint(x)\n")
+        (tmp_path / "racy.prog").write_text(
+            "c := alloc(0)\n{ [c] := 1 } || { [c] := 2 }\n"
+        )
+        diagnostics = lint_paths([tmp_path])
+        assert "R001" in _codes(diagnostics)
+        assert all(d.source.endswith(".prog") for d in diagnostics)
+
+    def test_python_literals_are_extracted(self, tmp_path):
+        (tmp_path / "demo.py").write_text(
+            'SRC = """\nx := 1\ny := 2\nprint(y)\n"""\n'
+        )
+        diagnostics = lint_paths([tmp_path])
+        assert "L001" in _codes(diagnostics)
+        assert any("demo.py" in d.source for d in diagnostics)
+
+
+class TestCli:
+    def test_clean_paths_exit_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.prog").write_text("x := 1\nprint(x)\n")
+        assert main(["repro", "lint", str(tmp_path)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_errors_exit_one(self, tmp_path, capsys):
+        (tmp_path / "racy.prog").write_text(
+            "c := alloc(0)\n{ [c] := 1 } || { [c] := 2 }\n"
+        )
+        assert main(["repro", "lint", str(tmp_path)]) == 1
+        assert "R001" in capsys.readouterr().out
+
+    def test_json_format_is_machine_readable(self, tmp_path, capsys):
+        (tmp_path / "unused.prog").write_text("x := 1\nprint(0)\n")
+        assert main(["repro", "lint", "--format", "json", str(tmp_path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["warning"] >= 1
+
+    def test_baseline_flow(self, tmp_path, capsys):
+        (tmp_path / "racy.prog").write_text(
+            "c := alloc(0)\n{ [c] := 1 } || { [c] := 2 }\n"
+        )
+        baseline = tmp_path / "baseline.json"
+        assert (
+            main(["repro", "lint", str(tmp_path), "--write-baseline", str(baseline)])
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(["repro", "lint", str(tmp_path), "--baseline", str(baseline)]) == 0
+        )
+        assert "suppressed" in capsys.readouterr().out
+
+    def test_flow_labels_via_flags(self, tmp_path, capsys):
+        (tmp_path / "leak.prog").write_text("print(h)\n")
+        assert main(["repro", "lint", str(tmp_path), "--high", "h"]) == 1
+        assert "F001" in capsys.readouterr().out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main(["repro", "lint", str(tmp_path / "absent")]) == 2
+
+    def test_no_inputs_exits_two(self, capsys):
+        assert main(["repro", "lint"]) == 2
+
+    def test_single_case_lint(self, capsys):
+        assert main(["repro", "lint", "--case", "Email-Metadata"]) == 0
+        assert "L006" in capsys.readouterr().out
+
+    def test_shipped_corpus_lints_without_errors(self, capsys):
+        # The CI contract: examples/ and the case-study sources carry no
+        # error-severity findings.
+        assert main(["repro", "lint", "examples/", "src/repro/casestudies/"]) == 0

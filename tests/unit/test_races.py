@@ -1,0 +1,164 @@
+"""Unit tests for the lockset race detector (repro.analysis.races)."""
+
+from repro.analysis import ATOMIC_LOCK, check_races, collect_accesses
+from repro.analysis.races import HeapAccess
+from repro.casestudies import case_by_name
+from repro.lang import parse_program
+from repro.lang.ast import Atomic, Load, Par, Store
+
+
+def _codes(diagnostics):
+    return sorted(d.code for d in diagnostics)
+
+
+class TestCollectAccesses:
+    def test_alloc_is_not_an_access(self):
+        program = parse_program("c := alloc(0)")
+        assert collect_accesses(program) == []
+
+    def test_plain_load_and_store_have_empty_locksets(self):
+        program = parse_program("c := alloc(0)\nt := [c]\n[c] := t + 1")
+        accesses = collect_accesses(program)
+        assert [(a.location, a.kind) for a in accesses] == [("c", "read"), ("c", "write")]
+        assert all(a.lockset == frozenset() for a in accesses)
+
+    def test_atomic_accesses_hold_the_global_lock(self):
+        program = parse_program("c := alloc(0)\natomic { t := [c]; [c] := t + 1 }")
+        accesses = collect_accesses(program)
+        assert len(accesses) == 2
+        assert all(ATOMIC_LOCK in a.lockset for a in accesses)
+
+    def test_guard_deref_counts_as_a_locked_read(self):
+        program = parse_program(
+            "c := alloc(0)\natomic when (deref(c) > 0) { [c] := 0 }"
+        )
+        reads = [a for a in collect_accesses(program) if a.kind == "read"]
+        assert len(reads) == 1
+        assert reads[0].location == "c"
+        assert ATOMIC_LOCK in reads[0].lockset
+
+
+class TestConflicts:
+    def test_read_read_never_conflicts(self):
+        a = HeapAccess("c", "read", frozenset(), Load("x", None))
+        b = HeapAccess("c", "read", frozenset(), Load("y", None))
+        assert not a.conflicts_with(b)
+
+    def test_disjoint_locations_never_conflict(self):
+        a = HeapAccess("c", "write", frozenset(), Store(None, None))
+        b = HeapAccess("d", "write", frozenset(), Store(None, None))
+        assert not a.conflicts_with(b)
+
+    def test_common_lock_prevents_the_conflict(self):
+        a = HeapAccess("c", "write", frozenset({ATOMIC_LOCK}), Store(None, None))
+        b = HeapAccess("c", "write", frozenset({ATOMIC_LOCK}), Store(None, None))
+        assert not a.conflicts_with(b)
+
+    def test_unknown_location_conflicts_conservatively(self):
+        a = HeapAccess(None, "write", frozenset(), Store(None, None))
+        b = HeapAccess("c", "read", frozenset(), Load("x", None))
+        assert a.conflicts_with(b)
+
+
+class TestLocksetRaces:
+    def test_unsynchronized_parallel_writes_race(self):
+        program = parse_program(
+            "c := alloc(0)\n{ [c] := 1 } || { [c] := 2 }"
+        )
+        diagnostics = check_races(program)
+        assert "R001" in _codes(diagnostics)
+
+    def test_read_against_unsynchronized_write_races(self):
+        program = parse_program(
+            "c := alloc(0)\n{ t := [c] } || { [c] := 2 }"
+        )
+        assert "R001" in _codes(check_races(program))
+
+    def test_both_sides_atomic_is_race_free(self):
+        program = parse_program(
+            "c := alloc(0)\n"
+            "{ atomic { t1 := [c]; [c] := t1 + 1 } } || "
+            "{ atomic { t2 := [c]; [c] := t2 + 1 } }"
+        )
+        assert check_races(program) == []
+
+    def test_one_side_atomic_still_races(self):
+        program = parse_program(
+            "c := alloc(0)\n{ atomic { [c] := 1 } } || { [c] := 2 }"
+        )
+        assert "R001" in _codes(check_races(program))
+
+    def test_parallel_reads_are_race_free(self):
+        program = parse_program(
+            "c := alloc(0)\n{ t1 := [c] } || { t2 := [c] }"
+        )
+        assert check_races(program) == []
+
+    def test_disjoint_cells_are_race_free(self):
+        program = parse_program(
+            "c := alloc(0)\nd := alloc(0)\n{ [c] := 1 } || { [d] := 2 }"
+        )
+        assert check_races(program) == []
+
+    def test_sequential_program_never_races(self):
+        program = parse_program("c := alloc(0)\n[c] := 1\nt := [c]\n[c] := t + 1")
+        assert check_races(program) == []
+
+    def test_race_diagnostic_cites_a_source_position(self):
+        program = parse_program("c := alloc(0)\n{ [c] := 1 } || { [c] := 2 }")
+        (diagnostic,) = [d for d in check_races(program) if d.code == "R001"]
+        assert diagnostic.line is not None
+        assert diagnostic.severity == "error"
+
+    def test_duplicate_race_pairs_are_deduplicated(self):
+        # Two writes per branch on the same cell: one R001 per (loc, kinds).
+        program = parse_program(
+            "c := alloc(0)\n{ [c] := 1\n[c] := 2 } || { [c] := 3\n[c] := 4 }"
+        )
+        writes = [d for d in check_races(program) if d.code == "R001"]
+        assert len(writes) == 1
+
+
+class TestDisciplineChecks:
+    def test_corpus_cases_have_no_shared_cell_violations(self):
+        for name in ("Figure 2", "Count-Vaccinated", "Mean-Salary"):
+            case = case_by_name(name)
+            spec = case.program_spec()
+            assert check_races(spec.program, spec, source=case.name) == []
+
+    def test_shared_cell_access_outside_atomic_is_r002(self):
+        case = case_by_name("Sequential-Tally")
+        spec = case.program_spec()
+        source = case.source.replace(
+            "atomic [Add(t)] { v := [c]; [c] := v + t }",
+            "v := [c]\n    [c] := v + t",
+        )
+        program = parse_program(source)
+        broken = type(spec)(
+            name=spec.name,
+            program=program,
+            resources=spec.resources,
+            low_inputs=spec.low_inputs,
+            high_inputs=spec.high_inputs,
+            low_channels=spec.low_channels,
+        )
+        codes = _codes(check_races(program, broken))
+        assert "R002" in codes
+
+    def test_access_after_unshare_is_allowed(self):
+        case = case_by_name("Sequential-Tally")
+        spec = case.program_spec()
+        # `result := [c]` after `unshare` is the corpus idiom: no R002.
+        assert check_races(spec.program, spec) == []
+
+    def test_unique_action_split_is_r003(self):
+        case = case_by_name("Sales-By-Region (guard split)")
+        spec = case.program_spec()
+        codes = _codes(check_races(spec.program, spec, source=case.name))
+        assert "R003" in codes
+
+    def test_disjoint_unique_actions_are_fine(self):
+        case = case_by_name("Sales-By-Region")
+        spec = case.program_spec()
+        codes = _codes(check_races(spec.program, spec, source=case.name))
+        assert "R003" not in codes
