@@ -39,7 +39,14 @@ workloads and writes ``BENCH_smt.json``:
   information-flow fast path (:mod:`repro.analysis`) enabled vs
   disabled: prepass-secure cases skip VC generation and SMT entirely
   (solver query counters prove it), everything else falls through to
-  the full pipeline with identical verdict surfaces.
+  the full pipeline with identical verdict surfaces;
+* ``fuzz_corpus`` — the promoted fuzz families
+  (:mod:`repro.casestudies.generated`: session store, rate limiter,
+  salary analytics) with the corpus size as the scaling parameter:
+  empirical noninterference checking (cost grows with the inputs) vs
+  static verification (cost is size-independent — the proof is over
+  the spec); agreement here is the soundness contract the fuzzer
+  enforces case by case.
 
 Every timed formula is checked for *verdict agreement* between the two
 paths; the JSON records per-case timings, per-workload speedups and the
@@ -618,6 +625,54 @@ def bench_static_prepass(quick):
     return cases
 
 
+def bench_fuzz_corpus(quick):
+    """The fuzz-corpus axis (promoted generated families): static
+    verification vs empirical noninterference checking with the corpus
+    size ``n`` as the scaling parameter.  The empirical (reference) cost
+    grows with the input size — more loop iterations per execution and
+    longer traces per schedule — while the verifier (optimized) cost is
+    essentially size-independent: the proof is over the *spec*, not the
+    inputs.  ``verdicts_agree`` is the soundness contract on this axis:
+    every verified case must also be empirically noninterferent."""
+    from repro.casestudies.generated import GENERATED_FAMILIES
+    from repro.security.noninterference import check_noninterference
+
+    sizes = (4,) if quick else (4, 8, 12)
+    schedules = 4 if quick else 8
+
+    cases = []
+    session = SolverSession()
+    for family, factory in sorted(GENERATED_FAMILIES.items()):
+        for n in sizes:
+            case = factory(n)
+            empirical_elapsed, report = timed(
+                check_noninterference,
+                case.program(),
+                case.instances(),
+                exhaustive=False,
+                schedules=schedules,
+                seed=0,
+            )
+            verify_elapsed, result = timed(case.verify, session=session)
+            cases.append(
+                {
+                    "family": family,
+                    "case": case.name,
+                    "corpus_size": n,
+                    "reference_s": round(empirical_elapsed, 6),
+                    "optimized_s": round(verify_elapsed, 6),
+                    "speedup": round(empirical_elapsed / verify_elapsed, 2)
+                    if verify_elapsed
+                    else None,
+                    "verified": result.verified,
+                    "empirical_secure": report.secure,
+                    "executions": report.executions_checked,
+                    "verdicts_agree": result.verified and report.secure,
+                }
+            )
+    return cases
+
+
 def summarize(cases):
     ref = sum(case["reference_s"] for case in cases)
     new = sum(case["optimized_s"] for case in cases)
@@ -800,6 +855,18 @@ def main(argv=None) -> int:
         f"({discharged}/{len(cases)} discharged solver-free)"
     )
 
+    print("== fuzz_corpus (promoted generated families, scaling corpus size) ==")
+    cases = bench_fuzz_corpus(args.quick)
+    workloads["fuzz_corpus"] = {"cases": cases, **summarize(cases)}
+    for case in cases:
+        print(
+            f"  {case['family']:>20s} n={case['corpus_size']:<3d} "
+            f"empirical {case['reference_s'] * 1000:8.2f} ms ({case['executions']}x)  "
+            f"verify {case['optimized_s'] * 1000:8.2f} ms  "
+            f"x{case['speedup']:<8}  agree={case['verdicts_agree']}"
+        )
+    print(f"  overall: x{workloads['fuzz_corpus']['speedup']}")
+
     report = {
         "benchmark": (
             "smt-core: interning + compiled evaluation + CDCL watched literals"
@@ -823,6 +890,7 @@ def main(argv=None) -> int:
             "static_prepass_discharged_solver_free": workloads["static_prepass"][
                 "discharged_solver_free"
             ],
+            "fuzz_corpus_speedup": workloads["fuzz_corpus"]["speedup"],
             "warm_cache_hit_rate": workloads["persistent_cache"]["cases"][0][
                 "hit_rate"
             ],

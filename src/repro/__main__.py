@@ -43,7 +43,7 @@ from .parallel import default_jobs
 
 CACHE_FILENAME = api.CACHE_FILENAME
 
-SUBCOMMANDS = ("verify", "serve", "client", "bench", "lint")
+SUBCOMMANDS = ("verify", "serve", "client", "bench", "lint", "fuzz")
 
 
 # ---------------------------------------------------------------------------
@@ -558,6 +558,151 @@ def _build_client_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+
+    from .fuzz import FuzzConfig, check_case, failure_kind, load_repro, run_campaign
+    from .smt.session import SolverSession
+
+    if args.inject_unsound:
+        from .fuzz import install_unsound_hook
+
+        # Testing-only: force-verify every mutated case so the campaign
+        # demonstrably catches and shrinks an unsound verdict.
+        install_unsound_hook(lambda case: case.mutation is not None)
+
+    with _CacheScope(args.cache_dir) as scope:
+        if args.repro:
+            # Replay mode: re-run the differential oracle on repro files.
+            exit_code = 0
+            session = SolverSession()
+            for path in args.repro:
+                case, recorded = load_repro(path)
+                outcome = check_case(
+                    case, session=session, schedules=args.schedules,
+                    exhaustive_budget=args.exhaustive_budget, seed=args.seed,
+                )
+                kind = failure_kind(outcome) or "no-failure"
+                marker = "REPRODUCED" if kind == recorded else "CHANGED"
+                if kind == "no-failure":
+                    marker = "NOT REPRODUCED"
+                    exit_code = 1
+                print(
+                    f"{path}: recorded {recorded}, now {kind} -> {marker} "
+                    f"(verified={outcome.verified}, "
+                    f"empirical={outcome.empirical_secure}, mode={outcome.empirical_mode})"
+                )
+            scope.report()
+            return exit_code
+
+        config = FuzzConfig(
+            seed=args.seed,
+            count=args.count,
+            budget=args.budget,
+            shrink=not args.no_shrink,
+            schedules=args.schedules,
+            exhaustive_budget=args.exhaustive_budget,
+            repro_dir=args.repro_dir,
+        )
+
+        def progress(index: int, outcome) -> None:
+            if args.verbose:
+                kind = failure_kind(outcome) or "ok"
+                print(
+                    f"[{index}] {outcome.case.name} {outcome.case.family}"
+                    f"{' +' + outcome.case.mutation if outcome.case.mutation else ''}: "
+                    f"verified={outcome.verified} prepass={outcome.prepass} "
+                    f"empirical={outcome.empirical_secure} ({outcome.empirical_mode}) {kind}"
+                )
+            elif index and index % 50 == 0:
+                print(f"... {index} cases", flush=True)
+
+        report = run_campaign(config, progress=progress)
+        scope.report()
+
+    counters = report["counters"]
+    print(
+        f"fuzz: seed {report['seed']}, {report['generated']}/{report['requested']} cases "
+        f"in {report['elapsed_s']}s"
+        + (" (budget exhausted)" if report["budget_exhausted"] else "")
+    )
+    print(
+        f"  verdicts: {counters['verified']} verified, {counters['rejected']} rejected; "
+        f"prepass fast path fired {counters['prepass_secure']}x "
+        f"({counters['differential_runs']} differential reruns)"
+    )
+    print(
+        f"  empirical: {counters['exhaustive']} exhaustive, {counters['sampled']} sampled, "
+        f"{counters['executions']} executions, {counters['leaks_observed']} leaks observed"
+    )
+    for entry in report["soundness_failures"]:
+        print(
+            f"  SOUNDNESS FAILURE: {entry['case']} ({entry['family']}"
+            f"{', ' + entry['mutation'] if entry['mutation'] else ''}) — "
+            f"shrunk to {entry.get('shrunk_statements', entry['statements'])} statements"
+            + (f", repro at {entry['repro']}" if "repro" in entry else "")
+        )
+    for entry in report["prepass_disagreements"]:
+        print(f"  PREPASS DISAGREEMENT: {entry['case']} ({entry['family']})")
+    for entry in report["runtime_errors"]:
+        print(f"  RUNTIME ERROR: {entry['case']}: {entry['runtime_error']}")
+    if report["ok"]:
+        print("  no soundness failures, no prepass disagreements")
+
+    if args.report is not None:
+        Path(args.report).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.report).write_text(json.dumps(report, indent=2, default=str) + "\n")
+        print(f"  report written to {args.report}")
+    return 0 if report["ok"] else 1
+
+
+def _build_fuzz_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fuzz",
+        description=(
+            "Differential soundness fuzzing: generate adversarial concurrent "
+            "programs and compare verifier verdicts (prepass on/off) against "
+            "empirical noninterference under the concrete scheduler."
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0, help="campaign seed (default 0)")
+    parser.add_argument("--count", type=int, default=200, help="cases to generate (default 200)")
+    parser.add_argument(
+        "--budget", type=float, default=None, metavar="SECONDS",
+        help="stop generating after this much wall-clock time",
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip delta-debugging minimization of failing cases",
+    )
+    parser.add_argument(
+        "--schedules", type=int, default=10,
+        help="random schedules per input variant in sampled mode (default 10)",
+    )
+    parser.add_argument(
+        "--exhaustive-budget", type=int, default=2000,
+        help="max interleavings for exhaustive enumeration (default 2000)",
+    )
+    parser.add_argument(
+        "--report", default=None, metavar="FILE", help="write the JSON report to FILE"
+    )
+    parser.add_argument(
+        "--repro-dir", default=None, metavar="DIR",
+        help="write minimized .prog repro files for failures into DIR",
+    )
+    parser.add_argument(
+        "--repro", nargs="*", default=None, metavar="FILE",
+        help="replay repro files instead of generating (exit 1 if not reproduced)",
+    )
+    parser.add_argument(
+        "--inject-unsound", action="store_true",
+        help="TESTING: force-verify mutated cases to prove the oracle catches them",
+    )
+    parser.add_argument("--verbose", action="store_true", help="per-case progress lines")
+    _add_shared(parser)
+    return parser
+
+
 def _build_bench_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro bench",
@@ -603,6 +748,9 @@ def main(argv: List[str]) -> int:
             if args.case_names:
                 args.cases = True
             return _cmd_lint(args)
+        if command == "fuzz":
+            args = _build_fuzz_parser().parse_args(rest)
+            return _cmd_fuzz(args)
         args = _build_bench_parser().parse_args(rest)
         return _cmd_bench(args)
     # Bare invocation: the historical interface, byte-compatible.

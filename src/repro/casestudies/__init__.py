@@ -40,6 +40,13 @@ from .sets_maps import (
     sick_employee_names,
     website_visitor_ips,
 )
+from .generated import (
+    GENERATED_CASES,
+    GENERATED_FAMILIES,
+    rate_limiter,
+    salary_analytics,
+    session_store,
+)
 
 #: The 18 rows of Table 1, in the paper's order.
 TABLE1_CASES: tuple[CaseStudy, ...] = (
@@ -96,6 +103,8 @@ __all__ = [
     "ALL_CASES",
     "CaseStudy",
     "EXTRA_SECURE_CASES",
+    "GENERATED_CASES",
+    "GENERATED_FAMILIES",
     "INSECURE_CASES",
     "PaperRow",
     "TABLE1_CASES",

@@ -1,0 +1,227 @@
+"""Promoted fuzz families as scalable case studies.
+
+The differential fuzzer (:mod:`repro.fuzz`) generates its adversarial
+programs from a small set of Table-1-shaped templates.  Three of those
+families proved stable across campaigns (verified by the full pipeline,
+empirically noninterferent under both exhaustive and sampled checking)
+and are promoted here as first-class case studies with the **corpus
+size** ``n`` as a scaling parameter — the workload axis the fuzz-corpus
+benchmark in ``benchmarks/run_benchmarks.py`` sweeps:
+
+* :func:`session_store` — a login service stores ``(session id, secret
+  token)`` pairs in a shared map; only the key set is declassified
+  (``MapKeySet``, the Figure 3 shape at scale).
+* :func:`rate_limiter` — per-client request counters bumped under
+  secret-dependent handler latency (``MapHistogram``).
+* :func:`salary_analytics` — concurrent appends of ``(secret id, low
+  salary)`` records with only the mean declassified (``ListMean``).
+
+These are intentionally *not* part of :data:`repro.casestudies.ALL_CASES`
+(the pinned 29-case paper corpus); import :data:`GENERATED_CASES` or the
+factories directly.
+"""
+
+from __future__ import annotations
+
+import random
+from functools import lru_cache
+from typing import Tuple
+
+from ..spec.library import (
+    list_append_mean_spec,
+    map_histogram_spec,
+    map_put_keyset_spec,
+)
+from ..verifier.declarations import ResourceDecl
+from .base import CaseStudy, make_instances
+
+#: Default corpus size for the ``GENERATED_CASES`` tuple.
+DEFAULT_SIZE = 4
+
+
+def _arrays(tag: str, n: int, *domains: Tuple[int, ...]):
+    """Deterministic input arrays for size ``n`` (pure in ``(tag, n)``)."""
+    rng = random.Random(f"{tag}#{n}")  # str seeds hash stably across processes
+    return tuple(tuple(rng.choice(domain) for _ in range(n)) for domain in domains)
+
+
+_SESSION_STORE_SRC = """
+// session_store (promoted fuzz family, map_keyset): two workers register
+// login sessions — put (low session id, secret auth token) into a shared
+// map; only the sorted session-id set is declassified.
+m := alloc(emptyMap())
+share MapKeySet
+{
+    i1 := 0
+    while (i1 < n / 2) {
+        sid1 := at(sids, i1)
+        tok1 := at(htokens, i1)
+        atomic [Put(pair(sid1, tok1))] { m1 := [m]; [m] := put(m1, sid1, tok1) }
+        i1 := i1 + 1
+    }
+} || {
+    i2 := n / 2
+    while (i2 < n) {
+        sid2 := at(sids, i2)
+        tok2 := at(htokens, i2)
+        atomic [Put(pair(sid2, tok2))] { m2 := [m]; [m] := put(m2, sid2, tok2) }
+        i2 := i2 + 1
+    }
+}
+unshare MapKeySet
+mv := [m]
+print(sort(setToSeq(keys(mv))))
+"""
+
+
+@lru_cache(maxsize=None)
+def session_store(n: int = DEFAULT_SIZE) -> CaseStudy:
+    """The session-store family at corpus size ``n``."""
+    (sids,) = _arrays("session_store/low", n, (1, 2, 3))
+    tok_a, tok_b = _arrays("session_store/high", n, (10, 20, 30), (40, 50, 60))
+    return CaseStudy(
+        name=f"Gen-Session-Store-{n}",
+        description=f"promoted fuzz family map_keyset at corpus size {n}",
+        source=_SESSION_STORE_SRC,
+        resources=(
+            ResourceDecl("MapKeySet", map_put_keyset_spec(), "m", low_views=("keys",)),
+        ),
+        low_inputs=frozenset({"n", "sids"}),
+        high_inputs=frozenset({"htokens"}),
+        expected_verified=True,
+        paper=None,  # promoted from repro.fuzz, not a Table 1 row
+        instances=make_instances(
+            {"n": n, "sids": sids},
+            [{"htokens": tok_a}, {"htokens": tok_b}],
+        ),
+    )
+
+
+_RATE_LIMITER_SRC = """
+// rate_limiter (promoted fuzz family, map_histogram): two request workers
+// bump a per-client counter; handling time depends on the secret request
+// body, but per-key increments commute so the count map stays low.
+m := alloc(emptyMap())
+share MapHistogram
+{
+    i1 := 0
+    while (i1 < n / 2) {
+        cl1 := at(clients, i1)
+        d1 := at(hbody, i1)
+        k1 := 0
+        while (k1 < d1) { k1 := k1 + 1 }
+        atomic [IncBucket(cl1)] { m1 := [m]; [m] := addToValue(m1, cl1, 1) }
+        i1 := i1 + 1
+    }
+} || {
+    i2 := n / 2
+    while (i2 < n) {
+        cl2 := at(clients, i2)
+        d2 := at(hbody, i2)
+        k2 := 0
+        while (k2 < d2) { k2 := k2 + 1 }
+        atomic [IncBucket(cl2)] { m2 := [m]; [m] := addToValue(m2, cl2, 1) }
+        i2 := i2 + 1
+    }
+}
+unshare MapHistogram
+mv := [m]
+print(mv)
+"""
+
+
+@lru_cache(maxsize=None)
+def rate_limiter(n: int = DEFAULT_SIZE) -> CaseStudy:
+    """The rate-limiter family at corpus size ``n``."""
+    (clients,) = _arrays("rate_limiter/low", n, (1, 2))
+    body_a, body_b = _arrays("rate_limiter/high", n, (0, 1, 2), (0, 1, 2, 3))
+    return CaseStudy(
+        name=f"Gen-Rate-Limiter-{n}",
+        description=f"promoted fuzz family map_histogram at corpus size {n}",
+        source=_RATE_LIMITER_SRC,
+        resources=(ResourceDecl("MapHistogram", map_histogram_spec(), "m"),),
+        low_inputs=frozenset({"n", "clients"}),
+        high_inputs=frozenset({"hbody"}),
+        expected_verified=True,
+        paper=None,  # promoted from repro.fuzz, not a Table 1 row
+        instances=make_instances(
+            {"n": n, "clients": clients},
+            [{"hbody": body_a}, {"hbody": body_b}],
+        ),
+    )
+
+
+_SALARY_ANALYTICS_SRC = """
+// salary_analytics (promoted fuzz family, list_mean): append (secret
+// employee id, low salary) records concurrently; the list order and the
+// ids are secret, the declassified mean statistics are not.
+lst := alloc(seq())
+share ListMean
+{
+    i1 := 0
+    while (i1 < n / 2) {
+        e1 := at(hids, i1)
+        sa1 := at(salaries, i1)
+        atomic [Append(pair(e1, sa1))] { l1 := [lst]; [lst] := append(l1, pair(e1, sa1)) }
+        i1 := i1 + 1
+    }
+} || {
+    i2 := n / 2
+    while (i2 < n) {
+        e2 := at(hids, i2)
+        sa2 := at(salaries, i2)
+        atomic [Append(pair(e2, sa2))] { l2 := [lst]; [lst] := append(l2, pair(e2, sa2)) }
+        i2 := i2 + 1
+    }
+}
+unshare ListMean
+l := [lst]
+print(meanStats(l))
+"""
+
+
+@lru_cache(maxsize=None)
+def salary_analytics(n: int = DEFAULT_SIZE) -> CaseStudy:
+    """The salary-analytics family at corpus size ``n``."""
+    (salaries,) = _arrays("salary_analytics/low", n, (50, 60, 70, 80))
+    ids_a, ids_b = _arrays("salary_analytics/high", n, (1, 2, 3, 4), (6, 7, 8, 9))
+    return CaseStudy(
+        name=f"Gen-Salary-Analytics-{n}",
+        description=f"promoted fuzz family list_mean at corpus size {n}",
+        source=_SALARY_ANALYTICS_SRC,
+        resources=(
+            ResourceDecl("ListMean", list_append_mean_spec(), "lst", low_views=("meanStats",)),
+        ),
+        low_inputs=frozenset({"n", "salaries"}),
+        high_inputs=frozenset({"hids"}),
+        expected_verified=True,
+        paper=None,  # promoted from repro.fuzz, not a Table 1 row
+        instances=make_instances(
+            {"n": n, "salaries": salaries},
+            [{"hids": ids_a}, {"hids": ids_b}],
+        ),
+    )
+
+
+#: The promoted families at the default corpus size.
+GENERATED_CASES: Tuple[CaseStudy, ...] = (
+    session_store(),
+    rate_limiter(),
+    salary_analytics(),
+)
+
+#: Factories keyed by family name (the fuzz-corpus benchmark axis).
+GENERATED_FAMILIES = {
+    "session_store": session_store,
+    "rate_limiter": rate_limiter,
+    "salary_analytics": salary_analytics,
+}
+
+__all__ = [
+    "DEFAULT_SIZE",
+    "GENERATED_CASES",
+    "GENERATED_FAMILIES",
+    "rate_limiter",
+    "salary_analytics",
+    "session_store",
+]

@@ -1,0 +1,121 @@
+"""Self-contained ``.prog`` repro files for failing fuzz cases.
+
+A repro file is a single parseable program: the metadata rides in ``//!``
+header comments (ignored by the language lexer), so the same file feeds
+both the human eye and :func:`load_repro`.  Specs are referenced by their
+:data:`repro.spec.library` catalogue names, which keeps the file
+dependency-free:
+
+.. code-block:: text
+
+    //! fuzz-repro v1
+    //! name: "fuzz-0-123"
+    //! failure: "soundness"
+    //! family: "map_keyset"
+    //! mutation: "print-raw"
+    //! resources: [["MapKeySet", "m", ["keys"]]]
+    //! low: ["adrs", "n"]
+    //! high: ["hdata", "hpay"]
+    //! groups: [[{"n": 2, "adrs": [1, 2]}, [{"hdata": [0, 0], ...}]]]
+    m := alloc(emptyMap())
+    ...
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Optional, Tuple
+
+from ..lang.parser import parse_program
+from .gen import GeneratedCase, ResourceRef
+
+_MAGIC = "//! fuzz-repro v1"
+
+
+class ReproError(Exception):
+    """Raised for malformed repro files."""
+
+
+def _tupled(value: Any) -> Any:
+    """JSON arrays back to tuples (inputs must be hashable program values)."""
+    if isinstance(value, list):
+        return tuple(_tupled(item) for item in value)
+    if isinstance(value, dict):
+        return {key: _tupled(item) for key, item in value.items()}
+    return value
+
+
+def _listed(value: Any) -> Any:
+    if isinstance(value, (list, tuple)):
+        return [_listed(item) for item in value]
+    if isinstance(value, (frozenset, set)):
+        return sorted(value)
+    if isinstance(value, dict):
+        return {key: _listed(item) for key, item in value.items()}
+    return value
+
+
+def render_repro(case: GeneratedCase, failure: str) -> str:
+    """The repro file text for a failing case."""
+    header = [
+        _MAGIC,
+        f"//! name: {json.dumps(case.name)}",
+        f"//! failure: {json.dumps(failure)}",
+        f"//! family: {json.dumps(case.family)}",
+        f"//! mutation: {json.dumps(case.mutation)}",
+        "//! resources: "
+        + json.dumps([[r.spec_name, r.location_var, list(r.low_views)] for r in case.resources]),
+        f"//! low: {json.dumps(sorted(case.low_inputs))}",
+        f"//! high: {json.dumps(sorted(case.high_inputs))}",
+        f"//! groups: {json.dumps(_listed(case.groups))}",
+    ]
+    return "\n".join(header) + "\n" + case.source
+
+
+def emit_repro(case: GeneratedCase, failure: str, path: str | Path) -> Path:
+    """Write the repro file; returns the path written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(render_repro(case, failure))
+    return target
+
+
+def load_repro(path: str | Path) -> Tuple[GeneratedCase, str]:
+    """Rebuild a :class:`GeneratedCase` (and its failure kind) from a file."""
+    text = Path(path).read_text()
+    lines = text.splitlines()
+    if not lines or lines[0].strip() != _MAGIC:
+        raise ReproError(f"{path}: not a fuzz-repro v1 file")
+    meta: dict = {}
+    for line in lines[1:]:
+        if not line.startswith("//!"):
+            break
+        key, _, raw = line[3:].partition(":")
+        try:
+            meta[key.strip()] = json.loads(raw.strip())
+        except json.JSONDecodeError as error:
+            raise ReproError(f"{path}: bad header {key.strip()!r}: {error}") from error
+    for required in ("name", "failure", "resources", "low", "high", "groups"):
+        if required not in meta:
+            raise ReproError(f"{path}: missing //! {required} header")
+    program = parse_program(text)  # //! lines are comments to the lexer
+    resources = tuple(
+        ResourceRef(spec_name, location, tuple(views))
+        for spec_name, location, views in meta["resources"]
+    )
+    case = GeneratedCase(
+        name=meta["name"],
+        family=meta.get("family", "repro"),
+        mutation=meta.get("mutation"),
+        program=program,
+        resources=resources,
+        low_inputs=frozenset(meta["low"]),
+        high_inputs=frozenset(meta["high"]),
+        groups=_tupled(meta["groups"]),
+        source=text,
+    )
+    return case, meta["failure"]
+
+
+__all__ = ["ReproError", "emit_repro", "load_repro", "render_repro"]

@@ -1,0 +1,166 @@
+"""Delta-debugging shrinker for failing fuzz cases.
+
+Greedy ddmin over the program AST: repeatedly propose syntactically
+smaller programs (chunked statement removal, branch selection,
+loop-body unrolling, parallel-branch dropping, atomic-body reduction,
+instance-group trimming) and keep any candidate for which the failure
+predicate still holds.  The predicate re-runs the full differential
+oracle, so every accepted reduction is guaranteed to exhibit the *same
+class* of failure — the result is a minimal, self-contained repro.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from ..lang.ast import (
+    Atomic,
+    Command,
+    If,
+    Par,
+    Skip,
+    While,
+    par_all,
+    seq_all,
+)
+from ..lang.printer import flatten_par, flatten_seq
+from .gen import GeneratedCase, statement_count
+
+
+def _chunk_sizes(length: int) -> Iterator[int]:
+    size = length // 2
+    while size >= 1:
+        yield size
+        size //= 2
+
+
+def _reductions(cmd: Command) -> Iterator[Command]:
+    """Syntactically smaller variants of ``cmd``, larger cuts first."""
+    statements = flatten_seq(cmd)
+    if len(statements) > 1:
+        for size in _chunk_sizes(len(statements)):
+            for start in range(0, len(statements) - size + 1):
+                rest = statements[:start] + statements[start + size:]
+                yield seq_all(*rest)
+        for position, statement in enumerate(statements):
+            for reduced in _reductions(statement):
+                replaced = list(statements)
+                replaced[position] = reduced
+                yield seq_all(*replaced)
+        return
+    if isinstance(cmd, Skip):
+        return
+    if isinstance(cmd, If):
+        yield cmd.then_branch
+        yield cmd.else_branch
+        for reduced in _reductions(cmd.then_branch):
+            yield If(cmd.condition, reduced, cmd.else_branch)
+        for reduced in _reductions(cmd.else_branch):
+            yield If(cmd.condition, cmd.then_branch, reduced)
+        return
+    if isinstance(cmd, While):
+        yield Skip()
+        yield cmd.body  # single unrolled iteration
+        for reduced in _reductions(cmd.body):
+            yield While(cmd.condition, reduced)
+        return
+    if isinstance(cmd, Par):
+        branches = flatten_par(cmd)
+        for position in range(len(branches)):
+            rest = branches[:position] + branches[position + 1:]
+            yield par_all(*rest)
+        for position, branch in enumerate(branches):
+            for reduced in _reductions(branch):
+                replaced = list(branches)
+                replaced[position] = reduced
+                yield par_all(*replaced)
+        return
+    if isinstance(cmd, Atomic):
+        if cmd.when is not None:
+            yield Atomic(cmd.body, cmd.action, cmd.argument, None)
+        for reduced in _reductions(cmd.body):
+            yield Atomic(reduced, cmd.action, cmd.argument, cmd.when)
+        return
+    # Primitive statement: removal is handled at the sequence level, but a
+    # whole-program single statement can still vanish.
+    yield Skip()
+
+
+def _trim_groups(
+    case: GeneratedCase, still_fails: Callable[[GeneratedCase], bool]
+) -> GeneratedCase:
+    """Drop instance groups / high variants not needed for the failure."""
+    groups = list(case.groups)
+    if len(groups) > 1:
+        for position in range(len(groups) - 1, -1, -1):
+            if len(groups) == 1:
+                break
+            trimmed = groups[:position] + groups[position + 1:]
+            candidate = GeneratedCase(
+                name=case.name, family=case.family, mutation=case.mutation,
+                program=case.program, resources=case.resources,
+                low_inputs=case.low_inputs, high_inputs=case.high_inputs,
+                groups=tuple(trimmed), source=case.source,
+            )
+            if still_fails(candidate):
+                groups = trimmed
+                case = candidate
+    new_groups = []
+    changed = False
+    for low, variants in case.groups:
+        if len(variants) > 2:
+            candidate_groups = tuple(
+                (l, v if (l, v) != (low, variants) else variants[:2])
+                for l, v in case.groups
+            )
+            candidate = GeneratedCase(
+                name=case.name, family=case.family, mutation=case.mutation,
+                program=case.program, resources=case.resources,
+                low_inputs=case.low_inputs, high_inputs=case.high_inputs,
+                groups=candidate_groups, source=case.source,
+            )
+            if still_fails(candidate):
+                new_groups.append((low, variants[:2]))
+                changed = True
+                continue
+        new_groups.append((low, variants))
+    if changed:
+        case = GeneratedCase(
+            name=case.name, family=case.family, mutation=case.mutation,
+            program=case.program, resources=case.resources,
+            low_inputs=case.low_inputs, high_inputs=case.high_inputs,
+            groups=tuple(new_groups), source=case.source,
+        )
+    return case
+
+
+def shrink_case(
+    case: GeneratedCase,
+    still_fails: Callable[[GeneratedCase], bool],
+    max_candidates: int = 4000,
+) -> GeneratedCase:
+    """Minimize ``case`` while ``still_fails`` holds.
+
+    Greedy to a fixpoint: each accepted candidate restarts the scan, so
+    the result is 1-minimal with respect to the reduction steps (no
+    single step can shrink it further)."""
+    case = _trim_groups(case, still_fails)
+    budget = max_candidates
+    improved = True
+    while improved and budget > 0:
+        improved = False
+        for candidate_program in _reductions(case.program):
+            budget -= 1
+            if budget <= 0:
+                break
+            if statement_count(candidate_program) >= statement_count(case.program):
+                continue
+            candidate = case.with_program(candidate_program)
+            if still_fails(candidate):
+                case = candidate
+                improved = True
+                break
+    return case
+
+
+__all__ = ["shrink_case"]

@@ -19,9 +19,11 @@ The concrete syntax mirrors the paper's notation (Fig. 6) with braces:
     print(result)
 
 Statements are separated by newlines or optional ``;``.  ``||`` composes
-*blocks* in parallel at statement level (``{...} || {...} || {...}``);
-boolean conjunction is ``&&``, negation ``!``.  ``atomic`` takes an
-optional action annotation ``[Action(argExpr)]``.
+*blocks* in parallel at statement level (``{...} || {...} || {...}``)
+and is boolean disjunction inside expressions; boolean conjunction is
+``&&``, negation ``!``.  ``atomic`` takes an optional action annotation
+``[Action(argExpr)]``.  The inverse transformation lives in
+:mod:`repro.lang.printer`.
 """
 
 from __future__ import annotations
@@ -345,7 +347,19 @@ class _Parser:
 
     def _parse_expr(self) -> Expr:
         token = self._peek()
-        return self._at(self._parse_and(), token)
+        return self._at(self._parse_or(), token)
+
+    def _parse_or(self) -> Expr:
+        # Expression-level disjunction.  Statement-level `{...} || {...}`
+        # is parallel composition and never reaches the expression grammar
+        # (blocks are parsed in _parse_parallel_or_block before any
+        # expression parse starts), so there is no ambiguity.
+        left = self._parse_and()
+        while self._check("||"):
+            self._advance()
+            right = self._parse_and()
+            left = BinOp("||", left, right)
+        return left
 
     def _parse_and(self) -> Expr:
         left = self._parse_comparison()
@@ -384,7 +398,13 @@ class _Parser:
 
     def _parse_unary(self) -> Expr:
         if self._match("-"):
-            return UnOp("-", self._parse_unary())
+            operand = self._parse_unary()
+            # Fold negated integer literals so `-2` parses to Lit(-2);
+            # otherwise a printed negative literal would re-parse to a
+            # different (if equivalent) AST.
+            if isinstance(operand, Lit) and isinstance(operand.value, int) and not isinstance(operand.value, bool):
+                return Lit(-operand.value)
+            return UnOp("-", operand)
         if self._match("!"):
             return UnOp("!", self._parse_unary())
         return self._parse_primary()

@@ -1,0 +1,242 @@
+"""Pretty-printer: AST back to the concrete syntax of :mod:`repro.lang.parser`.
+
+The printer is the inverse of the parser: for any command in *parser
+normal form* (the image of :func:`~repro.lang.parser.parse_program`),
+
+.. code-block:: python
+
+    parse_program(print_program(cmd)) == cmd
+
+Parser normal form means:
+
+* ``Atomic`` blocks without an action annotation carry ``argument`` of
+  ``None`` or ``Lit(0)`` (the parser's default);
+* negated integer literals are folded (``Lit(-2)``, never
+  ``UnOp("-", Lit(2))`` — the printer folds the latter on the fly);
+* string literals contain no ``"`` or newline (the lexer has no escapes).
+
+``Seq`` and ``Par`` of *any* association round-trip: left-nested
+compositions are emitted as braced blocks, which the grammar re-parses to
+the same shape.  ASTs that have no concrete syntax at all (literals other
+than ``int``/``bool``/``str``, identifiers that collide with keywords,
+calls to ``alloc``/``fork``) raise :class:`PrintError`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from .ast import (
+    Alloc,
+    Assign,
+    Atomic,
+    BinOp,
+    Call,
+    Command,
+    DEFAULT_CHANNEL,
+    Expr,
+    Fork,
+    If,
+    Join,
+    Lit,
+    Load,
+    Par,
+    Print,
+    Seq,
+    Share,
+    Skip,
+    Store,
+    UnOp,
+    Unshare,
+    Var,
+    While,
+)
+from .parser import KEYWORDS
+from .procedures import Procedure, ThreadedProgram
+
+
+class PrintError(Exception):
+    """Raised for ASTs that have no concrete syntax."""
+
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*\Z")
+
+_BINOPS = frozenset({"+", "-", "*", "/", "%", "<", "<=", ">", ">=", "==", "!=", "&&", "||"})
+
+_INDENT = "    "
+
+
+def _ident(name: str, what: str) -> str:
+    if not _IDENT_RE.match(name) or name in KEYWORDS:
+        raise PrintError(f"{what} {name!r} is not a printable identifier")
+    return name
+
+
+def _is_int(value: object) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def print_expr(expr: Expr) -> str:
+    """Render an expression; nested operations are fully parenthesized."""
+    if isinstance(expr, Lit):
+        value = expr.value
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        if _is_int(value):
+            return str(value)
+        if isinstance(value, str):
+            if '"' in value or "\n" in value:
+                raise PrintError(f"string literal {value!r} is not lexable (no escapes)")
+            return f'"{value}"'
+        raise PrintError(f"literal {value!r} has no concrete syntax")
+    if isinstance(expr, Var):
+        return _ident(expr.name, "variable")
+    if isinstance(expr, BinOp):
+        if expr.op not in _BINOPS:
+            raise PrintError(f"unknown binary operator {expr.op!r}")
+        return f"({print_expr(expr.left)} {expr.op} {print_expr(expr.right)})"
+    if isinstance(expr, UnOp):
+        if expr.op not in ("-", "!"):
+            raise PrintError(f"unknown unary operator {expr.op!r}")
+        # The parser folds -<int literal> to a negative Lit, so emit the
+        # folded form directly; printing "-2" would not re-parse to UnOp.
+        if expr.op == "-" and isinstance(expr.operand, Lit) and _is_int(expr.operand.value):
+            return print_expr(Lit(-expr.operand.value))
+        return f"{expr.op}{print_expr(expr.operand)}"
+    if isinstance(expr, Call):
+        if expr.function in ("alloc", "fork"):
+            raise PrintError(f"{expr.function} is a statement form, not a pure function")
+        name = _ident(expr.function, "function")
+        return f"{name}({', '.join(print_expr(arg) for arg in expr.args)})"
+    raise PrintError(f"not an expression: {expr!r}")
+
+
+def flatten_seq(cmd: Command) -> List[Command]:
+    """The right spine of a sequential composition as a statement list."""
+    statements: List[Command] = []
+    while isinstance(cmd, Seq):
+        statements.append(cmd.first)
+        cmd = cmd.second
+    statements.append(cmd)
+    return statements
+
+
+def flatten_par(cmd: Command) -> List[Command]:
+    """The right spine of a parallel composition as a branch list."""
+    branches: List[Command] = []
+    while isinstance(cmd, Par):
+        branches.append(cmd.left)
+        cmd = cmd.right
+    branches.append(cmd)
+    return branches
+
+
+def _block_lines(cmd: Command, indent: int) -> List[str]:
+    """The statements of a block body, one indented line-group each."""
+    lines: List[str] = []
+    for statement in flatten_seq(cmd):
+        lines.extend(_statement_lines(statement, indent))
+    return lines
+
+
+def _braced(header: str, body: Command, indent: int, footer: str = "}") -> List[str]:
+    pad = _INDENT * indent
+    return [pad + header, *_block_lines(body, indent + 1), pad + footer]
+
+
+def _statement_lines(cmd: Command, indent: int) -> List[str]:
+    pad = _INDENT * indent
+    if isinstance(cmd, Skip):
+        return [pad + "skip"]
+    if isinstance(cmd, Assign):
+        if isinstance(cmd.expr, Call) and cmd.expr.function in ("alloc", "fork"):
+            raise PrintError(f"call to {cmd.expr.function!r} in assignment would mis-parse")
+        return [pad + f"{_ident(cmd.target, 'variable')} := {print_expr(cmd.expr)}"]
+    if isinstance(cmd, Load):
+        return [pad + f"{_ident(cmd.target, 'variable')} := [{print_expr(cmd.address)}]"]
+    if isinstance(cmd, Store):
+        return [pad + f"[{print_expr(cmd.address)}] := {print_expr(cmd.expr)}"]
+    if isinstance(cmd, Alloc):
+        return [pad + f"{_ident(cmd.target, 'variable')} := alloc({print_expr(cmd.expr)})"]
+    if isinstance(cmd, Seq):
+        # A Seq in statement position is left-nested; a braced block
+        # re-parses to exactly this sub-sequence.
+        return _braced("{", cmd, indent)
+    if isinstance(cmd, If):
+        lines = _braced(f"if ({print_expr(cmd.condition)}) {{", cmd.then_branch, indent)
+        if not isinstance(cmd.else_branch, Skip):
+            lines[-1] = pad + "} else {"
+            lines.extend(_block_lines(cmd.else_branch, indent + 1))
+            lines.append(pad + "}")
+        return lines
+    if isinstance(cmd, While):
+        return _braced(f"while ({print_expr(cmd.condition)}) {{", cmd.body, indent)
+    if isinstance(cmd, Par):
+        lines: List[str] = []
+        branches = flatten_par(cmd)
+        for position, branch in enumerate(branches):
+            header = "{" if position == 0 else "} || {"
+            lines.append(pad + header)
+            lines.extend(_block_lines(branch, indent + 1))
+        lines.append(pad + "}")
+        return lines
+    if isinstance(cmd, Atomic):
+        header = "atomic"
+        if cmd.action is not None:
+            argument = cmd.argument if cmd.argument is not None else Lit(0)
+            header += f" [{_ident(cmd.action, 'action')}({print_expr(argument)})]"
+        elif cmd.argument is not None and cmd.argument != Lit(0):
+            raise PrintError("atomic argument without an action has no concrete syntax")
+        if cmd.when is not None:
+            header += f" when ({print_expr(cmd.when)})"
+        return _braced(header + " {", cmd.body, indent)
+    if isinstance(cmd, Share):
+        return [pad + f"share {_ident(cmd.resource, 'resource')}"]
+    if isinstance(cmd, Unshare):
+        return [pad + f"unshare {_ident(cmd.resource, 'resource')}"]
+    if isinstance(cmd, Print):
+        if cmd.channel == DEFAULT_CHANNEL:
+            return [pad + f"print({print_expr(cmd.expr)})"]
+        return [pad + f"print({print_expr(cmd.expr)}, {_ident(cmd.channel, 'channel')})"]
+    if isinstance(cmd, Fork):
+        args = ", ".join(print_expr(arg) for arg in cmd.args)
+        return [
+            pad
+            + f"{_ident(cmd.target, 'variable')} := fork {_ident(cmd.procedure, 'procedure')}({args})"
+        ]
+    if isinstance(cmd, Join):
+        return [pad + f"join {_ident(cmd.procedure, 'procedure')}({print_expr(cmd.token)})"]
+    raise PrintError(f"not a command: {cmd!r}")
+
+
+def print_command(cmd: Command, indent: int = 0) -> str:
+    """Render a command as statement lines at the given indent level."""
+    return "\n".join(_statement_lines(cmd, indent))
+
+
+def print_program(cmd: Command) -> str:
+    """Render a whole program (top-level statement sequence)."""
+    return "\n".join(_block_lines(cmd, 0)) + "\n"
+
+
+def print_threaded_program(program: ThreadedProgram) -> str:
+    """Render procedure declarations followed by the main command."""
+    chunks: List[str] = []
+    for procedure in program.procedures:
+        params = ", ".join(_ident(param, "parameter") for param in procedure.params)
+        header = f"procedure {_ident(procedure.name, 'procedure')}({params}) {{"
+        chunks.append("\n".join([header, *_block_lines(procedure.body, 1), "}"]))
+    chunks.append("\n".join(_block_lines(program.main, 0)))
+    return "\n".join(chunks) + "\n"
+
+
+__all__ = [
+    "PrintError",
+    "flatten_par",
+    "flatten_seq",
+    "print_command",
+    "print_expr",
+    "print_program",
+    "print_threaded_program",
+]

@@ -1,0 +1,103 @@
+"""Unit tests for the adversarial scenario generator and its plumbing."""
+
+import pytest
+
+from repro.fuzz import (
+    FAMILIES,
+    MUTATIONS,
+    generate_case,
+    generate_corpus,
+    statement_count,
+)
+from repro.fuzz.gen import spec_instance
+from repro.lang.ast import command_fv
+from repro.lang.parser import parse_program
+from repro.spec.library import INVALID_SPECS, VALID_SPECS
+
+
+def test_generation_is_deterministic():
+    """A case is a pure function of (seed, index)."""
+    for index in range(25):
+        assert generate_case(42, index) == generate_case(42, index)
+
+
+def test_generation_is_prefix_stable():
+    """Growing a campaign never changes already-generated cases, so a
+    failure at --count 500 can be re-examined with --count 1."""
+    short = generate_corpus(7, 10)
+    long = generate_corpus(7, 40)
+    assert long[:10] == short
+
+
+def test_different_seeds_differ():
+    a = [case.program for case in generate_corpus(1, 15)]
+    b = [case.program for case in generate_corpus(2, 15)]
+    assert a != b
+
+
+def test_sources_parse_back_to_the_program():
+    for case in generate_corpus(5, 25):
+        assert parse_program(case.source) == case.program
+
+
+def test_cases_are_well_formed():
+    """Every generated case: known spec, inputs cover the free variables,
+    at least one instance group with ≥2 high variants."""
+    for case in generate_corpus(9, 40):
+        for ref in case.resources:
+            assert ref.spec_name in VALID_SPECS or ref.spec_name in INVALID_SPECS
+        free = command_fv(case.program)
+        input_names = set(case.low_inputs) | set(case.high_inputs)
+        assert input_names <= free | input_names  # inputs may be dead (priv reads)
+        assert case.groups
+        for low, variants in case.groups:
+            assert len(variants) >= 2
+            for variant in variants:
+                assert set(variant) == set(case.high_inputs)
+            merged = dict(low) | dict(variants[0])
+            assert free <= set(merged) | (free - input_names)
+
+
+def test_family_and_mutation_coverage():
+    """A 200-case campaign exercises every family and every mutation."""
+    corpus = generate_corpus(0, 200)
+    families = {case.family for case in corpus}
+    mutations = {case.mutation for case in corpus if case.mutation}
+    assert set(FAMILIES) <= families
+    assert mutations == set(MUTATIONS)
+    secure = sum(1 for case in corpus if case.mutation is None)
+    assert 0 < secure < len(corpus)
+
+
+def test_statement_count_ignores_structure_nodes():
+    program = parse_program("{ x := 1; y := 2 } || { skip }")
+    # Seq/Par/Skip are free; two assignments remain
+    assert statement_count(program) == 2
+    loop = parse_program("i := 0\nwhile (i < 2) { i := i + 1 }")
+    assert statement_count(loop) == 3  # assign + while + body assign
+
+
+def test_spec_instances_are_shared():
+    """The lru_cache keeps one spec object per name, so the verifier's
+    validity memo stays warm across thousands of cases."""
+    assert spec_instance("CounterInc") is spec_instance("CounterInc")
+
+
+def test_instance_groups_are_runnable():
+    """Instances convert to the verifier's bounded-instance format:
+    list of groups, each a list of full input dicts."""
+    case = generate_case(3, 1)
+    groups = case.instances()
+    assert isinstance(groups, list) and groups
+    for group in groups:
+        assert len(group) >= 2
+        names = {frozenset(inputs) for inputs in group}
+        assert len(names) == 1  # same variable set across variants
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_with_program_reprints_source(seed):
+    case = generate_case(seed, 0)
+    clone = case.with_program(case.program)
+    assert clone == case
+    assert parse_program(clone.source) == case.program
