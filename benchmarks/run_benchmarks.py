@@ -10,7 +10,14 @@ workloads and writes ``BENCH_smt.json``:
 * ``boolean_skeleton`` — validity of boolean-skeleton-heavy formulas
   along bench_scaling's "solver strategy" axis, both with the SAT fast
   path (watched vs recursive DPLL) and enumeration-only (compiled vs
-  interpreted evaluation);
+  interpreted evaluation); the ``cdcl_search`` strategy adds hard
+  near-phase-transition random 3-CNF refutations (as negated terms
+  over comparison atoms) where the flat-arena CDCL core's conflict
+  analysis, not just propagation, carries the load;
+* ``clause_db`` — learned-clause database management in isolation:
+  the same hard UNSAT instances and a guarded lemma-accumulation
+  loop solved with reduceDB off (reference) vs on (optimized), so
+  the LBD-scored eviction policy's effect is measured directly;
 * ``repeated_vc`` — the same conformance VCs discharged over and over,
   as vcgen and spec inference do across proof outlines (cross-call
   cache vs recomputation);
@@ -138,6 +145,49 @@ def blocked_model_formula(pigeons: int, salt: str = ""):
     return conj(*parts)
 
 
+def hard_cnf_clauses(variables: int, seed: int, ratio: float = 4.6):
+    """A seeded random 3-CNF at the hard clause/variable ratio (~4.3 is
+    the phase transition; 4.6 lands reliably UNSAT with a non-trivial
+    refutation).  These instances force genuine CDCL search — thousands
+    of conflicts, deep backjumps, a growing learned-clause DB."""
+    import random as _random
+
+    rng = _random.Random(seed)
+    clauses = []
+    for _ in range(int(variables * ratio)):
+        chosen = rng.sample(range(1, variables + 1), 3)
+        clauses.append(
+            tuple(v if rng.random() < 0.5 else -v for v in chosen)
+        )
+    return clauses
+
+
+def hard_cnf_formula(variables: int, seed: int, salt: str = ""):
+    """The refutation of :func:`hard_cnf_clauses` as a term: ¬⋀clauses
+    over independent ``<`` comparison atoms.  Valid iff the CNF is
+    UNSAT, and every atom pair is theory-free, so both paths decide it
+    purely by propositional search — a direct head-to-head between the
+    recursive reference DPLL and the flat-arena CDCL core."""
+    atoms = {
+        v: App("<", (SymVar(f"h{salt}x{v}", INT), SymVar(f"h{salt}y{v}", INT)))
+        for v in range(1, variables + 1)
+    }
+    clause_terms = [
+        disj(*(atoms[l] if l > 0 else negate(atoms[-l]) for l in clause))
+        for clause in hard_cnf_clauses(variables, seed)
+    ]
+    # Balanced conjunction: ``conj`` nests left-associatively, and a
+    # 600-clause chain overflows the recursive simplifier/compiler.
+    while len(clause_terms) > 1:
+        clause_terms = [
+            App("and", (clause_terms[i], clause_terms[i + 1]))
+            if i + 1 < len(clause_terms)
+            else clause_terms[i]
+            for i in range(0, len(clause_terms), 2)
+        ]
+    return negate(clause_terms[0])
+
+
 def conformance_vcs():
     """Real conformance VCs from the verifier pipeline: an increment
     body against IntegerAdd, and a branching max body against IntegerMax."""
@@ -190,12 +240,17 @@ def timed(fn, *args, **kwargs):
 def bench_boolean_skeleton(quick: bool):
     sat_sizes = (8, 120) if quick else (8, 20, 60, 160, 320)
     enum_sizes = (2,) if quick else (2, 3)
-    reps = 1 if quick else 3
+    cdcl_sizes = (60,) if quick else (100, 120, 140)
+    base_reps = 1 if quick else 3
     cases = []
     for use_sat, sizes, strategy in (
         (True, sat_sizes, "dpll_fast_path"),
         (False, enum_sizes, "bounded_enumeration"),
+        (True, cdcl_sizes, "cdcl_search"),
     ):
+        # Hard refutations take seconds on the reference path; one rep
+        # is plenty (the instance is seeded, not timing-noise-sized).
+        reps = 1 if strategy == "cdcl_search" else base_reps
         for atoms in sizes:
             ref_total = new_total = 0.0
             agree = True
@@ -204,7 +259,12 @@ def bench_boolean_skeleton(quick: bool):
                 # Distinct variable names per repetition: every run pays
                 # the full cold path (no intern/memo reuse across reps).
                 salt = f"s{strategy}{atoms}r{rep}_"
-                build = skeleton_chain if (use_sat and atoms >= 20) else skeleton_formula
+                if strategy == "cdcl_search":
+                    build = lambda n, s: hard_cnf_formula(n, seed=0, salt=s)
+                elif use_sat and atoms >= 20:
+                    build = skeleton_chain
+                else:
+                    build = skeleton_formula
                 formula = build(atoms, salt)
                 ref_elapsed, ref_result = timed(
                     reference.check_validity_reference, formula, use_sat=use_sat
@@ -229,6 +289,106 @@ def bench_boolean_skeleton(quick: bool):
                     "verdicts_agree": agree,
                 }
             )
+    return cases
+
+
+def bench_clause_db(quick: bool):
+    """Learned-clause DB management in isolation: identical instances
+    solved by :class:`~repro.smt.dpll.WatchedSolver` with reduceDB off
+    (reference) vs on (optimized).
+
+    Two workload shapes:
+
+    * ``hard_unsat`` — seeded near-phase-transition 3-CNF refutations
+      where search learns thousands of clauses; without eviction every
+      one of them stays on the watch lists until the end;
+    * ``lemma_accumulation`` — the session profile: activation-guarded
+      hard queries stacked on one shared solver without retirement, so
+      stale lemmas from earlier queries bloat later ones.
+
+    Agreement here is *verdict* agreement between the two configurations
+    (the eviction policy must never flip SAT/UNSAT), and the per-case
+    stats expose what the policy actually did (reductions fired, live
+    learned clauses at the end).
+    """
+    from repro.smt.dpll import WatchedSolver
+
+    hard = ((140, (0,)),) if quick else ((185, (0, 1, 2)),)
+    cases = []
+    for variables, seeds in hard:
+        for seed in seeds:
+            clauses = hard_cnf_clauses(variables, seed)
+            row = {}
+            for label, flag in (("reference", False), ("optimized", True)):
+                solver = WatchedSolver(clauses, reduce_db=flag)
+                elapsed, model = timed(solver.solve)
+                stats = solver.clause_db_stats()
+                row[label] = {
+                    "elapsed": elapsed,
+                    "unsat": model is None,
+                    "conflicts": solver.conflicts,
+                    "live_learned": stats["live_learned"],
+                    "reductions": stats["reductions"],
+                }
+            cases.append(
+                {
+                    "workload": "hard_unsat",
+                    "variables": variables,
+                    "seed": seed,
+                    "reference_s": round(row["reference"]["elapsed"], 6),
+                    "optimized_s": round(row["optimized"]["elapsed"], 6),
+                    "speedup": round(
+                        row["reference"]["elapsed"] / row["optimized"]["elapsed"], 2
+                    )
+                    if row["optimized"]["elapsed"]
+                    else None,
+                    "reference_live_learned": row["reference"]["live_learned"],
+                    "optimized_live_learned": row["optimized"]["live_learned"],
+                    "reductions": row["optimized"]["reductions"],
+                    "verdicts_agree": row["reference"]["unsat"]
+                    == row["optimized"]["unsat"],
+                }
+            )
+
+    queries, variables = (4, 90) if quick else (8, 120)
+    row = {}
+    for label, flag in (("reference", False), ("optimized", True)):
+        solver = WatchedSolver(reduce_db=flag)
+        total = 0.0
+        verdicts = []
+        for query in range(queries):
+            guard = 10_000 + query
+            for clause in hard_cnf_clauses(variables, seed=100 + query, ratio=4.5):
+                solver.add_clause(tuple(list(clause) + [-guard]))
+            elapsed, model = timed(solver.solve, [guard])
+            total += elapsed
+            verdicts.append(model is None)
+        stats = solver.clause_db_stats()
+        row[label] = {
+            "elapsed": total,
+            "verdicts": verdicts,
+            "live_learned": stats["live_learned"],
+            "reductions": stats["reductions"],
+        }
+    cases.append(
+        {
+            "workload": "lemma_accumulation",
+            "variables": variables,
+            "queries": queries,
+            "reference_s": round(row["reference"]["elapsed"], 6),
+            "optimized_s": round(row["optimized"]["elapsed"], 6),
+            "speedup": round(
+                row["reference"]["elapsed"] / row["optimized"]["elapsed"], 2
+            )
+            if row["optimized"]["elapsed"]
+            else None,
+            "reference_live_learned": row["reference"]["live_learned"],
+            "optimized_live_learned": row["optimized"]["live_learned"],
+            "reductions": row["optimized"]["reductions"],
+            "verdicts_agree": row["reference"]["verdicts"]
+            == row["optimized"]["verdicts"],
+        }
+    )
     return cases
 
 
@@ -757,6 +917,19 @@ def main(argv=None) -> int:
         )
     print(f"  overall: x{workloads['boolean_skeleton']['speedup']}")
 
+    print("== clause_db (reduceDB off vs on) ==")
+    cases = bench_clause_db(args.quick)
+    workloads["clause_db"] = {"cases": cases, **summarize(cases)}
+    for case in cases:
+        print(
+            f"  {case['workload']:>20s} vars={case['variables']:<4d} "
+            f"off {case['reference_s'] * 1000:8.2f} ms ({case['reference_live_learned']} live)  "
+            f"on {case['optimized_s'] * 1000:8.2f} ms ({case['optimized_live_learned']} live, "
+            f"{case['reductions']} reductions)  "
+            f"x{case['speedup']:<6}  agree={case['verdicts_agree']}"
+        )
+    print(f"  overall: x{workloads['clause_db']['speedup']}")
+
     print("== repeated_vc (cross-call cache) ==")
     cases = bench_repeated_vc(args.quick)
     workloads["repeated_vc"] = {"cases": cases, **summarize(cases)}
@@ -869,13 +1042,17 @@ def main(argv=None) -> int:
 
     report = {
         "benchmark": (
-            "smt-core: interning + compiled evaluation + CDCL watched literals"
-            " + theory propagation + cache"
+            "smt-core: interning + compiled evaluation + flat-arena CDCL"
+            " + learned-clause DB management + theory propagation + cache"
         ),
         "quick": args.quick,
         "workloads": workloads,
         "summary": {
             "boolean_skeleton_speedup": workloads["boolean_skeleton"]["speedup"],
+            "clause_db_speedup": workloads["clause_db"]["speedup"],
+            "clause_db_reductions": sum(
+                case["reductions"] for case in workloads["clause_db"]["cases"]
+            ),
             "repeated_vc_speedup": workloads["repeated_vc"]["speedup"],
             "dpllt_incremental_speedup": workloads["dpllt_incremental"]["speedup"],
             "difference_logic_speedup": workloads["difference_logic"]["speedup"],

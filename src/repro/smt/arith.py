@@ -355,7 +355,9 @@ class DifferenceLogicPropagator:
             u, v, _k = info[1]
             if u is not v and (u not in active or v not in active):
                 continue  # no path can connect them in the current graph
-            value = assign[var] if var < n else 0
+            # assign is literal-indexed: slot 2*var carries the value of
+            # the positive literal (0 unassigned, ±1).
+            value = assign[var << 1] if (var << 1) < n else 0
             if info[0] == "order":
                 # An assigned order atom's constraint is an edge, so any
                 # contradiction already surfaced as a negative cycle;

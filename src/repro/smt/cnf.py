@@ -152,7 +152,9 @@ class TseitinConverter:
     assertion needs an activation guard.
 
     :meth:`convert` returns the clauses newly emitted by this call (not
-    the accumulated database) together with the root literal; the
+    the accumulated database) together with the root literal;
+    :meth:`convert_into` streams them straight into a clause sink (e.g.
+    ``WatchedSolver.add_clause``) without materialising the list.  The
     ``definition_hits`` counter records how many definition directions
     were served from the memo instead of re-emitted.
     """
@@ -177,8 +179,20 @@ class TseitinConverter:
         encoding — and negation/implication polarities are tracked
         directly, so no separate NNF pass is needed.
         """
-        table = self.table
         clauses: CNF = []
+        root = self.convert_into(term, clauses.append)
+        return clauses, root
+
+    def convert_into(self, term: Term, emit) -> int:
+        """Convert one boolean term, streaming each new definition clause
+        (a tuple of signed literals) to ``emit``; returns the root
+        literal.  The caller still has to assert the root — sessions
+        guard it with an activation literal, one-shot callers add the
+        unit ``(root,)``.  Feeding ``emit=solver.add_clause`` skips the
+        intermediate clause list entirely: clauses land in the solver's
+        arena as they are produced.
+        """
+        table = self.table
         literal_cache = self._literal_cache
         emitted = self._emitted
 
@@ -213,15 +227,15 @@ class TseitinConverter:
                     if op == "and":
                         # fresh ⇒ (a ∧ b): (¬fresh ∨ a), (¬fresh ∨ b)
                         for arg in current.args:
-                            clauses.append((-fresh, convert(arg, 1)))
+                            emit((-fresh, convert(arg, 1)))
                     elif op == "or":
                         # fresh ⇒ (a ∨ b): (¬fresh ∨ a ∨ b)
-                        clauses.append(
+                        emit(
                             tuple([-fresh] + [convert(arg, 1) for arg in current.args])
                         )
                     else:  # implies, as ¬a ∨ b: (¬fresh ∨ ¬a ∨ b)
                         left, right = current.args
-                        clauses.append((-fresh, -convert(left, -1), convert(right, 1)))
+                        emit((-fresh, -convert(left, -1), convert(right, 1)))
                 else:
                     if (current, -1) in emitted:
                         self.definition_hits += 1
@@ -229,32 +243,31 @@ class TseitinConverter:
                     emitted.add((current, -1))
                     if op == "and":
                         # ¬fresh ⇒ ¬(a ∧ b): (fresh ∨ ¬a ∨ ¬b)
-                        clauses.append(
+                        emit(
                             tuple([fresh] + [-convert(arg, -1) for arg in current.args])
                         )
                     elif op == "or":
                         # ¬fresh ⇒ ¬(a ∨ b): (fresh ∨ ¬a), (fresh ∨ ¬b)
                         for arg in current.args:
-                            clauses.append((fresh, -convert(arg, -1)))
+                            emit((fresh, -convert(arg, -1)))
                     else:  # ¬fresh ⇒ a ∧ ¬b
                         left, right = current.args
-                        clauses.append((fresh, convert(left, 1)))
-                        clauses.append((fresh, -convert(right, -1)))
+                        emit((fresh, convert(left, 1)))
+                        emit((fresh, -convert(right, -1)))
                 return fresh
             if isinstance(current, Const):
                 # Encode constants as a fresh always-true/false literal.
                 literal = literal_cache.get(current)
                 if literal is None:
                     literal = table.fresh()
-                    clauses.append((literal,) if current.value else (-literal,))
+                    emit((literal,) if current.value else (-literal,))
                     literal_cache[current] = literal
                 return literal
             if isinstance(current, SymVar):
                 return table.atom(current)
             raise TypeError(f"not a term: {current!r}")
 
-        root = convert(term, 1)
-        return clauses, root
+        return convert(term, 1)
 
 
 def tseitin(term: Term) -> tuple[CNF, AtomTable, int]:

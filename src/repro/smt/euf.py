@@ -318,11 +318,12 @@ class EqualityPropagator:
     def check(self, assign: List[int]):
         """Theory-check the mirrored trail.
 
-        ``assign`` is the solver's value array (0 unassigned, ±1).
-        Returns ``("conflict", clause)`` with every clause literal
-        currently false, or ``("ok", propagations)`` where each
-        propagation is ``(literal, premises)`` — premises are the true
-        literals entailing it.
+        ``assign`` is the solver's *literal-indexed* value array
+        (``assign[2 * var]`` is 0 unassigned, ±1 for the positive
+        literal's truth).  Returns ``("conflict", clause)`` with every
+        clause literal currently false, or ``("ok", propagations)``
+        where each propagation is ``(literal, premises)`` — premises are
+        the true literals entailing it.
         """
         if self._dirty:
             self._rebuild()
@@ -355,7 +356,8 @@ class EqualityPropagator:
         implied: List[Tuple[int, List[int]]] = []
         n = len(assign)
         for var, (left, right, positive_is_eq) in self._live.items():
-            if var < n and assign[var] != 0:
+            encoded = var << 1
+            if encoded < n and assign[encoded] != 0:
                 continue
             root_left, root_right = cc.find(left), cc.find(right)
             if root_left == root_right:

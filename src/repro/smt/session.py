@@ -132,10 +132,10 @@ class _SubSession:
     def activate(self, formula: Term) -> Tuple[int, int]:
         """Convert ``formula`` into the shared database behind a fresh
         activation literal; returns ``(activation, retirement_mark)``."""
-        clauses, root = self.converter.convert(formula)
         solver = self.solver
-        for clause in clauses:
-            solver.add_clause(clause)
+        # Stream definition clauses straight into the solver's clause
+        # arena — no intermediate clause list.
+        root = self.converter.convert_into(formula, solver.add_clause)
         activation = self.converter.table.fresh()
         mark = solver.clause_mark()
         solver.add_clause((root, -activation))
@@ -308,7 +308,16 @@ class SolverSession:
             ),
             "learned_clauses": sum(sub.solver.learned_clauses for sub in subs),
             "retired_clauses": sum(sub.solver.retired_clauses for sub in subs),
-            "live_clauses": sum(len(sub.solver.live_clauses()) for sub in subs),
+            "live_clauses": sum(
+                db["live_input"] + db["live_learned"]
+                for db in (sub.solver.clause_db_stats() for sub in subs)
+            ),
+            "reduced_clauses": sum(sub.solver.reduced_clauses for sub in subs),
+            "db_reductions": sum(sub.solver.reductions for sub in subs),
+            "db_compactions": sum(sub.solver.compactions for sub in subs),
+            "minimized_literals": sum(
+                sub.solver.minimized_literals for sub in subs
+            ),
         }
 
 

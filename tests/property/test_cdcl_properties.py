@@ -117,12 +117,7 @@ class TestLearnedClauseSoundness:
     def test_learned_clauses_are_implied(self, clauses):
         solver = WatchedSolver(clauses)
         solver.solve()
-        learned = [
-            clause
-            for clause, is_learned in zip(solver._clauses, solver._learned)
-            if is_learned
-        ]
-        for clause in learned:
+        for clause in solver.live_learned_clauses():
             # input ∧ ¬clause must be unsatisfiable if the clause is implied.
             negated_units = [(-literal,) for literal in clause]
             assert reference.dpll_reference(list(clauses) + negated_units) is None
@@ -371,3 +366,145 @@ class TestActivationRetirement:
                 got[index] = shared.solve([activation]) is not None
                 shared.retire(activation, since=mark)
             assert [got[i] for i in range(len(batches))] == verdicts_fresh
+
+
+# ---------------------------------------------------------------------------
+# Learned-clause DB management (reduceDB / minimization / compaction)
+# ---------------------------------------------------------------------------
+
+
+class _AuditingSolver(WatchedSolver):
+    """A solver that checks the DB-management invariants at every
+    reduceDB pass: reason clauses of trail literals survive, clauses
+    mentioning a live assumption (activation) variable survive, and the
+    arena/watch structures stay consistent through the compaction."""
+
+    def reduce_db(self):
+        pinned = set(self._pinned_vars)
+        guarded_before = []
+        if pinned:
+            for clause in self.live_clauses():
+                if any(abs(literal) in pinned for literal in clause):
+                    guarded_before.append(frozenset(clause))
+        removed = super().reduce_db()
+        # Invariant 1: every trail literal's clause reason is live and
+        # contains the literal (db_check verifies via remapped refs).
+        self.db_check()
+        # Invariant 2: no clause mentioning a live activation variable
+        # was dropped.
+        if pinned:
+            guarded_after = [
+                frozenset(clause)
+                for clause in self.live_clauses()
+                if any(abs(literal) in pinned for literal in clause)
+            ]
+            for clause in guarded_before:
+                assert clause in guarded_after, (
+                    f"reduceDB dropped clause {sorted(clause)} mentioning "
+                    f"live activation vars {pinned}"
+                )
+        return removed
+
+
+class TestClauseDBManagement:
+    @given(cnf_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_reduce_db_preserves_verdicts_and_invariants(self, clauses):
+        """With the reduction floor forced to 1 (reduceDB fires on
+        nearly every conflict), verdicts still match the reference and
+        the auditing invariants hold at every pass."""
+        solver = _AuditingSolver(clauses, reduce_floor=1)
+        model = solver.solve()
+        oracle = reference.dpll_reference([list(c) for c in clauses], {})
+        assert (model is None) == (oracle is None)
+
+    @given(cnf_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_minimized_learned_clauses_still_implied(self, clauses):
+        """Recursive minimization only ever drops redundant literals:
+        every surviving learned clause is implied by the input (fresh
+        reference solve of input ∧ ¬clause is UNSAT)."""
+        solver = WatchedSolver(clauses, minimize=True, reduce_floor=1)
+        solver.solve()
+        for clause in solver.live_learned_clauses():
+            negated_units = [(-literal,) for literal in clause]
+            assert reference.dpll_reference(list(clauses) + negated_units) is None
+        if not solver._unsat:
+            for literal in solver._units:
+                assert reference.dpll_reference(
+                    list(clauses) + [(-literal,)]
+                ) is None
+
+    @given(cnf_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_minimization_never_changes_verdicts(self, clauses):
+        with_min = WatchedSolver(clauses, minimize=True).solve() is not None
+        without = WatchedSolver(clauses, minimize=False).solve() is not None
+        assert with_min == without
+
+    @given(st.lists(cnf_instances(), min_size=1, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_retire_then_solve_agreement_post_reduce(self, batches):
+        """The TestActivationRetirement contract extended to post-reduceDB
+        states: activation/retirement sequences on a solver that reduces
+        (and compacts) aggressively still decide each batch exactly as a
+        fresh reference solve."""
+        shared = _AuditingSolver(reduce_floor=1)
+        used = 0
+        for clauses in batches:
+            activation = _activation_var(clauses, used)
+            used = activation
+            mark = shared.clause_mark()
+            for clause in clauses:
+                shared.add_clause(tuple(clause) + (-activation,))
+            shared_verdict = shared.solve([activation]) is not None
+            shared.retire(activation, since=mark)
+            shared.db_check()
+            fresh_verdict = reference.dpll_reference(list(clauses)) is not None
+            assert shared_verdict == fresh_verdict
+            for clause in shared.live_clauses():
+                assert all(abs(literal) != activation for literal in clause)
+
+    def test_reduce_db_actually_fires(self):
+        """Deterministic coverage check: a pigeonhole instance under a
+        floor of 1 must run real reductions (and drop real clauses), so
+        the properties above genuinely exercise reduceDB."""
+        def pigeonhole(pigeons, holes):
+            clauses = [
+                tuple(p * holes + h + 1 for h in range(holes))
+                for p in range(pigeons)
+            ]
+            for h in range(holes):
+                for p1 in range(pigeons):
+                    for p2 in range(p1 + 1, pigeons):
+                        clauses.append(
+                            (-(p1 * holes + h + 1), -(p2 * holes + h + 1))
+                        )
+            return clauses
+
+        solver = _AuditingSolver(pigeonhole(6, 5), reduce_floor=1)
+        assert solver.solve() is None
+        assert solver.reductions > 0
+        assert solver.reduced_clauses > 0
+        assert solver.compactions > 0
+
+    def test_retire_triggers_tombstone_compaction(self):
+        """Retiring the bulk of a large database crosses the tombstone
+        fraction and compacts the arena; marks taken before the
+        compaction degrade to full scans, not stale offsets."""
+        solver = WatchedSolver()
+        early_mark = solver.clause_mark()
+        for i in range(1, 301):
+            solver.add_clause((i, -(i + 1), 1000))
+        stats = solver.clause_db_stats()
+        assert stats["compactions"] == 0
+        removed = solver.retire(1000, since=early_mark)
+        assert removed == 300
+        stats = solver.clause_db_stats()
+        assert stats["compactions"] >= 1
+        assert stats["dead_words"] == 0
+        assert stats["live_input"] == 0
+        # A pre-compaction mark still works for a later retire scan.
+        solver.add_clause((1, 2, 999))
+        assert solver.retire(999, since=early_mark) == 1
+        solver.db_check()

@@ -194,13 +194,18 @@ class TestExplanationMinimality:
             trail.append(-var if negated else var)
         propagator = DifferenceLogicPropagator(table)
         propagator.reset()
-        assign = [0] * (table.count + 1)
+        # Literal-indexed, as the flat-arena solver hands it over:
+        # slots 2v / 2v+1 per variable, both filled on assignment.
+        assign = [0] * (2 * (table.count + 1))
         conflict = None
         for literal in trail:
-            if assign[abs(literal)] != 0:
+            variable = abs(literal)
+            if assign[variable << 1] != 0:
                 continue  # duplicate atom: keep the first polarity
             propagator.assert_literal(literal)
-            assign[abs(literal)] = 1 if literal > 0 else -1
+            value = 1 if literal > 0 else -1
+            assign[variable << 1] = value
+            assign[(variable << 1) | 1] = -value
             status, payload = propagator.check(assign)
             if status == "conflict":
                 conflict = payload

@@ -93,13 +93,25 @@ def _propagator(*atoms):
     return DifferenceLogicPropagator(table), variables
 
 
+def _lit_assign(values):
+    """Literal-indexed assignment array from var-indexed values: the
+    flat-arena solver hands propagators ``assign[2v]``/``assign[2v+1]``
+    slots, with both polarities filled on assignment."""
+    assign = [0] * (2 * len(values))
+    for var, value in enumerate(values):
+        if var and value:
+            assign[var << 1] = value
+            assign[(var << 1) | 1] = -value
+    return assign
+
+
 def _run(propagator, literals, nvars):
     propagator.reset()
-    assign = [0] * (nvars + 1)
+    values = [0] * (nvars + 1)
     for literal in literals:
         propagator.assert_literal(literal)
-        assign[abs(literal)] = 1 if literal > 0 else -1
-    return propagator.check(assign)
+        values[abs(literal)] = 1 if literal > 0 else -1
+    return propagator.check(_lit_assign(values))
 
 
 class TestDifferenceLogicPropagator:
@@ -156,13 +168,12 @@ class TestDifferenceLogicPropagator:
     def test_backjump_restores_consistency(self):
         propagator, (a, b_) = _propagator(lt(x, y), lt(y, x))
         propagator.reset()
-        assign = [0, 1, 1]
         propagator.assert_literal(a)
         propagator.assert_literal(b_)
-        status, _ = propagator.check(assign)
+        status, _ = propagator.check(_lit_assign([0, 1, 1]))
         assert status == "conflict"
         propagator.backjump(1)  # drop the second literal
-        status, _ = propagator.check([0, 1, 0])
+        status, _ = propagator.check(_lit_assign([0, 1, 0]))
         assert status == "ok"
 
 
@@ -187,10 +198,10 @@ class TestPropagatorStack:
         )
         assert set(stack.atom_vars()) == {a, b_, c}
         stack.reset()
-        assign = [0] * 4
+        values = [0] * 4
         stack.assert_literal(a)
-        assign[a] = 1
-        status, implied = stack.check(assign)
+        values[a] = 1
+        status, implied = stack.check(_lit_assign(values))
         assert status == "ok"
         # The difference-logic element derives both inequalities from
         # the asserted equality.
@@ -208,11 +219,11 @@ class TestPropagatorStack:
             EqualityPropagator(table), DifferenceLogicPropagator(table)
         )
         stack.reset()
-        assign = [0] * 3
+        values = [0] * 3
         for literal in (a, b_):
             stack.assert_literal(literal)
-            assign[literal] = 1
-        status, clause = stack.check(assign)
+            values[literal] = 1
+        status, clause = stack.check(_lit_assign(values))
         assert status == "conflict"
         assert set(map(abs, clause)) <= {a, b_}
 

@@ -1,0 +1,226 @@
+"""Unit suite for the flat clause arena inside
+:class:`repro.smt.dpll.WatchedSolver`.
+
+The arena packs every clause into one shared int list — three header
+words (size, state/LBD, recency stamp) followed by the literals, encoded
+as ``2v`` (positive) / ``2v + 1`` (negative).  These tests pin the
+structural layer directly: encoding round-trips, header bookkeeping,
+watch-list integrity across the add/learn/reduce/retire lifecycle,
+tombstone compaction triggers, and the epoch-tagged clause marks that
+keep :meth:`~repro.smt.dpll.WatchedSolver.retire` scans valid across
+compactions.
+"""
+
+import pytest
+
+from repro.smt.dpll import (
+    WatchedSolver,
+    _COMPACT_FRACTION,
+    _HDR,
+    _decode,
+    _encode,
+)
+
+
+def _pigeonhole(pigeons, holes):
+    clauses = [
+        tuple(p * holes + h + 1 for h in range(holes)) for p in range(pigeons)
+    ]
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                clauses.append((-(p1 * holes + h + 1), -(p2 * holes + h + 1)))
+    return clauses
+
+
+class TestLiteralEncoding:
+    @pytest.mark.parametrize("literal", [1, -1, 2, -2, 7, -7, 1000, -1000])
+    def test_round_trip(self, literal):
+        assert _decode(_encode(literal)) == literal
+
+    def test_encoding_layout(self):
+        # Positive literal of v is 2v, negative 2v+1; negation is ^1.
+        assert _encode(3) == 6
+        assert _encode(-3) == 7
+        assert _encode(3) ^ 1 == _encode(-3)
+        assert _encode(3) >> 1 == 3 == _encode(-3) >> 1
+
+    def test_clauses_round_trip_through_arena(self):
+        clauses = [(1, -2, 3), (-1, 2), (2, 3, -4, 5)]
+        solver = WatchedSolver(clauses)
+        # live_clauses decodes straight out of the arena; order and
+        # content are preserved (watch swaps may reorder the first two
+        # literals only after propagation, none has run here).
+        assert [tuple(c) for c in solver.live_clauses()] == clauses
+
+
+class TestArenaLayout:
+    def test_header_words_per_clause(self):
+        solver = WatchedSolver([(1, -2, 3), (-1, 2)])
+        stats = solver.clause_db_stats()
+        assert stats["arena_words"] == (3 + _HDR) + (2 + _HDR)
+        assert stats["live_input"] == 2
+        assert stats["live_learned"] == 0
+        assert stats["dead_words"] == 0
+
+    def test_units_and_tautologies_never_reach_the_arena(self):
+        solver = WatchedSolver([(5,), (1, -1), (1, -1, 2)])
+        assert solver.clause_db_stats()["arena_words"] == 0
+        assert solver._units == [5]
+
+    def test_duplicate_literals_collapse(self):
+        solver = WatchedSolver([(1, 1, -2)])
+        assert solver.live_clauses() == [[1, -2]]
+
+    def test_learned_clauses_carry_positive_state(self):
+        solver = WatchedSolver(_pigeonhole(3, 2))
+        assert solver.solve() is None
+        assert solver.learned_clauses > 0
+        learned = solver.live_learned_clauses()
+        stats = solver.clause_db_stats()
+        assert stats["live_learned"] == len(learned)
+        solver.db_check()
+
+
+class TestWatchIntegrity:
+    def test_after_add(self):
+        solver = WatchedSolver([(1, -2, 3), (-1, 2), (2, 3, -4, 5)])
+        solver.db_check()
+
+    def test_after_solve_learning(self):
+        solver = WatchedSolver(_pigeonhole(4, 3))
+        assert solver.solve() is None
+        solver.db_check()
+
+    def test_after_reduce(self):
+        solver = WatchedSolver(_pigeonhole(6, 5), reduce_floor=1)
+        assert solver.solve() is None
+        assert solver.reductions > 0
+        solver.db_check()
+
+    def test_after_retire(self):
+        solver = WatchedSolver()
+        mark = solver.clause_mark()
+        solver.add_clause((1, 2, -9))
+        solver.add_clause((-1, 3, -9))
+        solver.add_clause((1, 4))  # unrelated: must survive
+        assert solver.retire(9, since=mark) == 2
+        assert solver.live_clauses() == [[1, 4]]
+        solver.db_check()
+
+    def test_interleaved_lifecycle(self):
+        solver = WatchedSolver(reduce_floor=1)
+        for clause in _pigeonhole(4, 3):
+            solver.add_clause(clause)
+        mark = solver.clause_mark()
+        solver.add_clause((50, 51, -60))
+        solver.add_clause((-50, 52, -60))
+        assert solver.solve([60]) is None  # pigeonhole core is UNSAT
+        solver.retire(60, since=mark)
+        solver.db_check()
+        # Pigeonhole with enough holes to be SAT after adding a new hole
+        # column is not modeled here; just confirm the DB still answers.
+        assert solver.solve([60]) is None
+        solver.db_check()
+
+
+class TestTombstoneCompaction:
+    def test_compaction_triggers_on_fraction(self):
+        solver = WatchedSolver()
+        mark = solver.clause_mark()
+        for i in range(1, 101):
+            solver.add_clause((i, i + 1, 500))
+        words_before = solver.clause_db_stats()["arena_words"]
+        assert words_before == 100 * (3 + _HDR)
+        solver.retire(500, since=mark)
+        stats = solver.clause_db_stats()
+        assert stats["compactions"] == 1
+        assert stats["arena_words"] == 0
+        assert stats["dead_words"] == 0
+
+    def test_small_arena_not_compacted(self):
+        # Below the size threshold retirement tombstones but keeps the
+        # words (compaction would cost more than it frees).
+        solver = WatchedSolver()
+        mark = solver.clause_mark()
+        solver.add_clause((1, 2, 9))
+        solver.retire(9, since=mark)
+        stats = solver.clause_db_stats()
+        assert stats["compactions"] == 0
+        assert stats["dead_words"] == 3 + _HDR
+
+    def test_compaction_preserves_surviving_clauses(self):
+        solver = WatchedSolver()
+        keep = [(i, -(i + 1)) for i in range(1, 200, 2)]
+        for clause in keep:
+            solver.add_clause(clause)
+        mark = solver.clause_mark()
+        for i in range(1, 300):
+            solver.add_clause((i, i + 2, 700))
+        solver.retire(700, since=mark)
+        assert solver.clause_db_stats()["compactions"] >= 1
+        live = [tuple(c) for c in solver.live_clauses()]
+        assert live == keep
+        solver.db_check()
+        assert solver.solve() is not None
+
+    def test_compact_fraction_is_meaningful(self):
+        assert 0 < _COMPACT_FRACTION < 1
+
+
+class TestClauseMarks:
+    def test_mark_scopes_retire_scan(self):
+        solver = WatchedSolver()
+        solver.add_clause((1, 2, 9))  # pre-mark clause mentioning 9
+        mark = solver.clause_mark()
+        solver.add_clause((3, 4, -9))
+        # A scoped retire only scans from the mark: the pre-mark clause
+        # is intentionally out of range (the session contract passes the
+        # mark taken just before the query's guarded clauses).
+        assert solver.retire(9, since=mark) == 1
+        assert [tuple(c) for c in solver.live_clauses()] == [(1, 2, 9)]
+
+    def test_stale_mark_degrades_to_full_scan(self):
+        solver = WatchedSolver()
+        for i in range(1, 101):
+            solver.add_clause((i, i + 1, 500))
+        stale = solver.clause_mark()  # taken at epoch 0, end of arena
+        mark0 = solver.clause_mark()
+        # Trigger a compaction by retiring everything (epoch bumps).
+        solver.retire(500, since=0)
+        assert solver.clause_db_stats()["epoch"] >= 1
+        solver.add_clause((1, 2, 600))
+        # The stale mark's offset points past the new arena's end under
+        # its old epoch; retire must fall back to a full scan and still
+        # find the clause.
+        assert solver.retire(600, since=stale) == 1
+        solver.db_check()
+
+    def test_marks_are_monotonic_within_an_epoch(self):
+        solver = WatchedSolver()
+        first = solver.clause_mark()
+        solver.add_clause((1, 2))
+        second = solver.clause_mark()
+        assert second > first
+
+
+class TestSolveStatePersistence:
+    def test_search_arrays_clear_between_solves(self):
+        solver = WatchedSolver([(1, 2), (-1, 2)])
+        first = solver.solve()
+        assert first is not None
+        # After solve returns, the trail is fully retracted.
+        assert solver._trail == []
+        second = solver.solve([-1])
+        assert second is not None and second.get(1) is False
+        assert second.get(2) is True
+        solver.db_check()
+
+    def test_phase_saving_survives_retraction(self):
+        solver = WatchedSolver([(1, 2)])
+        model = solver.solve([1, -2])
+        assert model is not None
+        # Saved phases reflect the last assignment even though the
+        # trail was retracted.
+        assert solver._phase[1] is True
+        assert solver._phase[2] is False

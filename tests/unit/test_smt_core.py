@@ -26,6 +26,18 @@ from repro.smt.cache import GLOBAL as VALIDITY_CACHE
 from repro.smt.cnf import cnf_of
 
 
+def _lit_assign(values):
+    """Literal-indexed assignment array from var-indexed values: the
+    flat-arena solver hands propagators ``assign[2v]``/``assign[2v+1]``
+    slots, with both polarities filled on assignment."""
+    assign = [0] * (2 * len(values))
+    for var, value in enumerate(values):
+        if var and value:
+            assign[var << 1] = value
+            assign[(var << 1) | 1] = -value
+    return assign
+
+
 class TestInterning:
     def test_const_canonical(self):
         assert Const(5) is Const(5)
@@ -341,8 +353,8 @@ class TestTheoryPropagation:
         propagator.reset()
         propagator.assert_literal(xy)
         propagator.assert_literal(yz)
-        assign = [0, 1, 1, 0]  # xy, yz true; xz unassigned
-        status, implied = propagator.check(assign)
+        # xy, yz true; xz unassigned (literal-indexed: slot 2v per var)
+        status, implied = propagator.check(_lit_assign([0, 1, 1, 0]))
         assert status == "ok"
         assert (xz, [xy, yz]) in implied
 
@@ -360,7 +372,7 @@ class TestTheoryPropagation:
         propagator.assert_literal(xy)
         propagator.assert_literal(yz)
         propagator.assert_literal(-xz)  # x ≠ z: inconsistent
-        status, clause = propagator.check([0, 1, 1, -1])
+        status, clause = propagator.check(_lit_assign([0, 1, 1, -1]))
         assert status == "conflict"
         assert xz in clause  # ¬(x ≠ z) is part of the explanation
         assert all(lit in (xz, -xy, -yz) for lit in clause)
@@ -376,7 +388,7 @@ class TestTheoryPropagation:
         propagator.reset()
         propagator.assert_literal(xy)
         propagator.backjump(0)
-        status, implied = propagator.check([0, 0])
+        status, implied = propagator.check(_lit_assign([0, 0]))
         assert status == "ok"
         assert implied == []  # nothing asserted any more
 
